@@ -1,0 +1,180 @@
+//! The demo app set used throughout the paper's experiments.
+//!
+//! These are deliberately simple apps ("demo apps that almost have no
+//! functionality", §III-B) plus the Message/Camera/Contacts trio of the
+//! motivating scenario. Each installer returns the app's UID.
+
+use ea_framework::{AndroidSystem, AppBehavior, AppManifest, Permission, WakelockPolicy};
+use ea_sim::Uid;
+
+/// The implicit action the Camera's recorder answers (mirrors
+/// `MediaStore.ACTION_VIDEO_CAPTURE`).
+pub const ACTION_VIDEO_CAPTURE: &str = "android.media.action.VIDEO_CAPTURE";
+
+/// Package names of the demo set.
+pub mod packages {
+    /// The Message app.
+    pub const MESSAGE: &str = "com.example.message";
+    /// The Camera app.
+    pub const CAMERA: &str = "com.example.camera";
+    /// The Contacts app.
+    pub const CONTACTS: &str = "com.example.contacts";
+    /// The Music app.
+    pub const MUSIC: &str = "com.example.music";
+    /// A near-empty victim app with an exported service.
+    pub const VICTIM: &str = "com.example.victim";
+    /// A second victim for multi-target attacks.
+    pub const VICTIM2: &str = "com.example.victim2";
+}
+
+/// Installs the Message app: compose UI plus a sync service.
+pub fn install_message(android: &mut AndroidSystem) -> Uid {
+    android.install_with_behavior(
+        AppManifest::builder(packages::MESSAGE)
+            .category("communication")
+            .activity("Compose", true)
+            .service("Sync", false)
+            .permission(Permission::Internet)
+            .permission(Permission::WakeLock)
+            .build(),
+        AppBehavior::light().with_foreground_util(0.12),
+    )
+}
+
+/// Installs the Camera app: an exported recorder that answers the
+/// video-capture action — "reported as the most energy draining app".
+pub fn install_camera(android: &mut AndroidSystem) -> Uid {
+    android.install_with_behavior(
+        AppManifest::builder(packages::CAMERA)
+            .category("photography")
+            .activity_with_actions("Record", true, &[ACTION_VIDEO_CAPTURE])
+            .permission(Permission::Camera)
+            .permission(Permission::RecordAudio)
+            .build(),
+        AppBehavior::light().with_foreground_util(0.25),
+    )
+}
+
+/// Installs the Contacts app (the chain head of the hybrid scenario).
+pub fn install_contacts(android: &mut AndroidSystem) -> Uid {
+    android.install_with_behavior(
+        AppManifest::builder(packages::CONTACTS)
+            .category("communication")
+            .activity("People", true)
+            .build(),
+        AppBehavior::light().with_foreground_util(0.08),
+    )
+}
+
+/// Installs the Music app: playback service that keeps running in the
+/// background.
+pub fn install_music(android: &mut AndroidSystem) -> Uid {
+    android.install_with_behavior(
+        AppManifest::builder(packages::MUSIC)
+            .category("audio")
+            .activity("Player", true)
+            .service("Playback", true)
+            .permission(Permission::WakeLock)
+            .build(),
+        AppBehavior::light().with_service_util(0.10),
+    )
+}
+
+/// Installs the paper's near-empty victim app: an exported `Worker` service
+/// and the classic no-sleep bug (wakelocks released only in `onDestroy`).
+pub fn install_victim(android: &mut AndroidSystem) -> Uid {
+    install_victim_named(android, packages::VICTIM)
+}
+
+/// Installs a second identical victim under another package name.
+pub fn install_victim2(android: &mut AndroidSystem) -> Uid {
+    install_victim_named(android, packages::VICTIM2)
+}
+
+fn install_victim_named(android: &mut AndroidSystem, package: &str) -> Uid {
+    android.install_with_behavior(
+        AppManifest::builder(package)
+            .category("tools")
+            .activity("Main", true)
+            .service("Worker", true)
+            .permission(Permission::WakeLock)
+            .build(),
+        AppBehavior::demo().with_wakelock_policy(WakelockPolicy::OnDestroy),
+    )
+}
+
+/// The whole demo set, installed together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemoApps {
+    /// Message.
+    pub message: Uid,
+    /// Camera.
+    pub camera: Uid,
+    /// Contacts.
+    pub contacts: Uid,
+    /// Music.
+    pub music: Uid,
+    /// Victim.
+    pub victim: Uid,
+    /// Second victim.
+    pub victim2: Uid,
+}
+
+impl DemoApps {
+    /// Installs all six demo apps into `android`.
+    pub fn install_all(android: &mut AndroidSystem) -> Self {
+        DemoApps {
+            message: install_message(android),
+            camera: install_camera(android),
+            contacts: install_contacts(android),
+            music: install_music(android),
+            victim: install_victim(android),
+            victim2: install_victim2(android),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_framework::{ComponentKind, Intent, StartResult};
+
+    #[test]
+    fn demo_set_installs_with_distinct_uids() {
+        let mut android = AndroidSystem::new();
+        let apps = DemoApps::install_all(&mut android);
+        let uids = [
+            apps.message,
+            apps.camera,
+            apps.contacts,
+            apps.music,
+            apps.victim,
+            apps.victim2,
+        ];
+        let mut sorted = uids.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), uids.len());
+    }
+
+    #[test]
+    fn camera_answers_the_video_capture_action() {
+        let mut android = AndroidSystem::new();
+        let apps = DemoApps::install_all(&mut android);
+        android.user_launch(packages::MESSAGE).unwrap();
+        let result = android
+            .start_activity(apps.message, Intent::implicit(ACTION_VIDEO_CAPTURE))
+            .unwrap();
+        assert_eq!(result, StartResult::Started(apps.camera));
+    }
+
+    #[test]
+    fn victim_exports_its_worker_service() {
+        let mut android = AndroidSystem::new();
+        let victim = install_victim(&mut android);
+        let manifest = &android.app(victim).unwrap().manifest;
+        let worker = manifest.component("Worker").unwrap();
+        assert_eq!(worker.kind, ComponentKind::Service);
+        assert!(worker.exported, "the attack #3 precondition");
+    }
+}

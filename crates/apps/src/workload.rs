@@ -1,0 +1,246 @@
+//! A randomized "day in the life" workload generator.
+//!
+//! The §VI scenarios are scripted; this module complements them with a
+//! seeded stochastic user: launching apps, backgrounding them, playing
+//! music, taking calls, browsing over WiFi, occasionally filming. It is the
+//! macro-workload used to check that E-Android's properties (conservation,
+//! zero idle overhead, no phantom collateral) hold far away from the
+//! hand-written scripts — and it exercises the full framework surface under
+//! a single deterministic RNG stream.
+
+use ea_core::Profiler;
+use ea_framework::{AndroidSystem, Intent};
+use ea_sim::{SimDuration, SimRng};
+
+use crate::demo::{packages, DemoApps, ACTION_VIDEO_CAPTURE};
+
+/// Configuration of the synthetic day.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// RNG seed: same seed, same day.
+    pub seed: u64,
+    /// Number of user "sessions" (unlock → interact → pocket).
+    pub sessions: usize,
+    /// Mean attended seconds per session.
+    pub mean_session_secs: u64,
+    /// Mean pocketed (idle) seconds between sessions.
+    pub mean_idle_secs: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 7,
+            sessions: 12,
+            mean_session_secs: 45,
+            mean_idle_secs: 120,
+        }
+    }
+}
+
+/// Summary of a generated day.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSummary {
+    /// Sessions actually simulated.
+    pub sessions: usize,
+    /// Simulated wall time, seconds.
+    pub elapsed_secs: f64,
+    /// Battery percent at the end.
+    pub final_percent: f64,
+    /// Total user actions issued.
+    pub actions: usize,
+}
+
+/// Runs the synthetic day against a fresh handset under `profiler`.
+/// Returns the handset, the profiler, and a summary.
+pub fn run_workload(
+    config: WorkloadConfig,
+    mut profiler: Profiler,
+) -> (AndroidSystem, Profiler, WorkloadSummary) {
+    let mut android = AndroidSystem::new();
+    let apps = DemoApps::install_all(&mut android);
+    let mut rng = SimRng::seed(config.seed);
+    let mut actions = 0usize;
+
+    let launchable = [
+        packages::MESSAGE,
+        packages::CONTACTS,
+        packages::MUSIC,
+        packages::VICTIM,
+        packages::VICTIM2,
+    ];
+
+    for _ in 0..config.sessions {
+        // Unlock (receivers fire, like the real phone).
+        android.user_unlock();
+        actions += 1;
+
+        let session_secs = 1 + rng.range_u64(1, config.mean_session_secs.max(2) * 2);
+        let mut remaining = session_secs;
+        while remaining > 0 {
+            // One attended second, then maybe an action.
+            android.note_user_activity();
+            profiler.run(&mut android, SimDuration::from_secs(1));
+            remaining -= 1;
+
+            if !rng.chance(0.25) {
+                continue;
+            }
+            actions += 1;
+            match rng.range_u64(0, 10) {
+                0..=3 => {
+                    let index = rng.range_u64(0, launchable.len() as u64) as usize;
+                    let _ = android.user_launch(launchable[index]);
+                }
+                4 => {
+                    android.user_press_home();
+                }
+                5 => {
+                    android.user_press_back();
+                }
+                6 => {
+                    // Music keeps playing in the background.
+                    let _ = android
+                        .start_service(apps.music, Intent::explicit(packages::MUSIC, "Playback"));
+                    android.set_audio(apps.music, true);
+                }
+                7 => {
+                    android.set_audio(apps.music, false);
+                    let _ = android
+                        .stop_service(apps.music, Intent::explicit(packages::MUSIC, "Playback"));
+                }
+                8 => {
+                    // Browse: the foreground app pulls data over WiFi
+                    // (home-screen browsing doesn't happen — skip when the
+                    // launcher is in front).
+                    if let Some(foreground) = android.foreground_uid() {
+                        if !foreground.is_system() {
+                            android.set_wifi_kbps(foreground, rng.range_f64(100.0, 4_000.0));
+                        }
+                    }
+                }
+                _ => {
+                    // Film a short clip through the Camera intent.
+                    if let Some(foreground) = android.foreground_uid() {
+                        if android
+                            .start_activity(foreground, Intent::implicit(ACTION_VIDEO_CAPTURE))
+                            .is_ok()
+                        {
+                            let _ = android.camera_start(apps.camera, true);
+                            android.set_extra_demand(apps.camera, 0.35);
+                            for _ in 0..rng.range_u64(2, 8) {
+                                android.note_user_activity();
+                                profiler.run(&mut android, SimDuration::from_secs(1));
+                            }
+                            android.camera_stop(apps.camera);
+                            android.set_extra_demand(apps.camera, 0.0);
+                            android.user_press_back();
+                        }
+                    }
+                }
+            }
+        }
+
+        // Quiet the radios and pocket the phone.
+        let uids = [
+            apps.message,
+            apps.contacts,
+            apps.music,
+            apps.victim,
+            apps.victim2,
+        ];
+        for uid in uids {
+            android.set_wifi_kbps(uid, 0.0);
+        }
+        if let Some(foreground) = android.foreground_uid() {
+            android.set_wifi_kbps(foreground, 0.0);
+        }
+        // Occasionally a call interrupts right before pocketing.
+        if rng.chance(0.2) {
+            let _ = android.incoming_call();
+            profiler.run(&mut android, SimDuration::from_secs(rng.range_u64(5, 30)));
+            let _ = android.end_call();
+            actions += 1;
+        }
+        let idle = rng.range_u64(1, config.mean_idle_secs.max(2) * 2);
+        profiler.run(&mut android, SimDuration::from_secs(idle));
+    }
+
+    let summary = WorkloadSummary {
+        sessions: config.sessions,
+        elapsed_secs: android.now().as_secs_f64(),
+        final_percent: profiler.battery().percent(),
+        actions,
+    };
+    (android, profiler, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_core::{Entity, ScreenPolicy};
+
+    fn small() -> WorkloadConfig {
+        WorkloadConfig {
+            seed: 11,
+            sessions: 4,
+            mean_session_secs: 15,
+            mean_idle_secs: 30,
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let (_, profiler_a, summary_a) =
+            run_workload(small(), Profiler::eandroid(ScreenPolicy::SeparateEntity));
+        let (_, profiler_b, summary_b) =
+            run_workload(small(), Profiler::eandroid(ScreenPolicy::SeparateEntity));
+        assert_eq!(summary_a, summary_b);
+        assert_eq!(
+            profiler_a.battery().drained(),
+            profiler_b.battery().drained()
+        );
+        assert_eq!(profiler_a.ledger(), profiler_b.ledger());
+    }
+
+    #[test]
+    fn different_seeds_produce_different_days() {
+        let (_, _, a) = run_workload(small(), Profiler::android(ScreenPolicy::SeparateEntity));
+        let mut config = small();
+        config.seed = 12;
+        let (_, _, b) = run_workload(config, Profiler::android(ScreenPolicy::SeparateEntity));
+        assert_ne!(a.elapsed_secs, b.elapsed_secs);
+    }
+
+    #[test]
+    fn conservation_holds_across_a_random_day() {
+        let (_, profiler, _) =
+            run_workload(small(), Profiler::eandroid(ScreenPolicy::ForegroundApp));
+        let ledger = profiler.ledger().grand_total().as_joules();
+        let integrated = profiler.integrated_energy().as_joules();
+        assert!((ledger - integrated).abs() < 1e-6);
+    }
+
+    #[test]
+    fn a_normal_day_produces_no_phantom_malware() {
+        // Collateral appears (intents fire all day) but nobody self-charges
+        // and system apps never host attacks.
+        let (_, profiler, summary) =
+            run_workload(small(), Profiler::eandroid(ScreenPolicy::SeparateEntity));
+        assert!(summary.actions > 0);
+        let graph = profiler.collateral().unwrap();
+        for host in graph.hosts() {
+            assert!(!host.is_system());
+            assert_eq!(graph.links(host, Entity::App(host)), 0);
+        }
+    }
+
+    #[test]
+    fn battery_declines_over_the_day() {
+        let (_, profiler, summary) =
+            run_workload(small(), Profiler::android(ScreenPolicy::SeparateEntity));
+        assert!(summary.final_percent < 100.0);
+        assert!(summary.final_percent > 50.0, "a short test day is gentle");
+        assert!(profiler.battery().drained().as_joules() > 0.0);
+    }
+}

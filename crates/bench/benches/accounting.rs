@@ -1,0 +1,121 @@
+//! Accounting-layer throughput: profiler step cost (baseline vs E-Android),
+//! lifecycle-tracker event processing, and collateral-graph operations —
+//! the ablation benches for DESIGN.md's "no overhead when idle" claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ea_core::{CollateralGraph, Entity, LifecycleTracker, Profiler, ScreenPolicy};
+use ea_framework::{
+    AndroidSystem, AppManifest, ChangeSource, FrameworkEvent, Permission, TimedEvent,
+};
+use ea_power::Energy;
+use ea_sim::{SimTime, Uid};
+
+fn busy_handset() -> AndroidSystem {
+    let mut android = AndroidSystem::new();
+    for index in 0..8 {
+        android.install(
+            AppManifest::builder(format!("com.load.app{index}"))
+                .activity("Main", true)
+                .service("Worker", true)
+                .permission(Permission::WakeLock)
+                .build(),
+        );
+    }
+    android.user_launch("com.load.app0").unwrap();
+    android
+}
+
+fn bench_profiler_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiler_step");
+    for (label, collateral) in [("android", false), ("eandroid", true)] {
+        group.bench_with_input(BenchmarkId::new("idle", label), &collateral, |b, &col| {
+            let mut android = busy_handset();
+            let mut profiler = if col {
+                Profiler::eandroid(ScreenPolicy::SeparateEntity)
+            } else {
+                Profiler::android(ScreenPolicy::SeparateEntity)
+            };
+            b.iter(|| profiler.step(&mut android));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lifecycle_tracker(c: &mut Criterion) {
+    let malware = Uid::from_raw(10_000);
+    let victim = Uid::from_raw(10_001);
+    let events: Vec<TimedEvent> = (0..64)
+        .map(|i| TimedEvent {
+            at: SimTime::from_millis(i),
+            event: if i % 2 == 0 {
+                FrameworkEvent::ActivityStarted {
+                    source: ChangeSource::App(malware),
+                    driven: victim,
+                    component: "Main".into(),
+                    via_resolver: false,
+                }
+            } else {
+                FrameworkEvent::ActivityStarted {
+                    source: ChangeSource::User,
+                    driven: victim,
+                    component: "Main".into(),
+                    via_resolver: false,
+                }
+            },
+        })
+        .collect();
+
+    c.bench_function("lifecycle_tracker/64_events", |b| {
+        b.iter(|| {
+            let mut tracker = LifecycleTracker::new();
+            for event in &events {
+                std::hint::black_box(tracker.observe(event));
+            }
+        });
+    });
+}
+
+fn bench_collateral_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collateral_graph");
+
+    group.bench_function("begin_end_simple", |b| {
+        let a = Uid::from_raw(10_000);
+        let target = Entity::App(Uid::from_raw(10_001));
+        b.iter(|| {
+            let mut graph = CollateralGraph::new();
+            let tokens = graph.begin(a, target, false);
+            graph.end(&tokens);
+        });
+    });
+
+    group.bench_function("chain_depth_8", |b| {
+        b.iter(|| {
+            let mut graph = CollateralGraph::new();
+            for depth in 0..8u32 {
+                let driving = Uid::from_raw(10_000 + depth);
+                let driven = Entity::App(Uid::from_raw(10_001 + depth));
+                std::hint::black_box(graph.begin(driving, driven, true));
+            }
+            graph
+        });
+    });
+
+    group.bench_function("accrue_100_hosts", |b| {
+        let mut graph = CollateralGraph::new();
+        let driven = Entity::App(Uid::from_raw(20_000));
+        for host in 0..100u32 {
+            graph.begin(Uid::from_raw(10_000 + host), driven, false);
+        }
+        b.iter(|| graph.accrue(driven, Energy::from_joules(0.001)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_profiler_step,
+    bench_lifecycle_tracker,
+    bench_collateral_graph
+);
+criterion_main!(benches);

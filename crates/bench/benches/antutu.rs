@@ -1,0 +1,29 @@
+//! Criterion companion to Figure 11: the AnTuTu-style suite under Android
+//! and complete E-Android. Parity between the two groups is the result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ea_bench::{run_antutu, AntutuWorkload, OverheadConfig};
+
+fn bench_antutu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("antutu");
+    group.sample_size(10);
+    let workload = AntutuWorkload {
+        int_iters: 400_000,
+        float_iters: 400_000,
+        memory_words: 1 << 17,
+        io_records: 2_000,
+    };
+    for config in [OverheadConfig::Android, OverheadConfig::EAndroidComplete] {
+        group.bench_with_input(
+            BenchmarkId::new("suite", config.label()),
+            &config,
+            |b, &config| {
+                b.iter(|| run_antutu(config, workload));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_antutu);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion companion to Figure 10: the Table I micro operations under the
+//! three overhead configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ea_bench::{MicroHarness, MicroOp, OverheadConfig};
+
+fn bench_micro_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_ops");
+    // A representative subset: one self op, the cross-app ops that trigger
+    // E-Android's accounting, and the screen write.
+    let ops = [
+        MicroOp::StartSelfActivity,
+        MicroOp::StartOtherActivity,
+        MicroOp::BindOtherService,
+        MicroOp::UnbindOtherService,
+        MicroOp::WakelockAcquire,
+        MicroOp::ChangeScreen,
+    ];
+    for config in OverheadConfig::ALL {
+        for op in ops {
+            group.bench_with_input(
+                BenchmarkId::new(config.label(), op.label()),
+                &(config, op),
+                |b, &(config, op)| {
+                    let mut harness = MicroHarness::new(config);
+                    b.iter(|| harness.run_once(op));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro_ops);
+criterion_main!(benches);

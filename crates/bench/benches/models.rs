@@ -1,0 +1,75 @@
+//! Hardware-model ablation: the DESIGN.md calibration choices, benchmarked.
+//!
+//! * LCD (Nexus 4) vs AMOLED (Galaxy Nexus) panel under the depletion
+//!   workload — the attack shapes must not be a panel artifact.
+//! * Power-model evaluation throughput (draws per second) under light and
+//!   heavy usage — the cost floor of every profiler step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ea_apps::{run_depletion_with_model, DepletionCase};
+use ea_power::{CpuUse, DevicePowerModel, DeviceUsage, RadioUse, ScreenUsage};
+use ea_sim::{SimDuration, SimTime, Uid};
+
+fn bench_panel_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("panel_ablation");
+    group.sample_size(10);
+    for (label, model) in [
+        ("nexus4_lcd", DevicePowerModel::nexus4()),
+        ("galaxy_nexus_oled", DevicePowerModel::galaxy_nexus()),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("depletion_1h", label),
+            &model,
+            |b, model| {
+                b.iter(|| run_depletion_with_model(DepletionCase::BindService, 1, model.clone()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_model_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("power_model");
+
+    let light = {
+        let mut usage = DeviceUsage::idle();
+        usage.screen = ScreenUsage::on(96, Some(Uid::FIRST_APP));
+        usage
+    };
+    let heavy = {
+        let mut usage = DeviceUsage::idle();
+        usage.screen = ScreenUsage::on(255, Some(Uid::FIRST_APP));
+        usage.cpu = (0..8)
+            .map(|n| CpuUse {
+                uid: Uid::from_raw(10_000 + n),
+                utilization: 0.4,
+            })
+            .collect();
+        usage.wifi = (0..4)
+            .map(|n| RadioUse {
+                uid: Uid::from_raw(10_000 + n),
+                throughput_kbps: 500.0,
+            })
+            .collect();
+        usage.camera = Some(ea_power::CameraUse {
+            uid: Uid::FIRST_APP,
+            recording: true,
+        });
+        usage
+    };
+
+    for (label, usage) in [("light", light), ("heavy", heavy)] {
+        group.bench_with_input(BenchmarkId::new("draws", label), &usage, |b, usage| {
+            let mut model = DevicePowerModel::nexus4();
+            let mut now = SimTime::ZERO;
+            b.iter(|| {
+                now += SimDuration::from_millis(100);
+                std::hint::black_box(model.draws(now, usage))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_panel_ablation, bench_model_throughput);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! End-to-end scenario cost: how much wall time one full §VI scenario run
+//! takes under baseline vs E-Android profiling (the macro-benchmark
+//! counterpart of Figure 10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ea_apps::Scenario;
+use ea_core::{Profiler, ScreenPolicy};
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenarios");
+    group.sample_size(10);
+    for scenario in [
+        Scenario::Scene1MessageVideo,
+        Scenario::Attack3BindService,
+        Scenario::Attack6Wakelock,
+    ] {
+        for (label, eandroid) in [("android", false), ("eandroid", true)] {
+            group.bench_with_input(
+                BenchmarkId::new(scenario.name(), label),
+                &eandroid,
+                |b, &eandroid| {
+                    b.iter(|| {
+                        let profiler = if eandroid {
+                            Profiler::eandroid(ScreenPolicy::SeparateEntity)
+                        } else {
+                            Profiler::android(ScreenPolicy::SeparateEntity)
+                        };
+                        scenario.run(profiler)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

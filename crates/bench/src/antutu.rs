@@ -1,0 +1,197 @@
+//! The Figure 11 AnTuTu-style benchmark.
+//!
+//! AnTuTu scores CPU (integer and float), memory, and I/O; Figure 11's
+//! claim is *parity*: E-Android scores the same as Android because its
+//! hooks only run when collateral events fire. We reproduce the experiment
+//! with synthetic kernels executed while the framework processes a realistic
+//! stream of app activity under each configuration.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::micro::{MicroHarness, MicroOp, OverheadConfig};
+
+/// AnTuTu-style scores (bigger is better).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AntutuScore {
+    /// Integer arithmetic score.
+    pub cpu_int: f64,
+    /// Floating-point score.
+    pub cpu_float: f64,
+    /// Memory streaming score.
+    pub memory: f64,
+    /// I/O (serialization churn) score.
+    pub io: f64,
+    /// Sum of the sub-scores.
+    pub total: f64,
+}
+
+/// Work sizes tuned so the full suite runs in well under a second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AntutuWorkload {
+    /// Integer loop iterations.
+    pub int_iters: u64,
+    /// Float loop iterations.
+    pub float_iters: u64,
+    /// Memory buffer length (u64 words).
+    pub memory_words: usize,
+    /// Serialization records.
+    pub io_records: usize,
+}
+
+impl Default for AntutuWorkload {
+    fn default() -> Self {
+        AntutuWorkload {
+            int_iters: 4_000_000,
+            float_iters: 4_000_000,
+            memory_words: 1 << 20,
+            io_records: 20_000,
+        }
+    }
+}
+
+fn int_kernel(iters: u64) -> u64 {
+    let mut acc = 0x9e37_79b9_u64;
+    for i in 0..iters {
+        acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+        acc ^= acc >> 29;
+    }
+    acc
+}
+
+fn float_kernel(iters: u64) -> f64 {
+    let mut acc = 1.000_000_1_f64;
+    for i in 0..iters {
+        acc = acc * 1.000_000_3 + (i as f64).sqrt() * 1e-9;
+        if acc > 1e12 {
+            acc *= 1e-12;
+        }
+    }
+    acc
+}
+
+fn memory_kernel(words: usize) -> u64 {
+    let mut buffer: Vec<u64> = (0..words as u64).collect();
+    let mut sum = 0u64;
+    for stride in [1usize, 3, 7] {
+        let mut index = 0usize;
+        for _ in 0..words {
+            sum = sum.wrapping_add(buffer[index]);
+            buffer[index] = sum;
+            index = (index + stride) % words;
+        }
+    }
+    sum
+}
+
+fn io_kernel(records: usize) -> usize {
+    // Serialization churn stands in for filesystem I/O: format, parse,
+    // accumulate.
+    let mut bytes = 0usize;
+    for i in 0..records {
+        let line = format!(
+            "{{\"record\":{i},\"payload\":\"{:016x}\"}}",
+            i * 2_654_435_761
+        );
+        let parsed: serde_json::Value = serde_json::from_str(&line).expect("valid json");
+        bytes += parsed["payload"].as_str().map(str::len).unwrap_or(0);
+    }
+    bytes
+}
+
+/// Runs the suite under `config`: between kernel chunks the framework
+/// processes a burst of real app activity (the source of any E-Android
+/// overhead).
+pub fn run_antutu(config: OverheadConfig, workload: AntutuWorkload) -> AntutuScore {
+    let mut harness = MicroHarness::new(config);
+    let burst = |harness: &mut MicroHarness| {
+        for op in [
+            MicroOp::StartOtherActivity,
+            MicroOp::BindOtherService,
+            MicroOp::UnbindOtherService,
+            MicroOp::ChangeScreen,
+        ] {
+            harness.run_once(op);
+        }
+    };
+
+    const CHUNKS: u64 = 8;
+    let mut timed = |work: &mut dyn FnMut()| -> f64 {
+        let start = Instant::now();
+        for _ in 0..CHUNKS {
+            work();
+            burst(&mut harness);
+        }
+        start.elapsed().as_secs_f64()
+    };
+
+    let int_time = timed(&mut || {
+        std::hint::black_box(int_kernel(workload.int_iters / CHUNKS));
+    });
+    let float_time = timed(&mut || {
+        std::hint::black_box(float_kernel(workload.float_iters / CHUNKS));
+    });
+    let memory_time = timed(&mut || {
+        std::hint::black_box(memory_kernel(workload.memory_words / CHUNKS as usize));
+    });
+    let io_time = timed(&mut || {
+        std::hint::black_box(io_kernel(workload.io_records / CHUNKS as usize));
+    });
+
+    // Score = work-proportional constant over elapsed time, scaled to land
+    // in an AnTuTu-like range for the default workload.
+    let score = |seconds: f64| 1_000.0 / seconds.max(1e-9);
+    let cpu_int = score(int_time);
+    let cpu_float = score(float_time);
+    let memory = score(memory_time);
+    let io = score(io_time);
+    AntutuScore {
+        cpu_int,
+        cpu_float,
+        memory,
+        io,
+        total: cpu_int + cpu_float + memory + io,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> AntutuWorkload {
+        AntutuWorkload {
+            int_iters: 80_000,
+            float_iters: 80_000,
+            memory_words: 1 << 14,
+            io_records: 400,
+        }
+    }
+
+    #[test]
+    fn scores_are_positive_under_all_configs() {
+        for config in OverheadConfig::ALL {
+            let score = run_antutu(config, tiny());
+            assert!(score.total > 0.0);
+            assert!(score.cpu_int > 0.0);
+            assert!(score.cpu_float > 0.0);
+            assert!(score.memory > 0.0);
+            assert!(score.io > 0.0);
+        }
+    }
+
+    #[test]
+    fn total_is_the_sum_of_parts() {
+        let score = run_antutu(OverheadConfig::Android, tiny());
+        let sum = score.cpu_int + score.cpu_float + score.memory + score.io;
+        assert!((score.total - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernels_produce_stable_results() {
+        assert_eq!(int_kernel(1_000), int_kernel(1_000));
+        assert_eq!(memory_kernel(256), memory_kernel(256));
+        assert!(float_kernel(1_000).is_finite());
+        assert!(io_kernel(10) > 0);
+    }
+}

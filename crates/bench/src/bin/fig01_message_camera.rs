@@ -1,0 +1,46 @@
+//! Figure 1 — the stock BatteryStats energy view while filming a video
+//! inside the Message app: the Camera gets the blame, the Message app shows
+//! almost nothing.
+
+use ea_apps::Scenario;
+use ea_bench::report;
+use ea_core::{labels_from, BatteryView, Entity, Profiler, ScreenPolicy};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    app: String,
+    percent: f64,
+    energy_j: f64,
+}
+
+fn main() {
+    report::header("Figure 1: Android energy view when filming in the Message app");
+    let run = Scenario::Scene1MessageVideo.run(Profiler::android(ScreenPolicy::SeparateEntity));
+    let labels = labels_from(&run.android);
+    let view = BatteryView::android(run.profiler.ledger(), &labels);
+
+    let mut rows = Vec::new();
+    for row in &view.rows {
+        println!(
+            "{:<24} {:>6.1}%  ({:.1} J)",
+            row.label,
+            row.percent,
+            row.total.as_joules()
+        );
+        rows.push(Row {
+            app: row.label.clone(),
+            percent: row.percent,
+            energy_j: row.total.as_joules(),
+        });
+    }
+
+    let message = view.percent_of(Entity::App(run.apps.message));
+    let camera = view.percent_of(Entity::App(run.apps.camera));
+    println!();
+    println!(
+        "Message consumed {message:.1}% vs Camera {camera:.1}% — \
+         \"the Message only consumes a quite small portion of energy\""
+    );
+    report::write_json("fig01_message_camera", &rows);
+}

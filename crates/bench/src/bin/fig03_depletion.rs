@@ -1,0 +1,65 @@
+//! Figure 3 — time lapsed to drain the battery under the five simple attack
+//! cases, screen forced on by a wakelock.
+
+use ea_apps::{run_depletion, DepletionCase};
+use ea_bench::report;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Curve {
+    label: &'static str,
+    lifetime_hours: f64,
+    samples: Vec<(f64, f64)>,
+}
+
+fn main() {
+    report::header("Figure 3: battery percentage vs time (hours)");
+    let mut curves = Vec::new();
+    for case in DepletionCase::ALL {
+        let curve = run_depletion(case, 24);
+        println!(
+            "{:<16} battery dead after {:>5.1} h  ({} samples)",
+            curve.label,
+            curve.lifetime_hours,
+            curve.points.len()
+        );
+        curves.push(Curve {
+            label: curve.label,
+            lifetime_hours: curve.lifetime_hours,
+            samples: curve
+                .points
+                .iter()
+                .map(|point| (point.hours, point.percent))
+                .collect(),
+        });
+    }
+
+    println!();
+    println!("battery % at selected instants:");
+    print!("{:<16}", "case \\ hour");
+    let hours = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0];
+    for hour in hours {
+        print!(" {hour:>5.0}h");
+    }
+    println!();
+    for curve in &curves {
+        print!("{:<16}", curve.label);
+        for hour in hours {
+            let percent = curve
+                .samples
+                .iter()
+                .take_while(|(h, _)| *h <= hour)
+                .last()
+                .map(|(_, p)| *p)
+                .unwrap_or(100.0);
+            let shown = if hour > curve.lifetime_hours {
+                0.0
+            } else {
+                percent
+            };
+            print!(" {shown:>5.0}%");
+        }
+        println!();
+    }
+    report::write_json("fig03_depletion", &curves);
+}

@@ -1,0 +1,32 @@
+//! Figure 8 — E-Android's per-app energy breakdown (revised PowerTutor
+//! interface) for the legitimate hybrid chain: Contacts → Message → Camera.
+
+use ea_apps::Scenario;
+use ea_bench::report;
+use ea_core::{labels_from, BatteryView, Entity, Profiler, ScreenPolicy};
+
+fn main() {
+    report::header("Figure 8: E-Android energy breakdown (hybrid chain, PowerTutor policy)");
+    let run = Scenario::Scene2HybridChain.run(Profiler::eandroid(ScreenPolicy::ForegroundApp));
+    let labels = labels_from(&run.android);
+    let graph = run.profiler.collateral().expect("eandroid profiler");
+    let view = BatteryView::eandroid(run.profiler.ledger(), graph, &labels);
+
+    println!("{view}");
+    println!();
+
+    for (title, uid) in [
+        ("(a) Contacts", run.apps.contacts),
+        ("(b) Message", run.apps.message),
+    ] {
+        println!("{title}:");
+        let row = view.row(Entity::App(uid)).expect("app consumed energy");
+        println!("  original energy: {}", row.own);
+        for (driven, energy) in &row.collateral {
+            println!("  collateral from {driven}: {energy}");
+        }
+        println!("  total: {}", row.total);
+        println!();
+    }
+    report::write_json("fig08_breakdown", &view);
+}

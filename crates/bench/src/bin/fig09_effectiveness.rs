@@ -1,0 +1,102 @@
+//! Figure 9 — effectiveness: per-app energy shares under Android vs
+//! E-Android for the two normal scenes and the six attacks, plus the §VI-B
+//! energy-efficiency check (identical battery drop in both modes).
+
+use std::collections::BTreeMap;
+
+use ea_apps::Scenario;
+use ea_bench::report;
+use ea_core::{labels_from, BatteryView, Profiler, ScreenPolicy};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ScenarioRows {
+    scenario: &'static str,
+    rows: Vec<Row>,
+    battery_drop_android_j: f64,
+    battery_drop_eandroid_j: f64,
+}
+
+#[derive(Serialize)]
+struct Row {
+    entity: String,
+    android_percent: f64,
+    eandroid_percent: f64,
+    eandroid_total_j: f64,
+}
+
+fn main() {
+    report::header("Figure 9: Android vs E-Android energy profiles");
+    let mut all = Vec::new();
+
+    for scenario in Scenario::ALL {
+        // The simulation is deterministic: two runs of the same script see
+        // identical workloads, isolating the accounting difference.
+        let baseline = scenario.run(Profiler::android(ScreenPolicy::SeparateEntity));
+        let enhanced = scenario.run(Profiler::eandroid(ScreenPolicy::SeparateEntity));
+
+        let labels = labels_from(&enhanced.android);
+        let view_a = BatteryView::android(baseline.profiler.ledger(), &labels);
+        let view_e = BatteryView::eandroid(
+            enhanced.profiler.ledger(),
+            enhanced.profiler.collateral().expect("eandroid"),
+            &labels,
+        );
+
+        println!();
+        println!("--- {} ---", scenario.name());
+        println!("{:<26} {:>10} {:>12}", "entity", "Android", "E-Android");
+
+        let mut merged: BTreeMap<String, Row> = BTreeMap::new();
+        for row in &view_a.rows {
+            merged.insert(
+                row.label.clone(),
+                Row {
+                    entity: row.label.clone(),
+                    android_percent: row.percent,
+                    eandroid_percent: 0.0,
+                    eandroid_total_j: 0.0,
+                },
+            );
+        }
+        for row in &view_e.rows {
+            let entry = merged.entry(row.label.clone()).or_insert(Row {
+                entity: row.label.clone(),
+                android_percent: 0.0,
+                eandroid_percent: 0.0,
+                eandroid_total_j: 0.0,
+            });
+            entry.eandroid_percent = row.percent;
+            entry.eandroid_total_j = row.total.as_joules();
+        }
+
+        let mut rows: Vec<Row> = merged.into_values().collect();
+        rows.sort_by(|a, b| {
+            b.eandroid_percent
+                .partial_cmp(&a.eandroid_percent)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for row in &rows {
+            println!(
+                "{:<26} {:>9.1}% {:>11.1}%",
+                row.entity, row.android_percent, row.eandroid_percent
+            );
+        }
+
+        let drop_a = baseline.profiler.battery().drained().as_joules();
+        let drop_e = enhanced.profiler.battery().drained().as_joules();
+        println!(
+            "battery drop: Android {:.1} J, E-Android {:.1} J (§VI-B energy efficiency)",
+            drop_a, drop_e
+        );
+
+        all.push(ScenarioRows {
+            scenario: scenario.name(),
+            rows,
+            battery_drop_android_j: drop_a,
+            battery_drop_eandroid_j: drop_e,
+        });
+    }
+
+    report::write_json("fig09_effectiveness", &all);
+}

@@ -1,0 +1,59 @@
+//! Figure 10 + Table I — box plots of the time cost of the 13 micro
+//! operations under Android, the E-Android framework extension, and
+//! complete E-Android. 50 runs each, two biggest/smallest trimmed.
+
+use ea_bench::{report, run_micro_matrix, MicroOp, OverheadConfig};
+
+fn main() {
+    report::header("Table I: micro operations");
+    for op in MicroOp::ALL {
+        println!(
+            "  {:<22} {}",
+            op.label(),
+            if op.is_cross_app() { "(cross-app)" } else { "" }
+        );
+    }
+
+    report::header("Figure 10: time cost (µs) — min/q1/median/q3/max over 50 runs");
+    let results = run_micro_matrix(50);
+
+    println!(
+        "{:<22} {:<20} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "operation", "config", "min", "q1", "median", "q3", "max"
+    );
+    for result in &results {
+        let s = &result.stats;
+        let us = |ns: u64| ns as f64 / 1_000.0;
+        println!(
+            "{:<22} {:<20} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            result.op,
+            result.config,
+            us(s.min),
+            us(s.q1),
+            us(s.median),
+            us(s.q3),
+            us(s.max)
+        );
+    }
+
+    // The paper's headline: the framework extension costs about the same as
+    // Android; complete E-Android adds a few extra microseconds, and only
+    // on collateral-relevant (cross-app) operations.
+    println!();
+    let median_of = |config: OverheadConfig| -> f64 {
+        let rows: Vec<&ea_bench::MicroResult> = results
+            .iter()
+            .filter(|r| r.config == config.label())
+            .collect();
+        rows.iter().map(|r| r.stats.median as f64).sum::<f64>() / rows.len() as f64
+    };
+    for config in OverheadConfig::ALL {
+        println!(
+            "mean median across ops [{}]: {:.2} µs",
+            config.label(),
+            median_of(config) / 1_000.0
+        );
+    }
+
+    report::write_json("fig10_micro", &results);
+}

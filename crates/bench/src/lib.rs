@@ -1,0 +1,27 @@
+//! # ea-bench — the experiment harness
+//!
+//! One regenerator per table/figure of the paper's evaluation:
+//!
+//! | Artifact | Binary | Library support |
+//! |---|---|---|
+//! | Fig. 1 (stock energy view) | `fig01_message_camera` | `ea_apps::scenario` |
+//! | Fig. 2 (corpus prevalence) | `fig02_corpus` | `ea_corpus` |
+//! | Fig. 3 (battery depletion) | `fig03_depletion` | `ea_apps::depletion` |
+//! | Fig. 8 (E-Android breakdown) | `fig08_breakdown` | `ea_core::interface` |
+//! | Fig. 9a–f (effectiveness) | `fig09_effectiveness` | `ea_apps::scenario` |
+//! | Fig. 10 + Table I (micro ops) | `fig10_micro` | [`micro`] |
+//! | Fig. 11 (AnTuTu parity) | `fig11_antutu` | [`antutu`] |
+//!
+//! Criterion benches (`benches/`) cover the same micro operations,
+//! accounting-layer throughput, the AnTuTu kernels, and end-to-end
+//! scenarios.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod antutu;
+pub mod micro;
+pub mod report;
+
+pub use antutu::{run_antutu, AntutuScore, AntutuWorkload};
+pub use micro::{run_micro_matrix, BoxStats, MicroHarness, MicroOp, MicroResult, OverheadConfig};

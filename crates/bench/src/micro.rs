@@ -1,0 +1,441 @@
+//! The Table I / Figure 10 micro-operation harness.
+//!
+//! Thirteen framework operations are timed under three configurations:
+//!
+//! * **Android** — event recording off (the stock framework),
+//! * **E-Android framework** — events recorded, accounting disabled,
+//! * **Complete E-Android** — events recorded and consumed by the
+//!   collateral monitor with accrual.
+//!
+//! Following §VI-B, each operation runs 50 times, the two largest and two
+//! smallest samples are discarded as outliers, and the rest are summarised
+//! as a box plot.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use ea_core::CollateralMonitor;
+use ea_framework::{AndroidSystem, AppManifest, ChangeSource, Intent, Permission, WakelockKind};
+use ea_power::{Component, ComponentDraw, UsageShare};
+use ea_sim::SimDuration;
+
+/// The 13 micro operations of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MicroOp {
+    /// `startService()` on a service of the same app.
+    StartSelfService,
+    /// `stopService()` on a service of the same app.
+    StopSelfService,
+    /// `startService()` on a different app's service.
+    StartOtherService,
+    /// `stopService()` on a different app's service.
+    StopOtherService,
+    /// `bindService()` on the same app.
+    BindSelfService,
+    /// `unbindService()` on the same app.
+    UnbindSelfService,
+    /// `bindService()` on a different app.
+    BindOtherService,
+    /// `unbindService()` on a different app.
+    UnbindOtherService,
+    /// `startActivity()` within the same app.
+    StartSelfActivity,
+    /// `startActivity()` on a different app.
+    StartOtherActivity,
+    /// `WakeLock.acquire()`.
+    WakelockAcquire,
+    /// `WakeLock.release()`.
+    WakelockRelease,
+    /// Change screen brightness.
+    ChangeScreen,
+}
+
+impl MicroOp {
+    /// All operations, in Table I order.
+    pub const ALL: [MicroOp; 13] = [
+        MicroOp::StartSelfService,
+        MicroOp::StopSelfService,
+        MicroOp::StartOtherService,
+        MicroOp::StopOtherService,
+        MicroOp::BindSelfService,
+        MicroOp::UnbindSelfService,
+        MicroOp::BindOtherService,
+        MicroOp::UnbindOtherService,
+        MicroOp::StartSelfActivity,
+        MicroOp::StartOtherActivity,
+        MicroOp::WakelockAcquire,
+        MicroOp::WakelockRelease,
+        MicroOp::ChangeScreen,
+    ];
+
+    /// The notation used in Table I.
+    pub fn label(self) -> &'static str {
+        match self {
+            MicroOp::StartSelfService => "Start self service",
+            MicroOp::StopSelfService => "Stop self service",
+            MicroOp::StartOtherService => "Start other service",
+            MicroOp::StopOtherService => "Stop other service",
+            MicroOp::BindSelfService => "Bind self service",
+            MicroOp::UnbindSelfService => "Unbind self service",
+            MicroOp::BindOtherService => "Bind other service",
+            MicroOp::UnbindOtherService => "Unbind other service",
+            MicroOp::StartSelfActivity => "Start self activity",
+            MicroOp::StartOtherActivity => "Start other activity",
+            MicroOp::WakelockAcquire => "Wakelock acquire",
+            MicroOp::WakelockRelease => "Wakelock release",
+            MicroOp::ChangeScreen => "Change screen",
+        }
+    }
+
+    /// Whether the operation crosses apps (collateral-relevant).
+    pub fn is_cross_app(self) -> bool {
+        matches!(
+            self,
+            MicroOp::StartOtherService
+                | MicroOp::StopOtherService
+                | MicroOp::BindOtherService
+                | MicroOp::UnbindOtherService
+                | MicroOp::StartOtherActivity
+        )
+    }
+}
+
+/// The three measured configurations of Figure 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OverheadConfig {
+    /// Stock framework: no event recording.
+    Android,
+    /// E-Android's framework extension only (events recorded, accounting
+    /// off).
+    EAndroidFramework,
+    /// Full E-Android: events recorded and processed by the monitor.
+    EAndroidComplete,
+}
+
+impl OverheadConfig {
+    /// All configurations.
+    pub const ALL: [OverheadConfig; 3] = [
+        OverheadConfig::Android,
+        OverheadConfig::EAndroidFramework,
+        OverheadConfig::EAndroidComplete,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OverheadConfig::Android => "Android",
+            OverheadConfig::EAndroidFramework => "E-Android framework",
+            OverheadConfig::EAndroidComplete => "Complete E-Android",
+        }
+    }
+}
+
+/// A prepared handset on which one micro operation can be repeatedly
+/// exercised.
+pub struct MicroHarness {
+    android: AndroidSystem,
+    monitor: Option<CollateralMonitor>,
+    caller: ea_sim::Uid,
+    other: ea_sim::Uid,
+}
+
+impl MicroHarness {
+    /// Builds a handset with a caller app and a target app, configured per
+    /// `config`.
+    pub fn new(config: OverheadConfig) -> Self {
+        let mut android = AndroidSystem::new();
+        let caller = android.install(
+            AppManifest::builder("com.bench.caller")
+                .activity("Main", true)
+                .activity("Second", false)
+                .service("Worker", false)
+                .permission(Permission::WakeLock)
+                .permission(Permission::WriteSettings)
+                .build(),
+        );
+        let other = android.install(
+            AppManifest::builder("com.bench.other")
+                .activity("Main", true)
+                .service("Worker", true)
+                .build(),
+        );
+        android.user_launch("com.bench.caller").unwrap();
+        android.set_event_recording(config != OverheadConfig::Android);
+        let monitor = match config {
+            OverheadConfig::EAndroidComplete => Some(CollateralMonitor::new()),
+            _ => None,
+        };
+        android.drain_events();
+        MicroHarness {
+            android,
+            monitor,
+            caller,
+            other,
+        }
+    }
+
+    /// Executes `op` once (including its paired teardown so the harness is
+    /// reusable) and returns the elapsed wall time of the *measured* call
+    /// in nanoseconds.
+    pub fn run_once(&mut self, op: MicroOp) -> u64 {
+        // Representative interval draw the complete configuration accrues.
+        let draws = [ComponentDraw {
+            component: Component::Cpu,
+            power_mw: 300.0,
+            users: vec![UsageShare {
+                uid: self.other,
+                share: 0.8,
+            }],
+        }];
+        let caller = self.caller;
+        let (self_pkg, other_pkg) = ("com.bench.caller", "com.bench.other");
+
+        macro_rules! measured {
+            ($body:expr) => {{
+                let start = Instant::now();
+                {
+                    $body
+                };
+                let events = self.android.drain_events();
+                if let Some(monitor) = &mut self.monitor {
+                    monitor.observe(&events);
+                    monitor.accrue(&draws, SimDuration::from_millis(100));
+                }
+                start.elapsed().as_nanos() as u64
+            }};
+        }
+
+        match op {
+            MicroOp::StartSelfService => {
+                let elapsed = measured!(self
+                    .android
+                    .start_service(caller, Intent::explicit(self_pkg, "Worker"))
+                    .unwrap());
+                self.android
+                    .stop_service(caller, Intent::explicit(self_pkg, "Worker"))
+                    .unwrap();
+                self.android.drain_events();
+                elapsed
+            }
+            MicroOp::StopSelfService => {
+                self.android
+                    .start_service(caller, Intent::explicit(self_pkg, "Worker"))
+                    .unwrap();
+                self.android.drain_events();
+                measured!(self
+                    .android
+                    .stop_service(caller, Intent::explicit(self_pkg, "Worker"))
+                    .unwrap())
+            }
+            MicroOp::StartOtherService => {
+                let elapsed = measured!(self
+                    .android
+                    .start_service(caller, Intent::explicit(other_pkg, "Worker"))
+                    .unwrap());
+                self.android
+                    .stop_service(caller, Intent::explicit(other_pkg, "Worker"))
+                    .unwrap();
+                self.android.drain_events();
+                elapsed
+            }
+            MicroOp::StopOtherService => {
+                self.android
+                    .start_service(caller, Intent::explicit(other_pkg, "Worker"))
+                    .unwrap();
+                self.android.drain_events();
+                measured!(self
+                    .android
+                    .stop_service(caller, Intent::explicit(other_pkg, "Worker"))
+                    .unwrap())
+            }
+            MicroOp::BindSelfService => {
+                let connection;
+                let elapsed = measured!({
+                    connection = self
+                        .android
+                        .bind_service(caller, Intent::explicit(self_pkg, "Worker"))
+                        .unwrap();
+                });
+                self.android.unbind_service(caller, connection).unwrap();
+                self.android.drain_events();
+                elapsed
+            }
+            MicroOp::UnbindSelfService => {
+                let connection = self
+                    .android
+                    .bind_service(caller, Intent::explicit(self_pkg, "Worker"))
+                    .unwrap();
+                self.android.drain_events();
+                measured!(self.android.unbind_service(caller, connection).unwrap())
+            }
+            MicroOp::BindOtherService => {
+                let connection;
+                let elapsed = measured!({
+                    connection = self
+                        .android
+                        .bind_service(caller, Intent::explicit(other_pkg, "Worker"))
+                        .unwrap();
+                });
+                self.android.unbind_service(caller, connection).unwrap();
+                self.android.drain_events();
+                elapsed
+            }
+            MicroOp::UnbindOtherService => {
+                let connection = self
+                    .android
+                    .bind_service(caller, Intent::explicit(other_pkg, "Worker"))
+                    .unwrap();
+                self.android.drain_events();
+                measured!(self.android.unbind_service(caller, connection).unwrap())
+            }
+            MicroOp::StartSelfActivity => {
+                let elapsed = measured!(self
+                    .android
+                    .start_activity(caller, Intent::explicit(self_pkg, "Second"))
+                    .unwrap());
+                self.android.user_press_back();
+                self.android.drain_events();
+                elapsed
+            }
+            MicroOp::StartOtherActivity => {
+                let elapsed = measured!(self
+                    .android
+                    .start_activity(caller, Intent::explicit(other_pkg, "Main"))
+                    .unwrap());
+                self.android.user_press_back();
+                self.android.drain_events();
+                elapsed
+            }
+            MicroOp::WakelockAcquire => {
+                let lock;
+                let elapsed = measured!({
+                    lock = self
+                        .android
+                        .acquire_wakelock(caller, WakelockKind::Partial)
+                        .unwrap();
+                });
+                self.android.release_wakelock(caller, lock).unwrap();
+                self.android.drain_events();
+                elapsed
+            }
+            MicroOp::WakelockRelease => {
+                let lock = self
+                    .android
+                    .acquire_wakelock(caller, WakelockKind::Partial)
+                    .unwrap();
+                self.android.drain_events();
+                measured!(self.android.release_wakelock(caller, lock).unwrap())
+            }
+            MicroOp::ChangeScreen => {
+                let current = self.android.effective_brightness();
+                let next = if current > 128 { 50 } else { 200 };
+                measured!(self
+                    .android
+                    .set_brightness(ChangeSource::App(caller), next)
+                    .unwrap())
+            }
+        }
+    }
+}
+
+/// Five-number summary of a sample set, nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    /// Minimum (after outlier trimming).
+    pub min: u64,
+    /// First quartile.
+    pub q1: u64,
+    /// Median.
+    pub median: u64,
+    /// Third quartile.
+    pub q3: u64,
+    /// Maximum (after outlier trimming).
+    pub max: u64,
+}
+
+impl BoxStats {
+    /// Summarises samples, trimming the two largest and two smallest
+    /// ("we excluded the two biggest and smallest values as outliers").
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        assert!(samples.len() >= 9, "need enough samples to trim and split");
+        samples.sort_unstable();
+        let trimmed = &samples[2..samples.len() - 2];
+        let quartile = |fraction: f64| -> u64 {
+            let index = ((trimmed.len() - 1) as f64 * fraction).round() as usize;
+            trimmed[index]
+        };
+        BoxStats {
+            min: trimmed[0],
+            q1: quartile(0.25),
+            median: quartile(0.5),
+            q3: quartile(0.75),
+            max: trimmed[trimmed.len() - 1],
+        }
+    }
+}
+
+/// One Figure 10 measurement: an operation under a configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicroResult {
+    /// The operation's Table I label.
+    pub op: String,
+    /// The configuration label.
+    pub config: String,
+    /// Box statistics over 50 runs, nanoseconds.
+    pub stats: BoxStats,
+}
+
+/// Runs the full Figure 10 matrix: 13 ops × 3 configs × `runs` samples.
+pub fn run_micro_matrix(runs: usize) -> Vec<MicroResult> {
+    let mut results = Vec::new();
+    for config in OverheadConfig::ALL {
+        for op in MicroOp::ALL {
+            let mut harness = MicroHarness::new(config);
+            let samples: Vec<u64> = (0..runs).map(|_| harness.run_once(op)).collect();
+            results.push(MicroResult {
+                op: op.label().to_string(),
+                config: config.label().to_string(),
+                stats: BoxStats::from_samples(samples),
+            });
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_op_runs_under_every_config() {
+        for config in OverheadConfig::ALL {
+            let mut harness = MicroHarness::new(config);
+            for op in MicroOp::ALL {
+                // Twice: the harness must restore its own invariants.
+                let first = harness.run_once(op);
+                let second = harness.run_once(op);
+                assert!(first > 0 && second > 0, "{:?}/{:?}", config, op);
+            }
+        }
+    }
+
+    #[test]
+    fn box_stats_are_ordered() {
+        let samples: Vec<u64> = (1..=50).collect();
+        let stats = BoxStats::from_samples(samples);
+        assert!(stats.min <= stats.q1);
+        assert!(stats.q1 <= stats.median);
+        assert!(stats.median <= stats.q3);
+        assert!(stats.q3 <= stats.max);
+        assert_eq!(stats.min, 3, "two smallest trimmed");
+        assert_eq!(stats.max, 48, "two largest trimmed");
+    }
+
+    #[test]
+    fn cross_app_flags_match_table1() {
+        assert!(MicroOp::BindOtherService.is_cross_app());
+        assert!(!MicroOp::BindSelfService.is_cross_app());
+        assert!(!MicroOp::ChangeScreen.is_cross_app());
+    }
+}

@@ -1,0 +1,59 @@
+//! Shared reporting helpers for the figure binaries.
+//!
+//! Every `fig*` binary prints a human-readable table to stdout and writes
+//! the same series as JSON under `results/` so `EXPERIMENTS.md` numbers are
+//! regenerable and diffable.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// Where experiment JSON lands (relative to the workspace root, falling
+/// back to the current directory when run elsewhere).
+pub fn results_dir() -> PathBuf {
+    let candidates = [
+        Path::new("results"),
+        Path::new("../results"),
+        Path::new("../../results"),
+    ];
+    for candidate in candidates {
+        if candidate.is_dir() {
+            return candidate.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}
+
+/// Serialises `value` to `results/<name>.json`. Failures are reported but
+/// non-fatal: the table on stdout is the primary artifact.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(error) = fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {error}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        Err(error) => eprintln!("warning: could not serialise {name}: {error}"),
+    }
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_exists_or_falls_back() {
+        let dir = results_dir();
+        assert!(!dir.as_os_str().is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+//! Attribution policies: who pays for each component draw.
+//!
+//! §II of the paper describes the two deployed screen policies: the stock
+//! Android battery interface lists the screen as an independent row, while
+//! PowerTutor charges it to the foreground app. Both are implemented here so
+//! the experiments can show the same attacks evading both.
+
+use serde::{Deserialize, Serialize};
+
+use ea_power::{Component, ComponentDraw, Energy};
+use ea_sim::SimDuration;
+
+use crate::Entity;
+
+/// How baseline accounting handles screen energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScreenPolicy {
+    /// The screen is its own battery-interface row (Android BatteryStats).
+    SeparateEntity,
+    /// Screen energy lands on the foreground app (PowerTutor).
+    ForegroundApp,
+}
+
+/// Splits one component draw over an interval into `(entity, energy)`
+/// charges under a screen policy. Charges sum exactly to the draw's energy.
+pub fn attribute(
+    draw: &ComponentDraw,
+    dt: SimDuration,
+    policy: ScreenPolicy,
+) -> Vec<(Entity, Energy)> {
+    let total = Energy::from_power(draw.power_mw, dt);
+    if total.is_zero() {
+        return Vec::new();
+    }
+
+    if draw.component == Component::Screen {
+        return match policy {
+            ScreenPolicy::SeparateEntity => vec![(Entity::Screen, total)],
+            ScreenPolicy::ForegroundApp => match draw.users.first() {
+                Some(user) => vec![(Entity::App(user.uid), total)],
+                None => vec![(Entity::System, total)],
+            },
+        };
+    }
+
+    // Shares from well-formed draws sum to at most 1; defensively rescale
+    // anything over-attributed so conservation holds for any input.
+    let share_sum: f64 = draw
+        .users
+        .iter()
+        .map(|user| user.share.clamp(0.0, 1.0))
+        .sum();
+    let scale = if share_sum > 1.0 {
+        1.0 / share_sum
+    } else {
+        1.0
+    };
+
+    let mut charges = Vec::with_capacity(draw.users.len() + 1);
+    let mut attributed = Energy::ZERO;
+    for user in &draw.users {
+        let share = total * (user.share.clamp(0.0, 1.0) * scale);
+        if !share.is_zero() {
+            charges.push((Entity::App(user.uid), share));
+            attributed += share;
+        }
+    }
+    let remainder = total.saturating_sub(attributed);
+    if !remainder.is_zero() {
+        charges.push((Entity::System, remainder));
+    }
+    charges
+}
+
+/// The entities whose consumption feeds the collateral maps: the screen as
+/// [`Entity::Screen`] regardless of baseline policy, apps by their usage
+/// shares. System draw is never collateral.
+pub fn collateral_consumers(draw: &ComponentDraw, dt: SimDuration) -> Vec<(Entity, Energy)> {
+    let total = Energy::from_power(draw.power_mw, dt);
+    if total.is_zero() {
+        return Vec::new();
+    }
+    if draw.component == Component::Screen {
+        return vec![(Entity::Screen, total)];
+    }
+    draw.users
+        .iter()
+        .filter_map(|user| {
+            let share = total * user.share.clamp(0.0, 1.0);
+            (!share.is_zero()).then_some((Entity::App(user.uid), share))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_power::UsageShare;
+    use ea_sim::Uid;
+
+    fn uid(n: u32) -> Uid {
+        Uid::from_raw(10_000 + n)
+    }
+
+    fn draw(component: Component, power_mw: f64, users: Vec<UsageShare>) -> ComponentDraw {
+        ComponentDraw {
+            component,
+            power_mw,
+            users,
+        }
+    }
+
+    const DT: SimDuration = SimDuration::from_secs(10);
+
+    #[test]
+    fn screen_goes_to_screen_entity_under_batterystats() {
+        let screen = draw(
+            Component::Screen,
+            500.0,
+            vec![UsageShare {
+                uid: uid(1),
+                share: 1.0,
+            }],
+        );
+        let charges = attribute(&screen, DT, ScreenPolicy::SeparateEntity);
+        assert_eq!(charges.len(), 1);
+        assert_eq!(charges[0].0, Entity::Screen);
+        assert!((charges[0].1.as_joules() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn screen_goes_to_foreground_under_powertutor() {
+        let screen = draw(
+            Component::Screen,
+            500.0,
+            vec![UsageShare {
+                uid: uid(1),
+                share: 1.0,
+            }],
+        );
+        let charges = attribute(&screen, DT, ScreenPolicy::ForegroundApp);
+        assert_eq!(charges[0].0, Entity::App(uid(1)));
+    }
+
+    #[test]
+    fn screen_with_no_foreground_falls_to_system() {
+        let screen = draw(Component::Screen, 500.0, Vec::new());
+        let charges = attribute(&screen, DT, ScreenPolicy::ForegroundApp);
+        assert_eq!(charges[0].0, Entity::System);
+    }
+
+    #[test]
+    fn cpu_splits_by_share_with_system_remainder() {
+        let cpu = draw(
+            Component::Cpu,
+            100.0,
+            vec![
+                UsageShare {
+                    uid: uid(1),
+                    share: 0.6,
+                },
+                UsageShare {
+                    uid: uid(2),
+                    share: 0.2,
+                },
+            ],
+        );
+        let charges = attribute(&cpu, DT, ScreenPolicy::SeparateEntity);
+        let total: Energy = charges.iter().map(|(_, energy)| *energy).sum();
+        assert!((total.as_joules() - 1.0).abs() < 1e-12, "conservation");
+        let system: Energy = charges
+            .iter()
+            .filter(|(entity, _)| *entity == Entity::System)
+            .map(|(_, energy)| *energy)
+            .sum();
+        assert!((system.as_joules() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_power_attributes_nothing() {
+        let idle = draw(Component::Gps, 0.0, Vec::new());
+        assert!(attribute(&idle, DT, ScreenPolicy::SeparateEntity).is_empty());
+    }
+
+    #[test]
+    fn collateral_consumers_always_name_the_screen_entity() {
+        let screen = draw(
+            Component::Screen,
+            500.0,
+            vec![UsageShare {
+                uid: uid(1),
+                share: 1.0,
+            }],
+        );
+        let consumers = collateral_consumers(&screen, DT);
+        assert_eq!(consumers[0].0, Entity::Screen);
+    }
+
+    #[test]
+    fn collateral_consumers_exclude_system_remainder() {
+        let cpu = draw(
+            Component::Cpu,
+            100.0,
+            vec![UsageShare {
+                uid: uid(1),
+                share: 0.5,
+            }],
+        );
+        let consumers = collateral_consumers(&cpu, DT);
+        assert_eq!(consumers.len(), 1);
+        assert_eq!(consumers[0].0, Entity::App(uid(1)));
+        assert!((consumers[0].1.as_joules() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,356 @@
+//! Collateral energy maps and the paper's Algorithm 1.
+//!
+//! E-Android maintains, for every app, a map from driven entities (other
+//! apps, the screen) to the collateral energy charged so far. Link tokens
+//! implement the attack-period gating: an entity accrues into a host's map
+//! only while at least one live link connects them, and "once all attack
+//! lifecycles end, the relation between the driving and driven apps is
+//! broken and no extra energy would be charged" (§IV-B).
+//!
+//! Algorithm 1 (chains): when a begin event `(g → n)` fires, `n` is added
+//! not only to `g`'s map but to the map of every app whose map currently
+//! contains `g` alive (the *parents*, line 8–10). For service-related
+//! events, the driven app's own live map entries are additionally merged
+//! into `g` and its parents (lines 11–15) — the "driven app could have
+//! already bound several energy intensive services" case.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use ea_power::Energy;
+use ea_sim::Uid;
+
+use crate::Entity;
+
+/// One row of a host's collateral map.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CollateralEntry {
+    /// Live link tokens connecting the host to this entity. Zero means the
+    /// relation is over: the accrued energy stays on record but no more is
+    /// added.
+    pub links: usize,
+    /// Collateral energy accrued while linked.
+    pub energy: Energy,
+}
+
+/// A link token: `(host, driven entity)`. Begins create them, ends revoke
+/// them one-for-one.
+pub type LinkToken = (Uid, Entity);
+
+/// All collateral energy maps (one per driving app), with Algorithm 1
+/// propagation.
+///
+/// # Example
+///
+/// ```
+/// use ea_core::{CollateralGraph, Entity};
+/// use ea_power::Energy;
+/// use ea_sim::Uid;
+///
+/// let a = Uid::from_raw(10_000);
+/// let b = Uid::from_raw(10_001);
+///
+/// let mut graph = CollateralGraph::new();
+/// let tokens = graph.begin(a, Entity::App(b), false);
+/// graph.accrue(Entity::App(b), Energy::from_joules(5.0));
+/// assert!((graph.collateral_total(a).as_joules() - 5.0).abs() < 1e-12);
+///
+/// graph.end(&tokens);
+/// graph.accrue(Entity::App(b), Energy::from_joules(99.0));
+/// // The period ended: no further charging.
+/// assert!((graph.collateral_total(a).as_joules() - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CollateralGraph {
+    #[serde(with = "crate::serde_util::nested_map_pairs")]
+    maps: BTreeMap<Uid, BTreeMap<Entity, CollateralEntry>>,
+}
+
+impl CollateralGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        CollateralGraph::default()
+    }
+
+    /// Opens links for a begin event `(driving → driven)` and returns the
+    /// created tokens (pass them back to [`end`](Self::end) when the attack
+    /// period closes).
+    pub fn begin(&mut self, driving: Uid, driven: Entity, service_like: bool) -> Vec<LinkToken> {
+        let mut tokens = Vec::new();
+
+        // Hosts: the driving app plus every app whose map holds the driving
+        // app alive (Algorithm 1 lines 8–10).
+        let mut hosts = vec![driving];
+        hosts.extend(self.parents_of(driving));
+
+        for &host in &hosts {
+            self.add_link(host, driven, &mut tokens);
+        }
+
+        // Service events merge the driven app's live entries upward
+        // (Algorithm 1 lines 11–15).
+        if service_like {
+            if let Entity::App(driven_uid) = driven {
+                let children: Vec<Entity> = self
+                    .maps
+                    .get(&driven_uid)
+                    .map(|map| {
+                        map.iter()
+                            .filter(|(_, entry)| entry.links > 0)
+                            .map(|(&entity, _)| entity)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                for child in children {
+                    for &host in &hosts {
+                        self.add_link(host, child, &mut tokens);
+                    }
+                }
+            }
+        }
+        tokens
+    }
+
+    /// Revokes the tokens a begin created. Idempotence is the caller's
+    /// responsibility: pass each token set to `end` exactly once.
+    pub fn end(&mut self, tokens: &[LinkToken]) {
+        for &(host, entity) in tokens {
+            if let Some(entry) = self
+                .maps
+                .get_mut(&host)
+                .and_then(|map| map.get_mut(&entity))
+            {
+                entry.links = entry.links.saturating_sub(1);
+            }
+        }
+    }
+
+    fn add_link(&mut self, host: Uid, entity: Entity, tokens: &mut Vec<LinkToken>) {
+        // An app is never collateral to itself.
+        if entity == Entity::App(host) {
+            return;
+        }
+        self.maps
+            .entry(host)
+            .or_default()
+            .entry(entity)
+            .or_default()
+            .links += 1;
+        tokens.push((host, entity));
+    }
+
+    fn parents_of(&self, uid: Uid) -> Vec<Uid> {
+        self.maps
+            .iter()
+            .filter(|(_, map)| {
+                map.get(&Entity::App(uid))
+                    .is_some_and(|entry| entry.links > 0)
+            })
+            .map(|(&host, _)| host)
+            .collect()
+    }
+
+    /// Adds `energy` consumed by `entity` to every host currently linked to
+    /// it — the per-interval accrual step of the accounting module.
+    pub fn accrue(&mut self, entity: Entity, energy: Energy) {
+        if energy.is_zero() {
+            return;
+        }
+        for map in self.maps.values_mut() {
+            if let Some(entry) = map.get_mut(&entity) {
+                if entry.links > 0 {
+                    entry.energy += energy;
+                }
+            }
+        }
+    }
+
+    /// The live link count from `host` to `entity`.
+    pub fn links(&self, host: Uid, entity: Entity) -> usize {
+        self.maps
+            .get(&host)
+            .and_then(|map| map.get(&entity))
+            .map(|entry| entry.links)
+            .unwrap_or(0)
+    }
+
+    /// `host`'s collateral rows (driven entity, accrued energy), including
+    /// closed ones with energy on record.
+    pub fn collateral_of(&self, host: Uid) -> Vec<(Entity, Energy)> {
+        self.maps
+            .get(&host)
+            .map(|map| {
+                map.iter()
+                    .filter(|(_, entry)| !entry.energy.is_zero() || entry.links > 0)
+                    .map(|(&entity, entry)| (entity, entry.energy))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Total collateral energy charged to `host`.
+    pub fn collateral_total(&self, host: Uid) -> Energy {
+        self.maps
+            .get(&host)
+            .map(|map| map.values().map(|entry| entry.energy).sum())
+            .unwrap_or(Energy::ZERO)
+    }
+
+    /// All hosts with any collateral record.
+    pub fn hosts(&self) -> impl Iterator<Item = Uid> + '_ {
+        self.maps.keys().copied()
+    }
+
+    /// Whether any link anywhere is live (used by the overhead fast path:
+    /// with no live links, accrual can be skipped wholesale).
+    pub fn any_live_links(&self) -> bool {
+        self.maps
+            .values()
+            .any(|map| map.values().any(|entry| entry.links > 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uid(n: u32) -> Uid {
+        Uid::from_raw(10_000 + n)
+    }
+
+    #[test]
+    fn simple_attack_accrues_only_while_linked() {
+        let mut graph = CollateralGraph::new();
+        graph.accrue(Entity::App(uid(2)), Energy::from_joules(1.0));
+        assert!(
+            graph.collateral_total(uid(1)).is_zero(),
+            "nothing before begin"
+        );
+
+        let tokens = graph.begin(uid(1), Entity::App(uid(2)), false);
+        graph.accrue(Entity::App(uid(2)), Energy::from_joules(2.0));
+        graph.end(&tokens);
+        graph.accrue(Entity::App(uid(2)), Energy::from_joules(4.0));
+        assert!((graph.collateral_total(uid(1)).as_joules() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_collateral_attack_counts_energy_once() {
+        // Figure 6: A binds B, starts B, interrupts B — three live links,
+        // but B's joules are charged to A once each.
+        let mut graph = CollateralGraph::new();
+        let t1 = graph.begin(uid(1), Entity::App(uid(2)), true);
+        let t2 = graph.begin(uid(1), Entity::App(uid(2)), false);
+        let t3 = graph.begin(uid(1), Entity::App(uid(2)), false);
+        assert_eq!(graph.links(uid(1), Entity::App(uid(2))), 3);
+
+        graph.accrue(Entity::App(uid(2)), Energy::from_joules(10.0));
+        assert!((graph.collateral_total(uid(1)).as_joules() - 10.0).abs() < 1e-12);
+
+        // Ending two of three attacks keeps the relation alive.
+        graph.end(&t1);
+        graph.end(&t2);
+        graph.accrue(Entity::App(uid(2)), Energy::from_joules(5.0));
+        assert!((graph.collateral_total(uid(1)).as_joules() - 15.0).abs() < 1e-12);
+
+        // Only after the last end does charging stop (§IV-B).
+        graph.end(&t3);
+        graph.accrue(Entity::App(uid(2)), Energy::from_joules(100.0));
+        assert!((graph.collateral_total(uid(1)).as_joules() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_propagates_to_parents() {
+        // Figure 7: A binds B; B starts C; C attacks the screen.
+        let mut graph = CollateralGraph::new();
+        let _ab = graph.begin(uid(1), Entity::App(uid(2)), true);
+        let _bc = graph.begin(uid(2), Entity::App(uid(3)), false);
+        // A's map gained C through parent propagation.
+        assert_eq!(graph.links(uid(1), Entity::App(uid(3))), 1);
+
+        let _cs = graph.begin(uid(3), Entity::Screen, false);
+        // The screen lands in C's, B's and A's maps.
+        assert_eq!(graph.links(uid(3), Entity::Screen), 1);
+        assert_eq!(graph.links(uid(2), Entity::Screen), 1);
+        assert_eq!(graph.links(uid(1), Entity::Screen), 1);
+
+        graph.accrue(Entity::Screen, Energy::from_joules(3.0));
+        graph.accrue(Entity::App(uid(3)), Energy::from_joules(2.0));
+        assert!((graph.collateral_total(uid(1)).as_joules() - 5.0).abs() < 1e-12);
+        assert!((graph.collateral_total(uid(2)).as_joules() - 5.0).abs() < 1e-12);
+        assert!((graph.collateral_total(uid(3)).as_joules() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn service_merge_pulls_existing_children() {
+        // B already binds C (energy-intensive service); then A binds B:
+        // Algorithm 1 lines 11–15 give A a link to C immediately.
+        let mut graph = CollateralGraph::new();
+        let _bc = graph.begin(uid(2), Entity::App(uid(3)), true);
+        let ab = graph.begin(uid(1), Entity::App(uid(2)), true);
+        assert_eq!(graph.links(uid(1), Entity::App(uid(3))), 1);
+
+        // The merged link is A→B's token: ending A→B revokes it.
+        graph.end(&ab);
+        assert_eq!(graph.links(uid(1), Entity::App(uid(3))), 0);
+        assert_eq!(graph.links(uid(1), Entity::App(uid(2))), 0);
+        // B→C is untouched.
+        assert_eq!(graph.links(uid(2), Entity::App(uid(3))), 1);
+    }
+
+    #[test]
+    fn non_service_begin_does_not_merge_children() {
+        let mut graph = CollateralGraph::new();
+        let _bc = graph.begin(uid(2), Entity::App(uid(3)), true);
+        let _ab = graph.begin(uid(1), Entity::App(uid(2)), false);
+        assert_eq!(
+            graph.links(uid(1), Entity::App(uid(3))),
+            0,
+            "activity starts do not merge the driven app's map"
+        );
+    }
+
+    #[test]
+    fn ended_entries_keep_their_energy_on_record() {
+        let mut graph = CollateralGraph::new();
+        let tokens = graph.begin(uid(1), Entity::App(uid(2)), false);
+        graph.accrue(Entity::App(uid(2)), Energy::from_joules(7.0));
+        graph.end(&tokens);
+        let rows = graph.collateral_of(uid(1));
+        assert_eq!(rows.len(), 1);
+        assert!((rows[0].1.as_joules() - 7.0).abs() < 1e-12);
+        assert!(!graph.any_live_links());
+    }
+
+    #[test]
+    fn self_links_are_refused() {
+        let mut graph = CollateralGraph::new();
+        let tokens = graph.begin(uid(1), Entity::App(uid(1)), false);
+        assert!(tokens.is_empty());
+        assert_eq!(graph.links(uid(1), Entity::App(uid(1))), 0);
+    }
+
+    #[test]
+    fn cycle_does_not_self_charge() {
+        // A drives B, B drives A: each gets the other, nobody self-links.
+        let mut graph = CollateralGraph::new();
+        let _ab = graph.begin(uid(1), Entity::App(uid(2)), false);
+        let _ba = graph.begin(uid(2), Entity::App(uid(1)), false);
+        assert_eq!(graph.links(uid(1), Entity::App(uid(1))), 0);
+        assert_eq!(graph.links(uid(2), Entity::App(uid(2))), 0);
+        assert_eq!(graph.links(uid(1), Entity::App(uid(2))), 1);
+        assert_eq!(graph.links(uid(2), Entity::App(uid(1))), 1);
+    }
+
+    #[test]
+    fn end_is_token_exact() {
+        let mut graph = CollateralGraph::new();
+        let t1 = graph.begin(uid(1), Entity::App(uid(2)), false);
+        let _t2 = graph.begin(uid(1), Entity::App(uid(2)), false);
+        graph.end(&t1);
+        assert_eq!(graph.links(uid(1), Entity::App(uid(2))), 1);
+        graph.end(&t1); // double-end of the same token set saturates
+        assert_eq!(graph.links(uid(1), Entity::App(uid(2))), 0);
+    }
+}

@@ -1,0 +1,328 @@
+//! The battery interface: the human-facing energy view.
+//!
+//! Two renderings are provided, matching the paper's Figures 1 and 8:
+//!
+//! * the **stock view** ([`BatteryView::android`]) ranks entities by their
+//!   baseline energy — this is the view collateral attacks evade;
+//! * the **E-Android view** ([`BatteryView::eandroid`]) ranks apps by
+//!   *total* energy (own + collateral) and, per app, itemises the driven
+//!   apps' contributions next to the app's original energy, exactly the
+//!   Figure 8 inventory.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ea_framework::AndroidSystem;
+use ea_power::Energy;
+use ea_sim::Uid;
+
+use crate::{CollateralGraph, EnergyLedger, Entity};
+
+/// One row of the battery interface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatteryRow {
+    /// The ranked entity.
+    pub entity: Entity,
+    /// Display label (package name, "Screen", "Android System").
+    pub label: String,
+    /// Baseline ("original") energy.
+    pub own: Energy,
+    /// Per-hardware-component split of the own energy, descending.
+    pub components: Vec<(String, Energy)>,
+    /// Itemised collateral contributions: `(driven label, energy)`.
+    pub collateral: Vec<(String, Energy)>,
+    /// `own` plus all collateral.
+    pub total: Energy,
+    /// Share of the view's grand total, in percent.
+    pub percent: f64,
+}
+
+/// A rendered battery interface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatteryView {
+    /// Rows sorted by descending total.
+    pub rows: Vec<BatteryRow>,
+    /// Sum of row totals.
+    pub grand_total: Energy,
+}
+
+/// Builds display labels for entities from the installed apps (system apps
+/// included, so the launcher shows as `android.launcher` rather than a raw
+/// UID).
+pub fn labels_from(android: &AndroidSystem) -> BTreeMap<Uid, String> {
+    let mut labels: BTreeMap<Uid, String> = android
+        .user_apps()
+        .map(|app| (app.uid, app.manifest.package.clone()))
+        .collect();
+    for package in ea_framework::SYSTEM_PACKAGES {
+        if let Some(uid) = android.uid_of(package) {
+            labels.insert(uid, package.to_string());
+        }
+    }
+    labels
+}
+
+fn component_rows(ledger: &EnergyLedger, entity: Entity) -> Vec<(String, Energy)> {
+    let mut rows: Vec<(String, Energy)> = ledger
+        .breakdown_of(entity)
+        .into_iter()
+        .map(|(component, energy)| (component.label().to_string(), energy))
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    rows
+}
+
+fn label_of(entity: Entity, labels: &BTreeMap<Uid, String>) -> String {
+    match entity {
+        Entity::App(uid) => labels
+            .get(&uid)
+            .cloned()
+            .unwrap_or_else(|| format!("uid:{}", uid.as_raw())),
+        Entity::Screen => String::from("Screen"),
+        Entity::System => String::from("Android System"),
+    }
+}
+
+impl BatteryView {
+    /// The stock Android/PowerTutor view: baseline attribution only.
+    pub fn android(ledger: &EnergyLedger, labels: &BTreeMap<Uid, String>) -> Self {
+        let mut rows: Vec<BatteryRow> = ledger
+            .ranking()
+            .into_iter()
+            .map(|(entity, own)| BatteryRow {
+                entity,
+                label: label_of(entity, labels),
+                own,
+                components: component_rows(ledger, entity),
+                collateral: Vec::new(),
+                total: own,
+                percent: 0.0,
+            })
+            .collect();
+        Self::finish(&mut rows)
+    }
+
+    /// The E-Android view: apps ranked by own + collateral energy, with the
+    /// per-driven-app inventory of Figure 8.
+    pub fn eandroid(
+        ledger: &EnergyLedger,
+        graph: &CollateralGraph,
+        labels: &BTreeMap<Uid, String>,
+    ) -> Self {
+        let mut entities: Vec<Entity> = ledger.entities().collect();
+        for host in graph.hosts() {
+            if !entities.contains(&Entity::App(host)) {
+                entities.push(Entity::App(host));
+            }
+        }
+        let mut rows: Vec<BatteryRow> = entities
+            .into_iter()
+            .map(|entity| {
+                let own = ledger.total_of(entity);
+                let collateral: Vec<(String, Energy)> = match entity {
+                    Entity::App(uid) => graph
+                        .collateral_of(uid)
+                        .into_iter()
+                        .filter(|(_, energy)| !energy.is_zero())
+                        .map(|(driven, energy)| (label_of(driven, labels), energy))
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                let collateral_sum: Energy = collateral.iter().map(|(_, energy)| *energy).sum();
+                BatteryRow {
+                    entity,
+                    label: label_of(entity, labels),
+                    own,
+                    components: component_rows(ledger, entity),
+                    collateral,
+                    total: own + collateral_sum,
+                    percent: 0.0,
+                }
+            })
+            .collect();
+        Self::finish(&mut rows)
+    }
+
+    fn finish(rows: &mut Vec<BatteryRow>) -> BatteryView {
+        rows.sort_by(|a, b| {
+            b.total
+                .partial_cmp(&a.total)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let grand_total: Energy = rows.iter().map(|row| row.total).sum();
+        for row in rows.iter_mut() {
+            row.percent = 100.0 * row.total.fraction_of(grand_total);
+        }
+        BatteryView {
+            rows: std::mem::take(rows),
+            grand_total,
+        }
+    }
+
+    /// The row for `entity`, if it consumed anything.
+    pub fn row(&self, entity: Entity) -> Option<&BatteryRow> {
+        self.rows.iter().find(|row| row.entity == entity)
+    }
+
+    /// The percent shown for `entity` (0 when absent).
+    pub fn percent_of(&self, entity: Entity) -> f64 {
+        self.row(entity).map(|row| row.percent).unwrap_or(0.0)
+    }
+
+    /// Like `Display`, but with per-component detail under every row —
+    /// the drill-down page of a battery interface.
+    pub fn render_detailed(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10} {:>10} {:>7}",
+            "entity", "own", "total", "%"
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>10} {:>10} {:>6.1}%",
+                row.label,
+                row.own.to_string(),
+                row.total.to_string(),
+                row.percent
+            );
+            for (component, energy) in &row.components {
+                let _ = writeln!(out, "    · {component:<22} {energy:>10}");
+            }
+            for (driven, energy) in &row.collateral {
+                let _ = writeln!(out, "    + {driven:<22} {energy:>10}");
+            }
+        }
+        let _ = write!(out, "total: {}", self.grand_total);
+        out
+    }
+}
+
+impl fmt::Display for BatteryView {
+    /// Renders the interface as a text table (the examples' output format).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<28} {:>10} {:>10} {:>7}",
+            "entity", "own", "total", "%"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<28} {:>10} {:>10} {:>6.1}%",
+                row.label,
+                row.own.to_string(),
+                row.total.to_string(),
+                row.percent
+            )?;
+            for (driven, energy) in &row.collateral {
+                writeln!(f, "    + {driven:<22} {energy:>10}")?;
+            }
+        }
+        write!(f, "total: {}", self.grand_total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_power::Component;
+
+    fn uid(n: u32) -> Uid {
+        Uid::from_raw(10_000 + n)
+    }
+
+    fn labels() -> BTreeMap<Uid, String> {
+        let mut map = BTreeMap::new();
+        map.insert(uid(1), "com.message".to_string());
+        map.insert(uid(2), "com.camera".to_string());
+        map
+    }
+
+    fn sample_ledger() -> EnergyLedger {
+        let mut ledger = EnergyLedger::new();
+        ledger.charge(
+            Entity::App(uid(1)),
+            Component::Cpu,
+            Energy::from_joules(2.0),
+        );
+        ledger.charge(
+            Entity::App(uid(2)),
+            Component::Camera,
+            Energy::from_joules(10.0),
+        );
+        ledger.charge(Entity::Screen, Component::Screen, Energy::from_joules(8.0));
+        ledger
+    }
+
+    #[test]
+    fn android_view_ranks_by_own_energy() {
+        let view = BatteryView::android(&sample_ledger(), &labels());
+        assert_eq!(view.rows[0].label, "com.camera");
+        assert_eq!(view.rows[1].label, "Screen");
+        assert_eq!(view.rows[2].label, "com.message");
+        assert!(view.rows.iter().all(|row| row.collateral.is_empty()));
+        let percent_sum: f64 = view.rows.iter().map(|row| row.percent).sum();
+        assert!((percent_sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eandroid_view_reranks_with_collateral() {
+        let ledger = sample_ledger();
+        let mut graph = CollateralGraph::new();
+        let tokens = graph.begin(uid(1), Entity::App(uid(2)), false);
+        graph.accrue(Entity::App(uid(2)), Energy::from_joules(10.0));
+        graph.end(&tokens);
+
+        let view = BatteryView::eandroid(&ledger, &graph, &labels());
+        // Message: 2 own + 10 collateral = 12 > camera's 10.
+        assert_eq!(view.rows[0].label, "com.message");
+        let message = view.row(Entity::App(uid(1))).unwrap();
+        assert_eq!(message.collateral.len(), 1);
+        assert_eq!(message.collateral[0].0, "com.camera");
+        assert!((message.total.as_joules() - 12.0).abs() < 1e-12);
+        // The camera row still shows its original energy (Figure 8 lists
+        // both).
+        let camera = view.row(Entity::App(uid(2))).unwrap();
+        assert!((camera.own.as_joules() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_carry_component_breakdowns() {
+        let view = BatteryView::android(&sample_ledger(), &labels());
+        let camera_row = view.row(Entity::App(uid(2))).unwrap();
+        assert_eq!(camera_row.components.len(), 1);
+        assert_eq!(camera_row.components[0].0, "camera");
+        let detailed = view.render_detailed();
+        assert!(detailed.contains("· camera"));
+    }
+
+    #[test]
+    fn unknown_uid_gets_a_fallback_label() {
+        let mut ledger = EnergyLedger::new();
+        ledger.charge(
+            Entity::App(uid(9)),
+            Component::Cpu,
+            Energy::from_joules(1.0),
+        );
+        let view = BatteryView::android(&ledger, &labels());
+        assert!(view.rows[0].label.starts_with("uid:"));
+    }
+
+    #[test]
+    fn display_renders_collateral_lines() {
+        let ledger = sample_ledger();
+        let mut graph = CollateralGraph::new();
+        let _tokens = graph.begin(uid(1), Entity::App(uid(2)), false);
+        graph.accrue(Entity::App(uid(2)), Energy::from_joules(4.0));
+        let view = BatteryView::eandroid(&ledger, &graph, &labels());
+        let text = view.to_string();
+        assert!(text.contains("com.message"));
+        assert!(text.contains("+ com.camera"));
+        assert!(text.contains("total:"));
+    }
+}

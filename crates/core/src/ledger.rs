@@ -1,0 +1,164 @@
+//! The energy ledger: who consumed what, by component.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use ea_power::{Component, Energy};
+
+use crate::Entity;
+
+/// Per-component energy totals for one entity.
+pub type ComponentBreakdown = BTreeMap<Component, Energy>;
+
+/// The base double-entry of every profiler: entity × component → energy.
+///
+/// # Example
+///
+/// ```
+/// use ea_core::{EnergyLedger, Entity};
+/// use ea_power::{Component, Energy};
+///
+/// let mut ledger = EnergyLedger::new();
+/// ledger.charge(Entity::Screen, Component::Screen, Energy::from_joules(2.0));
+/// ledger.charge(Entity::Screen, Component::Screen, Energy::from_joules(1.0));
+/// assert!((ledger.total_of(Entity::Screen).as_joules() - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    #[serde(with = "crate::serde_util::map_pairs")]
+    entries: BTreeMap<Entity, ComponentBreakdown>,
+}
+
+impl EnergyLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        EnergyLedger::default()
+    }
+
+    /// Adds `energy` consumed by `entity` on `component`.
+    pub fn charge(&mut self, entity: Entity, component: Component, energy: Energy) {
+        if energy.is_zero() {
+            return;
+        }
+        *self
+            .entries
+            .entry(entity)
+            .or_default()
+            .entry(component)
+            .or_insert(Energy::ZERO) += energy;
+    }
+
+    /// Total energy of one entity across components.
+    pub fn total_of(&self, entity: Entity) -> Energy {
+        self.entries
+            .get(&entity)
+            .map(|breakdown| breakdown.values().copied().sum())
+            .unwrap_or(Energy::ZERO)
+    }
+
+    /// The per-component breakdown of one entity.
+    pub fn breakdown_of(&self, entity: Entity) -> ComponentBreakdown {
+        self.entries.get(&entity).cloned().unwrap_or_default()
+    }
+
+    /// Energy of one entity on one component.
+    pub fn of(&self, entity: Entity, component: Component) -> Energy {
+        self.entries
+            .get(&entity)
+            .and_then(|breakdown| breakdown.get(&component))
+            .copied()
+            .unwrap_or(Energy::ZERO)
+    }
+
+    /// All entities with any charge, in stable order.
+    pub fn entities(&self) -> impl Iterator<Item = Entity> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// `(entity, total)` pairs sorted by descending total — the battery
+    /// interface ranking.
+    pub fn ranking(&self) -> Vec<(Entity, Energy)> {
+        let mut rows: Vec<(Entity, Energy)> = self
+            .entries
+            .keys()
+            .map(|&entity| (entity, self.total_of(entity)))
+            .collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        rows
+    }
+
+    /// Sum over all entities — must equal the battery drain (energy
+    /// conservation; property-tested).
+    pub fn grand_total(&self) -> Energy {
+        self.entries
+            .keys()
+            .map(|&entity| self.total_of(entity))
+            .sum()
+    }
+
+    /// An entity's share of the grand total, in percent (the unit of the
+    /// paper's Figure 9 bars).
+    pub fn percent_of(&self, entity: Entity) -> f64 {
+        100.0 * self.total_of(entity).fraction_of(self.grand_total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_sim::Uid;
+
+    fn app(n: u32) -> Entity {
+        Entity::App(Uid::from_raw(10_000 + n))
+    }
+
+    #[test]
+    fn charges_accumulate_per_component() {
+        let mut ledger = EnergyLedger::new();
+        ledger.charge(app(1), Component::Cpu, Energy::from_joules(1.0));
+        ledger.charge(app(1), Component::Cpu, Energy::from_joules(2.0));
+        ledger.charge(app(1), Component::Camera, Energy::from_joules(4.0));
+        assert!((ledger.of(app(1), Component::Cpu).as_joules() - 3.0).abs() < 1e-12);
+        assert!((ledger.total_of(app(1)).as_joules() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_charges_create_no_rows() {
+        let mut ledger = EnergyLedger::new();
+        ledger.charge(app(1), Component::Cpu, Energy::ZERO);
+        assert_eq!(ledger.entities().count(), 0);
+    }
+
+    #[test]
+    fn ranking_sorts_descending() {
+        let mut ledger = EnergyLedger::new();
+        ledger.charge(app(1), Component::Cpu, Energy::from_joules(1.0));
+        ledger.charge(app(2), Component::Cpu, Energy::from_joules(5.0));
+        ledger.charge(Entity::Screen, Component::Screen, Energy::from_joules(3.0));
+        let ranking = ledger.ranking();
+        assert_eq!(ranking[0].0, app(2));
+        assert_eq!(ranking[1].0, Entity::Screen);
+        assert_eq!(ranking[2].0, app(1));
+    }
+
+    #[test]
+    fn percent_sums_to_hundred() {
+        let mut ledger = EnergyLedger::new();
+        ledger.charge(app(1), Component::Cpu, Energy::from_joules(1.0));
+        ledger.charge(app(2), Component::Cpu, Energy::from_joules(3.0));
+        let sum: f64 = [app(1), app(2)]
+            .iter()
+            .map(|&entity| ledger.percent_of(entity))
+            .sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert!((ledger.percent_of(app(2)) - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_ledger_percent_is_zero() {
+        let ledger = EnergyLedger::new();
+        assert_eq!(ledger.percent_of(app(1)), 0.0);
+        assert!(ledger.grand_total().is_zero());
+    }
+}

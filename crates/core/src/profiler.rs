@@ -1,0 +1,316 @@
+//! The top-level profiler: power integration + attribution + (optionally)
+//! collateral monitoring.
+
+use ea_framework::AndroidSystem;
+use ea_power::{Battery, DevicePowerModel, Energy};
+use ea_sim::SimDuration;
+
+use ea_power::Component;
+
+use crate::accounting::attribute;
+use crate::{CollateralGraph, CollateralMonitor, EnergyLedger, RoutineLedger, ScreenPolicy};
+
+/// An energy profiler attached to a simulated handset.
+///
+/// Construct with [`Profiler::android`] for the baseline behaviour (the
+/// paper's "Android": attribution only) or [`Profiler::eandroid`] for the
+/// full system (baseline **plus** collateral monitoring and energy maps).
+/// Drive it with [`step`](Profiler::step)/[`run`](Profiler::run); read the
+/// baseline ledger, the collateral graph, and the battery.
+///
+/// # Example
+///
+/// ```
+/// use ea_core::{Profiler, ScreenPolicy};
+/// use ea_framework::{AndroidSystem, AppManifest};
+/// use ea_sim::SimDuration;
+///
+/// let mut android = AndroidSystem::new();
+/// android.install(AppManifest::builder("com.demo").activity("Main", true).build());
+/// android.user_launch("com.demo").unwrap();
+///
+/// let mut profiler = Profiler::eandroid(ScreenPolicy::SeparateEntity);
+/// profiler.run(&mut android, SimDuration::from_secs(10));
+/// assert!(profiler.battery().percent() < 100.0);
+/// assert!(profiler.ledger().grand_total().as_joules() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Profiler {
+    model: DevicePowerModel,
+    battery: Battery,
+    policy: ScreenPolicy,
+    step: SimDuration,
+    ledger: EnergyLedger,
+    monitor: Option<CollateralMonitor>,
+    routines: Option<RoutineLedger>,
+    integrated: Energy,
+}
+
+impl Profiler {
+    /// Default integration step: 100 ms, fine enough that every scenario
+    /// event lands on a boundary error well below 1 %.
+    pub const DEFAULT_STEP: SimDuration = SimDuration::from_millis(100);
+
+    /// A baseline profiler (the paper's unmodified "Android" accounting).
+    pub fn android(policy: ScreenPolicy) -> Self {
+        Profiler {
+            model: DevicePowerModel::nexus4(),
+            battery: Battery::nexus4(),
+            policy,
+            step: Self::DEFAULT_STEP,
+            ledger: EnergyLedger::new(),
+            monitor: None,
+            routines: None,
+            integrated: Energy::ZERO,
+        }
+    }
+
+    /// An E-Android profiler: baseline accounting plus collateral
+    /// monitoring.
+    pub fn eandroid(policy: ScreenPolicy) -> Self {
+        Profiler {
+            monitor: Some(CollateralMonitor::new()),
+            ..Profiler::android(policy)
+        }
+    }
+
+    /// Replaces the hardware model (default: Nexus 4 calibration).
+    pub fn with_model(mut self, model: DevicePowerModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Replaces the battery (default: Nexus 4 pack).
+    pub fn with_battery(mut self, battery: Battery) -> Self {
+        self.battery = battery;
+        self
+    }
+
+    /// Replaces the integration step.
+    pub fn with_step(mut self, step: SimDuration) -> Self {
+        assert!(!step.is_zero(), "integration step must be positive");
+        self.step = step;
+        self
+    }
+
+    /// Enables eprof-style routine-level CPU accounting: each app's CPU
+    /// energy is additionally split across its foreground UI, background
+    /// residue, services, and scripted work.
+    pub fn with_routine_accounting(mut self) -> Self {
+        self.routines = Some(RoutineLedger::new());
+        self
+    }
+
+    /// Whether collateral monitoring is enabled (E-Android mode).
+    pub fn is_collateral_enabled(&self) -> bool {
+        self.monitor.is_some()
+    }
+
+    /// The attribution policy in use.
+    pub fn policy(&self) -> ScreenPolicy {
+        self.policy
+    }
+
+    /// The integration step in use.
+    pub fn step_size(&self) -> SimDuration {
+        self.step
+    }
+
+    /// Advances the handset by one integration step and accounts the
+    /// interval.
+    pub fn step(&mut self, android: &mut AndroidSystem) {
+        let dt = self.step;
+        android.advance(dt);
+        let events = android.drain_events();
+        if let Some(monitor) = &mut self.monitor {
+            monitor.observe(&events);
+        }
+        let usage = android.usage_snapshot();
+        let draws = self.model.draws(android.now(), &usage);
+        for draw in &draws {
+            let energy = Energy::from_power(draw.power_mw, dt);
+            self.integrated += energy;
+            self.battery.drain(energy);
+            for (entity, charge) in attribute(draw, dt, self.policy) {
+                self.ledger.charge(entity, draw.component, charge);
+            }
+            // Routine-level split of each app's CPU energy.
+            if draw.component == Component::Cpu {
+                if let Some(routines) = &mut self.routines {
+                    for user in &draw.users {
+                        let share = energy * user.share.clamp(0.0, 1.0);
+                        let parts = android.demand_breakdown(user.uid);
+                        routines.charge_split(user.uid, share, &parts);
+                    }
+                }
+            }
+        }
+        if let Some(monitor) = &mut self.monitor {
+            monitor.accrue(&draws, dt);
+        }
+    }
+
+    /// Runs for `span` (rounded up to whole steps).
+    pub fn run(&mut self, android: &mut AndroidSystem, span: SimDuration) {
+        let steps = span.as_millis().div_ceil(self.step.as_millis().max(1));
+        for _ in 0..steps {
+            self.step(android);
+        }
+    }
+
+    /// Runs until the battery empties or `cap` elapses; returns whether the
+    /// battery died.
+    pub fn run_until_empty(&mut self, android: &mut AndroidSystem, cap: SimDuration) -> bool {
+        let steps = cap.as_millis().div_ceil(self.step.as_millis().max(1));
+        for _ in 0..steps {
+            if self.battery.is_empty() {
+                return true;
+            }
+            self.step(android);
+        }
+        self.battery.is_empty()
+    }
+
+    /// The baseline attribution ledger (what the stock battery interface
+    /// shows).
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// The collateral energy maps, when running as E-Android.
+    pub fn collateral(&self) -> Option<&CollateralGraph> {
+        self.monitor.as_ref().map(CollateralMonitor::graph)
+    }
+
+    /// The collateral monitor, when running as E-Android.
+    pub fn monitor(&self) -> Option<&CollateralMonitor> {
+        self.monitor.as_ref()
+    }
+
+    /// The battery.
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// The routine-level CPU ledger, when enabled with
+    /// [`with_routine_accounting`](Profiler::with_routine_accounting).
+    pub fn routines(&self) -> Option<&RoutineLedger> {
+        self.routines.as_ref()
+    }
+
+    /// Total energy integrated over all steps — equals the ledger's grand
+    /// total (conservation) and, until empty, the battery's drained energy.
+    pub fn integrated_energy(&self) -> Energy {
+        self.integrated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_framework::{AppManifest, Intent, Permission};
+
+    fn manifest(package: &str) -> AppManifest {
+        AppManifest::builder(package)
+            .activity("Main", true)
+            .service("Worker", true)
+            .permission(Permission::WakeLock)
+            .build()
+    }
+
+    #[test]
+    fn conservation_ledger_equals_integrated() {
+        let mut android = AndroidSystem::new();
+        android.install(manifest("com.a"));
+        android.user_launch("com.a").unwrap();
+        let mut profiler = Profiler::android(ScreenPolicy::SeparateEntity);
+        profiler.run(&mut android, SimDuration::from_secs(60));
+        let ledger_total = profiler.ledger().grand_total();
+        let integrated = profiler.integrated_energy();
+        assert!(
+            (ledger_total.as_joules() - integrated.as_joules()).abs() < 1e-6,
+            "every joule of draw is attributed: {ledger_total} vs {integrated}"
+        );
+        assert!((profiler.battery().drained().as_joules() - integrated.as_joules()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn baseline_profiler_has_no_collateral() {
+        let profiler = Profiler::android(ScreenPolicy::ForegroundApp);
+        assert!(!profiler.is_collateral_enabled());
+        assert!(profiler.collateral().is_none());
+    }
+
+    #[test]
+    fn eandroid_charges_cross_app_start() {
+        let mut android = AndroidSystem::new();
+        let a = android.install(manifest("com.a"));
+        let b = android.install(manifest("com.b"));
+        android.user_launch("com.a").unwrap();
+        let mut profiler = Profiler::eandroid(ScreenPolicy::SeparateEntity);
+        profiler.run(&mut android, SimDuration::from_secs(5));
+
+        android
+            .start_activity(a, Intent::explicit("com.b", "Main"))
+            .unwrap();
+        profiler.run(&mut android, SimDuration::from_secs(30));
+
+        let graph = profiler.collateral().unwrap();
+        let collateral = graph.collateral_total(a);
+        assert!(
+            collateral.as_joules() > 0.0,
+            "a is charged for b's energy while the attack period is open"
+        );
+        assert!(graph.collateral_total(b).is_zero());
+    }
+
+    #[test]
+    fn run_until_empty_respects_the_cap() {
+        let mut android = AndroidSystem::new();
+        android.install(manifest("com.a"));
+        android.user_launch("com.a").unwrap();
+        let mut profiler =
+            Profiler::android(ScreenPolicy::SeparateEntity).with_step(SimDuration::from_secs(1));
+        let died = profiler.run_until_empty(&mut android, SimDuration::from_secs(30));
+        assert!(!died, "a Nexus 4 pack outlives 30 seconds");
+        assert!(profiler.battery().percent() > 99.0);
+    }
+
+    #[test]
+    fn routine_accounting_splits_cpu_energy() {
+        let mut android = AndroidSystem::new();
+        let app = android.install(manifest("com.a"));
+        android.user_launch("com.a").unwrap();
+        android
+            .start_service(app, Intent::explicit("com.a", "Worker"))
+            .unwrap();
+        let mut profiler =
+            Profiler::android(ScreenPolicy::SeparateEntity).with_routine_accounting();
+        profiler.run(&mut android, SimDuration::from_secs(10));
+
+        let routines = profiler.routines().expect("enabled");
+        let rows = routines.breakdown_of(app);
+        assert!(
+            rows.iter()
+                .any(|(routine, _)| matches!(routine, ea_framework::Routine::Service(_))),
+            "service routine present: {rows:?}"
+        );
+        assert!(
+            rows.iter()
+                .any(|(routine, _)| *routine == ea_framework::Routine::ForegroundUi),
+            "foreground routine present: {rows:?}"
+        );
+        // The routine split partitions the app's CPU ledger entry.
+        let cpu_total = profiler
+            .ledger()
+            .of(crate::Entity::App(app), Component::Cpu)
+            .as_joules();
+        assert!((routines.total_of(app).as_joules() - cpu_total).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "integration step must be positive")]
+    fn zero_step_is_rejected() {
+        let _ = Profiler::android(ScreenPolicy::SeparateEntity).with_step(SimDuration::ZERO);
+    }
+}

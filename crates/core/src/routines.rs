@@ -1,0 +1,177 @@
+//! Routine-level (eprof-style) CPU energy accounting.
+//!
+//! The paper positions E-Android next to eprof, which "specifically
+//! decomposes the energy consumption into the subroutine or thread level".
+//! This module provides that decomposition for the simulated framework: the
+//! profiler can split each app's CPU energy across the named routines the
+//! framework reports ([`ea_framework::Routine`]), answering *where inside
+//! the app* the joules went.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use ea_framework::Routine;
+use ea_power::Energy;
+use ea_sim::Uid;
+
+/// CPU energy per `(app, routine)`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoutineLedger {
+    #[serde(with = "crate::serde_util::nested_map_pairs")]
+    entries: BTreeMap<Uid, BTreeMap<Routine, Energy>>,
+}
+
+impl RoutineLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        RoutineLedger::default()
+    }
+
+    /// Splits `energy` (the app's CPU energy over an interval) across the
+    /// demand `parts` reported by the framework, proportionally to demand.
+    /// With no positive parts nothing is charged — an app without demand
+    /// received no CPU energy by construction.
+    pub fn charge_split(&mut self, uid: Uid, energy: Energy, parts: &[(Routine, f64)]) {
+        if energy.is_zero() {
+            return;
+        }
+        let total: f64 = parts.iter().map(|(_, demand)| demand.max(0.0)).sum();
+        if total <= 0.0 {
+            return;
+        }
+        let map = self.entries.entry(uid).or_default();
+        for (routine, demand) in parts {
+            let share = energy * (demand.max(0.0) / total);
+            if !share.is_zero() {
+                *map.entry(routine.clone()).or_insert(Energy::ZERO) += share;
+            }
+        }
+    }
+
+    /// The per-routine breakdown of one app, sorted by descending energy.
+    pub fn breakdown_of(&self, uid: Uid) -> Vec<(Routine, Energy)> {
+        let mut rows: Vec<(Routine, Energy)> = self
+            .entries
+            .get(&uid)
+            .map(|map| map.iter().map(|(r, &e)| (r.clone(), e)).collect())
+            .unwrap_or_default();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        rows
+    }
+
+    /// Total routine-accounted CPU energy of one app.
+    pub fn total_of(&self, uid: Uid) -> Energy {
+        self.entries
+            .get(&uid)
+            .map(|map| map.values().copied().sum())
+            .unwrap_or(Energy::ZERO)
+    }
+
+    /// Apps with any routine record.
+    pub fn apps(&self) -> impl Iterator<Item = Uid> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// The hottest `(app, routine)` pairs across the device.
+    pub fn top(&self, n: usize) -> Vec<(Uid, Routine, Energy)> {
+        let mut rows: Vec<(Uid, Routine, Energy)> = self
+            .entries
+            .iter()
+            .flat_map(|(&uid, map)| {
+                map.iter()
+                    .map(move |(routine, &energy)| (uid, routine.clone(), energy))
+            })
+            .collect();
+        rows.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        rows.truncate(n);
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uid(n: u32) -> Uid {
+        Uid::from_raw(10_000 + n)
+    }
+
+    #[test]
+    fn split_is_demand_proportional() {
+        let mut ledger = RoutineLedger::new();
+        ledger.charge_split(
+            uid(1),
+            Energy::from_joules(9.0),
+            &[
+                (Routine::ForegroundUi, 0.1),
+                (Routine::Service("Worker".into()), 0.2),
+            ],
+        );
+        let rows = ledger.breakdown_of(uid(1));
+        assert_eq!(rows[0].0, Routine::Service("Worker".into()));
+        assert!((rows[0].1.as_joules() - 6.0).abs() < 1e-12);
+        assert!((rows[1].1.as_joules() - 3.0).abs() < 1e-12);
+        assert!((ledger.total_of(uid(1)).as_joules() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_demand_or_energy_charges_nothing() {
+        let mut ledger = RoutineLedger::new();
+        ledger.charge_split(uid(1), Energy::ZERO, &[(Routine::ForegroundUi, 1.0)]);
+        ledger.charge_split(uid(1), Energy::from_joules(5.0), &[]);
+        ledger.charge_split(
+            uid(1),
+            Energy::from_joules(5.0),
+            &[(Routine::Scripted, 0.0)],
+        );
+        assert!(ledger.total_of(uid(1)).is_zero());
+        assert_eq!(ledger.apps().count(), 0);
+    }
+
+    #[test]
+    fn accumulates_across_intervals() {
+        let mut ledger = RoutineLedger::new();
+        for _ in 0..3 {
+            ledger.charge_split(
+                uid(1),
+                Energy::from_joules(1.0),
+                &[(Routine::Scripted, 0.5)],
+            );
+        }
+        assert!((ledger.total_of(uid(1)).as_joules() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_ranks_across_apps() {
+        let mut ledger = RoutineLedger::new();
+        ledger.charge_split(
+            uid(1),
+            Energy::from_joules(1.0),
+            &[(Routine::ForegroundUi, 1.0)],
+        );
+        ledger.charge_split(
+            uid(2),
+            Energy::from_joules(5.0),
+            &[(Routine::Scripted, 1.0)],
+        );
+        let top = ledger.top(1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].0, uid(2));
+        assert_eq!(top[0].1, Routine::Scripted);
+    }
+
+    #[test]
+    fn negative_demands_are_ignored() {
+        let mut ledger = RoutineLedger::new();
+        ledger.charge_split(
+            uid(1),
+            Energy::from_joules(4.0),
+            &[(Routine::ForegroundUi, -1.0), (Routine::Scripted, 1.0)],
+        );
+        let rows = ledger.breakdown_of(uid(1));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, Routine::Scripted);
+        assert!((rows[0].1.as_joules() - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,68 @@
+//! Serde helpers: maps with structured keys (entities, routines) serialize
+//! as `[key, value]` pair lists so the reporting artifacts are valid JSON.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// `#[serde(with = "crate::serde_util::map_pairs")]` — one-level map.
+pub(crate) mod map_pairs {
+    use super::*;
+
+    pub fn serialize<K, V, S>(map: &BTreeMap<K, V>, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        K: Serialize,
+        V: Serialize,
+        S: Serializer,
+    {
+        serializer.collect_seq(map.iter())
+    }
+
+    pub fn deserialize<'de, K, V, D>(deserializer: D) -> Result<BTreeMap<K, V>, D::Error>
+    where
+        K: Deserialize<'de> + Ord,
+        V: Deserialize<'de>,
+        D: Deserializer<'de>,
+    {
+        let pairs: Vec<(K, V)> = Vec::deserialize(deserializer)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+/// `#[serde(with = "crate::serde_util::nested_map_pairs")]` — two-level map
+/// whose inner keys are also structured.
+pub(crate) mod nested_map_pairs {
+    use super::*;
+
+    pub fn serialize<K1, K2, V, S>(
+        map: &BTreeMap<K1, BTreeMap<K2, V>>,
+        serializer: S,
+    ) -> Result<S::Ok, S::Error>
+    where
+        K1: Serialize,
+        K2: Serialize,
+        V: Serialize,
+        S: Serializer,
+    {
+        serializer.collect_seq(
+            map.iter()
+                .map(|(key, inner)| (key, inner.iter().collect::<Vec<_>>())),
+        )
+    }
+
+    pub fn deserialize<'de, K1, K2, V, D>(
+        deserializer: D,
+    ) -> Result<BTreeMap<K1, BTreeMap<K2, V>>, D::Error>
+    where
+        K1: Deserialize<'de> + Ord,
+        K2: Deserialize<'de> + Ord,
+        V: Deserialize<'de>,
+        D: Deserializer<'de>,
+    {
+        let pairs: Vec<(K1, Vec<(K2, V)>)> = Vec::deserialize(deserializer)?;
+        Ok(pairs
+            .into_iter()
+            .map(|(key, inner)| (key, inner.into_iter().collect()))
+            .collect())
+    }
+}

@@ -1,0 +1,197 @@
+//! Attack timelines — the Figures 6/7 view of collateral attack periods.
+//!
+//! The monitor records every attack period it opened and closed; this module
+//! turns that history into the timeline diagrams the paper draws for the
+//! multi-collateral and hybrid attacks, both as structured rows and as text.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use ea_sim::{SimTime, Uid};
+
+use crate::monitor::AttackRecord;
+use crate::{AttackKind, Entity};
+
+/// One row of a rendered timeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelineRow {
+    /// The responsible app's label.
+    pub driving: String,
+    /// The driven entity's label.
+    pub driven: String,
+    /// Which machine opened the period.
+    pub kind: AttackKind,
+    /// Open instant.
+    pub began_at: SimTime,
+    /// Close instant, if closed.
+    pub ended_at: Option<SimTime>,
+}
+
+impl TimelineRow {
+    /// Period length against `now` for still-open rows.
+    pub fn duration_until(&self, now: SimTime) -> ea_sim::SimDuration {
+        self.ended_at.unwrap_or(now).saturating_since(self.began_at)
+    }
+}
+
+/// A rendered attack timeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct AttackTimeline {
+    /// Rows in begin order.
+    pub rows: Vec<TimelineRow>,
+}
+
+fn kind_label(kind: AttackKind) -> &'static str {
+    match kind {
+        AttackKind::ActivityStart => "starts activity of",
+        AttackKind::Interruption => "interrupts",
+        AttackKind::ServiceBind => "binds service of",
+        AttackKind::ServiceStart => "starts service of",
+        AttackKind::ScreenConfig => "reconfigures",
+        AttackKind::WakelockLeak => "holds wakelock on",
+    }
+}
+
+impl AttackTimeline {
+    /// Builds a timeline from the monitor's history, labelling UIDs through
+    /// `labels`.
+    pub fn from_history(history: &[AttackRecord], labels: &BTreeMap<Uid, String>) -> Self {
+        let label_of = |uid: Uid| {
+            labels
+                .get(&uid)
+                .cloned()
+                .unwrap_or_else(|| format!("uid:{}", uid.as_raw()))
+        };
+        let rows = history
+            .iter()
+            .map(|record| TimelineRow {
+                driving: label_of(record.info.driving),
+                driven: match record.info.driven {
+                    Entity::App(uid) => label_of(uid),
+                    Entity::Screen => String::from("screen"),
+                    Entity::System => String::from("system"),
+                },
+                kind: record.info.kind,
+                began_at: record.info.started_at,
+                ended_at: record.ended_at,
+            })
+            .collect();
+        AttackTimeline { rows }
+    }
+
+    /// Rows whose period covers `at`.
+    pub fn open_at(&self, at: SimTime) -> Vec<&TimelineRow> {
+        self.rows
+            .iter()
+            .filter(|row| row.began_at <= at && row.ended_at.is_none_or(|end| end > at))
+            .collect()
+    }
+
+    /// Renders the Figure 6/7-style textual timeline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.rows.is_empty() {
+            return String::from("(no collateral attack periods recorded)\n");
+        }
+        for row in &self.rows {
+            let end = row
+                .ended_at
+                .map(|end| end.to_string())
+                .unwrap_or_else(|| String::from("   (open)   "));
+            let _ = writeln!(
+                out,
+                "[{} – {end}] {} {} {}",
+                row.began_at,
+                row.driving,
+                kind_label(row.kind),
+                row.driven
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifecycle::AttackId;
+    use crate::AttackInfo;
+
+    fn uid(n: u32) -> Uid {
+        Uid::from_raw(10_000 + n)
+    }
+
+    fn record(id: u64, kind: AttackKind, begin_s: u64, end_s: Option<u64>) -> AttackRecord {
+        AttackRecord {
+            info: AttackInfo {
+                id: AttackId(id),
+                kind,
+                driving: uid(1),
+                driven: if kind == AttackKind::ScreenConfig {
+                    Entity::Screen
+                } else {
+                    Entity::App(uid(2))
+                },
+                started_at: SimTime::from_secs(begin_s),
+            },
+            ended_at: end_s.map(SimTime::from_secs),
+        }
+    }
+
+    fn labels() -> BTreeMap<Uid, String> {
+        let mut map = BTreeMap::new();
+        map.insert(uid(1), "com.malware".to_string());
+        map.insert(uid(2), "com.victim".to_string());
+        map
+    }
+
+    #[test]
+    fn timeline_labels_and_orders_rows() {
+        let history = vec![
+            record(0, AttackKind::ServiceBind, 0, Some(60)),
+            record(1, AttackKind::ScreenConfig, 10, None),
+        ];
+        let timeline = AttackTimeline::from_history(&history, &labels());
+        assert_eq!(timeline.rows.len(), 2);
+        assert_eq!(timeline.rows[0].driving, "com.malware");
+        assert_eq!(timeline.rows[0].driven, "com.victim");
+        assert_eq!(timeline.rows[1].driven, "screen");
+        assert!(timeline.rows[1].ended_at.is_none());
+    }
+
+    #[test]
+    fn open_at_respects_period_boundaries() {
+        let history = vec![record(0, AttackKind::ServiceBind, 10, Some(20))];
+        let timeline = AttackTimeline::from_history(&history, &labels());
+        assert!(timeline.open_at(SimTime::from_secs(5)).is_empty());
+        assert_eq!(timeline.open_at(SimTime::from_secs(15)).len(), 1);
+        assert!(
+            timeline.open_at(SimTime::from_secs(20)).is_empty(),
+            "end exclusive"
+        );
+    }
+
+    #[test]
+    fn render_is_humane() {
+        let history = vec![record(0, AttackKind::Interruption, 3, Some(63))];
+        let text = AttackTimeline::from_history(&history, &labels()).render();
+        assert!(text.contains("com.malware interrupts com.victim"));
+        assert!(text.contains("00:00:03.000"));
+    }
+
+    #[test]
+    fn empty_timeline_renders_placeholder() {
+        let timeline = AttackTimeline::default();
+        assert!(timeline.render().contains("no collateral attack periods"));
+    }
+
+    #[test]
+    fn duration_until_handles_open_rows() {
+        let history = vec![record(0, AttackKind::WakelockLeak, 10, None)];
+        let timeline = AttackTimeline::from_history(&history, &labels());
+        let duration = timeline.rows[0].duration_until(SimTime::from_secs(40));
+        assert_eq!(duration.as_millis(), 30_000);
+    }
+}

@@ -1,0 +1,109 @@
+//! Serde round-trips of the reporting artifacts: the JSON a monitoring
+//! pipeline would export must deserialize back to the same values.
+
+use ea_core::{
+    BatteryView, CollateralGraph, EnergyLedger, LifecycleTracker, Profiler, ScreenPolicy,
+};
+use ea_framework::{AndroidSystem, AppManifest, Intent, Permission, TimedEvent};
+use ea_sim::SimDuration;
+
+fn run_a_scenario() -> (AndroidSystem, Profiler) {
+    let mut android = AndroidSystem::new();
+    let a = android.install(
+        AppManifest::builder("com.a")
+            .activity("Main", true)
+            .service("Worker", true)
+            .permission(Permission::WakeLock)
+            .build(),
+    );
+    let _b = android.install(
+        AppManifest::builder("com.b")
+            .activity("Main", true)
+            .service("Worker", true)
+            .build(),
+    );
+    android.user_launch("com.a").unwrap();
+    let mut profiler = Profiler::eandroid(ScreenPolicy::SeparateEntity);
+    android
+        .start_activity(a, Intent::explicit("com.b", "Main"))
+        .unwrap();
+    android
+        .bind_service(a, Intent::explicit("com.b", "Worker"))
+        .unwrap();
+    profiler.run(&mut android, SimDuration::from_secs(10));
+    (android, profiler)
+}
+
+#[test]
+fn ledger_round_trips_through_json() {
+    let (_, profiler) = run_a_scenario();
+    let json = serde_json::to_string(profiler.ledger()).unwrap();
+    let back: EnergyLedger = serde_json::from_str(&json).unwrap();
+    assert_eq!(&back, profiler.ledger());
+}
+
+#[test]
+fn collateral_graph_round_trips_through_json() {
+    let (_, profiler) = run_a_scenario();
+    let graph = profiler.collateral().unwrap();
+    let json = serde_json::to_string(graph).unwrap();
+    let back: CollateralGraph = serde_json::from_str(&json).unwrap();
+    assert_eq!(&back, graph);
+}
+
+#[test]
+fn battery_view_round_trips_through_json() {
+    let (android, profiler) = run_a_scenario();
+    let labels = ea_core::labels_from(&android);
+    let view = BatteryView::eandroid(profiler.ledger(), profiler.collateral().unwrap(), &labels);
+    let json = serde_json::to_string(&view).unwrap();
+    let back: BatteryView = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, view);
+}
+
+#[test]
+fn framework_events_round_trip_and_replay_identically() {
+    // Export the event stream, re-import it, and feed both through fresh
+    // lifecycle trackers: the attack periods must match — the offline
+    // analysis story.
+    let mut android = AndroidSystem::new();
+    let a = android.install(
+        AppManifest::builder("com.a")
+            .activity("Main", true)
+            .permission(Permission::WakeLock)
+            .permission(Permission::WriteSettings)
+            .build(),
+    );
+    let _b = android.install(AppManifest::builder("com.b").activity("Main", true).build());
+    android.user_launch("com.a").unwrap();
+    android
+        .start_activity(a, Intent::explicit("com.b", "Main"))
+        .unwrap();
+    android
+        .set_brightness(ea_framework::ChangeSource::App(a), 250)
+        .unwrap();
+    android.advance(SimDuration::from_secs(40)); // screen timeout fires too
+    let events = android.drain_events();
+    assert!(!events.is_empty());
+
+    let json = serde_json::to_string(&events).unwrap();
+    let replayed: Vec<TimedEvent> = serde_json::from_str(&json).unwrap();
+    assert_eq!(replayed, events);
+
+    let mut live = LifecycleTracker::new();
+    let mut offline = LifecycleTracker::new();
+    for (original, copy) in events.iter().zip(&replayed) {
+        assert_eq!(live.observe(original), offline.observe(copy));
+    }
+    assert_eq!(live.active_count(), offline.active_count());
+}
+
+#[test]
+fn attack_history_round_trips_through_json() {
+    let (_, profiler) = run_a_scenario();
+    let history = profiler.monitor().unwrap().attack_history();
+    assert!(!history.is_empty());
+    let json = serde_json::to_string(history).unwrap();
+    let back: Vec<ea_core::AttackRecord> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.as_slice(), history);
+}

@@ -1,0 +1,274 @@
+//! `AndroidManifest.xml` serialization and parsing.
+//!
+//! The paper's Figure 2 pipeline is: download APK → APKTool →
+//! `AndroidManifest.xml` → inspect. This module supplies the missing middle:
+//! manifests render to the XML shape APKTool emits, and a small parser reads
+//! them back — so the analyzer can be exercised on the same artifact format
+//! the paper consumed, and external manifest dumps can be audited too.
+//!
+//! The parser handles exactly the subset our generator emits (one element
+//! per line, double-quoted attributes, no nesting beyond `intent-filter`).
+//! It is a faithful *simulation* of the APKTool step, not a general XML
+//! library.
+
+use std::error::Error;
+use std::fmt;
+
+use ea_framework::{AppManifest, ComponentDecl, ComponentKind, Permission};
+
+/// Parse failure, with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ManifestParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "manifest parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl Error for ManifestParseError {}
+
+const ALL_PERMISSIONS: [Permission; 7] = [
+    Permission::WakeLock,
+    Permission::WriteSettings,
+    Permission::Camera,
+    Permission::Internet,
+    Permission::FineLocation,
+    Permission::SystemAlertWindow,
+    Permission::RecordAudio,
+];
+
+fn permission_from_name(name: &str) -> Option<Permission> {
+    ALL_PERMISSIONS
+        .into_iter()
+        .find(|permission| permission.manifest_name() == name)
+}
+
+fn component_tag(kind: ComponentKind) -> &'static str {
+    match kind {
+        ComponentKind::Activity => "activity",
+        ComponentKind::Service => "service",
+        ComponentKind::Receiver => "receiver",
+    }
+}
+
+fn kind_from_tag(tag: &str) -> Option<ComponentKind> {
+    match tag {
+        "activity" => Some(ComponentKind::Activity),
+        "service" => Some(ComponentKind::Service),
+        "receiver" => Some(ComponentKind::Receiver),
+        _ => None,
+    }
+}
+
+/// Renders a manifest in the APKTool output shape.
+pub fn to_manifest_xml(manifest: &AppManifest) -> String {
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"utf-8\"?>\n");
+    out.push_str(&format!(
+        "<manifest package=\"{}\" category=\"{}\">\n",
+        manifest.package, manifest.category
+    ));
+    for permission in &manifest.permissions {
+        out.push_str(&format!(
+            "  <uses-permission android:name=\"{}\"/>\n",
+            permission.manifest_name()
+        ));
+    }
+    out.push_str("  <application>\n");
+    for component in &manifest.components {
+        let tag = component_tag(component.kind);
+        let transparent = if component.transparent {
+            " android:theme=\"@style/Transparent\""
+        } else {
+            ""
+        };
+        if component.intent_actions.is_empty() {
+            out.push_str(&format!(
+                "    <{tag} android:name=\"{}\" android:exported=\"{}\"{transparent}/>\n",
+                component.name, component.exported
+            ));
+        } else {
+            out.push_str(&format!(
+                "    <{tag} android:name=\"{}\" android:exported=\"{}\"{transparent}>\n",
+                component.name, component.exported
+            ));
+            out.push_str("      <intent-filter>\n");
+            for action in &component.intent_actions {
+                out.push_str(&format!("        <action android:name=\"{action}\"/>\n"));
+            }
+            out.push_str("      </intent-filter>\n");
+            out.push_str(&format!("    </{tag}>\n"));
+        }
+    }
+    out.push_str("  </application>\n");
+    out.push_str("</manifest>\n");
+    out
+}
+
+fn attr<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let needle = format!("{name}=\"");
+    let start = line.find(&needle)? + needle.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+/// Parses a manifest previously rendered by [`to_manifest_xml`] (or written
+/// by hand in the same subset).
+pub fn parse_manifest_xml(xml: &str) -> Result<AppManifest, ManifestParseError> {
+    let mut package: Option<String> = None;
+    let mut category = String::from("uncategorized");
+    let mut permissions: Vec<Permission> = Vec::new();
+    let mut components: Vec<ComponentDecl> = Vec::new();
+    let mut open_component: Option<ComponentDecl> = None;
+
+    let err = |line: usize, message: &str| ManifestParseError {
+        line,
+        message: message.to_string(),
+    };
+
+    for (index, raw) in xml.lines().enumerate() {
+        let line_no = index + 1;
+        let line = raw.trim();
+        if line.is_empty()
+            || line.starts_with("<?xml")
+            || line == "<application>"
+            || line == "</application>"
+            || line == "</manifest>"
+            || line == "<intent-filter>"
+            || line == "</intent-filter>"
+            || line.starts_with("</")
+        {
+            continue;
+        }
+        if line.starts_with("<manifest") {
+            package = Some(
+                attr(line, "package")
+                    .ok_or_else(|| err(line_no, "manifest element missing package"))?
+                    .to_string(),
+            );
+            if let Some(value) = attr(line, "category") {
+                category = value.to_string();
+            }
+        } else if line.starts_with("<uses-permission") {
+            let name = attr(line, "android:name")
+                .ok_or_else(|| err(line_no, "uses-permission missing android:name"))?;
+            match permission_from_name(name) {
+                Some(permission) => permissions.push(permission),
+                None => return Err(err(line_no, &format!("unknown permission {name}"))),
+            }
+        } else if line.starts_with("<action") {
+            let action = attr(line, "android:name")
+                .ok_or_else(|| err(line_no, "action missing android:name"))?;
+            match open_component.as_mut() {
+                Some(component) => component.intent_actions.push(action.to_string()),
+                None => return Err(err(line_no, "action outside a component")),
+            }
+        } else if let Some(tag) = line
+            .strip_prefix('<')
+            .and_then(|rest| rest.split([' ', '>', '/']).next())
+        {
+            let Some(kind) = kind_from_tag(tag) else {
+                return Err(err(line_no, &format!("unknown element <{tag}>")));
+            };
+            // A previously open component (with intent-filter) finishes when
+            // the next component begins; self-closing ones finish inline.
+            if let Some(done) = open_component.take() {
+                components.push(done);
+            }
+            let name = attr(line, "android:name")
+                .ok_or_else(|| err(line_no, "component missing android:name"))?;
+            let exported = attr(line, "android:exported")
+                .ok_or_else(|| err(line_no, "component missing android:exported"))?
+                .parse::<bool>()
+                .map_err(|_| err(line_no, "android:exported must be true/false"))?;
+            let component = ComponentDecl {
+                name: name.to_string(),
+                kind,
+                exported,
+                intent_actions: Vec::new(),
+                transparent: line.contains("@style/Transparent"),
+            };
+            if line.ends_with("/>") {
+                components.push(component);
+            } else {
+                open_component = Some(component);
+            }
+        } else {
+            return Err(err(line_no, "unrecognised line"));
+        }
+    }
+    if let Some(done) = open_component.take() {
+        components.push(done);
+    }
+
+    Ok(AppManifest {
+        package: package.ok_or_else(|| err(0, "no <manifest> element"))?,
+        category,
+        components,
+        permissions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AppManifest {
+        AppManifest::builder("com.example.full")
+            .category("tools")
+            .activity("Main", true)
+            .transparent_activity("Ghost", false)
+            .activity_with_actions("Share", true, &["android.intent.action.SEND", "EDIT"])
+            .service("Worker", true)
+            .receiver("Unlock", true, &["android.intent.action.USER_PRESENT"])
+            .permission(Permission::WakeLock)
+            .permission(Permission::Camera)
+            .build()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let original = sample();
+        let xml = to_manifest_xml(&original);
+        let parsed = parse_manifest_xml(&xml).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn rendered_xml_looks_like_a_manifest() {
+        let xml = to_manifest_xml(&sample());
+        assert!(xml.contains("<manifest package=\"com.example.full\""));
+        assert!(xml.contains("android.permission.WAKE_LOCK"));
+        assert!(xml.contains("<intent-filter>"));
+        assert!(xml.contains("@style/Transparent"));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "<?xml version=\"1.0\"?>\n<manifest package=\"p\">\n<widget/>\n</manifest>";
+        let error = parse_manifest_xml(bad).unwrap_err();
+        assert_eq!(error.line, 3);
+        assert!(error.to_string().contains("widget"));
+    }
+
+    #[test]
+    fn missing_manifest_element_is_rejected() {
+        assert!(parse_manifest_xml("<application>\n</application>").is_err());
+    }
+
+    #[test]
+    fn unknown_permission_is_rejected() {
+        let bad = "<manifest package=\"p\">\n  <uses-permission android:name=\"android.permission.BOGUS\"/>\n</manifest>";
+        assert!(parse_manifest_xml(bad).is_err());
+    }
+}

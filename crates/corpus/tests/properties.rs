@@ -1,0 +1,102 @@
+//! Property-based tests of the corpus generator and analyzer.
+
+use ea_corpus::{analyze, generate_corpus, CategoryProfile, CorpusConfig};
+use proptest::prelude::*;
+
+fn arbitrary_config() -> impl Strategy<Value = CorpusConfig> {
+    (
+        1usize..600,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        0.0f64..0.5,
+    )
+        .prop_map(
+            |(size, exported, wake_lock, write_settings, spread)| CorpusConfig {
+                size,
+                base: CategoryProfile {
+                    exported,
+                    wake_lock,
+                    write_settings,
+                },
+                spread,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn analysis_counts_are_bounded_by_total(config in arbitrary_config(), seed in any::<u64>()) {
+        let corpus = generate_corpus(&config, seed);
+        let stats = analyze(&corpus);
+        prop_assert_eq!(stats.total, config.size);
+        prop_assert!(stats.exported <= stats.total);
+        prop_assert!(stats.wake_lock <= stats.total);
+        prop_assert!(stats.write_settings <= stats.total);
+        for percent in [
+            stats.exported_percent(),
+            stats.wake_lock_percent(),
+            stats.write_settings_percent(),
+        ] {
+            prop_assert!((0.0..=100.0).contains(&percent));
+        }
+    }
+
+    #[test]
+    fn per_category_counts_partition_the_corpus(seed in any::<u64>()) {
+        let stats = analyze(&generate_corpus(&CorpusConfig::paper(), seed));
+        let total: usize = stats.per_category.values().map(|c| c.total).sum();
+        let exported: usize = stats.per_category.values().map(|c| c.exported).sum();
+        prop_assert_eq!(total, stats.total);
+        prop_assert_eq!(exported, stats.exported);
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic(config in arbitrary_config(), seed in any::<u64>()) {
+        let a = generate_corpus(&config, seed);
+        let b = generate_corpus(&config, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xml_round_trips_for_any_generated_manifest(seed in any::<u64>(), index in 0usize..200) {
+        let corpus = generate_corpus(
+            &CorpusConfig { size: 200, ..CorpusConfig::paper() },
+            seed,
+        );
+        let manifest = &corpus[index];
+        let xml = ea_corpus::to_manifest_xml(manifest);
+        let parsed = ea_corpus::parse_manifest_xml(&xml).unwrap();
+        prop_assert_eq!(&parsed, manifest);
+    }
+
+    #[test]
+    fn analyzer_agrees_on_parsed_and_original_corpora(seed in any::<u64>()) {
+        let corpus = generate_corpus(
+            &CorpusConfig { size: 150, ..CorpusConfig::paper() },
+            seed,
+        );
+        let reparsed: Vec<_> = corpus
+            .iter()
+            .map(|m| ea_corpus::parse_manifest_xml(&ea_corpus::to_manifest_xml(m)).unwrap())
+            .collect();
+        prop_assert_eq!(analyze(&corpus), analyze(&reparsed));
+    }
+
+    #[test]
+    fn extreme_probabilities_saturate(seed in any::<u64>()) {
+        let all = CorpusConfig {
+            size: 100,
+            base: CategoryProfile {
+                exported: 1.0,
+                wake_lock: 1.0,
+                write_settings: 0.0,
+            },
+            spread: 0.0,
+        };
+        let stats = analyze(&generate_corpus(&all, seed));
+        prop_assert_eq!(stats.exported, 100);
+        prop_assert_eq!(stats.wake_lock, 100);
+        prop_assert_eq!(stats.write_settings, 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Activity records and lifecycle states.
+
+use serde::{Deserialize, Serialize};
+
+use ea_sim::Uid;
+
+/// A unique identifier for an activity *instance* (one entry in a task
+/// stack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ActivityId(pub u64);
+
+/// The Android activity lifecycle states the paper's wakelock analysis
+/// distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActivityState {
+    /// Visible and interactive (`onResume` ran).
+    Resumed,
+    /// Covered by a *transparent* activity (`onPause` ran, still visible).
+    Paused,
+    /// Fully covered or backgrounded (`onStop` ran).
+    Stopped,
+    /// Finished (`onDestroy` ran); the record is kept for post-mortem
+    /// queries only.
+    Destroyed,
+}
+
+impl ActivityState {
+    /// Whether the activity still occupies a stack slot.
+    pub fn is_live(self) -> bool {
+        self != ActivityState::Destroyed
+    }
+}
+
+/// One live (or recently destroyed) activity instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivityRecord {
+    /// Instance id.
+    pub id: ActivityId,
+    /// Owning app.
+    pub uid: Uid,
+    /// Component name within the app.
+    pub component: String,
+    /// Lifecycle state.
+    pub state: ActivityState,
+    /// Whether the activity renders transparently (the activity below stays
+    /// paused rather than stopped).
+    pub transparent: bool,
+}
+
+impl ActivityRecord {
+    /// Whether this instance is in the given state.
+    pub fn is(&self, state: ActivityState) -> bool {
+        self.state == state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn destroyed_is_not_live() {
+        assert!(ActivityState::Resumed.is_live());
+        assert!(ActivityState::Paused.is_live());
+        assert!(ActivityState::Stopped.is_live());
+        assert!(!ActivityState::Destroyed.is_live());
+    }
+}

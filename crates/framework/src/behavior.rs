@@ -1,0 +1,116 @@
+//! App resource-behaviour profiles.
+//!
+//! The framework is mechanical; what an app *does* with CPU when resumed,
+//! backgrounded, or running a service is described by its behaviour profile,
+//! set at install time. The framework recomputes each app's CPU demand from
+//! its component states and this profile after every lifecycle change —
+//! which is exactly how "a background app definitely drains battery"
+//! (attack #2) and "services handle extensive workload" (attack #3) enter
+//! the simulation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::WakelockPolicy;
+
+/// How an app consumes CPU in each component state, in cores of demand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppBehavior {
+    /// Demand while the app owns the resumed foreground activity.
+    pub foreground_util: f64,
+    /// Demand while the app has paused/stopped (background) activities.
+    pub background_util: f64,
+    /// Demand per running (started or bound) service.
+    pub service_util: f64,
+    /// When the app releases its wakelocks (the paper's no-sleep-bug
+    /// taxonomy: well-written apps release in `onPause`, buggy ones only in
+    /// `onDestroy` or never).
+    pub wakelock_policy: WakelockPolicy,
+}
+
+impl AppBehavior {
+    /// A well-behaved lightweight app.
+    pub fn light() -> Self {
+        AppBehavior {
+            foreground_util: 0.10,
+            background_util: 0.01,
+            service_util: 0.05,
+            wakelock_policy: WakelockPolicy::OnPause,
+        }
+    }
+
+    /// A demo app with almost no functionality, like the paper's attacked
+    /// apps in the Figure 3 measurement. Backgrounded, it keeps a moderate
+    /// workload alive ("a background app definitely drains battery", §III-B
+    /// attack #2).
+    pub fn demo() -> Self {
+        AppBehavior {
+            foreground_util: 0.05,
+            background_util: 0.12,
+            service_util: 0.30,
+            wakelock_policy: WakelockPolicy::OnDestroy,
+        }
+    }
+
+    /// A heavyweight app (games, video): hot in foreground, sloppy in
+    /// background.
+    pub fn heavy() -> Self {
+        AppBehavior {
+            foreground_util: 0.60,
+            background_util: 0.15,
+            service_util: 0.40,
+            wakelock_policy: WakelockPolicy::OnDestroy,
+        }
+    }
+
+    /// Overrides the wakelock policy.
+    pub fn with_wakelock_policy(mut self, policy: WakelockPolicy) -> Self {
+        self.wakelock_policy = policy;
+        self
+    }
+
+    /// Overrides the per-service demand.
+    pub fn with_service_util(mut self, util: f64) -> Self {
+        self.service_util = util.max(0.0);
+        self
+    }
+
+    /// Overrides the background demand.
+    pub fn with_background_util(mut self, util: f64) -> Self {
+        self.background_util = util.max(0.0);
+        self
+    }
+
+    /// Overrides the foreground demand.
+    pub fn with_foreground_util(mut self, util: f64) -> Self {
+        self.foreground_util = util.max(0.0);
+        self
+    }
+}
+
+impl Default for AppBehavior {
+    fn default() -> Self {
+        AppBehavior::light()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_weight() {
+        assert!(AppBehavior::heavy().foreground_util > AppBehavior::light().foreground_util);
+        assert!(AppBehavior::demo().service_util > AppBehavior::light().service_util);
+    }
+
+    #[test]
+    fn with_overrides_clamp_negative() {
+        let behavior = AppBehavior::light().with_service_util(-1.0);
+        assert_eq!(behavior.service_util, 0.0);
+    }
+
+    #[test]
+    fn default_is_light() {
+        assert_eq!(AppBehavior::default(), AppBehavior::light());
+    }
+}

@@ -1,0 +1,121 @@
+//! Framework error type.
+
+use std::error::Error;
+use std::fmt;
+
+use ea_sim::Uid;
+
+use crate::{ConnectionId, Permission, WakelockId};
+
+/// Errors surfaced by the simulated framework — each corresponds to a
+/// `SecurityException`, `ActivityNotFoundException`, or similar condition a
+/// real Android app would hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameworkError {
+    /// No installed app has this package name.
+    UnknownPackage(String),
+    /// The app exists but declares no such component.
+    UnknownComponent {
+        /// Target package.
+        package: String,
+        /// Missing component name.
+        component: String,
+    },
+    /// The component exists but is not exported and the caller is a
+    /// different app.
+    NotExported {
+        /// Target package.
+        package: String,
+        /// Private component name.
+        component: String,
+    },
+    /// The component exists but has the wrong kind (e.g. binding an
+    /// activity).
+    WrongComponentKind {
+        /// Target package.
+        package: String,
+        /// Component name.
+        component: String,
+    },
+    /// The caller lacks a required permission.
+    PermissionDenied {
+        /// The caller.
+        uid: Uid,
+        /// The missing permission.
+        permission: Permission,
+    },
+    /// No installed app handles the implicit action.
+    NoHandler(String),
+    /// The wakelock id is unknown or already released.
+    NoSuchWakelock(WakelockId),
+    /// The caller does not hold this wakelock.
+    NotWakelockHolder {
+        /// The caller.
+        uid: Uid,
+        /// The lock someone else holds.
+        id: WakelockId,
+    },
+    /// The binding connection is unknown or already unbound.
+    NoSuchConnection(ConnectionId),
+    /// The referenced UID is not an installed app.
+    NoSuchApp(Uid),
+}
+
+impl fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameworkError::UnknownPackage(package) => {
+                write!(f, "unknown package: {package}")
+            }
+            FrameworkError::UnknownComponent { package, component } => {
+                write!(f, "no component {component} in {package}")
+            }
+            FrameworkError::NotExported { package, component } => {
+                write!(f, "component {package}/{component} is not exported")
+            }
+            FrameworkError::WrongComponentKind { package, component } => {
+                write!(f, "component {package}/{component} has the wrong kind")
+            }
+            FrameworkError::PermissionDenied { uid, permission } => {
+                write!(f, "{uid} lacks {}", permission.manifest_name())
+            }
+            FrameworkError::NoHandler(action) => {
+                write!(f, "no handler for implicit action {action}")
+            }
+            FrameworkError::NoSuchWakelock(id) => write!(f, "no such wakelock: {id:?}"),
+            FrameworkError::NotWakelockHolder { uid, id } => {
+                write!(f, "{uid} does not hold wakelock {id:?}")
+            }
+            FrameworkError::NoSuchConnection(id) => write!(f, "no such connection: {id:?}"),
+            FrameworkError::NoSuchApp(uid) => write!(f, "no installed app with {uid}"),
+        }
+    }
+}
+
+impl Error for FrameworkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_permission() {
+        let err = FrameworkError::PermissionDenied {
+            uid: Uid::FIRST_APP,
+            permission: Permission::WakeLock,
+        };
+        assert!(err.to_string().contains("WAKE_LOCK"));
+    }
+
+    #[test]
+    fn display_names_the_component() {
+        let err = FrameworkError::NotExported {
+            package: "com.victim".into(),
+            component: "Hidden".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("com.victim"));
+        assert!(text.contains("Hidden"));
+    }
+}

@@ -1,0 +1,240 @@
+//! The framework event stream — E-Android's hook points.
+//!
+//! The paper's E-Android is "an extension of Android framework to record all
+//! events that potentially invoke collateral energy bugs". This module is
+//! that extension's vocabulary: every mechanism §III identifies (intent
+//! starts, service start/stop/bind/unbind, task-stack reordering,
+//! interruptions, wakelock operations, brightness and mode writes, screen
+//! and process transitions) is emitted as a typed event with the *driving*
+//! and *driven* identities attached.
+
+use serde::{Deserialize, Serialize};
+
+use ea_sim::{SimTime, Uid};
+
+use crate::{ActivityState, ConnectionId, WakelockId, WakelockKind};
+
+/// Who caused a state change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChangeSource {
+    /// The human at the screen (touch, launcher, system UI).
+    User,
+    /// An app, identified by UID — the *driving app* of a potential
+    /// collateral event.
+    App(Uid),
+    /// The system itself (timeouts, auto-brightness, death cleanup).
+    System,
+}
+
+impl ChangeSource {
+    /// The driving app's UID, when an app caused the change.
+    pub fn app_uid(self) -> Option<Uid> {
+        match self {
+            ChangeSource::App(uid) => Some(uid),
+            _ => None,
+        }
+    }
+}
+
+/// Why the foreground app changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ForegroundCause {
+    /// A new activity was started on top.
+    ActivityStart,
+    /// The user pressed back and the stack popped.
+    BackNavigation,
+    /// The user (or an app) went to the home screen.
+    Home,
+    /// A background task was reordered to the front.
+    MoveToFront,
+    /// The foreground process died.
+    ProcessDeath,
+    /// The screen turned off/on.
+    ScreenPower,
+}
+
+/// A framework event with its driving/driven identities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FrameworkEvent {
+    /// An activity was started (explicitly, or implicitly after resolution).
+    ActivityStarted {
+        /// Who asked for it.
+        source: ChangeSource,
+        /// The app whose activity now runs.
+        driven: Uid,
+        /// Component name.
+        component: String,
+        /// Whether the system resolver mediated an implicit intent.
+        via_resolver: bool,
+    },
+    /// An existing stack entry was reordered to the front without a restart.
+    ActivityMovedToFront {
+        /// Who reordered it.
+        source: ChangeSource,
+        /// The app brought forward.
+        uid: Uid,
+    },
+    /// The foreground app was forcibly displaced by another app's action —
+    /// the "interrupting activity" of Figure 5b.
+    AppInterrupted {
+        /// The displacing party.
+        interrupter: ChangeSource,
+        /// The app that lost the foreground while staying alive.
+        victim: Uid,
+    },
+    /// A previously interrupted app returned to the front.
+    AppResumedToFront {
+        /// The app back in front.
+        uid: Uid,
+    },
+    /// An activity crossed a lifecycle edge (`onPause`/`onStop`/
+    /// `onDestroy`/`onResume`).
+    ActivityLifecycle {
+        /// Owning app.
+        uid: Uid,
+        /// Component name.
+        component: String,
+        /// The state reached.
+        state: ActivityState,
+    },
+    /// The foreground app changed.
+    ForegroundChanged {
+        /// Previous foreground app (None = launcher/home).
+        from: Option<Uid>,
+        /// New foreground app (None = launcher/home).
+        to: Option<Uid>,
+        /// Why.
+        cause: ForegroundCause,
+    },
+    /// `startService()` ran.
+    ServiceStarted {
+        /// Who started it.
+        source: ChangeSource,
+        /// The service's app.
+        driven: Uid,
+        /// Component name.
+        component: String,
+    },
+    /// `stopService()`/`stopSelf()` ran.
+    ServiceStopped {
+        /// Who stopped it (`App(driven)` means `stopSelf`).
+        source: ChangeSource,
+        /// The service's app.
+        driven: Uid,
+        /// Component name.
+        component: String,
+        /// Whether bindings keep the service alive regardless — the
+        /// attack #3 signature when true with a foreign binding.
+        still_running: bool,
+    },
+    /// `bindService()` ran.
+    ServiceBound {
+        /// The binder.
+        source: ChangeSource,
+        /// The service's app.
+        driven: Uid,
+        /// Component name.
+        component: String,
+        /// The new connection.
+        connection: ConnectionId,
+    },
+    /// `unbindService()` ran (or the binder died).
+    ServiceUnbound {
+        /// Who unbound.
+        source: ChangeSource,
+        /// The service's app.
+        driven: Uid,
+        /// Component name.
+        component: String,
+        /// The closed connection.
+        connection: ConnectionId,
+        /// Whether the service is still running after the unbind.
+        still_running: bool,
+    },
+    /// A wakelock was acquired.
+    WakelockAcquired {
+        /// Holder.
+        uid: Uid,
+        /// Lock id.
+        id: WakelockId,
+        /// Level.
+        kind: WakelockKind,
+        /// Whether the holder owned the foreground at acquire time (Figure
+        /// 5e: acquiring in background starts an attack period).
+        in_foreground: bool,
+    },
+    /// A wakelock was released.
+    WakelockReleased {
+        /// Former holder.
+        uid: Uid,
+        /// Lock id.
+        id: WakelockId,
+        /// True when released by Binder link-to-death rather than by the
+        /// app.
+        on_death: bool,
+    },
+    /// The effective brightness changed.
+    BrightnessChanged {
+        /// Who wrote it.
+        source: ChangeSource,
+        /// Effective value before.
+        old: u8,
+        /// Effective value after.
+        new: u8,
+    },
+    /// The brightness mode was switched.
+    BrightnessModeChanged {
+        /// Who switched it.
+        source: ChangeSource,
+        /// True for auto→manual (the attack #5 trigger direction).
+        to_manual: bool,
+        /// Effective value before.
+        old: u8,
+        /// Effective value after.
+        new: u8,
+    },
+    /// A broadcast intent was delivered to a receiver.
+    BroadcastDelivered {
+        /// Who sent it (`System` for device-state broadcasts such as
+        /// `ACTION_USER_PRESENT`).
+        source: ChangeSource,
+        /// The action string.
+        action: String,
+        /// The receiving app.
+        receiver: Uid,
+    },
+    /// The panel lit up.
+    ScreenTurnedOn,
+    /// The panel went dark.
+    ScreenTurnedOff,
+    /// An app's process died.
+    ProcessDied {
+        /// The app.
+        uid: Uid,
+    },
+}
+
+/// A framework event stamped with its instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub event: FrameworkEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn change_source_extracts_app_uid() {
+        assert_eq!(
+            ChangeSource::App(Uid::FIRST_APP).app_uid(),
+            Some(Uid::FIRST_APP)
+        );
+        assert_eq!(ChangeSource::User.app_uid(), None);
+        assert_eq!(ChangeSource::System.app_uid(), None);
+    }
+}

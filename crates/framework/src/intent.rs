@@ -1,0 +1,76 @@
+//! Intents — the Android IPC request object.
+
+use serde::{Deserialize, Serialize};
+
+/// An intent: either *explicit* (names the target component) or *implicit*
+/// (names an action for the system to resolve).
+///
+/// # Example
+///
+/// ```
+/// use ea_framework::Intent;
+///
+/// let explicit = Intent::explicit("com.example.camera", "Record");
+/// assert!(explicit.is_explicit());
+///
+/// let implicit = Intent::implicit("android.media.action.VIDEO_CAPTURE");
+/// assert!(!implicit.is_explicit());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Intent {
+    /// Addresses a specific component of a specific package.
+    Explicit {
+        /// Target package name.
+        package: String,
+        /// Target component name within the package.
+        component: String,
+    },
+    /// Declares a general action; the system (or the user via the resolver)
+    /// picks the handler.
+    Implicit {
+        /// The action string.
+        action: String,
+    },
+}
+
+impl Intent {
+    /// Builds an explicit intent.
+    pub fn explicit(package: impl Into<String>, component: impl Into<String>) -> Self {
+        Intent::Explicit {
+            package: package.into(),
+            component: component.into(),
+        }
+    }
+
+    /// Builds an implicit intent.
+    pub fn implicit(action: impl Into<String>) -> Self {
+        Intent::Implicit {
+            action: action.into(),
+        }
+    }
+
+    /// Whether the intent names its target directly.
+    pub fn is_explicit(&self) -> bool {
+        matches!(self, Intent::Explicit { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_round_trip() {
+        match Intent::explicit("pkg", "Comp") {
+            Intent::Explicit { package, component } => {
+                assert_eq!(package, "pkg");
+                assert_eq!(component, "Comp");
+            }
+            _ => panic!("expected explicit"),
+        }
+        match Intent::implicit("ACTION") {
+            Intent::Implicit { action } => assert_eq!(action, "ACTION"),
+            _ => panic!("expected implicit"),
+        }
+    }
+}

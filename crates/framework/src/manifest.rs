@@ -1,0 +1,287 @@
+//! App manifests: declared components and permissions.
+//!
+//! The paper's Figure 2 measures, over 1,124 Google Play apps, how many
+//! declare an exported component, request `WAKE_LOCK`, or request
+//! `WRITE_SETTINGS` — the three preconditions of the collateral energy
+//! attacks. This module is the manifest vocabulary shared by the framework,
+//! the corpus analyzer, and the malware.
+
+use serde::{Deserialize, Serialize};
+
+/// Android permissions relevant to collateral energy attacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Permission {
+    /// `android.permission.WAKE_LOCK` — required by attacks #4 and #6.
+    WakeLock,
+    /// `android.permission.WRITE_SETTINGS` — required by attack #5.
+    WriteSettings,
+    /// `android.permission.CAMERA`.
+    Camera,
+    /// `android.permission.INTERNET`.
+    Internet,
+    /// `android.permission.ACCESS_FINE_LOCATION`.
+    FineLocation,
+    /// `android.permission.SYSTEM_ALERT_WINDOW` — transparent overlays.
+    SystemAlertWindow,
+    /// `android.permission.RECORD_AUDIO`.
+    RecordAudio,
+}
+
+impl Permission {
+    /// The manifest string, as APKTool would extract it.
+    pub fn manifest_name(self) -> &'static str {
+        match self {
+            Permission::WakeLock => "android.permission.WAKE_LOCK",
+            Permission::WriteSettings => "android.permission.WRITE_SETTINGS",
+            Permission::Camera => "android.permission.CAMERA",
+            Permission::Internet => "android.permission.INTERNET",
+            Permission::FineLocation => "android.permission.ACCESS_FINE_LOCATION",
+            Permission::SystemAlertWindow => "android.permission.SYSTEM_ALERT_WINDOW",
+            Permission::RecordAudio => "android.permission.RECORD_AUDIO",
+        }
+    }
+}
+
+/// The kind of an app component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// A UI screen.
+    Activity,
+    /// A background worker.
+    Service,
+    /// A broadcast receiver.
+    Receiver,
+}
+
+/// A component declared in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentDecl {
+    /// Component class name, unique within the app.
+    pub name: String,
+    /// Activity, service, or receiver.
+    pub kind: ComponentKind,
+    /// Whether other apps may address this component — the precondition of
+    /// the IPC-based attack vector.
+    pub exported: bool,
+    /// Implicit-intent actions this component responds to.
+    pub intent_actions: Vec<String>,
+    /// Whether the activity renders as a transparent overlay (activities
+    /// only; used by malware #4's tap-jacking page).
+    pub transparent: bool,
+}
+
+/// An app's manifest: identity, components, permissions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppManifest {
+    /// Package name, unique per installed app.
+    pub package: String,
+    /// Play-store category label (for the corpus experiment).
+    pub category: String,
+    /// Declared components.
+    pub components: Vec<ComponentDecl>,
+    /// Requested permissions.
+    pub permissions: Vec<Permission>,
+}
+
+impl AppManifest {
+    /// Starts building a manifest for `package`.
+    pub fn builder(package: impl Into<String>) -> AppManifestBuilder {
+        AppManifestBuilder {
+            manifest: AppManifest {
+                package: package.into(),
+                category: String::from("uncategorized"),
+                components: Vec::new(),
+                permissions: Vec::new(),
+            },
+        }
+    }
+
+    /// Looks up a declared component by name.
+    pub fn component(&self, name: &str) -> Option<&ComponentDecl> {
+        self.components.iter().find(|decl| decl.name == name)
+    }
+
+    /// Whether any component is exported.
+    pub fn has_exported_component(&self) -> bool {
+        self.components.iter().any(|decl| decl.exported)
+    }
+
+    /// Whether the app requests `permission`.
+    pub fn has_permission(&self, permission: Permission) -> bool {
+        self.permissions.contains(&permission)
+    }
+
+    /// Components of `kind` that handle implicit `action`, exported only.
+    pub fn handlers_for(&self, kind: ComponentKind, action: &str) -> Vec<&ComponentDecl> {
+        self.components
+            .iter()
+            .filter(|decl| {
+                decl.kind == kind
+                    && decl.exported
+                    && decl.intent_actions.iter().any(|a| a == action)
+            })
+            .collect()
+    }
+}
+
+/// Builder for [`AppManifest`].
+#[derive(Debug, Clone)]
+pub struct AppManifestBuilder {
+    manifest: AppManifest,
+}
+
+impl AppManifestBuilder {
+    /// Sets the Play-store category.
+    pub fn category(mut self, category: impl Into<String>) -> Self {
+        self.manifest.category = category.into();
+        self
+    }
+
+    /// Declares an activity.
+    pub fn activity(mut self, name: impl Into<String>, exported: bool) -> Self {
+        self.manifest.components.push(ComponentDecl {
+            name: name.into(),
+            kind: ComponentKind::Activity,
+            exported,
+            intent_actions: Vec::new(),
+            transparent: false,
+        });
+        self
+    }
+
+    /// Declares a transparent (overlay) activity.
+    pub fn transparent_activity(mut self, name: impl Into<String>, exported: bool) -> Self {
+        self.manifest.components.push(ComponentDecl {
+            name: name.into(),
+            kind: ComponentKind::Activity,
+            exported,
+            intent_actions: Vec::new(),
+            transparent: true,
+        });
+        self
+    }
+
+    /// Declares an activity that answers the given implicit actions.
+    pub fn activity_with_actions(
+        mut self,
+        name: impl Into<String>,
+        exported: bool,
+        actions: &[&str],
+    ) -> Self {
+        self.manifest.components.push(ComponentDecl {
+            name: name.into(),
+            kind: ComponentKind::Activity,
+            exported,
+            intent_actions: actions.iter().map(|a| a.to_string()).collect(),
+            transparent: false,
+        });
+        self
+    }
+
+    /// Declares a service.
+    pub fn service(mut self, name: impl Into<String>, exported: bool) -> Self {
+        self.manifest.components.push(ComponentDecl {
+            name: name.into(),
+            kind: ComponentKind::Service,
+            exported,
+            intent_actions: Vec::new(),
+            transparent: false,
+        });
+        self
+    }
+
+    /// Declares a broadcast receiver.
+    pub fn receiver(mut self, name: impl Into<String>, exported: bool, actions: &[&str]) -> Self {
+        self.manifest.components.push(ComponentDecl {
+            name: name.into(),
+            kind: ComponentKind::Receiver,
+            exported,
+            intent_actions: actions.iter().map(|a| a.to_string()).collect(),
+            transparent: false,
+        });
+        self
+    }
+
+    /// Requests a permission.
+    pub fn permission(mut self, permission: Permission) -> Self {
+        if !self.manifest.permissions.contains(&permission) {
+            self.manifest.permissions.push(permission);
+        }
+        self
+    }
+
+    /// Finishes the manifest.
+    pub fn build(self) -> AppManifest {
+        self.manifest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AppManifest {
+        AppManifest::builder("com.example.app")
+            .category("tools")
+            .activity("Main", false)
+            .activity_with_actions("Share", true, &["android.intent.action.SEND"])
+            .service("Sync", true)
+            .permission(Permission::WakeLock)
+            .permission(Permission::WakeLock) // duplicate ignored
+            .build()
+    }
+
+    #[test]
+    fn builder_assembles_components() {
+        let manifest = sample();
+        assert_eq!(manifest.components.len(), 3);
+        assert_eq!(manifest.category, "tools");
+        assert_eq!(manifest.permissions, vec![Permission::WakeLock]);
+    }
+
+    #[test]
+    fn component_lookup() {
+        let manifest = sample();
+        assert!(manifest.component("Main").is_some());
+        assert!(manifest.component("Ghost").is_none());
+        assert_eq!(
+            manifest.component("Sync").unwrap().kind,
+            ComponentKind::Service
+        );
+    }
+
+    #[test]
+    fn exported_detection() {
+        let manifest = sample();
+        assert!(manifest.has_exported_component());
+
+        let closed = AppManifest::builder("closed")
+            .activity("Main", false)
+            .build();
+        assert!(!closed.has_exported_component());
+    }
+
+    #[test]
+    fn implicit_handlers_must_be_exported_and_match_action() {
+        let manifest = sample();
+        let handlers = manifest.handlers_for(ComponentKind::Activity, "android.intent.action.SEND");
+        assert_eq!(handlers.len(), 1);
+        assert_eq!(handlers[0].name, "Share");
+        assert!(manifest
+            .handlers_for(ComponentKind::Activity, "android.intent.action.VIEW")
+            .is_empty());
+    }
+
+    #[test]
+    fn permission_names_match_android() {
+        assert_eq!(
+            Permission::WakeLock.manifest_name(),
+            "android.permission.WAKE_LOCK"
+        );
+        assert_eq!(
+            Permission::WriteSettings.manifest_name(),
+            "android.permission.WRITE_SETTINGS"
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! CPU routines — what, inside an app, is demanding CPU.
+//!
+//! The paper builds on eprof's observation that per-app accounting is too
+//! coarse: energy should decompose "into the subroutine or thread level".
+//! The simulated framework knows exactly which parts of an app demand CPU
+//! (the foreground UI, backgrounded activities, each running service,
+//! scripted work such as a video encoder); this module names them so the
+//! profiler can split an app's CPU energy routine-by-routine.
+
+use serde::{Deserialize, Serialize};
+
+/// A named CPU-demand source within one app.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Routine {
+    /// The resumed foreground activity's UI work.
+    ForegroundUi,
+    /// Residual work of paused/stopped activities.
+    BackgroundActivity,
+    /// A running service, by component name.
+    Service(String),
+    /// Scripted extra demand (e.g. the camera encoder) registered through
+    /// [`crate::AndroidSystem::set_extra_demand`].
+    Scripted,
+}
+
+impl Routine {
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            Routine::ForegroundUi => String::from("foreground-ui"),
+            Routine::BackgroundActivity => String::from("background-activity"),
+            Routine::Service(name) => format!("service:{name}"),
+            Routine::Scripted => String::from("scripted"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct_and_stable() {
+        assert_eq!(Routine::ForegroundUi.label(), "foreground-ui");
+        assert_eq!(Routine::Service("Worker".into()).label(), "service:Worker");
+        assert_ne!(
+            Routine::Service("A".into()).label(),
+            Routine::Service("B".into()).label()
+        );
+    }
+}

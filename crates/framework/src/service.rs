@@ -1,0 +1,114 @@
+//! Service records: started/bound lifecycle.
+//!
+//! The lifecycle rule attack #3 exploits: a service stays alive while it is
+//! *started* **or** has at least one live binding. `stopService()` clears
+//! the started flag but a lingering malicious binding keeps the service —
+//! and its workload — running indefinitely.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use ea_sim::Uid;
+
+/// A unique identifier for one `bindService()` connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ConnectionId(pub u64);
+
+/// One service instance (per app × component).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceRecord {
+    /// Whether `startService()` has been called without a matching
+    /// `stopService()`/`stopSelf()`.
+    pub started: bool,
+    /// Live bindings: connection id → binder app.
+    pub bindings: BTreeMap<ConnectionId, Uid>,
+}
+
+impl ServiceRecord {
+    /// Whether the service is running (started or bound).
+    pub fn is_running(&self) -> bool {
+        self.started || !self.bindings.is_empty()
+    }
+
+    /// Registers a binding.
+    pub fn bind(&mut self, connection: ConnectionId, binder: Uid) {
+        self.bindings.insert(connection, binder);
+    }
+
+    /// Removes a binding; returns the binder if it existed.
+    pub fn unbind(&mut self, connection: ConnectionId) -> Option<Uid> {
+        self.bindings.remove(&connection)
+    }
+
+    /// Removes every binding held by `binder` (process death), returning the
+    /// removed connection ids.
+    pub fn unbind_all_of(&mut self, binder: Uid) -> Vec<ConnectionId> {
+        let removed: Vec<ConnectionId> = self
+            .bindings
+            .iter()
+            .filter(|(_, &holder)| holder == binder)
+            .map(|(&connection, _)| connection)
+            .collect();
+        for connection in &removed {
+            self.bindings.remove(connection);
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uid(n: u32) -> Uid {
+        Uid::from_raw(10_000 + n)
+    }
+
+    #[test]
+    fn fresh_service_is_not_running() {
+        assert!(!ServiceRecord::default().is_running());
+    }
+
+    #[test]
+    fn started_flag_keeps_it_running() {
+        let mut service = ServiceRecord {
+            started: true,
+            ..ServiceRecord::default()
+        };
+        assert!(service.is_running());
+        service.started = false;
+        assert!(!service.is_running());
+    }
+
+    #[test]
+    fn binding_keeps_service_alive_despite_stop() {
+        // The attack #3 core: stopService() while a foreign binding lives.
+        let mut service = ServiceRecord {
+            started: true,
+            ..ServiceRecord::default()
+        };
+        service.bind(ConnectionId(1), uid(66)); // malware binds
+        service.started = false; // victim calls stopService()
+        assert!(service.is_running(), "foreign binding pins the service");
+        service.unbind(ConnectionId(1));
+        assert!(!service.is_running());
+    }
+
+    #[test]
+    fn unbind_all_of_clears_only_that_binder() {
+        let mut service = ServiceRecord::default();
+        service.bind(ConnectionId(1), uid(1));
+        service.bind(ConnectionId(2), uid(2));
+        service.bind(ConnectionId(3), uid(1));
+        let removed = service.unbind_all_of(uid(1));
+        assert_eq!(removed, vec![ConnectionId(1), ConnectionId(3)]);
+        assert!(service.is_running(), "uid 2's binding survives");
+    }
+
+    #[test]
+    fn unbind_unknown_connection_returns_none() {
+        let mut service = ServiceRecord::default();
+        assert_eq!(service.unbind(ConnectionId(9)), None);
+    }
+}

@@ -1,0 +1,127 @@
+//! The settings provider: screen brightness and its auto/manual quirk.
+//!
+//! Two behaviours matter to attack #5 and are modelled faithfully:
+//!
+//! 1. In **auto** mode the system picks the brightness from ambient light;
+//!    a value written by an app is *saved* but **not applied** until the
+//!    mode is switched to manual. Malware therefore writes a high value and
+//!    then flips the mode.
+//! 2. Writes require the `WRITE_SETTINGS` permission — enforced by the
+//!    caller ([`crate::AndroidSystem`]), recorded here.
+
+use serde::{Deserialize, Serialize};
+
+/// Brightness control mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BrightnessMode {
+    /// The system follows ambient light; manual writes are deferred.
+    Automatic,
+    /// The stored manual value drives the backlight.
+    Manual,
+}
+
+/// The system settings provider (the brightness-relevant slice).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SettingsProvider {
+    mode: BrightnessMode,
+    /// The stored manual brightness value (applied only in manual mode).
+    manual_value: u8,
+    /// What the auto-brightness algorithm currently chooses.
+    auto_value: u8,
+}
+
+impl SettingsProvider {
+    /// Android-ish defaults: manual mode at a comfortable mid-low level.
+    pub fn new() -> Self {
+        SettingsProvider {
+            mode: BrightnessMode::Manual,
+            manual_value: 96,
+            auto_value: 60,
+        }
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> BrightnessMode {
+        self.mode
+    }
+
+    /// The brightness that actually drives the backlight right now.
+    pub fn effective_brightness(&self) -> u8 {
+        match self.mode {
+            BrightnessMode::Manual => self.manual_value,
+            BrightnessMode::Automatic => self.auto_value,
+        }
+    }
+
+    /// The stored manual value (which may currently be dormant under auto
+    /// mode — the attack #5 staging area).
+    pub fn stored_manual_value(&self) -> u8 {
+        self.manual_value
+    }
+
+    /// Writes the manual brightness value. Returns `(old_effective,
+    /// new_effective)` so callers can tell whether the write changed the
+    /// backlight (in auto mode it does not).
+    pub fn write_brightness(&mut self, value: u8) -> (u8, u8) {
+        let old = self.effective_brightness();
+        self.manual_value = value;
+        (old, self.effective_brightness())
+    }
+
+    /// Switches the mode. Returns `(old_effective, new_effective)`.
+    pub fn set_mode(&mut self, mode: BrightnessMode) -> (u8, u8) {
+        let old = self.effective_brightness();
+        self.mode = mode;
+        (old, self.effective_brightness())
+    }
+
+    /// Updates the ambient-driven value (the auto algorithm's output).
+    pub fn set_auto_value(&mut self, value: u8) -> (u8, u8) {
+        let old = self.effective_brightness();
+        self.auto_value = value;
+        (old, self.effective_brightness())
+    }
+}
+
+impl Default for SettingsProvider {
+    fn default() -> Self {
+        SettingsProvider::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_writes_apply_immediately_in_manual_mode() {
+        let mut settings = SettingsProvider::new();
+        let (old, new) = settings.write_brightness(200);
+        assert_eq!(old, 96);
+        assert_eq!(new, 200);
+        assert_eq!(settings.effective_brightness(), 200);
+    }
+
+    #[test]
+    fn manual_writes_are_deferred_in_auto_mode() {
+        let mut settings = SettingsProvider::new();
+        settings.set_mode(BrightnessMode::Automatic);
+        let (old, new) = settings.write_brightness(255);
+        assert_eq!(old, new, "write must not change the backlight in auto mode");
+        assert_eq!(settings.effective_brightness(), 60);
+        assert_eq!(settings.stored_manual_value(), 255);
+
+        // Attack #5's second step: flip to manual — the dormant value fires.
+        let (_, after) = settings.set_mode(BrightnessMode::Manual);
+        assert_eq!(after, 255);
+    }
+
+    #[test]
+    fn auto_value_tracks_ambient_only_in_auto_mode() {
+        let mut settings = SettingsProvider::new();
+        let (old, new) = settings.set_auto_value(30);
+        assert_eq!(old, new, "manual mode ignores the ambient value");
+        settings.set_mode(BrightnessMode::Automatic);
+        assert_eq!(settings.effective_brightness(), 30);
+    }
+}

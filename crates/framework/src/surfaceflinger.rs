@@ -1,0 +1,107 @@
+//! The SurfaceFlinger shared-memory side channel.
+//!
+//! The paper's malware #4 infers UI state — specifically the victim's exit
+//! dialog — from the shared virtual memory size of the SurfaceFlinger
+//! process, the UI-inference technique of Chen et al. (USENIX Security
+//! 2014). We model the observable: a shared-VM figure that changes
+//! deterministically with the rendered UI (per-surface buffers plus a
+//! dialog-sized bump), so the malware can fingerprint the dialog offset
+//! without any framework privilege — exactly the unprivileged `/proc`
+//! read the real attack uses.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulated SurfaceFlinger process, exposing only what `/proc` would.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SurfaceFlinger {
+    base_kb: u64,
+    per_surface_kb: u64,
+    dialog_kb: u64,
+    surfaces: u64,
+    dialog_visible: bool,
+}
+
+impl SurfaceFlinger {
+    /// Typical buffer sizes for a 768×1280 panel.
+    pub fn new() -> Self {
+        SurfaceFlinger {
+            base_kb: 48_000,
+            per_surface_kb: 3_840, // one 768×1280 RGBA buffer
+            dialog_kb: 640,        // a dialog-sized surface
+            surfaces: 0,
+            dialog_visible: false,
+        }
+    }
+
+    /// Framework hook: a full-screen surface was added (activity visible).
+    pub fn add_surface(&mut self) {
+        self.surfaces += 1;
+    }
+
+    /// Framework hook: a full-screen surface was removed.
+    pub fn remove_surface(&mut self) {
+        self.surfaces = self.surfaces.saturating_sub(1);
+    }
+
+    /// Framework hook: a dialog appeared or disappeared.
+    pub fn set_dialog_visible(&mut self, visible: bool) {
+        self.dialog_visible = visible;
+    }
+
+    /// The observable: shared virtual memory size in KiB, as `/proc/<pid>/`
+    /// would report. Unprivileged code (malware #4) polls this.
+    pub fn shared_vm_kb(&self) -> u64 {
+        self.base_kb
+            + self.per_surface_kb * self.surfaces
+            + if self.dialog_visible {
+                self.dialog_kb
+            } else {
+                0
+            }
+    }
+
+    /// The offset a reverse engineer would learn for "a dialog appeared":
+    /// the delta malware #4 watches for.
+    pub fn dialog_offset_kb(&self) -> u64 {
+        self.dialog_kb
+    }
+}
+
+impl Default for SurfaceFlinger {
+    fn default() -> Self {
+        SurfaceFlinger::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surfaces_move_the_shared_vm() {
+        let mut sf = SurfaceFlinger::new();
+        let empty = sf.shared_vm_kb();
+        sf.add_surface();
+        let one = sf.shared_vm_kb();
+        assert!(one > empty);
+        sf.remove_surface();
+        assert_eq!(sf.shared_vm_kb(), empty);
+    }
+
+    #[test]
+    fn dialog_bump_matches_the_published_offset() {
+        let mut sf = SurfaceFlinger::new();
+        sf.add_surface();
+        let before = sf.shared_vm_kb();
+        sf.set_dialog_visible(true);
+        let after = sf.shared_vm_kb();
+        assert_eq!(after - before, sf.dialog_offset_kb());
+    }
+
+    #[test]
+    fn remove_never_underflows() {
+        let mut sf = SurfaceFlinger::new();
+        sf.remove_surface();
+        assert_eq!(sf.shared_vm_kb(), 48_000);
+    }
+}

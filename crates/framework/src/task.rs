@@ -1,0 +1,158 @@
+//! The back stack.
+//!
+//! Android keeps backgrounded activities in task stacks: starting an
+//! activity pushes it on top; pressing back pops; `moveTaskToFront` reorders
+//! without restarting. E-Android "carefully monitors the activities of task
+//! stacks" to delimit attack periods, so the stack operations here emit
+//! enough information for the monitor to do that.
+//!
+//! The simulation uses a single global stack (one task), which is sufficient
+//! for every scenario in the paper; the API is shaped so multiple tasks
+//! could be added without changing callers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ActivityId;
+
+/// A back stack of activity instances, bottom first.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskStack {
+    entries: Vec<ActivityId>,
+}
+
+impl TaskStack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        TaskStack::default()
+    }
+
+    /// Pushes a freshly started activity on top.
+    pub fn push(&mut self, id: ActivityId) {
+        self.entries.push(id);
+    }
+
+    /// Pops the top activity (the "back" gesture); returns it.
+    pub fn pop(&mut self) -> Option<ActivityId> {
+        self.entries.pop()
+    }
+
+    /// The activity currently on top (the foreground candidate).
+    pub fn top(&self) -> Option<ActivityId> {
+        self.entries.last().copied()
+    }
+
+    /// The activity directly under the top, which resumes after a pop.
+    pub fn below_top(&self) -> Option<ActivityId> {
+        if self.entries.len() >= 2 {
+            Some(self.entries[self.entries.len() - 2])
+        } else {
+            None
+        }
+    }
+
+    /// Moves an existing entry to the top without restarting it
+    /// (`moveTaskToFront`). Returns whether the entry was present.
+    pub fn move_to_front(&mut self, id: ActivityId) -> bool {
+        match self.entries.iter().position(|&entry| entry == id) {
+            Some(index) => {
+                let entry = self.entries.remove(index);
+                self.entries.push(entry);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes an entry wherever it is (activity finished or process died).
+    /// Returns whether it was present.
+    pub fn remove(&mut self, id: ActivityId) -> bool {
+        match self.entries.iter().position(|&entry| entry == id) {
+            Some(index) => {
+                self.entries.remove(index);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `id` is anywhere in the stack.
+    pub fn contains(&self, id: ActivityId) -> bool {
+        self.entries.contains(&id)
+    }
+
+    /// Stack contents, bottom first.
+    pub fn entries(&self) -> &[ActivityId] {
+        &self.entries
+    }
+
+    /// Number of stacked activities.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the stack is empty (launcher showing).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> ActivityId {
+        ActivityId(n)
+    }
+
+    #[test]
+    fn push_pop_is_lifo() {
+        let mut stack = TaskStack::new();
+        stack.push(id(1));
+        stack.push(id(2));
+        assert_eq!(stack.top(), Some(id(2)));
+        assert_eq!(stack.pop(), Some(id(2)));
+        assert_eq!(stack.top(), Some(id(1)));
+    }
+
+    #[test]
+    fn below_top_identifies_the_resumer() {
+        let mut stack = TaskStack::new();
+        assert_eq!(stack.below_top(), None);
+        stack.push(id(1));
+        assert_eq!(stack.below_top(), None);
+        stack.push(id(2));
+        assert_eq!(stack.below_top(), Some(id(1)));
+    }
+
+    #[test]
+    fn move_to_front_reorders_without_duplication() {
+        let mut stack = TaskStack::new();
+        stack.push(id(1));
+        stack.push(id(2));
+        stack.push(id(3));
+        assert!(stack.move_to_front(id(1)));
+        assert_eq!(stack.entries(), &[id(2), id(3), id(1)]);
+        assert_eq!(stack.len(), 3);
+        assert!(!stack.move_to_front(id(9)));
+    }
+
+    #[test]
+    fn remove_plucks_from_the_middle() {
+        let mut stack = TaskStack::new();
+        stack.push(id(1));
+        stack.push(id(2));
+        stack.push(id(3));
+        assert!(stack.remove(id(2)));
+        assert_eq!(stack.entries(), &[id(1), id(3)]);
+        assert!(!stack.remove(id(2)));
+    }
+
+    #[test]
+    fn empty_stack_behaviour() {
+        let mut stack = TaskStack::new();
+        assert!(stack.is_empty());
+        assert_eq!(stack.pop(), None);
+        assert_eq!(stack.top(), None);
+        assert!(!stack.contains(id(1)));
+    }
+}

@@ -1,0 +1,123 @@
+//! Wakelocks — Android's anti-suspend mechanism.
+//!
+//! Android suspends aggressively; a wakelock overrides that. Three of the
+//! four levels keep the screen lit, which is why the paper's attacks #4 and
+//! #6 revolve around wakelocks that are acquired and never released. The
+//! stock framework's only safety net is Binder link-to-death: locks are
+//! released when the holding process dies — **not** when it merely
+//! backgrounds, which is the misinterpretation the paper's no-sleep bugs
+//! exploit.
+
+use serde::{Deserialize, Serialize};
+
+use ea_sim::{Pid, SimTime, Uid};
+
+/// A unique wakelock identifier (also the Binder death-link cookie).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WakelockId(pub u64);
+
+/// Android's four wakelock levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WakelockKind {
+    /// CPU on, screen allowed off (`PARTIAL_WAKE_LOCK`).
+    Partial,
+    /// CPU on, screen dim (`SCREEN_DIM_WAKE_LOCK`).
+    ScreenDim,
+    /// CPU on, screen bright (`SCREEN_BRIGHT_WAKE_LOCK`).
+    ScreenBright,
+    /// CPU on, screen and keyboard bright (`FULL_WAKE_LOCK`).
+    Full,
+}
+
+impl WakelockKind {
+    /// Whether this level forces the screen to stay lit — true for three of
+    /// the four levels.
+    pub fn keeps_screen_on(self) -> bool {
+        !matches!(self, WakelockKind::Partial)
+    }
+}
+
+/// When an app releases its wakelocks, per the paper's no-sleep-bug
+/// taxonomy (Pathak et al.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WakelockPolicy {
+    /// Correct: released as soon as the activity pauses.
+    OnPause,
+    /// Released when the activity stops (backgrounded).
+    OnStop,
+    /// The common bug: released only in `onDestroy` — an interrupted app
+    /// keeps the lock while stopped.
+    OnDestroy,
+    /// The malicious case: never released voluntarily.
+    Never,
+}
+
+impl WakelockPolicy {
+    /// Whether the policy releases when the activity reaches `Paused`.
+    pub fn releases_on_pause(self) -> bool {
+        matches!(self, WakelockPolicy::OnPause)
+    }
+
+    /// Whether the policy releases when the activity reaches `Stopped`.
+    pub fn releases_on_stop(self) -> bool {
+        matches!(self, WakelockPolicy::OnPause | WakelockPolicy::OnStop)
+    }
+
+    /// Whether the policy releases when the activity is destroyed. (Process
+    /// death releases regardless, via link-to-death.)
+    pub fn releases_on_destroy(self) -> bool {
+        !matches!(self, WakelockPolicy::Never)
+    }
+}
+
+/// A held wakelock.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Wakelock {
+    /// Identifier (and death-link cookie).
+    pub id: WakelockId,
+    /// Holding app.
+    pub uid: Uid,
+    /// Holding process (the death-link target).
+    pub pid: Pid,
+    /// Level.
+    pub kind: WakelockKind,
+    /// When it was acquired.
+    pub acquired_at: SimTime,
+    /// Optional auto-release deadline (`acquire(long timeout)` in the
+    /// Android API — the defensive pattern well-written apps use).
+    pub expires_at: Option<SimTime>,
+    /// Whether the holder owned the foreground activity at acquire time —
+    /// a fact E-Android's Figure 5e lifecycle needs.
+    pub acquired_in_foreground: bool,
+}
+
+impl Wakelock {
+    /// Whether the lock's timeout has passed at `now`.
+    pub fn is_expired(&self, now: SimTime) -> bool {
+        self.expires_at.is_some_and(|deadline| now >= deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_of_four_levels_light_the_screen() {
+        assert!(!WakelockKind::Partial.keeps_screen_on());
+        assert!(WakelockKind::ScreenDim.keeps_screen_on());
+        assert!(WakelockKind::ScreenBright.keeps_screen_on());
+        assert!(WakelockKind::Full.keeps_screen_on());
+    }
+
+    #[test]
+    fn policy_release_lattice() {
+        assert!(WakelockPolicy::OnPause.releases_on_pause());
+        assert!(WakelockPolicy::OnPause.releases_on_stop());
+        assert!(!WakelockPolicy::OnStop.releases_on_pause());
+        assert!(WakelockPolicy::OnStop.releases_on_stop());
+        assert!(!WakelockPolicy::OnDestroy.releases_on_stop());
+        assert!(WakelockPolicy::OnDestroy.releases_on_destroy());
+        assert!(!WakelockPolicy::Never.releases_on_destroy());
+    }
+}

@@ -1,0 +1,198 @@
+//! Edge cases of the framework's lifecycle semantics: the corners that the
+//! paper's attack machinery silently depends on.
+
+use ea_framework::{
+    ActivityState, AndroidSystem, AppBehavior, AppManifest, ChangeSource, FrameworkError, Intent,
+    Permission, StartResult, WakelockKind, WakelockPolicy,
+};
+use ea_sim::SimDuration;
+
+fn manifest(package: &str) -> AppManifest {
+    AppManifest::builder(package)
+        .activity("Main", true)
+        .activity("Second", false)
+        .service("Worker", true)
+        .permission(Permission::WakeLock)
+        .permission(Permission::WriteSettings)
+        .build()
+}
+
+#[test]
+fn screen_off_pauses_then_unlock_resumes() {
+    let mut android = AndroidSystem::new();
+    let app = android.install(manifest("com.a"));
+    android.user_launch("com.a").unwrap();
+    android.advance(SimDuration::from_secs(31)); // timeout
+    assert!(!android.screen_is_on());
+    assert_eq!(android.live_activities_of(app)[0].state, ActivityState::Paused);
+    assert_eq!(android.foreground_uid(), None);
+
+    android.user_unlock();
+    assert!(android.screen_is_on());
+    assert_eq!(
+        android.live_activities_of(app)[0].state,
+        ActivityState::Resumed,
+        "unlock resumes whatever was in front"
+    );
+    assert_eq!(android.foreground_uid(), Some(app));
+}
+
+#[test]
+fn back_through_a_cross_app_stack_unwinds_in_order() {
+    let mut android = AndroidSystem::new();
+    let a = android.install(manifest("com.a"));
+    let b = android.install(manifest("com.b"));
+    let c = android.install(manifest("com.c"));
+    android.user_launch("com.a").unwrap();
+    android
+        .start_activity(a, Intent::explicit("com.b", "Main"))
+        .unwrap();
+    android
+        .start_activity(b, Intent::explicit("com.c", "Main"))
+        .unwrap();
+    assert_eq!(android.foreground_uid(), Some(c));
+    android.user_press_back();
+    assert_eq!(android.foreground_uid(), Some(b));
+    android.user_press_back();
+    assert_eq!(android.foreground_uid(), Some(a));
+    android.user_press_back();
+    assert_eq!(android.foreground_uid(), Some(android.launcher_uid()));
+    // One more back on the empty stack is harmless.
+    android.user_press_back();
+    assert_eq!(android.foreground_uid(), Some(android.launcher_uid()));
+}
+
+#[test]
+fn relaunching_a_running_app_stacks_a_fresh_activity() {
+    let mut android = AndroidSystem::new();
+    let app = android.install(manifest("com.a"));
+    android.user_launch("com.a").unwrap();
+    android.user_press_home();
+    android.user_launch("com.a").unwrap();
+    // Two live instances: the stopped old one and the resumed new one.
+    let live = android.live_activities_of(app);
+    assert_eq!(live.len(), 2);
+    assert!(live.iter().any(|record| record.state == ActivityState::Resumed));
+    assert!(live.iter().any(|record| record.state == ActivityState::Stopped));
+}
+
+#[test]
+fn wakelock_double_release_is_an_error_not_a_panic() {
+    let mut android = AndroidSystem::new();
+    let app = android.install(manifest("com.a"));
+    android.user_launch("com.a").unwrap();
+    let lock = android.acquire_wakelock(app, WakelockKind::Partial).unwrap();
+    android.release_wakelock(app, lock).unwrap();
+    assert!(matches!(
+        android.release_wakelock(app, lock),
+        Err(FrameworkError::NoSuchWakelock(_))
+    ));
+}
+
+#[test]
+fn foreign_wakelock_release_is_rejected() {
+    let mut android = AndroidSystem::new();
+    let a = android.install(manifest("com.a"));
+    let b = android.install(manifest("com.b"));
+    android.user_launch("com.a").unwrap();
+    let lock = android.acquire_wakelock(a, WakelockKind::Full).unwrap();
+    assert!(matches!(
+        android.release_wakelock(b, lock),
+        Err(FrameworkError::NotWakelockHolder { .. })
+    ));
+    assert_eq!(android.held_wakelocks(a).len(), 1, "lock untouched");
+}
+
+#[test]
+fn multiple_locks_release_independently_per_policy() {
+    let mut android = AndroidSystem::new();
+    let app = android.install_with_behavior(
+        manifest("com.a"),
+        AppBehavior::light().with_wakelock_policy(WakelockPolicy::OnStop),
+    );
+    android.user_launch("com.a").unwrap();
+    android.acquire_wakelock(app, WakelockKind::Partial).unwrap();
+    android.acquire_wakelock(app, WakelockKind::Full).unwrap();
+    assert_eq!(android.held_wakelocks(app).len(), 2);
+    // OnStop: both released when the app backgrounds.
+    android.user_press_home();
+    assert!(android.held_wakelocks(app).is_empty());
+}
+
+#[test]
+fn implicit_intent_with_no_handler_fails_cleanly() {
+    let mut android = AndroidSystem::new();
+    let app = android.install(manifest("com.a"));
+    let error = android
+        .start_activity(app, Intent::implicit("ACTION_NOBODY_HANDLES"))
+        .unwrap_err();
+    assert!(matches!(error, FrameworkError::NoHandler(_)));
+}
+
+#[test]
+fn resolver_single_candidate_skips_the_chooser() {
+    let mut android = AndroidSystem::new();
+    let caller = android.install(manifest("com.caller"));
+    let only = android.install(
+        AppManifest::builder("com.only")
+            .activity_with_actions("Edit", true, &["EDIT"])
+            .build(),
+    );
+    let result = android
+        .start_activity(caller, Intent::implicit("EDIT"))
+        .unwrap();
+    assert_eq!(result, StartResult::Started(only));
+}
+
+#[test]
+fn start_own_private_activity_is_allowed() {
+    let mut android = AndroidSystem::new();
+    let app = android.install(manifest("com.a"));
+    android.user_launch("com.a").unwrap();
+    // "Second" is not exported, but the app itself may start it.
+    let result = android
+        .start_activity(app, Intent::explicit("com.a", "Second"))
+        .unwrap();
+    assert_eq!(result, StartResult::Started(app));
+}
+
+#[test]
+fn brightness_write_of_same_value_emits_no_event() {
+    let mut android = AndroidSystem::new();
+    android.install(manifest("com.a"));
+    let current = android.effective_brightness();
+    android.drain_events();
+    android
+        .set_brightness(ChangeSource::User, current)
+        .unwrap();
+    assert!(
+        android.drain_events().is_empty(),
+        "no-op writes don't spam the monitor"
+    );
+}
+
+#[test]
+fn killing_an_app_that_never_ran_is_a_noop() {
+    let mut android = AndroidSystem::new();
+    let app = android.install(manifest("com.a"));
+    android.kill_app(app).unwrap();
+    assert!(android.app(app).is_some(), "still installed");
+}
+
+#[test]
+fn service_restart_after_kill_gets_a_fresh_process() {
+    let mut android = AndroidSystem::new();
+    let a = android.install(manifest("com.a"));
+    let b = android.install(manifest("com.b"));
+    android
+        .start_service(a, Intent::explicit("com.b", "Worker"))
+        .unwrap();
+    let first_pid = android.app(b).unwrap().pid.unwrap();
+    android.kill_app(b).unwrap();
+    android
+        .start_service(a, Intent::explicit("com.b", "Worker"))
+        .unwrap();
+    let second_pid = android.app(b).unwrap().pid.unwrap();
+    assert_ne!(first_pid, second_pid);
+    assert_eq!(android.running_services_of(b).len(), 1);
+}

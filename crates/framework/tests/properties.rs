@@ -1,0 +1,192 @@
+//! Property-based tests of the framework: task stack, settings, wakelock
+//! bookkeeping, and whole-system invariants under random user behaviour.
+
+use ea_framework::{
+    ActivityId, AndroidSystem, AppManifest, BrightnessMode, ChangeSource, Intent, Permission,
+    SettingsProvider, TaskStack, WakelockKind,
+};
+use ea_sim::SimDuration;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum StackOp {
+    Push,
+    Pop,
+    MoveToFront(u64),
+    Remove(u64),
+}
+
+fn stack_op() -> impl Strategy<Value = StackOp> {
+    prop_oneof![
+        Just(StackOp::Push),
+        Just(StackOp::Pop),
+        (0u64..20).prop_map(StackOp::MoveToFront),
+        (0u64..20).prop_map(StackOp::Remove),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn task_stack_never_duplicates(ops in proptest::collection::vec(stack_op(), 0..100)) {
+        let mut stack = TaskStack::new();
+        let mut next = 100u64;
+        for op in ops {
+            match op {
+                StackOp::Push => {
+                    stack.push(ActivityId(next));
+                    next += 1;
+                }
+                StackOp::Pop => {
+                    stack.pop();
+                }
+                StackOp::MoveToFront(id) => {
+                    stack.move_to_front(ActivityId(id + 100));
+                }
+                StackOp::Remove(id) => {
+                    stack.remove(ActivityId(id + 100));
+                }
+            }
+            let mut entries = stack.entries().to_vec();
+            let len = entries.len();
+            entries.sort();
+            entries.dedup();
+            prop_assert_eq!(entries.len(), len, "no duplicate stack entries");
+            if let Some(top) = stack.top() {
+                prop_assert!(stack.contains(top));
+            }
+        }
+    }
+
+    #[test]
+    fn settings_effective_value_always_tracks_mode(
+        writes in proptest::collection::vec((any::<u8>(), any::<bool>(), any::<u8>()), 1..50)
+    ) {
+        let mut settings = SettingsProvider::new();
+        for (manual_value, switch_to_manual, auto_value) in writes {
+            settings.write_brightness(manual_value);
+            settings.set_auto_value(auto_value);
+            settings.set_mode(if switch_to_manual {
+                BrightnessMode::Manual
+            } else {
+                BrightnessMode::Automatic
+            });
+            match settings.mode() {
+                BrightnessMode::Manual => {
+                    prop_assert_eq!(settings.effective_brightness(), settings.stored_manual_value());
+                }
+                BrightnessMode::Automatic => {
+                    prop_assert_eq!(settings.effective_brightness(), auto_value);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn screen_is_lit_whenever_a_screen_wakelock_is_held(
+        ops in proptest::collection::vec((0u8..4, any::<bool>(), 0u16..600), 1..40)
+    ) {
+        let mut android = AndroidSystem::new();
+        // The Never policy disables lifecycle auto-release, so the test's
+        // manual bookkeeping is the single source of truth.
+        let app = android.install_with_behavior(
+            AppManifest::builder("com.prop.app")
+                .activity("Main", true)
+                .permission(Permission::WakeLock)
+                .build(),
+            ea_framework::AppBehavior::light()
+                .with_wakelock_policy(ea_framework::WakelockPolicy::Never),
+        );
+        android.user_launch("com.prop.app").unwrap();
+        let mut held: Vec<ea_framework::WakelockId> = Vec::new();
+
+        for (kind, release, advance_secs) in ops {
+            if release {
+                if let Some(id) = held.pop() {
+                    android.release_wakelock(app, id).unwrap();
+                }
+            } else {
+                let kind = match kind {
+                    0 => WakelockKind::Partial,
+                    1 => WakelockKind::ScreenDim,
+                    2 => WakelockKind::ScreenBright,
+                    _ => WakelockKind::Full,
+                };
+                held.push(android.acquire_wakelock(app, kind).unwrap());
+            }
+            android.advance(SimDuration::from_secs(u64::from(advance_secs)));
+            if android.any_screen_wakelock() {
+                prop_assert!(android.screen_is_on(), "screen wakelock must hold the panel");
+            }
+            prop_assert_eq!(android.held_wakelocks(app).len(), held.len());
+        }
+    }
+
+    #[test]
+    fn foreground_is_always_a_live_installed_app(
+        launches in proptest::collection::vec((0usize..3, any::<bool>()), 1..30)
+    ) {
+        let mut android = AndroidSystem::new();
+        let packages = ["com.p.a", "com.p.b", "com.p.c"];
+        for package in packages {
+            android.install(AppManifest::builder(package).activity("Main", true).build());
+        }
+        for (index, press_back) in launches {
+            android.user_launch(packages[index]).unwrap();
+            if press_back {
+                android.user_press_back();
+            }
+            if let Some(foreground) = android.foreground_uid() {
+                prop_assert!(
+                    android.app(foreground).is_some(),
+                    "foreground uid must be installed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_app_service_lifecycle_is_balanced(
+        rounds in proptest::collection::vec(any::<bool>(), 1..30)
+    ) {
+        let mut android = AndroidSystem::new();
+        let a = android.install(
+            AppManifest::builder("com.p.a").activity("Main", true).build(),
+        );
+        let _b = android.install(
+            AppManifest::builder("com.p.b").service("Worker", true).build(),
+        );
+        let mut connections = Vec::new();
+        for bind in rounds {
+            if bind {
+                connections.push(
+                    android
+                        .bind_service(a, Intent::explicit("com.p.b", "Worker"))
+                        .unwrap(),
+                );
+            } else if let Some(connection) = connections.pop() {
+                android.unbind_service(a, connection).unwrap();
+            }
+            let b = android.uid_of("com.p.b").unwrap();
+            let running = !android.running_services_of(b).is_empty();
+            prop_assert_eq!(running, !connections.is_empty());
+        }
+    }
+
+    #[test]
+    fn brightness_writes_are_permission_gated(value in any::<u8>()) {
+        let mut android = AndroidSystem::new();
+        let denied = android.install(AppManifest::builder("com.no.perm").build());
+        let granted = android.install(
+            AppManifest::builder("com.with.perm")
+                .permission(Permission::WriteSettings)
+                .build(),
+        );
+        prop_assert!(android
+            .set_brightness(ChangeSource::App(denied), value)
+            .is_err());
+        prop_assert!(android
+            .set_brightness(ChangeSource::App(granted), value)
+            .is_ok());
+        prop_assert_eq!(android.effective_brightness(), value);
+    }
+}

@@ -1,0 +1,44 @@
+//! Audio subsystem power model.
+
+use serde::{Deserialize, Serialize};
+
+/// Constant-power audio model: codec plus speaker while anything plays.
+/// Playback power does not scale with the number of mixing apps, but all
+/// players share responsibility for it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AudioModel {
+    /// Draw while at least one stream is playing, mW.
+    pub playing_mw: f64,
+}
+
+impl AudioModel {
+    /// A Nexus-4-class codec and speaker.
+    pub fn nexus4() -> Self {
+        AudioModel { playing_mw: 330.0 }
+    }
+
+    /// Draw given whether any stream is active, mW.
+    pub fn power_mw(&self, any_playing: bool) -> f64 {
+        if any_playing {
+            self.playing_mw
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_is_free() {
+        assert_eq!(AudioModel::nexus4().power_mw(false), 0.0);
+    }
+
+    #[test]
+    fn playing_draws_constant_power() {
+        let audio = AudioModel::nexus4();
+        assert_eq!(audio.power_mw(true), audio.playing_mw);
+    }
+}

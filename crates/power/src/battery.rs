@@ -1,0 +1,269 @@
+//! Coulomb-counting battery model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Energy;
+
+/// A state-of-charge → reported-percent mapping.
+///
+/// Real battery gauges are not linear in stored energy: lithium-ion packs
+/// show a flat voltage plateau through the middle of discharge and a steep
+/// knee near empty, so the *reported* percentage moves slowly mid-discharge
+/// and collapses at the end. The curve is a piecewise-linear map from the
+/// true energy fraction remaining (`[0, 1]`) to the displayed percent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DischargeCurve {
+    /// `(energy_fraction_remaining, displayed_percent)` control points,
+    /// ascending in the first coordinate, covering 0.0 and 1.0.
+    points: Vec<(f64, f64)>,
+}
+
+impl DischargeCurve {
+    /// The identity curve: displayed percent equals the energy fraction.
+    pub fn linear() -> Self {
+        DischargeCurve {
+            points: vec![(0.0, 0.0), (1.0, 100.0)],
+        }
+    }
+
+    /// A lithium-ion-like gauge: optimistic through the plateau, a steep
+    /// knee below ~15 % true charge.
+    pub fn lithium_ion() -> Self {
+        DischargeCurve {
+            points: vec![
+                (0.0, 0.0),
+                (0.05, 2.0),
+                (0.15, 10.0),
+                (0.50, 45.0),
+                (0.90, 92.0),
+                (1.0, 100.0),
+            ],
+        }
+    }
+
+    /// Builds a curve from control points; they are sorted and clamped, and
+    /// endpoints at 0 and 1 are added if missing.
+    pub fn from_points(mut points: Vec<(f64, f64)>) -> Self {
+        for (fraction, percent) in &mut points {
+            *fraction = fraction.clamp(0.0, 1.0);
+            *percent = percent.clamp(0.0, 100.0);
+        }
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        if points.first().map(|p| p.0) != Some(0.0) {
+            points.insert(0, (0.0, 0.0));
+        }
+        if points.last().map(|p| p.0) != Some(1.0) {
+            points.push((1.0, 100.0));
+        }
+        DischargeCurve { points }
+    }
+
+    /// Maps a true energy fraction remaining to the displayed percent.
+    pub fn percent_at(&self, fraction: f64) -> f64 {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let mut previous = self.points[0];
+        for &point in &self.points[1..] {
+            if fraction <= point.0 {
+                let span = point.0 - previous.0;
+                if span <= f64::EPSILON {
+                    return point.1;
+                }
+                let t = (fraction - previous.0) / span;
+                return previous.1 + t * (point.1 - previous.1);
+            }
+            previous = point;
+        }
+        previous.1
+    }
+}
+
+impl Default for DischargeCurve {
+    fn default() -> Self {
+        DischargeCurve::linear()
+    }
+}
+
+/// A smartphone battery tracked by drained energy.
+///
+/// The paper's Figure 3 plots remaining battery percentage against wall
+/// time under different attacks; this model supplies the percentage. The
+/// state of charge is linear in drained energy — adequate because every
+/// experiment compares *configurations* on the same pack, and any monotone
+/// SoC curve preserves their ordering.
+///
+/// # Example
+///
+/// ```
+/// use ea_power::{Battery, Energy};
+///
+/// let mut battery = Battery::nexus4();
+/// assert_eq!(battery.percent(), 100.0);
+/// battery.drain(Energy::from_joules(battery.capacity().as_joules() / 2.0));
+/// assert!((battery.percent() - 50.0).abs() < 1e-9);
+/// assert!(!battery.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    capacity: Energy,
+    drained: Energy,
+    curve: DischargeCurve,
+}
+
+impl Battery {
+    /// A Nexus-4 pack: 2100 mAh at a 3.8 V nominal voltage ≈ 28.7 kJ.
+    pub fn nexus4() -> Self {
+        Battery::with_capacity_mah(2_100.0, 3.8)
+    }
+
+    /// Builds a pack from a datasheet rating.
+    pub fn with_capacity_mah(mah: f64, nominal_volts: f64) -> Self {
+        Battery {
+            capacity: Energy::from_joules(mah.max(0.0) * nominal_volts.max(0.0) * 3.6),
+            drained: Energy::ZERO,
+            curve: DischargeCurve::linear(),
+        }
+    }
+
+    /// Builds a pack from a raw energy capacity.
+    pub fn with_capacity(capacity: Energy) -> Self {
+        Battery {
+            capacity,
+            drained: Energy::ZERO,
+            curve: DischargeCurve::linear(),
+        }
+    }
+
+    /// Replaces the gauge's state-of-charge curve (default: linear).
+    pub fn with_discharge_curve(mut self, curve: DischargeCurve) -> Self {
+        self.curve = curve;
+        self
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> Energy {
+        self.capacity
+    }
+
+    /// Energy drained so far (never exceeds capacity).
+    pub fn drained(&self) -> Energy {
+        self.drained
+    }
+
+    /// Energy remaining.
+    pub fn remaining(&self) -> Energy {
+        self.capacity.saturating_sub(self.drained)
+    }
+
+    /// State of charge in percent, 0–100, as the gauge reports it (through
+    /// the discharge curve; linear by default).
+    pub fn percent(&self) -> f64 {
+        self.curve
+            .percent_at(self.remaining().fraction_of(self.capacity))
+    }
+
+    /// Whether the pack is fully drained.
+    pub fn is_empty(&self) -> bool {
+        self.remaining().is_zero()
+    }
+
+    /// Drains `energy`, clamping at empty. Returns the energy actually
+    /// drained (less than `energy` only at the very end of discharge).
+    pub fn drain(&mut self, energy: Energy) -> Energy {
+        let available = self.remaining();
+        let taken = if energy > available {
+            available
+        } else {
+            energy
+        };
+        self.drained += taken;
+        taken
+    }
+
+    /// Recharges to full.
+    pub fn recharge(&mut self) {
+        self.drained = Energy::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nexus4_capacity_matches_datasheet() {
+        let battery = Battery::nexus4();
+        // 2100 mAh * 3.8 V * 3.6 = 28 728 J.
+        assert!((battery.capacity().as_joules() - 28_728.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn percent_declines_linearly() {
+        let mut battery = Battery::with_capacity(Energy::from_joules(100.0));
+        battery.drain(Energy::from_joules(25.0));
+        assert!((battery.percent() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drain_clamps_at_empty() {
+        let mut battery = Battery::with_capacity(Energy::from_joules(10.0));
+        let taken = battery.drain(Energy::from_joules(25.0));
+        assert!((taken.as_joules() - 10.0).abs() < 1e-12);
+        assert!(battery.is_empty());
+        assert_eq!(battery.percent(), 0.0);
+
+        let extra = battery.drain(Energy::from_joules(1.0));
+        assert!(extra.is_zero());
+    }
+
+    #[test]
+    fn recharge_restores_full() {
+        let mut battery = Battery::nexus4();
+        battery.drain(Energy::from_joules(1_000.0));
+        battery.recharge();
+        assert_eq!(battery.percent(), 100.0);
+    }
+
+    #[test]
+    fn lithium_curve_is_monotone_and_bounded() {
+        let curve = DischargeCurve::lithium_ion();
+        let mut last = -1.0;
+        for step in 0..=100 {
+            let percent = curve.percent_at(step as f64 / 100.0);
+            assert!((0.0..=100.0).contains(&percent));
+            assert!(percent >= last, "monotone in remaining energy");
+            last = percent;
+        }
+        assert_eq!(curve.percent_at(0.0), 0.0);
+        assert_eq!(curve.percent_at(1.0), 100.0);
+    }
+
+    #[test]
+    fn lithium_gauge_collapses_near_empty() {
+        let mut battery = Battery::with_capacity(Energy::from_joules(100.0))
+            .with_discharge_curve(DischargeCurve::lithium_ion());
+        battery.drain(Energy::from_joules(50.0));
+        // The plateau reads below the true 50%.
+        assert!(battery.percent() < 50.0);
+        battery.drain(Energy::from_joules(45.0));
+        // Near-empty knee: 5% true charge reads ~2%.
+        assert!(battery.percent() < 5.0);
+    }
+
+    #[test]
+    fn from_points_normalises_input() {
+        let curve = DischargeCurve::from_points(vec![(0.5, 150.0), (-0.2, -10.0)]);
+        assert_eq!(curve.percent_at(0.0), 0.0);
+        assert_eq!(curve.percent_at(1.0), 100.0);
+        assert!(
+            (curve.percent_at(0.5) - 100.0).abs() < 1e-9,
+            "clamped to 100"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_pack_is_always_empty() {
+        let battery = Battery::with_capacity(Energy::ZERO);
+        assert!(battery.is_empty());
+        assert_eq!(battery.percent(), 0.0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Utilization-based linear-regression calibration (§II methodology).
+//!
+//! The energy-modeling line of work the paper builds on fits a linear model
+//! `power = β₀ + β₁·cpu_util + β₂·screen_level + β₃·camera + β₄·audio`
+//! from `(utilization, measured power)` samples — PowerTutor's approach.
+//! This module implements that fit with ordinary least squares over the
+//! normal equations, so the repository can *regenerate* a profiler's model
+//! from observed discharge, and also demonstrate §II's caveat that
+//! "utilization based approaches could have an error rate as high as about
+//! 20 %" when the true hardware is non-linear (tails, DVFS steps, gamma
+//! brightness curves).
+
+use serde::{Deserialize, Serialize};
+
+use crate::usage::DeviceUsage;
+
+/// One calibration observation: a usage snapshot and the power meter's
+/// reading over the same interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerSample {
+    /// What the device was doing.
+    pub usage: DeviceUsage,
+    /// Measured total draw, mW.
+    pub measured_mw: f64,
+}
+
+/// The fitted linear model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearPowerModel {
+    /// β₀ — idle/base draw, mW.
+    pub base_mw: f64,
+    /// β₁ — per core-second of CPU work, mW.
+    pub cpu_mw_per_core: f64,
+    /// β₂ — per unit of screen level (`on × brightness/255`), mW.
+    pub screen_mw_per_level: f64,
+    /// β₃ — camera-open draw, mW.
+    pub camera_mw: f64,
+    /// β₄ — audio-playing draw, mW.
+    pub audio_mw: f64,
+    /// Root-mean-square residual of the fit, mW.
+    pub rms_error_mw: f64,
+    /// Mean absolute percentage error over the training samples — the §II
+    /// "error rate".
+    pub mape: f64,
+}
+
+fn features(usage: &DeviceUsage) -> [f64; 5] {
+    let screen_level = if usage.screen.on {
+        f64::from(usage.screen.brightness) / 255.0
+    } else {
+        0.0
+    };
+    [
+        1.0,
+        usage.total_cpu(),
+        screen_level,
+        if usage.camera.is_some() { 1.0 } else { 0.0 },
+        if usage.audio.is_empty() { 0.0 } else { 1.0 },
+    ]
+}
+
+/// Solves the symmetric linear system `A·x = b` by Gaussian elimination with
+/// partial pivoting. Returns `None` for singular systems (e.g. a feature
+/// never varies in the samples).
+fn solve(mut a: [[f64; 5]; 5], mut b: [f64; 5]) -> Option<[f64; 5]> {
+    const N: usize = 5;
+    for column in 0..N {
+        // Pivot.
+        let pivot_row = (column..N)
+            .max_by(|&x, &y| {
+                a[x][column]
+                    .abs()
+                    .partial_cmp(&a[y][column].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(column);
+        if a[pivot_row][column].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(column, pivot_row);
+        b.swap(column, pivot_row);
+
+        for row in column + 1..N {
+            let factor = a[row][column] / a[column][column];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot = &pivot_rows[column];
+            for (k, value) in rest[0].iter_mut().enumerate().skip(column) {
+                *value -= factor * pivot[k];
+            }
+            b[row] -= factor * b[column];
+        }
+    }
+    // Back substitution.
+    let mut x = [0.0; N];
+    for row in (0..N).rev() {
+        let mut sum = b[row];
+        for k in row + 1..N {
+            sum -= a[row][k] * x[k];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+/// Fits the §II linear model with ordinary least squares. Requires at least
+/// five samples with variation in every feature; returns `None` otherwise.
+pub fn fit_power_model(samples: &[PowerSample]) -> Option<LinearPowerModel> {
+    if samples.len() < 5 {
+        return None;
+    }
+    // Normal equations: (XᵀX)·β = Xᵀy.
+    let mut xtx = [[0.0f64; 5]; 5];
+    let mut xty = [0.0f64; 5];
+    for sample in samples {
+        let row = features(&sample.usage);
+        for i in 0..5 {
+            for j in 0..5 {
+                xtx[i][j] += row[i] * row[j];
+            }
+            xty[i] += row[i] * sample.measured_mw;
+        }
+    }
+    let beta = solve(xtx, xty)?;
+
+    let mut squared_error = 0.0;
+    let mut percent_error = 0.0;
+    let mut percent_count = 0usize;
+    for sample in samples {
+        let row = features(&sample.usage);
+        let predicted: f64 = row.iter().zip(&beta).map(|(x, b)| x * b).sum();
+        let error = predicted - sample.measured_mw;
+        squared_error += error * error;
+        if sample.measured_mw.abs() > 1e-9 {
+            percent_error += (error / sample.measured_mw).abs();
+            percent_count += 1;
+        }
+    }
+
+    Some(LinearPowerModel {
+        base_mw: beta[0],
+        cpu_mw_per_core: beta[1],
+        screen_mw_per_level: beta[2],
+        camera_mw: beta[3],
+        audio_mw: beta[4],
+        rms_error_mw: (squared_error / samples.len() as f64).sqrt(),
+        mape: if percent_count > 0 {
+            percent_error / percent_count as f64
+        } else {
+            0.0
+        },
+    })
+}
+
+impl LinearPowerModel {
+    /// Predicts total draw for a usage snapshot, mW.
+    pub fn predict_mw(&self, usage: &DeviceUsage) -> f64 {
+        let row = features(usage);
+        let beta = [
+            self.base_mw,
+            self.cpu_mw_per_core,
+            self.screen_mw_per_level,
+            self.camera_mw,
+            self.audio_mw,
+        ];
+        row.iter().zip(&beta).map(|(x, b)| x * b).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::usage::{CameraUse, CpuUse, ScreenUsage};
+    use crate::DevicePowerModel;
+    use ea_sim::{SimDuration, SimTime, Uid};
+
+    fn usage(cpu: f64, brightness: Option<u8>, camera: bool, audio: bool) -> DeviceUsage {
+        let mut u = DeviceUsage::idle();
+        if cpu > 0.0 {
+            u.cpu.push(CpuUse {
+                uid: Uid::FIRST_APP,
+                utilization: cpu,
+            });
+        }
+        if let Some(b) = brightness {
+            u.screen = ScreenUsage::on(b, Some(Uid::FIRST_APP));
+        }
+        if camera {
+            u.camera = Some(CameraUse {
+                uid: Uid::FIRST_APP,
+                recording: true,
+            });
+        }
+        if audio {
+            u.audio.push(Uid::FIRST_APP);
+        }
+        u
+    }
+
+    fn grid() -> Vec<DeviceUsage> {
+        let mut snapshots = Vec::new();
+        for cpu_step in 0..6 {
+            for &brightness in &[None, Some(1u8), Some(64), Some(128), Some(255)] {
+                for &camera in &[false, true] {
+                    for &audio in &[false, true] {
+                        snapshots.push(usage(cpu_step as f64 * 0.3, brightness, camera, audio));
+                    }
+                }
+            }
+        }
+        snapshots
+    }
+
+    #[test]
+    fn recovers_an_exactly_linear_ground_truth() {
+        let truth = LinearPowerModel {
+            base_mw: 100.0,
+            cpu_mw_per_core: 400.0,
+            screen_mw_per_level: 700.0,
+            camera_mw: 1_200.0,
+            audio_mw: 330.0,
+            rms_error_mw: 0.0,
+            mape: 0.0,
+        };
+        let samples: Vec<PowerSample> = grid()
+            .into_iter()
+            .map(|u| PowerSample {
+                measured_mw: truth.predict_mw(&u),
+                usage: u,
+            })
+            .collect();
+        let fitted = fit_power_model(&samples).expect("well-conditioned");
+        assert!((fitted.base_mw - truth.base_mw).abs() < 1e-6);
+        assert!((fitted.cpu_mw_per_core - truth.cpu_mw_per_core).abs() < 1e-6);
+        assert!((fitted.screen_mw_per_level - truth.screen_mw_per_level).abs() < 1e-6);
+        assert!((fitted.camera_mw - truth.camera_mw).abs() < 1e-6);
+        assert!((fitted.audio_mw - truth.audio_mw).abs() < 1e-6);
+        assert!(fitted.rms_error_mw < 1e-6);
+    }
+
+    #[test]
+    fn linear_fit_of_the_nonlinear_handset_has_real_error() {
+        // §II: "utilization based approaches could have an error rate as
+        // high as about 20%". Our handset model is non-linear (DVFS steps,
+        // gamma brightness), so the linear fit must show a visible but
+        // bounded error rate.
+        let mut handset = DevicePowerModel::nexus4();
+        let mut now = SimTime::ZERO;
+        // Calibration runs with the device awake (as PowerTutor's training
+        // scripts do): fully-suspended samples would mix the 6 mW suspend
+        // floor into the awake base and blow up the percentage error.
+        let samples: Vec<PowerSample> = grid()
+            .into_iter()
+            .filter(|u| u.screen.on)
+            .map(|u| {
+                now += SimDuration::from_secs(10); // outrun radio tails
+                PowerSample {
+                    measured_mw: handset.total_mw(now, &u),
+                    usage: u,
+                }
+            })
+            .collect();
+        let fitted = fit_power_model(&samples).expect("well-conditioned");
+        assert!(
+            fitted.mape > 0.01,
+            "non-linear hardware cannot be fit exactly: mape={}",
+            fitted.mape
+        );
+        assert!(
+            fitted.mape < 0.30,
+            "but the linear model is still usable (paper: ~20%): mape={}",
+            fitted.mape
+        );
+        // The recovered coefficients are physically plausible.
+        assert!(fitted.cpu_mw_per_core > 100.0);
+        assert!(fitted.screen_mw_per_level > 200.0);
+        assert!(fitted.camera_mw > 500.0);
+    }
+
+    #[test]
+    fn needs_variation_in_every_feature() {
+        // All-idle samples: the CPU/screen/camera/audio columns are zero —
+        // singular system.
+        let samples: Vec<PowerSample> = (0..10)
+            .map(|_| PowerSample {
+                usage: DeviceUsage::idle(),
+                measured_mw: 6.0,
+            })
+            .collect();
+        assert!(fit_power_model(&samples).is_none());
+    }
+
+    #[test]
+    fn too_few_samples_is_rejected() {
+        let samples: Vec<PowerSample> = grid()
+            .into_iter()
+            .take(3)
+            .map(|u| PowerSample {
+                usage: u,
+                measured_mw: 100.0,
+            })
+            .collect();
+        assert!(fit_power_model(&samples).is_none());
+    }
+
+    #[test]
+    fn prediction_matches_feature_algebra() {
+        let model = LinearPowerModel {
+            base_mw: 10.0,
+            cpu_mw_per_core: 100.0,
+            screen_mw_per_level: 200.0,
+            camera_mw: 300.0,
+            audio_mw: 50.0,
+            rms_error_mw: 0.0,
+            mape: 0.0,
+        };
+        let u = usage(0.5, Some(255), true, true);
+        // 10 + 100*0.5 + 200*1.0 + 300 + 50 = 610.
+        assert!((model.predict_mw(&u) - 610.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,73 @@
+//! Camera power model.
+//!
+//! The camera is "the most energy draining app" in the paper's motivating
+//! example (Figure 1): the Message app starts the Camera via an intent and
+//! the recording energy lands on the wrong app. The model distinguishes
+//! preview from active video recording.
+
+use serde::{Deserialize, Serialize};
+
+/// Camera usage mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CameraMode {
+    /// Viewfinder running, not recording.
+    Preview,
+    /// Actively recording video (sensor + ISP + encoder).
+    Recording,
+}
+
+/// Constant-power camera model.
+///
+/// # Example
+///
+/// ```
+/// use ea_power::{CameraMode, CameraModel};
+///
+/// let cam = CameraModel::nexus4();
+/// assert!(cam.power_mw(CameraMode::Recording) > cam.power_mw(CameraMode::Preview));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CameraModel {
+    /// Viewfinder draw, mW.
+    pub preview_mw: f64,
+    /// Recording draw (sensor + ISP + encoder), mW.
+    pub recording_mw: f64,
+}
+
+impl CameraModel {
+    /// A Nexus-4-class 8 MP module.
+    pub fn nexus4() -> Self {
+        CameraModel {
+            preview_mw: 620.0,
+            recording_mw: 1_260.0,
+        }
+    }
+
+    /// Draw for the given mode, mW.
+    pub fn power_mw(&self, mode: CameraMode) -> f64 {
+        match mode {
+            CameraMode::Preview => self.preview_mw,
+            CameraMode::Recording => self.recording_mw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_dominates_preview() {
+        let cam = CameraModel::nexus4();
+        assert!(cam.power_mw(CameraMode::Recording) > cam.power_mw(CameraMode::Preview));
+    }
+
+    #[test]
+    fn camera_is_an_energy_hog() {
+        // Recording must out-draw a fully-lit Nexus 4 screen; this ordering
+        // is what makes Figure 1's misattribution dramatic.
+        let cam = CameraModel::nexus4();
+        let screen = crate::ScreenModel::nexus4();
+        assert!(cam.power_mw(CameraMode::Recording) > screen.power_mw(true, 255));
+    }
+}

@@ -1,0 +1,177 @@
+//! Cellular modem power model (RRC state machine).
+//!
+//! The 3G/LTE modem is the canonical tail-energy component: after traffic
+//! stops, the radio lingers in the high-power DCH state, demotes to FACH,
+//! and only then returns to idle. The timer values follow the commonly
+//! published 3G defaults.
+
+use serde::{Deserialize, Serialize};
+
+use ea_sim::{SimDuration, SimTime, Uid};
+
+/// RRC-like radio resource states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellularState {
+    /// Dedicated channel — full-power transfer state.
+    Dch,
+    /// Shared channel — intermediate power.
+    Fach,
+    /// Camped, no radio resources.
+    Idle,
+}
+
+/// Cellular modem model with DCH/FACH demotion tails.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellularModel {
+    /// Idle (camped) draw, mW.
+    pub idle_mw: f64,
+    /// FACH-state draw, mW.
+    pub fach_mw: f64,
+    /// DCH-state draw, mW.
+    pub dch_mw: f64,
+    /// Throughput above which transfers use DCH, kbps.
+    pub dch_threshold_kbps: f64,
+    /// DCH→FACH demotion timer.
+    pub dch_tail: SimDuration,
+    /// FACH→idle demotion timer (measured from last activity).
+    pub fach_tail: SimDuration,
+    last_active_at: Option<SimTime>,
+    last_state: CellularState,
+    last_users: Vec<Uid>,
+}
+
+impl CellularModel {
+    /// A Nexus-4-class 3G/HSPA modem with classic timer values.
+    pub fn nexus4() -> Self {
+        CellularModel {
+            idle_mw: 10.0,
+            fach_mw: 460.0,
+            dch_mw: 800.0,
+            dch_threshold_kbps: 150.0,
+            dch_tail: SimDuration::from_secs(5),
+            fach_tail: SimDuration::from_secs(12),
+            last_active_at: None,
+            last_state: CellularState::Idle,
+            last_users: Vec::new(),
+        }
+    }
+
+    /// Observes the interval ending at `now`, returning
+    /// `(power_mw, responsible_uids, state)`.
+    pub fn observe(
+        &mut self,
+        now: SimTime,
+        traffic: &[(Uid, f64)],
+    ) -> (f64, Vec<Uid>, CellularState) {
+        let total_kbps: f64 = traffic.iter().map(|(_, kbps)| kbps.max(0.0)).sum();
+        if total_kbps > 0.0 {
+            let state = if total_kbps >= self.dch_threshold_kbps {
+                CellularState::Dch
+            } else {
+                CellularState::Fach
+            };
+            self.last_active_at = Some(now);
+            self.last_state = state;
+            self.last_users = traffic
+                .iter()
+                .filter(|(_, kbps)| *kbps > 0.0)
+                .map(|(uid, _)| *uid)
+                .collect();
+            return (self.power_of(state), self.last_users.clone(), state);
+        }
+
+        let state = self.state_at(now);
+        let users = if state == CellularState::Idle {
+            Vec::new()
+        } else {
+            self.last_users.clone()
+        };
+        (self.power_of(state), users, state)
+    }
+
+    /// The state the modem is in at `now`, accounting for demotion timers.
+    pub fn state_at(&self, now: SimTime) -> CellularState {
+        let Some(at) = self.last_active_at else {
+            return CellularState::Idle;
+        };
+        let since = now.saturating_since(at);
+        match self.last_state {
+            CellularState::Dch if since <= self.dch_tail => CellularState::Dch,
+            _ if since <= self.fach_tail => CellularState::Fach,
+            _ => CellularState::Idle,
+        }
+    }
+
+    /// Power of a given state, mW.
+    pub fn power_of(&self, state: CellularState) -> f64 {
+        match state {
+            CellularState::Dch => self.dch_mw,
+            CellularState::Fach => self.fach_mw,
+            CellularState::Idle => self.idle_mw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uid(n: u32) -> Uid {
+        Uid::from_raw(10_000 + n)
+    }
+
+    #[test]
+    fn heavy_traffic_promotes_to_dch() {
+        let mut cell = CellularModel::nexus4();
+        let (power, _, state) = cell.observe(SimTime::ZERO, &[(uid(1), 500.0)]);
+        assert_eq!(state, CellularState::Dch);
+        assert_eq!(power, cell.dch_mw);
+    }
+
+    #[test]
+    fn light_traffic_uses_fach() {
+        let mut cell = CellularModel::nexus4();
+        let (_, _, state) = cell.observe(SimTime::ZERO, &[(uid(1), 50.0)]);
+        assert_eq!(state, CellularState::Fach);
+    }
+
+    #[test]
+    fn demotion_chain_dch_fach_idle() {
+        let mut cell = CellularModel::nexus4();
+        cell.observe(SimTime::ZERO, &[(uid(1), 500.0)]);
+
+        // Inside the DCH tail.
+        let (_, users, state) = cell.observe(SimTime::from_secs(3), &[]);
+        assert_eq!(state, CellularState::Dch);
+        assert_eq!(users, vec![uid(1)]);
+
+        // After DCH tail, inside FACH tail.
+        let (_, users, state) = cell.observe(SimTime::from_secs(8), &[]);
+        assert_eq!(state, CellularState::Fach);
+        assert_eq!(users, vec![uid(1)]);
+
+        // After both tails.
+        let (power, users, state) = cell.observe(SimTime::from_secs(20), &[]);
+        assert_eq!(state, CellularState::Idle);
+        assert!(users.is_empty());
+        assert_eq!(power, cell.idle_mw);
+    }
+
+    #[test]
+    fn idle_with_no_history() {
+        let cell = CellularModel::nexus4();
+        assert_eq!(cell.state_at(SimTime::from_secs(9)), CellularState::Idle);
+    }
+
+    #[test]
+    fn fach_activity_never_reports_dch_tail() {
+        let mut cell = CellularModel::nexus4();
+        cell.observe(SimTime::ZERO, &[(uid(1), 50.0)]);
+        let (_, _, state) = cell.observe(SimTime::from_secs(2), &[]);
+        assert_eq!(
+            state,
+            CellularState::Fach,
+            "FACH transfers demote straight to idle"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Utilization-based CPU power model.
+//!
+//! Both BatteryStats and PowerTutor estimate CPU energy from per-app CPU
+//! time and the active frequency: power grows linearly with utilization,
+//! with a per-core coefficient that depends on the DVFS level the governor
+//! picked. We model an interactive governor that raises the frequency level
+//! with total demand.
+
+use serde::{Deserialize, Serialize};
+
+/// One DVFS operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FreqLevel {
+    /// Total-utilization threshold (in cores) up to which this level is
+    /// chosen by the governor.
+    pub up_to_util: f64,
+    /// Dynamic power per core-second of work at this level, in milliwatts.
+    pub mw_per_core: f64,
+}
+
+/// Linear-regression CPU power model with DVFS levels.
+///
+/// `power = awake_mw + total_util × mw_per_core(level)` while the device is
+/// awake; a suspended CPU draws nothing here (the device-level suspend floor
+/// is modelled in [`crate::DevicePowerModel`]).
+///
+/// # Example
+///
+/// ```
+/// use ea_power::CpuModel;
+///
+/// let cpu = CpuModel::nexus4();
+/// let idle = cpu.power_mw(0.0);
+/// let busy = cpu.power_mw(1.0);
+/// assert!(busy > idle);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// Static draw of an awake (non-suspended) application processor, mW.
+    pub awake_mw: f64,
+    /// DVFS ladder, ordered by `up_to_util`.
+    pub levels: Vec<FreqLevel>,
+}
+
+impl CpuModel {
+    /// A Nexus-4-class quad-core ladder.
+    pub fn nexus4() -> Self {
+        CpuModel {
+            awake_mw: 120.0,
+            levels: vec![
+                FreqLevel {
+                    up_to_util: 0.3,
+                    mw_per_core: 210.0,
+                },
+                FreqLevel {
+                    up_to_util: 0.7,
+                    mw_per_core: 430.0,
+                },
+                FreqLevel {
+                    up_to_util: f64::INFINITY,
+                    mw_per_core: 760.0,
+                },
+            ],
+        }
+    }
+
+    /// The per-core dynamic coefficient the governor picks for a given total
+    /// utilization (in cores).
+    pub fn mw_per_core(&self, total_util: f64) -> f64 {
+        self.levels
+            .iter()
+            .find(|level| total_util <= level.up_to_util)
+            .or(self.levels.last())
+            .map(|level| level.mw_per_core)
+            .unwrap_or(0.0)
+    }
+
+    /// Total CPU power at `total_util` cores of granted utilization, while
+    /// awake.
+    pub fn power_mw(&self, total_util: f64) -> f64 {
+        let util = total_util.max(0.0);
+        self.awake_mw + util * self.mw_per_core(util)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_in_utilization() {
+        let cpu = CpuModel::nexus4();
+        let mut last = f64::MIN;
+        for step in 0..=40 {
+            let util = step as f64 / 10.0;
+            let p = cpu.power_mw(util);
+            assert!(p >= last, "power must not decrease with load");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn governor_escalates_levels() {
+        let cpu = CpuModel::nexus4();
+        assert_eq!(cpu.mw_per_core(0.1), 210.0);
+        assert_eq!(cpu.mw_per_core(0.5), 430.0);
+        assert_eq!(cpu.mw_per_core(3.0), 760.0);
+    }
+
+    #[test]
+    fn idle_awake_draws_only_static_power() {
+        let cpu = CpuModel::nexus4();
+        assert!((cpu.power_mw(0.0) - cpu.awake_mw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_utilization_clamps() {
+        let cpu = CpuModel::nexus4();
+        assert!((cpu.power_mw(-1.0) - cpu.awake_mw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ladder_is_static_only() {
+        let cpu = CpuModel {
+            awake_mw: 10.0,
+            levels: Vec::new(),
+        };
+        assert!((cpu.power_mw(2.0) - 10.0).abs() < 1e-12);
+    }
+}

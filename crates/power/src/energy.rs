@@ -1,0 +1,184 @@
+//! The energy quantity.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use ea_sim::SimDuration;
+
+/// An amount of energy, stored in joules.
+///
+/// Constructed either directly or by integrating a power draw over a
+/// simulated interval with [`Energy::from_power`].
+///
+/// # Example
+///
+/// ```
+/// use ea_power::Energy;
+/// use ea_sim::SimDuration;
+///
+/// // 1 W for 10 s = 10 J.
+/// let e = Energy::from_power(1_000.0, SimDuration::from_secs(10));
+/// assert!((e.as_joules() - 10.0).abs() < 1e-9);
+/// assert!((e.as_millijoules() - 10_000.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Creates an energy from joules. Negative values are clamped to zero:
+    /// components never generate energy.
+    pub fn from_joules(joules: f64) -> Self {
+        Energy(joules.max(0.0))
+    }
+
+    /// Creates an energy from milliwatt-hours (battery datasheet unit).
+    pub fn from_mwh(mwh: f64) -> Self {
+        Energy::from_joules(mwh * 3.6)
+    }
+
+    /// Integrates a power draw in milliwatts over `dt`.
+    pub fn from_power(power_mw: f64, dt: SimDuration) -> Self {
+        Energy::from_joules(power_mw / 1_000.0 * dt.as_secs_f64())
+    }
+
+    /// The value in joules.
+    pub fn as_joules(self) -> f64 {
+        self.0
+    }
+
+    /// The value in millijoules (the unit of the paper's figures).
+    pub fn as_millijoules(self) -> f64 {
+        self.0 * 1_000.0
+    }
+
+    /// The value in milliwatt-hours.
+    pub fn as_mwh(self) -> f64 {
+        self.0 / 3.6
+    }
+
+    /// Whether this is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    pub fn saturating_sub(self, other: Energy) -> Energy {
+        Energy((self.0 - other.0).max(0.0))
+    }
+
+    /// This energy as a fraction of `total`, or zero when `total` is zero.
+    pub fn fraction_of(self, total: Energy) -> f64 {
+        if total.0 > 0.0 {
+            self.0 / total.0
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+
+    /// Clamped at zero, like [`Energy::saturating_sub`].
+    fn sub(self, rhs: Energy) -> Energy {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl Mul<f64> for Energy {
+    type Output = Energy;
+
+    fn mul(self, rhs: f64) -> Energy {
+        Energy::from_joules(self.0 * rhs)
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1.0 {
+            write!(f, "{:.2}J", self.0)
+        } else {
+            write!(f, "{:.1}mJ", self.as_millijoules())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_power_over_time() {
+        // 500 mW over 2 s = 1 J.
+        let e = Energy::from_power(500.0, SimDuration::from_secs(2));
+        assert!((e.as_joules() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mwh_round_trip() {
+        let e = Energy::from_mwh(100.0);
+        assert!((e.as_mwh() - 100.0).abs() < 1e-9);
+        assert!((e.as_joules() - 360.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_inputs_clamp_to_zero() {
+        assert!(Energy::from_joules(-5.0).is_zero());
+        assert!(Energy::from_power(-100.0, SimDuration::from_secs(1)).is_zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Energy::from_joules(3.0);
+        let b = Energy::from_joules(1.0);
+        assert!(((a + b).as_joules() - 4.0).abs() < 1e-12);
+        assert!(((a - b).as_joules() - 2.0).abs() < 1e-12);
+        assert!((b - a).is_zero(), "subtraction saturates");
+        assert!(((a * 0.5).as_joules() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: Energy = (1..=4).map(|i| Energy::from_joules(i as f64)).sum();
+        assert!((total.as_joules() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_of_handles_zero_total() {
+        assert_eq!(Energy::from_joules(1.0).fraction_of(Energy::ZERO), 0.0);
+        let frac = Energy::from_joules(1.0).fraction_of(Energy::from_joules(4.0));
+        assert!((frac - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(Energy::from_joules(2.5).to_string(), "2.50J");
+        assert_eq!(Energy::from_joules(0.0421).to_string(), "42.1mJ");
+    }
+}

@@ -1,0 +1,94 @@
+//! GPS receiver power model.
+//!
+//! The receiver is either acquiring a fix (hot, high draw), tracking
+//! (steady draw), or off. Acquisition cost is modelled as a fixed-duration
+//! high-power phase after the first requester appears.
+
+use serde::{Deserialize, Serialize};
+
+use ea_sim::{SimDuration, SimTime, Uid};
+
+/// GPS receiver model. The receiver is shared: its power does not grow with
+/// the number of requesting apps, but all requesters share responsibility.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpsModel {
+    /// Draw during initial acquisition, mW.
+    pub acquire_mw: f64,
+    /// Steady tracking draw, mW.
+    pub track_mw: f64,
+    /// How long acquisition lasts after a cold start.
+    pub acquire_time: SimDuration,
+    session_started_at: Option<SimTime>,
+}
+
+impl GpsModel {
+    /// A Nexus-4-class receiver.
+    pub fn nexus4() -> Self {
+        GpsModel {
+            acquire_mw: 520.0,
+            track_mw: 380.0,
+            acquire_time: SimDuration::from_secs(6),
+            session_started_at: None,
+        }
+    }
+
+    /// Observes the interval ending at `now` with `holders` holding GPS
+    /// sessions; returns `(power_mw, responsible_uids)`.
+    pub fn observe(&mut self, now: SimTime, holders: &[Uid]) -> (f64, Vec<Uid>) {
+        if holders.is_empty() {
+            self.session_started_at = None;
+            return (0.0, Vec::new());
+        }
+        let started = *self.session_started_at.get_or_insert(now);
+        let power = if now.saturating_since(started) < self.acquire_time {
+            self.acquire_mw
+        } else {
+            self.track_mw
+        };
+        (power, holders.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uid(n: u32) -> Uid {
+        Uid::from_raw(10_000 + n)
+    }
+
+    #[test]
+    fn off_when_no_holders() {
+        let mut gps = GpsModel::nexus4();
+        assert_eq!(gps.observe(SimTime::ZERO, &[]), (0.0, Vec::new()));
+    }
+
+    #[test]
+    fn acquisition_then_tracking() {
+        let mut gps = GpsModel::nexus4();
+        let (p0, _) = gps.observe(SimTime::ZERO, &[uid(1)]);
+        assert_eq!(p0, gps.acquire_mw);
+        let (p1, _) = gps.observe(SimTime::from_secs(10), &[uid(1)]);
+        assert_eq!(p1, gps.track_mw);
+    }
+
+    #[test]
+    fn releasing_resets_acquisition() {
+        let mut gps = GpsModel::nexus4();
+        gps.observe(SimTime::ZERO, &[uid(1)]);
+        gps.observe(SimTime::from_secs(10), &[uid(1)]);
+        gps.observe(SimTime::from_secs(11), &[]); // all released
+        let (p, _) = gps.observe(SimTime::from_secs(12), &[uid(1)]);
+        assert_eq!(p, gps.acquire_mw, "cold start re-acquires");
+    }
+
+    #[test]
+    fn power_does_not_scale_with_holder_count() {
+        let mut gps = GpsModel::nexus4();
+        let (single, _) = gps.observe(SimTime::from_secs(100), &[uid(1)]);
+        let mut gps2 = GpsModel::nexus4();
+        let (multi, users) = gps2.observe(SimTime::from_secs(100), &[uid(1), uid(2)]);
+        assert_eq!(single, multi);
+        assert_eq!(users.len(), 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! Screen power model.
+//!
+//! The screen is the component the paper's attacks #4–#6 weaponise. We model
+//! panel power as a base draw plus a brightness-dependent term. The
+//! brightness *setting* (0–255) maps to backlight power through a concave
+//! curve: Android's setting-to-PWM mapping is gamma-corrected, so the first
+//! few setting steps buy disproportionate backlight power — which is exactly
+//! why the paper's attack #5 ("secretly escalate the brightness with a few
+//! levels") costs real energy while being visually subtle.
+
+use serde::{Deserialize, Serialize};
+
+/// Brightness- (and, for OLED, content-) dependent screen power model.
+///
+/// `power = base_mw + (range_mw + oled_luma_mw × luma) × (brightness/255)^gamma`
+/// while the panel is lit; a dark panel draws nothing. For an LCD the
+/// backlight dominates and `oled_luma_mw` is zero; for an OLED the emitted
+/// content matters — a white screen is several times the cost of a dark one
+/// (the Chameleon observation the paper cites among the screen-modeling
+/// work).
+///
+/// # Example
+///
+/// ```
+/// use ea_power::ScreenModel;
+///
+/// let lcd = ScreenModel::nexus4();
+/// assert_eq!(lcd.power_mw(false, 255), 0.0);
+/// assert!(lcd.power_mw(true, 255) > lcd.power_mw(true, 10));
+///
+/// let oled = ScreenModel::galaxy_nexus();
+/// // Dark content is much cheaper than white content on OLED…
+/// assert!(oled.power_with_content(true, 200, 0.1) < oled.power_with_content(true, 200, 0.9));
+/// // …and irrelevant on LCD.
+/// assert_eq!(
+///     lcd.power_with_content(true, 200, 0.1),
+///     lcd.power_with_content(true, 200, 0.9)
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScreenModel {
+    /// Panel + display-pipeline static draw when lit, mW.
+    pub base_mw: f64,
+    /// Content-independent additional draw at maximum brightness, mW (the
+    /// backlight for LCD panels).
+    pub range_mw: f64,
+    /// Content-dependent additional draw at maximum brightness showing a
+    /// full-white frame, mW. Zero for LCD.
+    pub oled_luma_mw: f64,
+    /// Exponent of the setting→power curve (< 1 means concave: early levels
+    /// are expensive).
+    pub gamma: f64,
+}
+
+impl ScreenModel {
+    /// Average content luminance assumed when the caller does not know the
+    /// frame contents.
+    pub const DEFAULT_LUMA: f64 = 0.5;
+
+    /// A Nexus-4-class 4.7-inch LCD.
+    pub fn nexus4() -> Self {
+        ScreenModel {
+            base_mw: 330.0,
+            range_mw: 780.0,
+            oled_luma_mw: 0.0,
+            gamma: 0.5,
+        }
+    }
+
+    /// A Galaxy-Nexus-class 4.65-inch AMOLED: lower floor, strongly
+    /// content-dependent.
+    pub fn galaxy_nexus() -> Self {
+        ScreenModel {
+            base_mw: 260.0,
+            range_mw: 240.0,
+            oled_luma_mw: 1_050.0,
+            gamma: 0.6,
+        }
+    }
+
+    /// Panel power assuming average content ([`Self::DEFAULT_LUMA`]).
+    pub fn power_mw(&self, on: bool, brightness: u8) -> f64 {
+        self.power_with_content(on, brightness, Self::DEFAULT_LUMA)
+    }
+
+    /// Panel power for a frame of average luminance `luma ∈ [0, 1]`.
+    pub fn power_with_content(&self, on: bool, brightness: u8, luma: f64) -> f64 {
+        if !on {
+            return 0.0;
+        }
+        let level = f64::from(brightness) / 255.0;
+        let dynamic = self.range_mw + self.oled_luma_mw * luma.clamp(0.0, 1.0);
+        self.base_mw + dynamic * level.powf(self.gamma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_draws_nothing() {
+        assert_eq!(ScreenModel::nexus4().power_mw(false, 200), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_brightness() {
+        let screen = ScreenModel::nexus4();
+        let mut last = 0.0;
+        for b in 0..=255u16 {
+            let p = screen.power_mw(true, b as u8);
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn concavity_makes_small_increases_expensive() {
+        let screen = ScreenModel::nexus4();
+        let low_step = screen.power_mw(true, 10) - screen.power_mw(true, 1);
+        let high_step = screen.power_mw(true, 255) - screen.power_mw(true, 246);
+        assert!(
+            low_step > high_step,
+            "early brightness levels must cost more per step (gamma < 1)"
+        );
+    }
+
+    #[test]
+    fn full_brightness_hits_base_plus_range() {
+        let screen = ScreenModel::nexus4();
+        let expected = screen.base_mw + screen.range_mw;
+        assert!((screen.power_mw(true, 255) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oled_luma_scales_and_clamps() {
+        let oled = ScreenModel::galaxy_nexus();
+        let dark = oled.power_with_content(true, 255, 0.0);
+        let white = oled.power_with_content(true, 255, 1.0);
+        assert!((white - dark - oled.oled_luma_mw).abs() < 1e-9);
+        // Out-of-range luma clamps instead of extrapolating.
+        assert_eq!(oled.power_with_content(true, 255, 2.0), white);
+        assert_eq!(oled.power_with_content(true, 255, -1.0), dark);
+    }
+
+    #[test]
+    fn oled_dark_mode_beats_lcd_dark_mode() {
+        // The classic OLED dark-mode saving: at equal brightness a dark
+        // frame on AMOLED costs less than the same frame on LCD.
+        let lcd = ScreenModel::nexus4();
+        let oled = ScreenModel::galaxy_nexus();
+        assert!(oled.power_with_content(true, 200, 0.05) < lcd.power_with_content(true, 200, 0.05));
+    }
+
+    #[test]
+    fn zero_brightness_is_base_only() {
+        let screen = ScreenModel::nexus4();
+        assert!((screen.power_mw(true, 0) - screen.base_mw).abs() < 1e-9);
+    }
+}

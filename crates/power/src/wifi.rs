@@ -1,0 +1,151 @@
+//! WiFi radio power model with a tail state.
+//!
+//! Following the power-state-machine line of work (Pathak et al., AppScope),
+//! the radio is modelled as three phases: *active* while traffic flows,
+//! a fixed-length high-power *tail* after the last packet, and *idle*
+//! afterwards. Tail energy is attributed to the apps that caused the last
+//! activity — the classic example of energy spent on an app's behalf after
+//! its system call returned.
+
+use serde::{Deserialize, Serialize};
+
+use ea_sim::{SimDuration, SimTime, Uid};
+
+/// WiFi radio model. Stateful: remembers the last activity instant and the
+/// apps responsible, to price and attribute the tail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WifiModel {
+    /// Draw while associated but idle, mW (kept by the accounting layer as
+    /// unattributed system draw).
+    pub idle_mw: f64,
+    /// Draw while actively transferring, mW.
+    pub active_mw: f64,
+    /// Extra draw per Mbps of throughput, mW.
+    pub mw_per_mbps: f64,
+    /// Draw during the post-transfer tail, mW.
+    pub tail_mw: f64,
+    /// Tail duration.
+    pub tail: SimDuration,
+    last_active_at: Option<SimTime>,
+    last_users: Vec<Uid>,
+}
+
+/// The phase the radio is in at a given instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WifiPhase {
+    /// Transferring now.
+    Active,
+    /// Within the post-transfer tail.
+    Tail,
+    /// Quiet.
+    Idle,
+}
+
+impl WifiModel {
+    /// A Nexus-4-class 802.11n radio.
+    pub fn nexus4() -> Self {
+        WifiModel {
+            idle_mw: 12.0,
+            active_mw: 420.0,
+            mw_per_mbps: 28.0,
+            tail_mw: 250.0,
+            tail: SimDuration::from_millis(600),
+            last_active_at: None,
+            last_users: Vec::new(),
+        }
+    }
+
+    /// Observes the interval ending at `now` with the given per-app traffic,
+    /// returning `(power_mw, responsible_uids)`. Must be called with
+    /// non-decreasing `now`.
+    pub fn observe(&mut self, now: SimTime, traffic: &[(Uid, f64)]) -> (f64, Vec<Uid>) {
+        let total_kbps: f64 = traffic.iter().map(|(_, kbps)| kbps.max(0.0)).sum();
+        if total_kbps > 0.0 {
+            self.last_active_at = Some(now);
+            self.last_users = traffic
+                .iter()
+                .filter(|(_, kbps)| *kbps > 0.0)
+                .map(|(uid, _)| *uid)
+                .collect();
+            let power = self.active_mw + self.mw_per_mbps * (total_kbps / 1_000.0);
+            return (power, self.last_users.clone());
+        }
+        match self.phase(now) {
+            WifiPhase::Tail => (self.tail_mw, self.last_users.clone()),
+            _ => (self.idle_mw, Vec::new()),
+        }
+    }
+
+    /// The phase at `now`, without updating state.
+    pub fn phase(&self, now: SimTime) -> WifiPhase {
+        match self.last_active_at {
+            Some(at) if now.saturating_since(at) <= self.tail && now >= at => {
+                if now == at {
+                    WifiPhase::Active
+                } else {
+                    WifiPhase::Tail
+                }
+            }
+            _ => WifiPhase::Idle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uid(n: u32) -> Uid {
+        Uid::from_raw(10_000 + n)
+    }
+
+    #[test]
+    fn active_power_scales_with_throughput() {
+        let mut wifi = WifiModel::nexus4();
+        let (slow, _) = wifi.observe(SimTime::ZERO, &[(uid(0), 100.0)]);
+        let (fast, _) = wifi.observe(SimTime::from_secs(1), &[(uid(0), 10_000.0)]);
+        assert!(fast > slow);
+        assert!(slow >= wifi.active_mw);
+    }
+
+    #[test]
+    fn tail_follows_activity_then_idles() {
+        let mut wifi = WifiModel::nexus4();
+        wifi.observe(SimTime::ZERO, &[(uid(1), 500.0)]);
+
+        let (tail_power, tail_users) = wifi.observe(SimTime::from_millis(300), &[]);
+        assert_eq!(tail_power, wifi.tail_mw);
+        assert_eq!(tail_users, vec![uid(1)], "tail charged to last user");
+
+        let (idle_power, idle_users) = wifi.observe(SimTime::from_millis(2_000), &[]);
+        assert_eq!(idle_power, wifi.idle_mw);
+        assert!(idle_users.is_empty());
+    }
+
+    #[test]
+    fn idle_before_any_activity() {
+        let mut wifi = WifiModel::nexus4();
+        let (power, users) = wifi.observe(SimTime::from_secs(5), &[]);
+        assert_eq!(power, wifi.idle_mw);
+        assert!(users.is_empty());
+        assert_eq!(wifi.phase(SimTime::from_secs(5)), WifiPhase::Idle);
+    }
+
+    #[test]
+    fn multiple_users_share_responsibility() {
+        let mut wifi = WifiModel::nexus4();
+        let (_, users) = wifi.observe(
+            SimTime::ZERO,
+            &[(uid(1), 100.0), (uid(2), 0.0), (uid(3), 50.0)],
+        );
+        assert_eq!(users, vec![uid(1), uid(3)], "zero-traffic apps excluded");
+    }
+
+    #[test]
+    fn negative_throughput_is_treated_as_zero() {
+        let mut wifi = WifiModel::nexus4();
+        let (power, users) = wifi.observe(SimTime::ZERO, &[(uid(1), -5.0)]);
+        assert_eq!(power, wifi.idle_mw);
+        assert!(users.is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the power models and battery.
+
+use ea_power::{
+    Battery, CpuModel, CpuUse, DevicePowerModel, DeviceUsage, Energy, RadioUse, ScreenModel,
+    ScreenUsage, WifiModel,
+};
+use ea_sim::{SimDuration, SimTime, Uid};
+use proptest::prelude::*;
+
+fn arbitrary_usage() -> impl Strategy<Value = DeviceUsage> {
+    (
+        proptest::collection::vec((0u32..8, 0.0f64..1.5), 0..6),
+        any::<bool>(),
+        any::<u8>(),
+        proptest::option::of(0u32..8),
+        proptest::collection::vec((0u32..8, 0.0f64..5_000.0), 0..4),
+    )
+        .prop_map(|(cpu, screen_on, brightness, camera, wifi)| {
+            let mut usage = DeviceUsage::idle();
+            usage.cpu = cpu
+                .into_iter()
+                .map(|(uid, utilization)| CpuUse {
+                    uid: Uid::from_raw(10_000 + uid),
+                    utilization,
+                })
+                .collect();
+            usage.screen = if screen_on {
+                ScreenUsage::on(brightness, Some(Uid::FIRST_APP))
+            } else {
+                ScreenUsage::off()
+            };
+            usage.camera = camera.map(|uid| ea_power::CameraUse {
+                uid: Uid::from_raw(10_000 + uid),
+                recording: uid % 2 == 0,
+            });
+            usage.wifi = wifi
+                .into_iter()
+                .map(|(uid, throughput_kbps)| RadioUse {
+                    uid: Uid::from_raw(10_000 + uid),
+                    throughput_kbps,
+                })
+                .collect();
+            usage
+        })
+}
+
+proptest! {
+    #[test]
+    fn draws_are_nonnegative_and_shares_bounded(usage in arbitrary_usage()) {
+        let mut model = DevicePowerModel::nexus4();
+        let draws = model.draws(SimTime::ZERO, &usage);
+        for draw in &draws {
+            prop_assert!(draw.power_mw >= 0.0);
+            prop_assert!(draw.attributed() <= 1.0 + 1e-9,
+                "{:?} over-attributed: {}", draw.component, draw.attributed());
+            for user in &draw.users {
+                prop_assert!(user.share >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_power_is_monotone(a in 0.0f64..4.0, b in 0.0f64..4.0) {
+        let cpu = CpuModel::nexus4();
+        let (low, high) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(cpu.power_mw(low) <= cpu.power_mw(high) + 1e-9);
+    }
+
+    #[test]
+    fn screen_power_is_monotone_in_brightness(a in 0u8..=255, b in 0u8..=255) {
+        let screen = ScreenModel::nexus4();
+        let (low, high) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(screen.power_mw(true, low) <= screen.power_mw(true, high) + 1e-9);
+    }
+
+    #[test]
+    fn battery_partition_invariant(drains in proptest::collection::vec(0.0f64..500.0, 0..60)) {
+        let mut battery = Battery::nexus4();
+        for joules in drains {
+            battery.drain(Energy::from_joules(joules));
+            let drained = battery.drained().as_joules();
+            let remaining = battery.remaining().as_joules();
+            let capacity = battery.capacity().as_joules();
+            prop_assert!((drained + remaining - capacity).abs() < 1e-6);
+            prop_assert!((0.0..=100.0).contains(&battery.percent()));
+        }
+    }
+
+    #[test]
+    fn energy_integration_is_additive(power in 0.0f64..2_000.0, a in 1u64..10_000, b in 1u64..10_000) {
+        let whole = Energy::from_power(power, SimDuration::from_millis(a + b));
+        let parts = Energy::from_power(power, SimDuration::from_millis(a))
+            + Energy::from_power(power, SimDuration::from_millis(b));
+        prop_assert!((whole.as_joules() - parts.as_joules()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wifi_observation_sequence_is_sane(
+        steps in proptest::collection::vec((0u64..2_000, 0.0f64..2_000.0), 1..40)
+    ) {
+        let mut wifi = WifiModel::nexus4();
+        let mut now = SimTime::ZERO;
+        for (advance, kbps) in steps {
+            now += SimDuration::from_millis(advance);
+            let traffic = if kbps > 0.0 { vec![(Uid::FIRST_APP, kbps)] } else { Vec::new() };
+            let (power, users) = wifi.observe(now, &traffic);
+            prop_assert!(power >= wifi.idle_mw - 1e-9);
+            if kbps > 0.0 {
+                prop_assert_eq!(users.as_slice(), &[Uid::FIRST_APP]);
+                prop_assert!(power >= wifi.active_mw);
+            }
+        }
+    }
+
+    #[test]
+    fn suspended_device_draws_only_the_floor_regardless_of_history(
+        usage in arbitrary_usage(),
+        gap_ms in 100_000u64..1_000_000
+    ) {
+        let mut model = DevicePowerModel::nexus4();
+        model.draws(SimTime::ZERO, &usage);
+        // Long after any tail could linger, an idle snapshot suspends.
+        let draws = model.draws(SimTime::from_millis(gap_ms), &DeviceUsage::idle());
+        let total: f64 = draws.iter().map(|d| d.power_mw).sum();
+        prop_assert!((total - model.suspend_mw).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,265 @@
+//! A Binder-like IPC bus.
+//!
+//! Android IPC is built on the Binder kernel driver. Two Binder behaviours
+//! matter to the paper and are modelled here:
+//!
+//! 1. **Transactions** — every cross-process call crosses the bus; the
+//!    E-Android framework extension intercepts exactly these crossings to
+//!    detect collateral-energy events. The bus keeps a bounded transaction
+//!    log plus aggregate statistics.
+//! 2. **Link-to-death** — a client may attach a death token to a peer
+//!    process; when that process dies the kernel dispatches the token. The
+//!    stock power manager relies on this to release wakelocks whose holders
+//!    died without calling `release()`.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DeathNotice, Pid, SimTime, Uid};
+
+/// Classification of a Binder transaction, mirroring the framework calls the
+/// paper's Table I enumerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TransactionKind {
+    /// `startActivity()`
+    StartActivity,
+    /// `startService()`
+    StartService,
+    /// `stopService()` / `stopSelf()`
+    StopService,
+    /// `bindService()`
+    BindService,
+    /// `unbindService()`
+    UnbindService,
+    /// `PowerManager.WakeLock.acquire()`
+    AcquireWakelock,
+    /// `PowerManager.WakeLock.release()`
+    ReleaseWakelock,
+    /// Writes through the settings provider (brightness and friends).
+    WriteSetting,
+    /// Task-stack manipulation (`moveTaskToFront` and friends).
+    MoveTask,
+    /// Anything else crossing the bus.
+    Other,
+}
+
+/// One recorded IPC transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// When the call crossed the bus.
+    pub at: SimTime,
+    /// Calling process.
+    pub from_pid: Pid,
+    /// Calling app identity.
+    pub from_uid: Uid,
+    /// Target app identity (the system server for framework services).
+    pub to_uid: Uid,
+    /// What kind of call it was.
+    pub kind: TransactionKind,
+}
+
+/// A registered link-to-death token.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeathLink {
+    /// The process whose death is being watched.
+    pub watched: Pid,
+    /// An opaque cookie the registrant uses to recognise the token. For the
+    /// power manager this is the wakelock ID.
+    pub cookie: u64,
+}
+
+/// Aggregate transaction counts, used by the overhead benchmarks.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinderStats {
+    /// Total transactions observed.
+    pub total: u64,
+    /// Count per transaction kind.
+    pub per_kind: BTreeMap<String, u64>,
+}
+
+/// The Binder bus: transaction log plus link-to-death registry.
+///
+/// # Example
+///
+/// ```
+/// use ea_sim::{BinderBus, Pid, SimTime, TransactionKind, Uid};
+///
+/// let mut bus = BinderBus::new();
+/// bus.record(SimTime::ZERO, Pid::from_raw(1), Uid::FIRST_APP, Uid::SYSTEM,
+///            TransactionKind::AcquireWakelock);
+/// assert_eq!(bus.stats().total, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct BinderBus {
+    log: Vec<Transaction>,
+    log_capacity: usize,
+    stats: BinderStats,
+    links: Vec<DeathLink>,
+}
+
+impl BinderBus {
+    /// Default bound on the in-memory transaction log.
+    pub const DEFAULT_LOG_CAPACITY: usize = 65_536;
+
+    /// Creates a bus with the default log capacity.
+    pub fn new() -> Self {
+        Self::with_log_capacity(Self::DEFAULT_LOG_CAPACITY)
+    }
+
+    /// Creates a bus whose transaction log keeps at most `capacity` entries
+    /// (older entries are discarded first; statistics are never discarded).
+    pub fn with_log_capacity(capacity: usize) -> Self {
+        BinderBus {
+            log: Vec::new(),
+            log_capacity: capacity.max(1),
+            stats: BinderStats::default(),
+            links: Vec::new(),
+        }
+    }
+
+    /// Records a transaction crossing the bus.
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        from_pid: Pid,
+        from_uid: Uid,
+        to_uid: Uid,
+        kind: TransactionKind,
+    ) {
+        if self.log.len() == self.log_capacity {
+            // Drop the oldest half in one move instead of shifting per call.
+            self.log.drain(..self.log_capacity / 2);
+        }
+        self.log.push(Transaction {
+            at,
+            from_pid,
+            from_uid,
+            to_uid,
+            kind,
+        });
+        self.stats.total += 1;
+        *self.stats.per_kind.entry(format!("{kind:?}")).or_insert(0) += 1;
+    }
+
+    /// The retained transaction log, oldest first.
+    pub fn log(&self) -> &[Transaction] {
+        &self.log
+    }
+
+    /// Aggregate statistics since creation.
+    pub fn stats(&self) -> &BinderStats {
+        &self.stats
+    }
+
+    /// Registers a death token on `watched`.
+    pub fn link_to_death(&mut self, watched: Pid, cookie: u64) {
+        self.links.push(DeathLink { watched, cookie });
+    }
+
+    /// Removes a previously registered token; returns whether it existed.
+    pub fn unlink_to_death(&mut self, watched: Pid, cookie: u64) -> bool {
+        let before = self.links.len();
+        self.links
+            .retain(|link| !(link.watched == watched && link.cookie == cookie));
+        self.links.len() != before
+    }
+
+    /// Dispatches death notices: removes and returns every cookie linked to a
+    /// process named in `deaths`.
+    pub fn dispatch_deaths(&mut self, deaths: &[DeathNotice]) -> Vec<DeathLink> {
+        let mut fired = Vec::new();
+        self.links.retain(|link| {
+            if deaths.iter().any(|death| death.pid == link.watched) {
+                fired.push(link.clone());
+                false
+            } else {
+                true
+            }
+        });
+        fired
+    }
+
+    /// Number of live death links (for tests and debugging).
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn notice(pid: Pid) -> DeathNotice {
+        DeathNotice {
+            pid,
+            uid: Uid::FIRST_APP,
+            at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn records_transactions_and_stats() {
+        let mut bus = BinderBus::new();
+        bus.record(
+            SimTime::ZERO,
+            Pid::from_raw(1),
+            Uid::FIRST_APP,
+            Uid::SYSTEM,
+            TransactionKind::StartActivity,
+        );
+        bus.record(
+            SimTime::from_secs(1),
+            Pid::from_raw(1),
+            Uid::FIRST_APP,
+            Uid::SYSTEM,
+            TransactionKind::StartActivity,
+        );
+        assert_eq!(bus.log().len(), 2);
+        assert_eq!(bus.stats().total, 2);
+        assert_eq!(bus.stats().per_kind["StartActivity"], 2);
+    }
+
+    #[test]
+    fn log_is_bounded_but_stats_are_not() {
+        let mut bus = BinderBus::with_log_capacity(8);
+        for i in 0..100 {
+            bus.record(
+                SimTime::from_millis(i),
+                Pid::from_raw(1),
+                Uid::FIRST_APP,
+                Uid::SYSTEM,
+                TransactionKind::Other,
+            );
+        }
+        assert!(bus.log().len() <= 8);
+        assert_eq!(bus.stats().total, 100);
+    }
+
+    #[test]
+    fn death_links_fire_once_and_are_removed() {
+        let mut bus = BinderBus::new();
+        let watched = Pid::from_raw(7);
+        bus.link_to_death(watched, 11);
+        bus.link_to_death(watched, 12);
+        bus.link_to_death(Pid::from_raw(8), 13);
+
+        let fired = bus.dispatch_deaths(&[notice(watched)]);
+        let cookies: Vec<u64> = fired.iter().map(|link| link.cookie).collect();
+        assert_eq!(cookies, vec![11, 12]);
+        assert_eq!(bus.link_count(), 1);
+
+        assert!(bus.dispatch_deaths(&[notice(watched)]).is_empty());
+    }
+
+    #[test]
+    fn unlink_removes_exactly_one_token() {
+        let mut bus = BinderBus::new();
+        let watched = Pid::from_raw(7);
+        bus.link_to_death(watched, 11);
+        assert!(bus.unlink_to_death(watched, 11));
+        assert!(!bus.unlink_to_death(watched, 11));
+        assert_eq!(bus.link_count(), 0);
+    }
+}

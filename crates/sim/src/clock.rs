@@ -1,0 +1,99 @@
+//! The monotonic simulated clock.
+
+use crate::{SimDuration, SimError, SimTime};
+
+/// A monotonic clock for the simulation.
+///
+/// The clock only ever moves forward: [`Clock::advance_to`] rejects targets in
+/// the past so that accounting code can rely on time intervals being
+/// non-negative.
+///
+/// # Example
+///
+/// ```
+/// use ea_sim::{Clock, SimDuration, SimTime};
+///
+/// let mut clock = Clock::new();
+/// clock.advance_by(SimDuration::from_secs(30));
+/// assert_eq!(clock.now(), SimTime::from_secs(30));
+/// assert!(clock.advance_to(SimTime::from_secs(10)).is_err());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Clock {
+    now: SimTime,
+}
+
+impl Clock {
+    /// Creates a clock at the simulation epoch.
+    pub fn new() -> Self {
+        Clock { now: SimTime::ZERO }
+    }
+
+    /// Creates a clock already positioned at `start`.
+    pub fn starting_at(start: SimTime) -> Self {
+        Clock { now: start }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Moves the clock to `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TimeWentBackwards`] when `target` precedes the
+    /// current instant. Advancing to the current instant is a no-op and is
+    /// allowed, since several events may share a timestamp.
+    pub fn advance_to(&mut self, target: SimTime) -> Result<SimDuration, SimError> {
+        match target.checked_since(self.now) {
+            Some(elapsed) => {
+                self.now = target;
+                Ok(elapsed)
+            }
+            None => Err(SimError::TimeWentBackwards {
+                now: self.now,
+                target,
+            }),
+        }
+    }
+
+    /// Moves the clock forward by `span` and returns the new instant.
+    pub fn advance_by(&mut self, span: SimDuration) -> SimTime {
+        self.now += span;
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_epoch() {
+        assert_eq!(Clock::new().now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn advance_to_reports_elapsed() {
+        let mut clock = Clock::new();
+        let elapsed = clock.advance_to(SimTime::from_millis(250)).unwrap();
+        assert_eq!(elapsed, SimDuration::from_millis(250));
+    }
+
+    #[test]
+    fn advance_to_same_instant_is_noop() {
+        let mut clock = Clock::starting_at(SimTime::from_secs(1));
+        let elapsed = clock.advance_to(SimTime::from_secs(1)).unwrap();
+        assert!(elapsed.is_zero());
+    }
+
+    #[test]
+    fn refuses_to_go_backwards() {
+        let mut clock = Clock::starting_at(SimTime::from_secs(5));
+        let err = clock.advance_to(SimTime::from_secs(4)).unwrap_err();
+        assert!(matches!(err, SimError::TimeWentBackwards { .. }));
+        assert_eq!(clock.now(), SimTime::from_secs(5));
+    }
+}

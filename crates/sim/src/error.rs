@@ -1,0 +1,56 @@
+//! Error type for kernel-level simulation failures.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Pid, SimTime};
+
+/// Errors produced by the simulation kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An attempt was made to move the monotonic clock backwards.
+    TimeWentBackwards {
+        /// The clock's current instant.
+        now: SimTime,
+        /// The (earlier) instant that was requested.
+        target: SimTime,
+    },
+    /// The referenced process does not exist in the process table.
+    NoSuchProcess(Pid),
+    /// The referenced process exists but has already terminated.
+    ProcessDead(Pid),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TimeWentBackwards { now, target } => {
+                write!(f, "clock at {now} cannot move backwards to {target}")
+            }
+            SimError::NoSuchProcess(pid) => write!(f, "no such process: {pid}"),
+            SimError::ProcessDead(pid) => write!(f, "process already dead: {pid}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = SimError::TimeWentBackwards {
+            now: SimTime::from_secs(2),
+            target: SimTime::from_secs(1),
+        };
+        let text = err.to_string();
+        assert!(text.contains("backwards"));
+
+        assert!(SimError::NoSuchProcess(Pid::from_raw(42))
+            .to_string()
+            .contains("42"));
+    }
+}

@@ -1,0 +1,303 @@
+//! The process table.
+//!
+//! Android runs every app in its own Linux process under a unique user ID
+//! (the sandbox). The framework cares about two kernel-level facts that this
+//! module models: which processes are alive, and *death notification* — the
+//! mechanism by which Binder tells interested parties (for E-Android, the
+//! `PowerManagerService`) that a process died so its wakelocks can be
+//! released.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{SimError, SimTime};
+
+/// A process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pid(u32);
+
+impl Pid {
+    /// Builds a `Pid` from a raw number (mostly for tests and display code).
+    pub const fn from_raw(raw: u32) -> Self {
+        Pid(raw)
+    }
+
+    /// The raw numeric value.
+    pub const fn as_raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid:{}", self.0)
+    }
+}
+
+/// An Android user ID — one per installed app (the sandbox identity).
+///
+/// Energy accounting in both BatteryStats and E-Android is keyed by UID, not
+/// PID: all processes of one app share a UID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Uid(u32);
+
+impl Uid {
+    /// The conventional first UID assigned to user-installed apps on Android.
+    pub const FIRST_APP: Uid = Uid(10_000);
+
+    /// UID of the system server (`android.uid.system`).
+    pub const SYSTEM: Uid = Uid(1_000);
+
+    /// Builds a `Uid` from a raw number.
+    pub const fn from_raw(raw: u32) -> Self {
+        Uid(raw)
+    }
+
+    /// The raw numeric value.
+    pub const fn as_raw(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this UID belongs to the system rather than an installed app.
+    pub const fn is_system(self) -> bool {
+        self.0 < Uid::FIRST_APP.0
+    }
+
+    /// The next app UID after this one.
+    pub const fn next(self) -> Uid {
+        Uid(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Uid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "uid:{}", self.0)
+    }
+}
+
+/// Liveness of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProcessState {
+    /// Scheduled normally.
+    Alive,
+    /// Terminated; retained in the table for post-mortem queries.
+    Dead,
+}
+
+/// A row of the process table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessInfo {
+    /// The process identifier.
+    pub pid: Pid,
+    /// The owning app's user ID.
+    pub uid: Uid,
+    /// Human-readable process name (the app's package name by convention).
+    pub name: String,
+    /// Liveness.
+    pub state: ProcessState,
+    /// When the process was spawned.
+    pub spawned_at: SimTime,
+    /// When the process died, if it has.
+    pub died_at: Option<SimTime>,
+}
+
+impl ProcessInfo {
+    /// Whether the process is still alive.
+    pub fn is_alive(&self) -> bool {
+        self.state == ProcessState::Alive
+    }
+}
+
+/// A death notification produced when a process terminates.
+///
+/// Consumers (the framework's power manager, E-Android's monitor) drain these
+/// from [`ProcessTable::drain_deaths`] every scheduling step.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeathNotice {
+    /// The process that died.
+    pub pid: Pid,
+    /// Its owning UID.
+    pub uid: Uid,
+    /// When it died.
+    pub at: SimTime,
+}
+
+/// The kernel process table.
+///
+/// # Example
+///
+/// ```
+/// use ea_sim::{ProcessTable, SimTime, Uid};
+///
+/// let mut table = ProcessTable::new();
+/// let pid = table.spawn(Uid::FIRST_APP, "com.example.app", SimTime::ZERO);
+/// assert!(table.get(pid).unwrap().is_alive());
+/// table.kill(pid, SimTime::from_secs(1)).unwrap();
+/// let deaths = table.drain_deaths();
+/// assert_eq!(deaths.len(), 1);
+/// assert_eq!(deaths[0].pid, pid);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProcessTable {
+    rows: BTreeMap<Pid, ProcessInfo>,
+    next_pid: u32,
+    pending_deaths: Vec<DeathNotice>,
+}
+
+impl ProcessTable {
+    /// Creates an empty table. PIDs start at 1000 to resemble a real system.
+    pub fn new() -> Self {
+        ProcessTable {
+            rows: BTreeMap::new(),
+            next_pid: 1_000,
+            pending_deaths: Vec::new(),
+        }
+    }
+
+    /// Spawns a new process for `uid` and returns its PID.
+    pub fn spawn(&mut self, uid: Uid, name: impl Into<String>, now: SimTime) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.rows.insert(
+            pid,
+            ProcessInfo {
+                pid,
+                uid,
+                name: name.into(),
+                state: ProcessState::Alive,
+                spawned_at: now,
+                died_at: None,
+            },
+        );
+        pid
+    }
+
+    /// Terminates `pid`, queueing a death notification.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoSuchProcess`] when the PID was never spawned;
+    /// [`SimError::ProcessDead`] when it already terminated.
+    pub fn kill(&mut self, pid: Pid, now: SimTime) -> Result<(), SimError> {
+        let row = self
+            .rows
+            .get_mut(&pid)
+            .ok_or(SimError::NoSuchProcess(pid))?;
+        if row.state == ProcessState::Dead {
+            return Err(SimError::ProcessDead(pid));
+        }
+        row.state = ProcessState::Dead;
+        row.died_at = Some(now);
+        self.pending_deaths.push(DeathNotice {
+            pid,
+            uid: row.uid,
+            at: now,
+        });
+        Ok(())
+    }
+
+    /// Looks up a process by PID (alive or dead).
+    pub fn get(&self, pid: Pid) -> Option<&ProcessInfo> {
+        self.rows.get(&pid)
+    }
+
+    /// Whether `pid` exists and is alive.
+    pub fn is_alive(&self, pid: Pid) -> bool {
+        self.get(pid).is_some_and(ProcessInfo::is_alive)
+    }
+
+    /// All live processes owned by `uid`, in PID order.
+    pub fn pids_of(&self, uid: Uid) -> Vec<Pid> {
+        self.rows
+            .values()
+            .filter(|row| row.uid == uid && row.is_alive())
+            .map(|row| row.pid)
+            .collect()
+    }
+
+    /// Iterates over all rows in PID order.
+    pub fn iter(&self) -> impl Iterator<Item = &ProcessInfo> {
+        self.rows.values()
+    }
+
+    /// Number of live processes.
+    pub fn live_count(&self) -> usize {
+        self.rows.values().filter(|row| row.is_alive()).count()
+    }
+
+    /// Removes and returns all death notifications queued since the last
+    /// drain, in death order.
+    pub fn drain_deaths(&mut self) -> Vec<DeathNotice> {
+        std::mem::take(&mut self.pending_deaths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_assigns_distinct_pids() {
+        let mut table = ProcessTable::new();
+        let a = table.spawn(Uid::FIRST_APP, "a", SimTime::ZERO);
+        let b = table.spawn(Uid::FIRST_APP.next(), "b", SimTime::ZERO);
+        assert_ne!(a, b);
+        assert_eq!(table.live_count(), 2);
+    }
+
+    #[test]
+    fn kill_marks_dead_and_notifies_once() {
+        let mut table = ProcessTable::new();
+        let pid = table.spawn(Uid::FIRST_APP, "a", SimTime::ZERO);
+        table.kill(pid, SimTime::from_secs(3)).unwrap();
+
+        assert!(!table.is_alive(pid));
+        assert_eq!(table.get(pid).unwrap().died_at, Some(SimTime::from_secs(3)));
+
+        let deaths = table.drain_deaths();
+        assert_eq!(deaths.len(), 1);
+        assert_eq!(deaths[0].uid, Uid::FIRST_APP);
+        assert!(table.drain_deaths().is_empty(), "drain is destructive");
+    }
+
+    #[test]
+    fn double_kill_is_an_error() {
+        let mut table = ProcessTable::new();
+        let pid = table.spawn(Uid::FIRST_APP, "a", SimTime::ZERO);
+        table.kill(pid, SimTime::ZERO).unwrap();
+        assert_eq!(
+            table.kill(pid, SimTime::ZERO),
+            Err(SimError::ProcessDead(pid))
+        );
+    }
+
+    #[test]
+    fn kill_unknown_pid_is_an_error() {
+        let mut table = ProcessTable::new();
+        let ghost = Pid::from_raw(9_999);
+        assert_eq!(
+            table.kill(ghost, SimTime::ZERO),
+            Err(SimError::NoSuchProcess(ghost))
+        );
+    }
+
+    #[test]
+    fn pids_of_filters_by_uid_and_liveness() {
+        let mut table = ProcessTable::new();
+        let uid = Uid::FIRST_APP;
+        let a = table.spawn(uid, "a", SimTime::ZERO);
+        let b = table.spawn(uid, "a:remote", SimTime::ZERO);
+        let _other = table.spawn(uid.next(), "b", SimTime::ZERO);
+        table.kill(b, SimTime::ZERO).unwrap();
+        assert_eq!(table.pids_of(uid), vec![a]);
+    }
+
+    #[test]
+    fn uid_helpers() {
+        assert!(Uid::SYSTEM.is_system());
+        assert!(!Uid::FIRST_APP.is_system());
+        assert_eq!(Uid::FIRST_APP.next().as_raw(), 10_001);
+    }
+}

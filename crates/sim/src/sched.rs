@@ -1,0 +1,181 @@
+//! A proportional-share CPU scheduler.
+//!
+//! Utilization-based energy models (PowerTutor, BatteryStats) charge CPU
+//! energy to apps in proportion to the CPU time they actually received. The
+//! simulation therefore needs a mapping from what processes *want* (demand,
+//! expressed as a fraction of one core) to what they *get* (utilization)
+//! under a bounded number of cores.
+//!
+//! The model: each process posts a demand `d ∈ [0, cores]`. When total demand
+//! fits within capacity every process runs at its demand; when the CPU is
+//! oversubscribed, capacity is divided proportionally to demand — the
+//! behaviour of a fair-share scheduler at steady state.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Pid;
+
+/// The share of CPU a process received over an accounting interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuSlice {
+    /// The process.
+    pub pid: Pid,
+    /// Core-seconds per second granted, in `[0, cores]`.
+    pub utilization: f64,
+}
+
+/// Proportional-share CPU scheduler.
+///
+/// # Example
+///
+/// ```
+/// use ea_sim::{CpuScheduler, Pid};
+///
+/// let mut sched = CpuScheduler::new(1.0); // single core
+/// sched.set_demand(Pid::from_raw(1), 0.8);
+/// sched.set_demand(Pid::from_raw(2), 0.8);
+/// let slices = sched.utilizations();
+/// // Oversubscribed: each gets half of the core.
+/// assert!((slices[0].utilization - 0.5).abs() < 1e-9);
+/// assert!((slices[1].utilization - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuScheduler {
+    cores: f64,
+    demands: BTreeMap<Pid, f64>,
+}
+
+impl CpuScheduler {
+    /// Creates a scheduler with `cores` cores of capacity. Clamped to be at
+    /// least a small positive value so division is always defined.
+    pub fn new(cores: f64) -> Self {
+        CpuScheduler {
+            cores: cores.max(0.01),
+            demands: BTreeMap::new(),
+        }
+    }
+
+    /// Total capacity in cores.
+    pub fn cores(&self) -> f64 {
+        self.cores
+    }
+
+    /// Posts `pid`'s demand as a fraction of one core (clamped to
+    /// `[0, cores]`). A demand of zero keeps the process schedulable but
+    /// idle.
+    pub fn set_demand(&mut self, pid: Pid, demand: f64) {
+        self.demands.insert(pid, demand.clamp(0.0, self.cores));
+    }
+
+    /// Adds `delta` to `pid`'s demand (useful for layered workloads such as
+    /// "foreground UI plus bound service").
+    pub fn add_demand(&mut self, pid: Pid, delta: f64) {
+        let current = self.demands.get(&pid).copied().unwrap_or(0.0);
+        self.set_demand(pid, current + delta);
+    }
+
+    /// Removes a process entirely (on death).
+    pub fn remove(&mut self, pid: Pid) {
+        self.demands.remove(&pid);
+    }
+
+    /// Current posted demand for `pid`, or zero when unknown.
+    pub fn demand_of(&self, pid: Pid) -> f64 {
+        self.demands.get(&pid).copied().unwrap_or(0.0)
+    }
+
+    /// Sum of posted demands (may exceed capacity).
+    pub fn total_demand(&self) -> f64 {
+        self.demands.values().sum()
+    }
+
+    /// Total utilization actually granted, in cores (never exceeds
+    /// capacity).
+    pub fn total_utilization(&self) -> f64 {
+        self.total_demand().min(self.cores)
+    }
+
+    /// Computes per-process utilization under proportional sharing, in PID
+    /// order.
+    pub fn utilizations(&self) -> Vec<CpuSlice> {
+        let total = self.total_demand();
+        let scale = if total > self.cores {
+            self.cores / total
+        } else {
+            1.0
+        };
+        self.demands
+            .iter()
+            .map(|(&pid, &demand)| CpuSlice {
+                pid,
+                utilization: demand * scale,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn undersubscribed_grants_full_demand() {
+        let mut sched = CpuScheduler::new(4.0);
+        sched.set_demand(Pid::from_raw(1), 0.5);
+        sched.set_demand(Pid::from_raw(2), 1.0);
+        let slices = sched.utilizations();
+        assert!((slices[0].utilization - 0.5).abs() < EPS);
+        assert!((slices[1].utilization - 1.0).abs() < EPS);
+        assert!((sched.total_utilization() - 1.5).abs() < EPS);
+    }
+
+    #[test]
+    fn oversubscribed_scales_proportionally() {
+        let mut sched = CpuScheduler::new(1.0);
+        sched.set_demand(Pid::from_raw(1), 0.9);
+        sched.set_demand(Pid::from_raw(2), 0.3);
+        let slices = sched.utilizations();
+        let total: f64 = slices.iter().map(|slice| slice.utilization).sum();
+        assert!((total - 1.0).abs() < EPS, "capacity fully used");
+        // 3:1 demand ratio preserved.
+        assert!((slices[0].utilization / slices[1].utilization - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn demand_is_clamped_to_capacity() {
+        let mut sched = CpuScheduler::new(2.0);
+        sched.set_demand(Pid::from_raw(1), 99.0);
+        assert!((sched.demand_of(Pid::from_raw(1)) - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn add_demand_accumulates() {
+        let mut sched = CpuScheduler::new(4.0);
+        let pid = Pid::from_raw(1);
+        sched.add_demand(pid, 0.2);
+        sched.add_demand(pid, 0.3);
+        assert!((sched.demand_of(pid) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn remove_drops_the_process() {
+        let mut sched = CpuScheduler::new(1.0);
+        let pid = Pid::from_raw(1);
+        sched.set_demand(pid, 0.4);
+        sched.remove(pid);
+        assert_eq!(sched.utilizations().len(), 0);
+        assert!((sched.demand_of(pid)).abs() < EPS);
+    }
+
+    #[test]
+    fn negative_demand_clamps_to_zero() {
+        let mut sched = CpuScheduler::new(1.0);
+        let pid = Pid::from_raw(1);
+        sched.set_demand(pid, -0.5);
+        assert!((sched.demand_of(pid)).abs() < EPS);
+    }
+}

@@ -1,0 +1,236 @@
+//! Simulated time primitives.
+//!
+//! The simulation runs on a millisecond-resolution virtual clock. [`SimTime`]
+//! is an absolute instant since simulation start; [`SimDuration`] is a span
+//! between two instants. Both are thin wrappers over `u64` milliseconds with
+//! checked/saturating arithmetic so the framework code can never silently
+//! wrap around.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An absolute instant on the simulated clock, in milliseconds since the
+/// simulation started.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in milliseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant `millis` milliseconds after the epoch.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis)
+    }
+
+    /// Creates an instant `secs` seconds after the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000)
+    }
+
+    /// Milliseconds since the epoch.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as a float (for plotting and power math).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Hours since the epoch, as a float (the x-axis unit of the paper's
+    /// battery-depletion figure).
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3_600_000.0
+    }
+
+    /// The span from `earlier` to `self`, saturating at zero if `earlier` is
+    /// actually later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The span from `earlier` to `self`, or `None` when `earlier > self`.
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis)
+    }
+
+    /// Creates a span of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000)
+    }
+
+    /// Creates a span of `mins` minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60_000)
+    }
+
+    /// Creates a span of `hours` hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3_600_000)
+    }
+
+    /// The span in whole milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// The span in seconds as a float; this is the `dt` used when integrating
+    /// power into energy.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Whether the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction of two spans.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+
+    /// Panics in debug builds when `rhs > self`; use
+    /// [`SimTime::saturating_since`] when the ordering is not statically
+    /// known.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(rhs.0 <= self.0, "SimTime subtraction went negative");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = self.0 % 1_000;
+        let s = (self.0 / 1_000) % 60;
+        let m = (self.0 / 60_000) % 60;
+        let h = self.0 / 3_600_000;
+        write!(f, "{h:02}:{m:02}:{s:02}.{ms:03}")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ms", self.0)
+        } else if self.0 < 60_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else {
+            write!(f, "{:.2}min", self.0 as f64 / 60_000.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree_on_units() {
+        assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2_000));
+        assert_eq!(SimDuration::from_mins(2), SimDuration::from_secs(120));
+        assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
+    }
+
+    #[test]
+    fn add_duration_advances_time() {
+        let t = SimTime::from_millis(500) + SimDuration::from_secs(1);
+        assert_eq!(t.as_millis(), 1_500);
+    }
+
+    #[test]
+    fn subtraction_yields_duration() {
+        let span = SimTime::from_secs(5) - SimTime::from_secs(2);
+        assert_eq!(span, SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let span = SimTime::from_secs(1).saturating_since(SimTime::from_secs(9));
+        assert_eq!(span, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn checked_since_detects_inversion() {
+        assert!(SimTime::from_secs(1)
+            .checked_since(SimTime::from_secs(2))
+            .is_none());
+        assert_eq!(
+            SimTime::from_secs(2).checked_since(SimTime::from_secs(1)),
+            Some(SimDuration::from_secs(1))
+        );
+    }
+
+    #[test]
+    fn float_conversions() {
+        assert!((SimDuration::from_millis(1_500).as_secs_f64() - 1.5).abs() < 1e-12);
+        assert!((SimTime::from_hours_for_test(2).as_hours_f64() - 2.0).abs() < 1e-12);
+    }
+
+    impl SimTime {
+        fn from_hours_for_test(h: u64) -> SimTime {
+            SimTime::from_millis(h * 3_600_000)
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_millis(3_661_004).to_string(), "01:01:01.004");
+        assert_eq!(SimDuration::from_millis(12).to_string(), "12ms");
+        assert_eq!(SimDuration::from_millis(1_500).to_string(), "1.500s");
+        assert_eq!(SimDuration::from_mins(3).to_string(), "3.00min");
+    }
+}

@@ -1,0 +1,91 @@
+//! Attack chains: reproduce the paper's Figures 6 and 7 — a multi-
+//! collateral attack and a hybrid chain (A binds B, B starts C, C attacks
+//! the screen) — and watch Algorithm 1 propagate responsibility.
+//!
+//! Run with: `cargo run --example attack_chain`
+
+use e_android::core::{CollateralGraph, Entity};
+use e_android::power::Energy;
+use e_android::sim::Uid;
+
+fn main() {
+    let a = Uid::from_raw(10_000);
+    let b = Uid::from_raw(10_001);
+    let c = Uid::from_raw(10_002);
+    let name = |uid: Uid| match uid.as_raw() {
+        10_000 => "A",
+        10_001 => "B",
+        _ => "C",
+    };
+
+    println!("== Figure 6: multi-collateral attack (A binds, starts, interrupts B) ==");
+    let mut graph = CollateralGraph::new();
+    let bind = graph.begin(a, Entity::App(b), true);
+    let start = graph.begin(a, Entity::App(b), false);
+    let interrupt = graph.begin(a, Entity::App(b), false);
+    println!("live links A→B: {}", graph.links(a, Entity::App(b)));
+
+    graph.accrue(Entity::App(b), Energy::from_joules(12.0));
+    println!(
+        "B burned 12 J; A charged once, not three times: {:.1} J",
+        graph.collateral_total(a).as_joules()
+    );
+
+    graph.end(&start);
+    graph.end(&interrupt);
+    graph.accrue(Entity::App(b), Energy::from_joules(3.0));
+    println!(
+        "two of three attacks over, the bind still links them: {:.1} J",
+        graph.collateral_total(a).as_joules()
+    );
+    graph.end(&bind);
+    graph.accrue(Entity::App(b), Energy::from_joules(100.0));
+    println!(
+        "all over — relation broken, no further charge: {:.1} J",
+        graph.collateral_total(a).as_joules()
+    );
+
+    println!();
+    println!("== Figure 7: hybrid chain (A binds B; B starts C; C raises brightness) ==");
+    let mut graph = CollateralGraph::new();
+    graph.begin(a, Entity::App(b), true);
+    graph.begin(b, Entity::App(c), false);
+    let screen = graph.begin(c, Entity::Screen, false);
+
+    println!("after the chain forms:");
+    for host in [a, b, c] {
+        let rows: Vec<String> = graph
+            .collateral_of(host)
+            .iter()
+            .map(|(entity, _)| match entity {
+                Entity::App(uid) => name(*uid).to_string(),
+                Entity::Screen => "screen".to_string(),
+                Entity::System => "system".to_string(),
+            })
+            .collect();
+        println!("  {}'s map: [{}]", name(host), rows.join(", "));
+    }
+
+    graph.accrue(Entity::Screen, Energy::from_joules(9.0));
+    graph.accrue(Entity::App(c), Energy::from_joules(4.0));
+    graph.accrue(Entity::App(b), Energy::from_joules(2.0));
+    println!();
+    println!("after C's screen attack burns 9 J, C burns 4 J, B burns 2 J:");
+    for host in [a, b, c] {
+        println!(
+            "  {} is responsible for {:.1} J of collateral energy",
+            name(host),
+            graph.collateral_total(host).as_joules()
+        );
+    }
+
+    // The user resets brightness: the screen attack ends; the app chain
+    // lives on.
+    graph.end(&screen);
+    graph.accrue(Entity::Screen, Energy::from_joules(50.0));
+    println!();
+    println!(
+        "user fixed the brightness — screen no longer charged to A: {:.1} J",
+        graph.collateral_total(a).as_joules()
+    );
+}

@@ -1,0 +1,58 @@
+//! Battery marathon: replay the paper's Figure 3 depletion race — five
+//! device configurations, screen forced on by a wakelock, run until the
+//! 2100 mAh pack dies.
+//!
+//! Run with: `cargo run --release --example battery_marathon`
+
+use e_android::apps::{run_depletion, DepletionCase};
+
+fn main() {
+    println!("Nexus-4-class pack (2100 mAh @ 3.8 V), screen forced on by wakelock.");
+    println!();
+
+    let mut results: Vec<(&str, f64)> = Vec::new();
+    for case in DepletionCase::ALL {
+        let curve = run_depletion(case, 24);
+        // A coarse terminal sparkline of the discharge curve.
+        let spark: String = (0..30)
+            .map(|i| {
+                let hour = curve.lifetime_hours * i as f64 / 29.0;
+                let percent = curve
+                    .points
+                    .iter()
+                    .take_while(|p| p.hours <= hour)
+                    .last()
+                    .map(|p| p.percent)
+                    .unwrap_or(100.0);
+                match percent as u32 {
+                    76..=100 => '█',
+                    51..=75 => '▓',
+                    26..=50 => '▒',
+                    1..=25 => '░',
+                    _ => ' ',
+                }
+            })
+            .collect();
+        println!(
+            "{:<16} {spark}  dead at {:>5.1} h",
+            curve.label, curve.lifetime_hours
+        );
+        results.push((curve.label, curve.lifetime_hours));
+    }
+
+    println!();
+    let baseline = results
+        .iter()
+        .find(|(label, _)| *label == "Brightness_low")
+        .map(|(_, h)| *h)
+        .unwrap();
+    for (label, hours) in &results {
+        if *label != "Brightness_low" {
+            println!(
+                "{label:<16} cut battery life by {:>4.1} h ({:.0}% shorter than baseline)",
+                baseline - hours,
+                100.0 * (baseline - hours) / baseline
+            );
+        }
+    }
+}

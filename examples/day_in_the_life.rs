@@ -1,0 +1,57 @@
+//! A randomized day of phone use, profiled by E-Android: collateral energy
+//! shows up in perfectly normal behaviour too — the paper's point that
+//! "normal apps could also induce a large amount of collateral energy
+//! consumption".
+//!
+//! Run with: `cargo run --release --example day_in_the_life [seed]`
+
+use e_android::apps::{run_workload, WorkloadConfig};
+use e_android::core::{labels_from, BatteryView, Profiler, ScreenPolicy};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(7);
+    let config = WorkloadConfig {
+        seed,
+        sessions: 10,
+        mean_session_secs: 40,
+        mean_idle_secs: 180,
+    };
+
+    let (android, profiler, summary) =
+        run_workload(config, Profiler::eandroid(ScreenPolicy::SeparateEntity));
+
+    println!(
+        "simulated {:.1} min across {} sessions ({} user actions), battery at {:.1}%",
+        summary.elapsed_secs / 60.0,
+        summary.sessions,
+        summary.actions,
+        summary.final_percent
+    );
+    println!();
+
+    let labels = labels_from(&android);
+    let graph = profiler.collateral().expect("eandroid profiler");
+    let view = BatteryView::eandroid(profiler.ledger(), graph, &labels);
+    println!("{}", view.render_detailed());
+
+    println!();
+    println!("collateral relationships observed during the day:");
+    let mut any = false;
+    for host in graph.hosts() {
+        let total = graph.collateral_total(host);
+        if total.as_joules() > 0.0 {
+            any = true;
+            let label = labels
+                .get(&host)
+                .cloned()
+                .unwrap_or_else(|| format!("uid:{}", host.as_raw()));
+            println!("  {label:<26} drove {total} in other apps");
+        }
+    }
+    if !any {
+        println!("  (none this day — try another seed)");
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: profile the paper's motivating scenario.
+//!
+//! Bob films a video from inside the Message app. Stock Android blames the
+//! Camera; E-Android also charges the Message app, which drove the Camera
+//! through an intent.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use e_android::core::{labels_from, BatteryView, Entity, Profiler, ScreenPolicy};
+use e_android::framework::{AndroidSystem, AppManifest, Intent, Permission};
+use e_android::sim::SimDuration;
+
+fn main() {
+    // 1. Boot a simulated handset and install two apps.
+    let mut android = AndroidSystem::new();
+    let message = android.install(
+        AppManifest::builder("com.example.message")
+            .activity("Compose", true)
+            .build(),
+    );
+    let camera = android.install(
+        AppManifest::builder("com.example.camera")
+            .activity("Record", true)
+            .permission(Permission::Camera)
+            .build(),
+    );
+
+    // 2. Attach an E-Android profiler (BatteryStats-style screen policy).
+    let mut profiler = Profiler::eandroid(ScreenPolicy::SeparateEntity);
+
+    // 3. Bob opens Message and chats for 30 seconds (touching the screen,
+    //    so it never times out).
+    android.user_launch("com.example.message").unwrap();
+    for _ in 0..30 {
+        android.note_user_activity();
+        profiler.run(&mut android, SimDuration::from_secs(1));
+    }
+
+    // 4. Bob taps "record video": Message starts the Camera via an intent,
+    //    and the Camera does the expensive work.
+    android
+        .start_activity(message, Intent::explicit("com.example.camera", "Record"))
+        .unwrap();
+    android.camera_start(camera, true).unwrap();
+    android.set_extra_demand(camera, 0.35); // the video encoder
+    for _ in 0..30 {
+        android.note_user_activity();
+        profiler.run(&mut android, SimDuration::from_secs(1));
+    }
+    android.camera_stop(camera);
+
+    // 5. Read both views.
+    let labels = labels_from(&android);
+    println!("--- stock Android view (what Bob's battery screen shows) ---");
+    println!("{}", BatteryView::android(profiler.ledger(), &labels));
+
+    println!();
+    println!("--- E-Android view (with collateral energy) ---");
+    let graph = profiler.collateral().expect("eandroid profiler");
+    let view = BatteryView::eandroid(profiler.ledger(), graph, &labels);
+    println!("{view}");
+
+    println!();
+    println!(
+        "Message charged with {:.1} J of collateral energy (Camera's work on its behalf)",
+        graph.collateral_total(message).as_joules()
+    );
+    assert!(view.percent_of(Entity::App(message)) > 10.0);
+}

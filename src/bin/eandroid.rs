@@ -1,0 +1,319 @@
+//! `eandroid` — command-line front end to the E-Android reproduction.
+//!
+//! ```text
+//! eandroid scenario <name|all> [--mode android|eandroid] [--policy separate|foreground] [--routines] [--timeline] [--detect]
+//! eandroid depletion [<case>|all] [--cap-hours N]
+//! eandroid corpus [--seed N] [--size N] [--show-xml]
+//! eandroid micro [--runs N]
+//! eandroid antutu
+//! eandroid workload [--seed N] [--sessions N]
+//! eandroid list
+//! eandroid help
+//! ```
+//!
+//! Argument parsing is hand-rolled: the interface is small and the workspace
+//! keeps its dependency set minimal (see DESIGN.md §6).
+
+use std::process::ExitCode;
+
+use e_android::apps::{run_depletion, DepletionCase, Scenario};
+use e_android::core::{
+    labels_from, AttackTimeline, BatteryView, DetectorConfig, Profiler, ScreenPolicy,
+};
+use e_android::corpus::{analyze, generate_corpus, to_manifest_xml, CorpusConfig};
+
+const HELP: &str = "\
+eandroid — collateral-energy profiling on a simulated Android handset
+
+USAGE:
+    eandroid <command> [options]
+
+COMMANDS:
+    scenario <name|all>   run a paper scenario and print the battery views
+        --mode android|eandroid    profiler mode (default eandroid)
+        --policy separate|foreground
+                                   screen policy (default separate)
+        --routines                 also print the eprof-style routine split
+        --timeline                 also print the attack-period timeline
+        --detect                   also print the collateral-bug report
+    depletion [<case>|all]  replay the Figure 3 battery race
+        --cap-hours N              stop after N simulated hours (default 24)
+    corpus                  generate + analyze the Figure 2 corpus
+        --seed N                   RNG seed (default 2017)
+        --size N                   corpus size (default 1124)
+        --show-xml                 print the first manifest as XML
+    micro                   run the Figure 10 micro-benchmark matrix
+        --runs N                   samples per op/config (default 50)
+    antutu                  run the Figure 11 parity benchmark
+    workload                simulate a randomized day of phone use
+        --seed N                   RNG seed (default 7)
+        --sessions N               user sessions (default 10)
+    list                    list scenario and depletion-case names
+    help                    this text
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = args.iter().map(String::as_str);
+    match args.next() {
+        Some("scenario") => cmd_scenario(&args.collect::<Vec<_>>()),
+        Some("depletion") => cmd_depletion(&args.collect::<Vec<_>>()),
+        Some("corpus") => cmd_corpus(&args.collect::<Vec<_>>()),
+        Some("micro") => cmd_micro(&args.collect::<Vec<_>>()),
+        Some("antutu") => cmd_antutu(),
+        Some("workload") => cmd_workload(&args.collect::<Vec<_>>()),
+        Some("list") => {
+            println!("scenarios:");
+            for scenario in Scenario::ALL {
+                println!("  {}", scenario.name());
+            }
+            println!("depletion cases:");
+            for case in DepletionCase::ALL {
+                println!("  {}", case.label());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("help") | None => {
+            print!("{HELP}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command: {other}\n");
+            print!("{HELP}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &[&'a str], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|&arg| arg == flag)
+        .and_then(|index| args.get(index + 1).copied())
+}
+
+fn has_flag(args: &[&str], flag: &str) -> bool {
+    args.contains(&flag)
+}
+
+fn parse_policy(args: &[&str]) -> Result<ScreenPolicy, String> {
+    match flag_value(args, "--policy") {
+        None | Some("separate") => Ok(ScreenPolicy::SeparateEntity),
+        Some("foreground") => Ok(ScreenPolicy::ForegroundApp),
+        Some(other) => Err(format!("unknown policy: {other}")),
+    }
+}
+
+fn cmd_scenario(args: &[&str]) -> ExitCode {
+    let Some(&name) = args.first() else {
+        eprintln!("scenario: missing name (try `eandroid list`)");
+        return ExitCode::FAILURE;
+    };
+    let policy = match parse_policy(args) {
+        Ok(policy) => policy,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let eandroid_mode = match flag_value(args, "--mode") {
+        None | Some("eandroid") => true,
+        Some("android") => false,
+        Some(other) => {
+            eprintln!("unknown mode: {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let selected: Vec<Scenario> = if name == "all" {
+        Scenario::ALL.to_vec()
+    } else {
+        match Scenario::ALL.into_iter().find(|s| s.name() == name) {
+            Some(scenario) => vec![scenario],
+            None => {
+                eprintln!("unknown scenario: {name} (try `eandroid list`)");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    for scenario in selected {
+        let mut profiler = if eandroid_mode {
+            Profiler::eandroid(policy)
+        } else {
+            Profiler::android(policy)
+        };
+        if has_flag(args, "--routines") {
+            profiler = profiler.with_routine_accounting();
+        }
+        let run = scenario.run(profiler);
+        let labels = labels_from(&run.android);
+
+        println!("=== {} ===", scenario.name());
+        match run.profiler.collateral() {
+            Some(graph) => {
+                println!(
+                    "{}",
+                    BatteryView::eandroid(run.profiler.ledger(), graph, &labels)
+                );
+            }
+            None => println!("{}", BatteryView::android(run.profiler.ledger(), &labels)),
+        }
+        println!(
+            "battery: {:.2}% remaining ({:.1} J drained)",
+            run.profiler.battery().percent(),
+            run.profiler.battery().drained().as_joules()
+        );
+
+        if has_flag(args, "--timeline") {
+            if let Some(monitor) = run.profiler.monitor() {
+                println!("\nattack timeline:");
+                print!(
+                    "{}",
+                    AttackTimeline::from_history(monitor.attack_history(), &labels).render()
+                );
+            }
+        }
+        if has_flag(args, "--detect") {
+            if let Some(monitor) = run.profiler.monitor() {
+                let findings = e_android::core::report(
+                    run.profiler.ledger(),
+                    monitor.graph(),
+                    monitor.attack_history(),
+                    &DetectorConfig::default(),
+                );
+                println!("\ncollateral-bug report:");
+                for finding in findings {
+                    let label = labels
+                        .get(&finding.uid)
+                        .cloned()
+                        .unwrap_or_else(|| format!("uid:{}", finding.uid.as_raw()));
+                    println!(
+                        "  {label:<26} own {:>8} collateral {:>8} stealth {:>4.0}% flags {:?}",
+                        finding.own.to_string(),
+                        finding.collateral.to_string(),
+                        100.0 * finding.stealth_ratio,
+                        finding.flags
+                    );
+                }
+            }
+        }
+        if has_flag(args, "--routines") {
+            if let Some(routines) = run.profiler.routines() {
+                println!("\nhottest routines:");
+                for (uid, routine, energy) in routines.top(8) {
+                    let label = labels
+                        .get(&uid)
+                        .cloned()
+                        .unwrap_or_else(|| format!("uid:{}", uid.as_raw()));
+                    println!("  {label:<26} {:<22} {energy}", routine.label());
+                }
+            }
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_depletion(args: &[&str]) -> ExitCode {
+    let cap_hours: u64 = flag_value(args, "--cap-hours")
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(24);
+    let selected: Vec<DepletionCase> = match args.first() {
+        None | Some(&"all") => DepletionCase::ALL.to_vec(),
+        Some(&name) if !name.starts_with("--") => {
+            match DepletionCase::ALL.into_iter().find(|c| c.label() == name) {
+                Some(case) => vec![case],
+                None => {
+                    eprintln!("unknown depletion case: {name} (try `eandroid list`)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => DepletionCase::ALL.to_vec(),
+    };
+    for case in selected {
+        let curve = run_depletion(case, cap_hours);
+        println!(
+            "{:<16} battery dead after {:>5.1} h",
+            curve.label, curve.lifetime_hours
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_corpus(args: &[&str]) -> ExitCode {
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(2_017);
+    let size: usize = flag_value(args, "--size")
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(1_124);
+    let config = CorpusConfig {
+        size,
+        ..CorpusConfig::paper()
+    };
+    let corpus = generate_corpus(&config, seed);
+    let stats = analyze(&corpus);
+    println!("apps: {}", stats.total);
+    println!("exported component: {:.1}%", stats.exported_percent());
+    println!("WAKE_LOCK:          {:.1}%", stats.wake_lock_percent());
+    println!("WRITE_SETTINGS:     {:.1}%", stats.write_settings_percent());
+    if has_flag(args, "--show-xml") {
+        if let Some(first) = corpus.first() {
+            println!("\n{}", to_manifest_xml(first));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_micro(args: &[&str]) -> ExitCode {
+    let runs: usize = flag_value(args, "--runs")
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(50);
+    for result in ea_bench::run_micro_matrix(runs) {
+        println!(
+            "{:<22} {:<20} median {:>8.2} µs",
+            result.op,
+            result.config,
+            result.stats.median as f64 / 1_000.0
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_workload(args: &[&str]) -> ExitCode {
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(7);
+    let sessions: usize = flag_value(args, "--sessions")
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(10);
+    let config = e_android::apps::WorkloadConfig {
+        seed,
+        sessions,
+        ..e_android::apps::WorkloadConfig::default()
+    };
+    let (android, profiler, summary) =
+        e_android::apps::run_workload(config, Profiler::eandroid(ScreenPolicy::SeparateEntity));
+    println!(
+        "{:.1} simulated minutes, {} actions, battery {:.1}%",
+        summary.elapsed_secs / 60.0,
+        summary.actions,
+        summary.final_percent
+    );
+    let labels = labels_from(&android);
+    let graph = profiler.collateral().expect("eandroid profiler");
+    println!(
+        "{}",
+        BatteryView::eandroid(profiler.ledger(), graph, &labels)
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_antutu() -> ExitCode {
+    for config in ea_bench::OverheadConfig::ALL {
+        let score = ea_bench::run_antutu(config, ea_bench::AntutuWorkload::default());
+        println!("{:<20} total {:>10.1}", config.label(), score.total);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,23 @@
+//! # e-android — façade crate
+//!
+//! Re-exports the whole E-Android reproduction workspace behind one
+//! dependency. See the individual crates for details:
+//!
+//! * [`sim`] — deterministic discrete-event kernel (clock, processes, Binder).
+//! * [`power`] — hardware power models and the battery.
+//! * [`framework`] — the simulated Android framework (activities, services,
+//!   intents, task stacks, wakelocks, settings, window manager).
+//! * [`core`] — the paper's contribution: collateral-energy monitoring,
+//!   attack lifecycles, energy maps, enhanced accounting, battery interface.
+//! * [`apps`] — demo apps, the six malware, and scripted scenarios.
+//! * [`corpus`] — the synthetic Google Play corpus and manifest analyzer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ea_apps as apps;
+pub use ea_core as core;
+pub use ea_corpus as corpus;
+pub use ea_framework as framework;
+pub use ea_power as power;
+pub use ea_sim as sim;

@@ -1,0 +1,148 @@
+//! End-to-end attack detection: every §VI attack must evade the stock
+//! battery interface and be exposed by E-Android, with identical battery
+//! drain in both modes (the §VI-B energy-efficiency result).
+
+use e_android::apps::Scenario;
+use e_android::core::{labels_from, BatteryView, Entity, Profiler, ScreenPolicy};
+
+fn run_both(scenario: Scenario) -> (e_android::apps::RunOutput, e_android::apps::RunOutput) {
+    let baseline = scenario.run(Profiler::android(ScreenPolicy::SeparateEntity));
+    let enhanced = scenario.run(Profiler::eandroid(ScreenPolicy::SeparateEntity));
+    (baseline, enhanced)
+}
+
+#[test]
+fn every_attack_shifts_blame_to_the_malware() {
+    for scenario in Scenario::ALL.into_iter().filter(|s| s.is_attack()) {
+        let (baseline, enhanced) = run_both(scenario);
+        let malware = enhanced.malware.expect("attacks install malware");
+        let labels = labels_from(&enhanced.android);
+
+        let stock = BatteryView::android(baseline.profiler.ledger(), &labels);
+        let revised = BatteryView::eandroid(
+            enhanced.profiler.ledger(),
+            enhanced.profiler.collateral().unwrap(),
+            &labels,
+        );
+
+        let before = stock.percent_of(Entity::App(malware));
+        let after = revised.percent_of(Entity::App(malware));
+        assert!(
+            before < 5.0,
+            "{}: stock accounting must miss the malware, saw {before:.1}%",
+            scenario.name()
+        );
+        assert!(
+            after > before + 2.0,
+            "{}: E-Android must expose the malware ({before:.1}% -> {after:.1}%)",
+            scenario.name()
+        );
+    }
+}
+
+#[test]
+fn energy_efficiency_battery_drop_is_identical() {
+    // §VI-B: "In all above experiments, the decreased energy level is the
+    // same between Android and E-Android."
+    for scenario in Scenario::ALL {
+        let (baseline, enhanced) = run_both(scenario);
+        let a = baseline.profiler.battery().drained().as_joules();
+        let e = enhanced.profiler.battery().drained().as_joules();
+        assert!(
+            (a - e).abs() < 1e-6,
+            "{}: battery drop must match ({a} vs {e})",
+            scenario.name()
+        );
+    }
+}
+
+#[test]
+fn attack3_energy_outside_the_period_is_not_charged() {
+    // "Only the energy consumed during the period of a collateral attack is
+    // attributed to malware" — run attack 3, then let the victim run its
+    // service legitimately afterwards; the malware's tally must not grow.
+    let run = Scenario::Attack3BindService.run(Profiler::eandroid(ScreenPolicy::SeparateEntity));
+    let malware = run.malware.unwrap();
+    let charged_during = run.profiler.collateral().unwrap().collateral_total(malware);
+
+    let mut android = run.android;
+    let mut profiler = run.profiler;
+    // The malware unbinds: the attack period ends.
+    let connections: Vec<_> = android
+        .running_services_of(run.apps.victim)
+        .iter()
+        .flat_map(|(_, record)| record.bindings.keys().copied().collect::<Vec<_>>())
+        .collect();
+    for connection in connections {
+        android.unbind_service(malware, connection).unwrap();
+    }
+    // The victim restarts its own service and works for a minute.
+    android
+        .start_service(
+            run.apps.victim,
+            e_android::framework::Intent::explicit("com.example.victim", "Worker"),
+        )
+        .unwrap();
+    profiler.run(&mut android, e_android::sim::SimDuration::from_secs(60));
+
+    let charged_after = profiler.collateral().unwrap().collateral_total(malware);
+    assert!(
+        (charged_after.as_joules() - charged_during.as_joules()).abs() < 1e-9,
+        "no energy beyond the attack period may be charged"
+    );
+}
+
+#[test]
+fn attack4_chains_screen_energy_to_the_malware() {
+    // The victim's leaked wakelock holds the screen; Algorithm 1's parent
+    // propagation routes the screen energy through the victim to the
+    // interrupting malware.
+    let run = Scenario::Attack4Interrupt.run(Profiler::eandroid(ScreenPolicy::SeparateEntity));
+    let malware = run.malware.unwrap();
+    let graph = run.profiler.collateral().unwrap();
+
+    let rows = graph.collateral_of(malware);
+    let has_victim = rows.iter().any(|(entity, energy)| {
+        *entity == Entity::App(run.apps.victim) && energy.as_joules() > 0.0
+    });
+    let has_screen = rows
+        .iter()
+        .any(|(entity, energy)| *entity == Entity::Screen && energy.as_joules() > 0.0);
+    assert!(has_victim, "malware charged for the interrupted victim");
+    assert!(
+        has_screen,
+        "malware charged for the screen the leak held on"
+    );
+}
+
+#[test]
+fn attack6_screen_energy_lands_on_malware_not_foreground() {
+    let run = Scenario::Attack6Wakelock.run(Profiler::eandroid(ScreenPolicy::SeparateEntity));
+    let malware = run.malware.unwrap();
+    let graph = run.profiler.collateral().unwrap();
+    let rows = graph.collateral_of(malware);
+    let screen_energy: f64 = rows
+        .iter()
+        .filter(|(entity, _)| *entity == Entity::Screen)
+        .map(|(_, energy)| energy.as_joules())
+        .sum();
+    assert!(
+        screen_energy > 10.0,
+        "a minute of forced screen must show up, got {screen_energy:.1} J"
+    );
+    // The victim app is innocent here: it never appears in the malware's
+    // map for this attack.
+    assert!(graph.collateral_total(run.apps.victim).is_zero());
+}
+
+#[test]
+fn normal_scenes_also_profile_collateral() {
+    // E-Android is not only an attack detector: normal IPC (Figure 9a/9b)
+    // produces collateral rows too.
+    let run = Scenario::Scene1MessageVideo.run(Profiler::eandroid(ScreenPolicy::SeparateEntity));
+    let graph = run.profiler.collateral().unwrap();
+    assert!(graph.collateral_total(run.apps.message).as_joules() > 0.0);
+
+    // And the malware-free scenes install no malware.
+    assert!(run.malware.is_none());
+}

@@ -1,0 +1,81 @@
+//! End-to-end calibration: recover a usable linear power model (§II's
+//! PowerTutor methodology) from states driven through the real framework,
+//! then check it predicts unseen states.
+
+use e_android::framework::{AndroidSystem, AppManifest, ChangeSource, Permission};
+use e_android::power::{fit_power_model, DevicePowerModel, PowerSample};
+use e_android::sim::SimDuration;
+
+fn training_handset() -> (AndroidSystem, e_android::sim::Uid) {
+    let mut android = AndroidSystem::new();
+    let app = android.install(
+        AppManifest::builder("com.cal.app")
+            .activity("Main", true)
+            .permission(Permission::Camera)
+            .permission(Permission::WakeLock)
+            .build(),
+    );
+    android.user_launch("com.cal.app").unwrap();
+    (android, app)
+}
+
+#[test]
+fn framework_driven_calibration_recovers_a_predictive_model() {
+    let (mut android, app) = training_handset();
+    let mut handset = DevicePowerModel::nexus4();
+
+    // Drive the handset through a training schedule: brightness sweep ×
+    // CPU load × camera × audio, sampling the "power meter" (the ground
+    // truth model) at each state.
+    let mut samples = Vec::new();
+    for &brightness in &[1u8, 32, 96, 160, 255] {
+        android
+            .set_brightness(ChangeSource::User, brightness)
+            .unwrap();
+        for &load in &[0.0, 0.25, 0.5, 1.0] {
+            android.set_extra_demand(app, load);
+            for &camera in &[false, true] {
+                if camera {
+                    android.camera_start(app, true).unwrap();
+                } else {
+                    android.camera_stop(app);
+                }
+                for &audio in &[false, true] {
+                    android.set_audio(app, audio);
+                    android.note_user_activity();
+                    android.advance(SimDuration::from_secs(5));
+                    let usage = android.usage_snapshot();
+                    let measured_mw = handset.total_mw(android.now(), &usage);
+                    samples.push(PowerSample { usage, measured_mw });
+                }
+            }
+        }
+    }
+
+    let model = fit_power_model(&samples).expect("training schedule is well-conditioned");
+
+    // §II: linear fits of real (non-linear) hardware carry error, but stay
+    // usable — the paper quotes error rates up to ~20 %.
+    assert!(model.mape < 0.25, "mape {:.3} too high", model.mape);
+    assert!(model.cpu_mw_per_core > 50.0);
+    assert!(model.screen_mw_per_level > 100.0);
+    assert!(model.camera_mw > 500.0);
+    assert!(model.audio_mw > 50.0);
+
+    // Held-out state: a configuration never seen during training.
+    android.set_brightness(ChangeSource::User, 200).unwrap();
+    android.set_extra_demand(app, 0.7);
+    android.camera_stop(app);
+    android.set_audio(app, true);
+    android.note_user_activity();
+    android.advance(SimDuration::from_secs(5));
+    let usage = android.usage_snapshot();
+    let truth = handset.total_mw(android.now(), &usage);
+    let predicted = model.predict_mw(&usage);
+    let relative_error = ((predicted - truth) / truth).abs();
+    assert!(
+        relative_error < 0.25,
+        "held-out prediction off by {:.1}% ({predicted:.0} vs {truth:.0} mW)",
+        relative_error * 100.0
+    );
+}

@@ -1,0 +1,161 @@
+//! Chain and multi-attack integration tests against the *real* framework —
+//! the Figure 6/7 timelines executed through `AndroidSystem` events rather
+//! than the graph API directly.
+
+use e_android::core::{Entity, Profiler, ScreenPolicy};
+use e_android::framework::{AndroidSystem, AppManifest, ChangeSource, Intent, Permission};
+use e_android::sim::SimDuration;
+
+fn app(package: &str) -> AppManifest {
+    AppManifest::builder(package)
+        .activity("Main", true)
+        .service("Worker", true)
+        .permission(Permission::WakeLock)
+        .permission(Permission::WriteSettings)
+        .build()
+}
+
+#[test]
+fn figure7_hybrid_chain_through_the_framework() {
+    let mut android = AndroidSystem::new();
+    let a = android.install(app("com.a"));
+    let b = android.install(app("com.b"));
+    let c = android.install(app("com.c"));
+    android.user_launch("com.a").unwrap();
+
+    let mut profiler = Profiler::eandroid(ScreenPolicy::SeparateEntity);
+    profiler.run(&mut android, SimDuration::from_secs(2));
+
+    // A binds B's service.
+    android
+        .bind_service(a, Intent::explicit("com.b", "Worker"))
+        .unwrap();
+    profiler.run(&mut android, SimDuration::from_secs(2));
+
+    // B starts C's activity.
+    android
+        .start_activity(b, Intent::explicit("com.c", "Main"))
+        .unwrap();
+    profiler.run(&mut android, SimDuration::from_secs(2));
+
+    // C stealthily raises the brightness.
+    android.set_brightness(ChangeSource::App(c), 250).unwrap();
+    profiler.run(&mut android, SimDuration::from_secs(10));
+
+    let graph = profiler.collateral().unwrap();
+    // A's map contains B (bind), C (chain), and the screen (chain).
+    assert!(graph.links(a, Entity::App(b)) > 0, "A→B live");
+    assert!(graph.links(a, Entity::App(c)) > 0, "A→C via chain");
+    assert!(graph.links(a, Entity::Screen) > 0, "A→screen via chain");
+    assert!(graph.collateral_total(a) > graph.collateral_total(b));
+    assert!(graph.collateral_total(b).as_joules() > 0.0);
+
+    // The user resets brightness: the screen attack ends everywhere.
+    android.set_brightness(ChangeSource::User, 96).unwrap();
+    profiler.run(&mut android, SimDuration::from_secs(1));
+    let graph = profiler.collateral().unwrap();
+    assert_eq!(graph.links(a, Entity::Screen), 0);
+    assert_eq!(graph.links(c, Entity::Screen), 0);
+    // But the app-level chain is still alive.
+    assert!(graph.links(a, Entity::App(b)) > 0);
+}
+
+#[test]
+fn figure6_multi_attack_single_charging() {
+    let mut android = AndroidSystem::new();
+    let a = android.install(app("com.a"));
+    let b = android.install(app("com.b"));
+    android.user_launch("com.a").unwrap();
+
+    let mut profiler = Profiler::eandroid(ScreenPolicy::SeparateEntity);
+
+    // A binds B and also starts B's activity: two live links, one tally.
+    let connection = android
+        .bind_service(a, Intent::explicit("com.b", "Worker"))
+        .unwrap();
+    android
+        .start_activity(a, Intent::explicit("com.b", "Main"))
+        .unwrap();
+    profiler.run(&mut android, SimDuration::from_secs(10));
+
+    let graph = profiler.collateral().unwrap();
+    assert_eq!(graph.links(a, Entity::App(b)), 2);
+    let single_tally = graph.collateral_total(a);
+    // B's own ledger energy must not be double-charged to A.
+    let b_consumed = profiler.ledger().total_of(Entity::App(b));
+    assert!(
+        single_tally.as_joules() <= b_consumed.as_joules() + 1e-9,
+        "collateral ({single_tally}) cannot exceed what B consumed ({b_consumed})"
+    );
+
+    // The user starts B directly: the activity link ends, the bind link
+    // persists; charging continues exactly once.
+    android.user_launch("com.b").unwrap();
+    profiler.run(&mut android, SimDuration::from_secs(1));
+    let graph = profiler.collateral().unwrap();
+    assert_eq!(graph.links(a, Entity::App(b)), 1);
+
+    // After the unbind, the relation is fully revoked.
+    android.unbind_service(a, connection).unwrap();
+    profiler.run(&mut android, SimDuration::from_secs(1));
+    let before = profiler.collateral().unwrap().collateral_total(a);
+    profiler.run(&mut android, SimDuration::from_secs(30));
+    let after = profiler.collateral().unwrap().collateral_total(a);
+    assert!((after.as_joules() - before.as_joules()).abs() < 1e-9);
+}
+
+#[test]
+fn chain_survives_middleman_backgrounding() {
+    // A starts B; B starts C; B goes to background. C's energy still flows
+    // to A and B until C is re-started by the user.
+    let mut android = AndroidSystem::new();
+    let a = android.install(app("com.a"));
+    let b = android.install(app("com.b"));
+    let c = android.install(app("com.c"));
+    android.user_launch("com.a").unwrap();
+    let mut profiler = Profiler::eandroid(ScreenPolicy::SeparateEntity);
+
+    android
+        .start_activity(a, Intent::explicit("com.b", "Main"))
+        .unwrap();
+    android
+        .start_activity(b, Intent::explicit("com.c", "Main"))
+        .unwrap();
+    profiler.run(&mut android, SimDuration::from_secs(5));
+
+    let graph = profiler.collateral().unwrap();
+    let a_before = graph.collateral_total(a);
+    assert!(a_before.as_joules() > 0.0);
+    assert!(graph.links(a, Entity::App(c)) > 0);
+
+    // The user starts C directly: every activity link onto C ends.
+    android.user_launch("com.c").unwrap();
+    profiler.run(&mut android, SimDuration::from_secs(1));
+    let graph = profiler.collateral().unwrap();
+    assert_eq!(graph.links(a, Entity::App(c)), 0);
+    assert_eq!(graph.links(b, Entity::App(c)), 0);
+}
+
+#[test]
+fn cycles_do_not_double_charge_or_panic() {
+    let mut android = AndroidSystem::new();
+    let a = android.install(app("com.a"));
+    let b = android.install(app("com.b"));
+    android.user_launch("com.a").unwrap();
+    let mut profiler = Profiler::eandroid(ScreenPolicy::SeparateEntity);
+
+    // A ↔ B bind each other.
+    android
+        .bind_service(a, Intent::explicit("com.b", "Worker"))
+        .unwrap();
+    android
+        .bind_service(b, Intent::explicit("com.a", "Worker"))
+        .unwrap();
+    profiler.run(&mut android, SimDuration::from_secs(10));
+
+    let graph = profiler.collateral().unwrap();
+    assert_eq!(graph.links(a, Entity::App(a)), 0, "no self links");
+    assert_eq!(graph.links(b, Entity::App(b)), 0, "no self links");
+    assert!(graph.collateral_total(a).as_joules() > 0.0);
+    assert!(graph.collateral_total(b).as_joules() > 0.0);
+}

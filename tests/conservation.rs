@@ -1,0 +1,108 @@
+//! Energy-conservation and determinism invariants across the whole stack.
+
+use e_android::apps::Scenario;
+use e_android::core::{Entity, Profiler, ScreenPolicy};
+
+#[test]
+fn ledger_conserves_integrated_energy_in_every_scenario() {
+    for scenario in Scenario::ALL {
+        for policy in [ScreenPolicy::SeparateEntity, ScreenPolicy::ForegroundApp] {
+            let run = scenario.run(Profiler::eandroid(policy));
+            let ledger = run.profiler.ledger().grand_total().as_joules();
+            let integrated = run.profiler.integrated_energy().as_joules();
+            assert!(
+                (ledger - integrated).abs() < 1e-6,
+                "{} under {:?}: ledger {ledger} != integrated {integrated}",
+                scenario.name(),
+                policy
+            );
+        }
+    }
+}
+
+#[test]
+fn collateral_never_exceeds_what_the_driven_entities_consumed() {
+    for scenario in Scenario::ALL {
+        let run = scenario.run(Profiler::eandroid(ScreenPolicy::SeparateEntity));
+        let graph = run.profiler.collateral().unwrap();
+        let ledger = run.profiler.ledger();
+        for host in graph.hosts() {
+            for (entity, energy) in graph.collateral_of(host) {
+                // Under the SeparateEntity policy the ledger tracks each
+                // entity's own consumption, which bounds its collateral
+                // contribution to any single host.
+                let consumed = ledger.total_of(entity).as_joules();
+                assert!(
+                    energy.as_joules() <= consumed + 1e-6,
+                    "{}: host {host} charged {energy} for {entity}, which only consumed {consumed}",
+                    scenario.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scenarios_are_bit_for_bit_deterministic() {
+    for scenario in [
+        Scenario::Scene2HybridChain,
+        Scenario::Attack4Interrupt,
+        Scenario::Attack5Brightness,
+    ] {
+        let a = scenario.run(Profiler::eandroid(ScreenPolicy::SeparateEntity));
+        let b = scenario.run(Profiler::eandroid(ScreenPolicy::SeparateEntity));
+        assert_eq!(
+            a.profiler.battery().drained(),
+            b.profiler.battery().drained()
+        );
+        assert_eq!(a.profiler.ledger(), b.profiler.ledger());
+        assert_eq!(
+            a.profiler.collateral().unwrap(),
+            b.profiler.collateral().unwrap()
+        );
+    }
+}
+
+#[test]
+fn screen_policy_moves_screen_energy_without_changing_totals() {
+    let separate =
+        Scenario::Scene1MessageVideo.run(Profiler::android(ScreenPolicy::SeparateEntity));
+    let foreground =
+        Scenario::Scene1MessageVideo.run(Profiler::android(ScreenPolicy::ForegroundApp));
+
+    let total_a = separate.profiler.ledger().grand_total().as_joules();
+    let total_b = foreground.profiler.ledger().grand_total().as_joules();
+    assert!(
+        (total_a - total_b).abs() < 1e-6,
+        "policy is attribution only"
+    );
+
+    // BatteryStats shows a Screen row; PowerTutor folds it into apps.
+    assert!(
+        separate
+            .profiler
+            .ledger()
+            .total_of(Entity::Screen)
+            .as_joules()
+            > 0.0
+    );
+    assert!(foreground
+        .profiler
+        .ledger()
+        .total_of(Entity::Screen)
+        .is_zero());
+}
+
+#[test]
+fn no_entity_is_ever_charged_negative_energy() {
+    for scenario in Scenario::ALL {
+        let run = scenario.run(Profiler::eandroid(ScreenPolicy::ForegroundApp));
+        for entity in run.profiler.ledger().entities() {
+            assert!(run.profiler.ledger().total_of(entity).as_joules() >= 0.0);
+        }
+        let graph = run.profiler.collateral().unwrap();
+        for host in graph.hosts() {
+            assert!(graph.collateral_total(host).as_joules() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based tests over the whole stack: random (but valid) sequences
+//! of framework operations must never panic, and the accounting invariants
+//! must hold at every step.
+
+use e_android::core::{Entity, Profiler, ScreenPolicy};
+use e_android::framework::{
+    AndroidSystem, AppManifest, ChangeSource, Intent, Permission, WakelockKind,
+};
+use e_android::sim::SimDuration;
+use proptest::prelude::*;
+
+/// One random framework operation.
+#[derive(Debug, Clone)]
+enum Op {
+    UserLaunch(usize),
+    StartActivity(usize, usize),
+    StartService(usize, usize),
+    StopService(usize, usize),
+    Bind(usize, usize),
+    UnbindAll(usize),
+    AcquireLock(usize, u8),
+    ReleaseAll(usize),
+    Brightness(usize, u8),
+    UserBrightness(u8),
+    Home,
+    Back,
+    AppHome(usize),
+    KillApp(usize),
+    Advance(u16),
+}
+
+fn op_strategy(apps: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..apps).prop_map(Op::UserLaunch),
+        (0..apps, 0..apps).prop_map(|(a, b)| Op::StartActivity(a, b)),
+        (0..apps, 0..apps).prop_map(|(a, b)| Op::StartService(a, b)),
+        (0..apps, 0..apps).prop_map(|(a, b)| Op::StopService(a, b)),
+        (0..apps, 0..apps).prop_map(|(a, b)| Op::Bind(a, b)),
+        (0..apps).prop_map(Op::UnbindAll),
+        (0..apps, 0u8..4).prop_map(|(a, k)| Op::AcquireLock(a, k)),
+        (0..apps).prop_map(Op::ReleaseAll),
+        (0..apps, any::<u8>()).prop_map(|(a, b)| Op::Brightness(a, b)),
+        any::<u8>().prop_map(Op::UserBrightness),
+        Just(Op::Home),
+        Just(Op::Back),
+        (0..apps).prop_map(Op::AppHome),
+        (0..apps).prop_map(Op::KillApp),
+        (1u16..50).prop_map(Op::Advance),
+    ]
+}
+
+fn build(apps: usize) -> (AndroidSystem, Vec<e_android::sim::Uid>) {
+    let mut android = AndroidSystem::new();
+    let uids = (0..apps)
+        .map(|index| {
+            android.install(
+                AppManifest::builder(format!("com.fuzz.app{index}"))
+                    .activity("Main", true)
+                    .service("Worker", true)
+                    .permission(Permission::WakeLock)
+                    .permission(Permission::WriteSettings)
+                    .build(),
+            )
+        })
+        .collect();
+    (android, uids)
+}
+
+fn apply(android: &mut AndroidSystem, uids: &[e_android::sim::Uid], op: &Op) {
+    // Every operation is allowed to fail (process dead, lock missing…);
+    // what must never happen is a panic or an invariant violation.
+    match op {
+        Op::UserLaunch(index) => {
+            let _ = android.user_launch(&format!("com.fuzz.app{index}"));
+        }
+        Op::StartActivity(a, b) => {
+            let _ = android.start_activity(
+                uids[*a],
+                Intent::explicit(format!("com.fuzz.app{b}"), "Main"),
+            );
+        }
+        Op::StartService(a, b) => {
+            let _ = android.start_service(
+                uids[*a],
+                Intent::explicit(format!("com.fuzz.app{b}"), "Worker"),
+            );
+        }
+        Op::StopService(a, b) => {
+            let _ = android.stop_service(
+                uids[*a],
+                Intent::explicit(format!("com.fuzz.app{b}"), "Worker"),
+            );
+        }
+        Op::Bind(a, b) => {
+            let _ = android.bind_service(
+                uids[*a],
+                Intent::explicit(format!("com.fuzz.app{b}"), "Worker"),
+            );
+        }
+        Op::UnbindAll(a) => {
+            let connections: Vec<_> = uids
+                .iter()
+                .flat_map(|&target| {
+                    android
+                        .running_services_of(target)
+                        .iter()
+                        .flat_map(|(_, record)| {
+                            record
+                                .bindings
+                                .iter()
+                                .filter(|(_, &binder)| binder == uids[*a])
+                                .map(|(&connection, _)| connection)
+                                .collect::<Vec<_>>()
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            for connection in connections {
+                let _ = android.unbind_service(uids[*a], connection);
+            }
+        }
+        Op::AcquireLock(a, kind) => {
+            let kind = match kind {
+                0 => WakelockKind::Partial,
+                1 => WakelockKind::ScreenDim,
+                2 => WakelockKind::ScreenBright,
+                _ => WakelockKind::Full,
+            };
+            let _ = android.acquire_wakelock(uids[*a], kind);
+        }
+        Op::ReleaseAll(a) => {
+            let locks: Vec<_> = android
+                .held_wakelocks(uids[*a])
+                .iter()
+                .map(|lock| lock.id)
+                .collect();
+            for lock in locks {
+                let _ = android.release_wakelock(uids[*a], lock);
+            }
+        }
+        Op::Brightness(a, value) => {
+            let _ = android.set_brightness(ChangeSource::App(uids[*a]), *value);
+        }
+        Op::UserBrightness(value) => {
+            let _ = android.set_brightness(ChangeSource::User, *value);
+        }
+        Op::Home => android.user_press_home(),
+        Op::Back => android.user_press_back(),
+        Op::AppHome(a) => android.app_open_home(uids[*a]),
+        Op::KillApp(a) => {
+            let _ = android.kill_app(uids[*a]);
+        }
+        Op::Advance(_) => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_op_sequences_preserve_accounting_invariants(
+        ops in proptest::collection::vec(op_strategy(4), 1..60)
+    ) {
+        let (mut android, uids) = build(4);
+        let mut profiler = Profiler::eandroid(ScreenPolicy::SeparateEntity);
+
+        for op in &ops {
+            apply(&mut android, &uids, op);
+            let span = match op {
+                Op::Advance(ms) => SimDuration::from_millis(u64::from(*ms) * 100),
+                _ => SimDuration::from_millis(100),
+            };
+            profiler.run(&mut android, span);
+
+            // Invariant 1: conservation.
+            let ledger = profiler.ledger().grand_total().as_joules();
+            let integrated = profiler.integrated_energy().as_joules();
+            prop_assert!((ledger - integrated).abs() < 1e-6);
+
+            // Invariant 2: nothing negative, nobody self-charged.
+            let graph = profiler.collateral().unwrap();
+            for host in graph.hosts() {
+                prop_assert_eq!(graph.links(host, Entity::App(host)), 0);
+                for (_, energy) in graph.collateral_of(host) {
+                    prop_assert!(energy.as_joules() >= 0.0);
+                }
+            }
+
+            // Invariant 3: system apps are never attack hosts with charges.
+            for host in graph.hosts() {
+                if host.is_system() {
+                    prop_assert!(graph.collateral_total(host).is_zero());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_op_sequences_are_deterministic(
+        ops in proptest::collection::vec(op_strategy(3), 1..40)
+    ) {
+        let run = |ops: &[Op]| {
+            let (mut android, uids) = build(3);
+            let mut profiler = Profiler::eandroid(ScreenPolicy::ForegroundApp);
+            for op in ops {
+                apply(&mut android, &uids, op);
+                profiler.run(&mut android, SimDuration::from_millis(100));
+            }
+            profiler.battery().drained()
+        };
+        prop_assert_eq!(run(&ops), run(&ops));
+    }
+}

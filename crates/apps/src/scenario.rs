@@ -8,9 +8,12 @@
 //! how the paper's side-by-side bars are produced (the simulation is fully
 //! deterministic, so the two runs see identical workloads).
 
+use std::sync::Arc;
+
 use ea_core::Profiler;
 use ea_framework::{AndroidSystem, ChangeSource, Intent, TapOutcome, WakelockKind};
 use ea_sim::{SimDuration, Uid};
+use ea_telemetry::{SinkHandle, TelemetrySink};
 
 use crate::demo::{packages, DemoApps, ACTION_VIDEO_CAPTURE};
 use crate::malware::Malware;
@@ -124,8 +127,24 @@ impl Scenario {
     }
 
     /// Runs the scenario from a fresh boot under `profiler`.
-    pub fn run(self, mut profiler: Profiler) -> RunOutput {
+    pub fn run(self, profiler: Profiler) -> RunOutput {
+        self.run_on(AndroidSystem::new(), profiler)
+    }
+
+    /// Runs the scenario with `sink` wired through every layer: the
+    /// framework mirrors its events and kernel statistics, and the
+    /// profiler emits attribution, battery, attack, and span telemetry.
+    /// The simulation itself is unchanged — traced and untraced runs see
+    /// identical workloads.
+    pub fn run_traced(self, mut profiler: Profiler, sink: Arc<dyn TelemetrySink>) -> RunOutput {
+        let handle = SinkHandle::new(sink);
         let mut android = AndroidSystem::new();
+        android.set_telemetry_handle(handle.clone());
+        profiler.set_telemetry_handle(handle);
+        self.run_on(android, profiler)
+    }
+
+    fn run_on(self, mut android: AndroidSystem, mut profiler: Profiler) -> RunOutput {
         let apps = DemoApps::install_all(&mut android);
         let mut malware = None;
 
@@ -282,7 +301,9 @@ impl Scenario {
                 android.user_launch(packages::VICTIM).unwrap();
                 // The user runs in automatic brightness: ambient light keeps
                 // it comfortable.
-                android.set_brightness_mode(ChangeSource::User, false).unwrap();
+                android
+                    .set_brightness_mode(ChangeSource::User, false)
+                    .unwrap();
                 android.ambient_brightness(40);
                 run_attended(&mut android, &mut profiler, 5);
                 mal.attack5_hijack_auto_mode(&mut android, 120).unwrap();

@@ -3,7 +3,7 @@
 //! almost nothing.
 
 use ea_apps::Scenario;
-use ea_bench::report;
+use ea_bench::{report, TraceRequest};
 use ea_core::{labels_from, BatteryView, Entity, Profiler, ScreenPolicy};
 use serde::Serialize;
 
@@ -16,7 +16,12 @@ struct Row {
 
 fn main() {
     report::header("Figure 1: Android energy view when filming in the Message app");
-    let run = Scenario::Scene1MessageVideo.run(Profiler::android(ScreenPolicy::SeparateEntity));
+    let trace = TraceRequest::from_args();
+    let profiler = Profiler::android(ScreenPolicy::SeparateEntity);
+    let run = match &trace {
+        Some(trace) => Scenario::Scene1MessageVideo.run_traced(profiler, trace.sink()),
+        None => Scenario::Scene1MessageVideo.run(profiler),
+    };
     let labels = labels_from(&run.android);
     let view = BatteryView::android(run.profiler.ledger(), &labels);
 
@@ -43,4 +48,7 @@ fn main() {
          \"the Message only consumes a quite small portion of energy\""
     );
     report::write_json("fig01_message_camera", &rows);
+    if let Some(trace) = &trace {
+        trace.finish().expect("write trace files");
+    }
 }

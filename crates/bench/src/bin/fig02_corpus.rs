@@ -1,13 +1,26 @@
 //! Figure 2 — prevalence of the attack preconditions over the 1,124-app
 //! corpus: exported components, WAKE_LOCK, WRITE_SETTINGS.
 
-use ea_bench::report;
+use ea_bench::{report, TraceRequest};
 use ea_corpus::{analyze, generate_corpus, CorpusConfig};
 
 fn main() {
     report::header("Figure 2: collected apps from Google Play (synthetic corpus)");
-    let corpus = generate_corpus(&CorpusConfig::paper(), 2_017);
-    let stats = analyze(&corpus);
+    let trace = TraceRequest::from_args();
+    let corpus = {
+        let _span = trace.as_ref().map(|t| t.span("generate_corpus"));
+        generate_corpus(&CorpusConfig::paper(), 2_017)
+    };
+    let stats = {
+        let _span = trace.as_ref().map(|t| t.span("analyze_corpus"));
+        analyze(&corpus)
+    };
+    if let Some(trace) = &trace {
+        trace.count("corpus_apps_total", stats.total as u64);
+        trace.count("corpus_exported_total", stats.exported as u64);
+        trace.count("corpus_wake_lock_total", stats.wake_lock as u64);
+        trace.count("corpus_write_settings_total", stats.write_settings as u64);
+    }
 
     println!("apps inspected: {}", stats.total);
     println!(
@@ -44,4 +57,7 @@ fn main() {
         );
     }
     report::write_json("fig02_corpus", &stats);
+    if let Some(trace) = &trace {
+        trace.finish().expect("write trace files");
+    }
 }

@@ -2,7 +2,7 @@
 //! cases, screen forced on by a wakelock.
 
 use ea_apps::{run_depletion, DepletionCase};
-use ea_bench::report;
+use ea_bench::{report, TraceRequest};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -14,9 +14,20 @@ struct Curve {
 
 fn main() {
     report::header("Figure 3: battery percentage vs time (hours)");
+    let trace = TraceRequest::from_args();
     let mut curves = Vec::new();
     for case in DepletionCase::ALL {
-        let curve = run_depletion(case, 24);
+        let curve = {
+            let _span = trace.as_ref().map(|t| t.span("run_depletion"));
+            run_depletion(case, 24)
+        };
+        if let Some(trace) = &trace {
+            trace.count("depletion_cases_total", 1);
+            trace.gauge(
+                &format!("lifetime_hours_{}", curve.label.replace(' ', "_")),
+                curve.lifetime_hours,
+            );
+        }
         println!(
             "{:<16} battery dead after {:>5.1} h  ({} samples)",
             curve.label,
@@ -62,4 +73,7 @@ fn main() {
         println!();
     }
     report::write_json("fig03_depletion", &curves);
+    if let Some(trace) = &trace {
+        trace.finish().expect("write trace files");
+    }
 }

@@ -2,12 +2,17 @@
 //! interface) for the legitimate hybrid chain: Contacts → Message → Camera.
 
 use ea_apps::Scenario;
-use ea_bench::report;
+use ea_bench::{report, TraceRequest};
 use ea_core::{labels_from, BatteryView, Entity, Profiler, ScreenPolicy};
 
 fn main() {
     report::header("Figure 8: E-Android energy breakdown (hybrid chain, PowerTutor policy)");
-    let run = Scenario::Scene2HybridChain.run(Profiler::eandroid(ScreenPolicy::ForegroundApp));
+    let trace = TraceRequest::from_args();
+    let profiler = Profiler::eandroid(ScreenPolicy::ForegroundApp);
+    let run = match &trace {
+        Some(trace) => Scenario::Scene2HybridChain.run_traced(profiler, trace.sink()),
+        None => Scenario::Scene2HybridChain.run(profiler),
+    };
     let labels = labels_from(&run.android);
     let graph = run.profiler.collateral().expect("eandroid profiler");
     let view = BatteryView::eandroid(run.profiler.ledger(), graph, &labels);
@@ -29,4 +34,7 @@ fn main() {
         println!();
     }
     report::write_json("fig08_breakdown", &view);
+    if let Some(trace) = &trace {
+        trace.finish().expect("write trace files");
+    }
 }

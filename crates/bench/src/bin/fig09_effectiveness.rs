@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 
 use ea_apps::Scenario;
-use ea_bench::report;
+use ea_bench::{report, TraceRequest};
 use ea_core::{labels_from, BatteryView, Profiler, ScreenPolicy};
 use serde::Serialize;
 
@@ -27,13 +27,20 @@ struct Row {
 
 fn main() {
     report::header("Figure 9: Android vs E-Android energy profiles");
+    let trace = TraceRequest::from_args();
     let mut all = Vec::new();
 
     for scenario in Scenario::ALL {
         // The simulation is deterministic: two runs of the same script see
         // identical workloads, isolating the accounting difference.
         let baseline = scenario.run(Profiler::android(ScreenPolicy::SeparateEntity));
-        let enhanced = scenario.run(Profiler::eandroid(ScreenPolicy::SeparateEntity));
+        // When tracing, the E-Android run of every scenario lands in one
+        // combined trace (attack periods show as bars per scenario).
+        let enhanced_profiler = Profiler::eandroid(ScreenPolicy::SeparateEntity);
+        let enhanced = match &trace {
+            Some(trace) => scenario.run_traced(enhanced_profiler, trace.sink()),
+            None => scenario.run(enhanced_profiler),
+        };
 
         let labels = labels_from(&enhanced.android);
         let view_a = BatteryView::android(baseline.profiler.ledger(), &labels);
@@ -99,4 +106,7 @@ fn main() {
     }
 
     report::write_json("fig09_effectiveness", &all);
+    if let Some(trace) = &trace {
+        trace.finish().expect("write trace files");
+    }
 }

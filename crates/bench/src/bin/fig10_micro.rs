@@ -2,7 +2,7 @@
 //! operations under Android, the E-Android framework extension, and
 //! complete E-Android. 50 runs each, two biggest/smallest trimmed.
 
-use ea_bench::{report, run_micro_matrix, MicroOp, OverheadConfig};
+use ea_bench::{report, run_micro_matrix, MicroOp, OverheadConfig, TraceRequest};
 
 fn main() {
     report::header("Table I: micro operations");
@@ -15,7 +15,14 @@ fn main() {
     }
 
     report::header("Figure 10: time cost (µs) — min/q1/median/q3/max over 50 runs");
-    let results = run_micro_matrix(50);
+    let trace = TraceRequest::from_args();
+    let results = {
+        let _span = trace.as_ref().map(|t| t.span("micro_matrix"));
+        run_micro_matrix(50)
+    };
+    if let Some(trace) = &trace {
+        trace.count("micro_results_total", results.len() as u64);
+    }
 
     println!(
         "{:<22} {:<20} {:>8} {:>8} {:>8} {:>8} {:>8}",
@@ -56,4 +63,7 @@ fn main() {
     }
 
     report::write_json("fig10_micro", &results);
+    if let Some(trace) = &trace {
+        trace.finish().expect("write trace files");
+    }
 }

@@ -1,7 +1,7 @@
 //! Figure 11 — AnTuTu-style benchmark parity: E-Android scores the same as
 //! Android because its hooks only fire on collateral events.
 
-use ea_bench::{report, run_antutu, AntutuWorkload, OverheadConfig};
+use ea_bench::{report, run_antutu, AntutuWorkload, OverheadConfig, TraceRequest};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -16,6 +16,7 @@ struct ScoreRow {
 
 fn main() {
     report::header("Figure 11: AnTuTu-style benchmark (bigger is better)");
+    let trace = TraceRequest::from_args();
     let workload = AntutuWorkload::default();
 
     let mut rows = Vec::new();
@@ -39,7 +40,12 @@ fn main() {
     for config in OverheadConfig::ALL {
         // Best of three passes per sub-score: wall-clock noise on a shared
         // machine would otherwise swamp the sub-µs hook overhead.
-        let passes: Vec<_> = (0..3).map(|_| run_antutu(config, workload)).collect();
+        let passes: Vec<_> = (0..3)
+            .map(|_| {
+                let _span = trace.as_ref().map(|t| t.span("antutu_pass"));
+                run_antutu(config, workload)
+            })
+            .collect();
         let best = |extract: fn(&ea_bench::AntutuScore) -> f64| {
             passes.iter().map(extract).fold(f64::MIN, f64::max)
         };
@@ -82,4 +88,13 @@ fn main() {
         complete / android
     );
     report::write_json("fig11_antutu", &rows);
+    if let Some(trace) = &trace {
+        for row in &rows {
+            trace.gauge(
+                &format!("antutu_total_{}", row.config.replace(' ', "_")),
+                row.total,
+            );
+        }
+        trace.finish().expect("write trace files");
+    }
 }

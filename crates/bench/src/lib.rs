@@ -22,6 +22,8 @@
 pub mod antutu;
 pub mod micro;
 pub mod report;
+pub mod trace;
 
 pub use antutu::{run_antutu, AntutuScore, AntutuWorkload};
 pub use micro::{run_micro_matrix, BoxStats, MicroHarness, MicroOp, MicroResult, OverheadConfig};
+pub use trace::TraceRequest;

@@ -1,0 +1,90 @@
+//! `--trace <base>` support for the figure binaries.
+//!
+//! Every `fig*` binary accepts `--trace <base>`; when present, the run is
+//! recorded into an [`ea_telemetry::Recorder`] and exported as
+//! `<base>.jsonl` (the replayable deterministic event stream) and
+//! `<base>.trace.json` (Chrome trace-event format, loadable in
+//! `chrome://tracing` / Perfetto), with a human-readable summary printed
+//! to stderr.
+
+use std::fs::File;
+use std::io::{self, BufWriter};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use ea_telemetry::{export, Recorder, SpanGuard, TelemetrySink, TelemetrySummary};
+
+/// A `--trace` request parsed from the command line: the recorder to wire
+/// into the run plus the output base path.
+pub struct TraceRequest {
+    /// The sink collecting the run.
+    pub recorder: Arc<Recorder>,
+    base: PathBuf,
+}
+
+impl TraceRequest {
+    /// Parses `--trace <base>` (or `--trace=<base>`) from the process
+    /// arguments. Returns `None` when the flag is absent; exits with a
+    /// usage message when the flag is present without a value.
+    pub fn from_args() -> Option<TraceRequest> {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if let Some(base) = arg.strip_prefix("--trace=") {
+                return Some(TraceRequest::to_base(base));
+            }
+            if arg == "--trace" {
+                match args.next() {
+                    Some(base) => return Some(TraceRequest::to_base(&base)),
+                    None => {
+                        eprintln!("usage: --trace <output-base>");
+                        std::process::exit(2);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// A request writing `<base>.jsonl` and `<base>.trace.json`.
+    pub fn to_base(base: impl AsRef<Path>) -> TraceRequest {
+        TraceRequest {
+            recorder: Arc::new(Recorder::new()),
+            base: base.as_ref().to_path_buf(),
+        }
+    }
+
+    /// The recorder as a sink, for `Scenario::run_traced` and friends.
+    pub fn sink(&self) -> Arc<Recorder> {
+        Arc::clone(&self.recorder)
+    }
+
+    /// Opens a wall-clock span on the recorder, closed when the guard
+    /// drops — for binaries that phase their work rather than drive a
+    /// profiler.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        ea_telemetry::span(&*self.recorder, name)
+    }
+
+    /// Bumps a monotone counter on the recorder.
+    pub fn count(&self, name: &str, delta: u64) {
+        self.recorder.counter_add(name, delta);
+    }
+
+    /// Sets a gauge on the recorder.
+    pub fn gauge(&self, name: &str, value: f64) {
+        self.recorder.gauge_set(name, value);
+    }
+
+    /// Writes both trace files and prints the telemetry summary to stderr.
+    pub fn finish(&self) -> io::Result<()> {
+        let jsonl = self.base.with_extension("jsonl");
+        let chrome = self.base.with_extension("trace.json");
+        let mut out = BufWriter::new(File::create(&jsonl)?);
+        export::write_jsonl(&self.recorder, &mut out)?;
+        let mut out = BufWriter::new(File::create(&chrome)?);
+        export::write_chrome_trace(&self.recorder, &mut out)?;
+        eprintln!("wrote {} and {}", jsonl.display(), chrome.display());
+        eprintln!("{}", TelemetrySummary::from_recorder(&self.recorder));
+        Ok(())
+    }
+}

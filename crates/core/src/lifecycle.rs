@@ -53,6 +53,25 @@ impl AttackKind {
     pub fn is_service_like(self) -> bool {
         matches!(self, AttackKind::ServiceBind | AttackKind::ServiceStart)
     }
+
+    /// A short stable label, used in telemetry metric names and traces.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackKind::ActivityStart => "ActivityStart",
+            AttackKind::Interruption => "Interruption",
+            AttackKind::ServiceBind => "ServiceBind",
+            AttackKind::ServiceStart => "ServiceStart",
+            AttackKind::ScreenConfig => "ScreenConfig",
+            AttackKind::WakelockLeak => "WakelockLeak",
+        }
+    }
+}
+
+impl std::fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 /// A currently open attack period.

@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 use ea_framework::TimedEvent;
 use ea_power::ComponentDraw;
 use ea_sim::{SimDuration, SimTime};
+use ea_telemetry::{SinkHandle, TelemetryEvent};
 
 use crate::accounting::collateral_consumers;
 use crate::{AttackId, AttackInfo, CollateralGraph, LifecycleTracker, LinkToken, Transition};
@@ -47,6 +48,10 @@ pub struct CollateralMonitor {
     tokens: BTreeMap<AttackId, Vec<LinkToken>>,
     history: Vec<AttackRecord>,
     history_index: BTreeMap<AttackId, usize>,
+    telemetry: SinkHandle,
+    /// The driving app's collateral total when each open period began, so
+    /// the close event can report the energy accrued over the period.
+    open_baseline: BTreeMap<AttackId, f64>,
 }
 
 impl CollateralMonitor {
@@ -55,13 +60,31 @@ impl CollateralMonitor {
         CollateralMonitor::default()
     }
 
+    /// Attaches a telemetry sink: attack open/close and lifecycle
+    /// transitions are emitted as events, open periods drive the
+    /// `attacks_open` gauge, and closed periods bump the per-kind
+    /// `collateral_millijoules_total_*` counters.
+    pub fn set_telemetry(&mut self, handle: SinkHandle) {
+        self.telemetry = handle;
+    }
+
     /// Processes a batch of framework events: attack periods open and close,
     /// links propagate per Algorithm 1.
     pub fn observe(&mut self, events: &[TimedEvent]) {
+        let traced = self.telemetry.enabled();
         for event in events {
             for transition in self.tracker.observe(event) {
+                if traced {
+                    self.emit_transition(&transition);
+                }
                 match transition {
                     Transition::Begin(info) => {
+                        if traced {
+                            self.open_baseline.insert(
+                                info.id,
+                                self.graph.collateral_total(info.driving).as_joules(),
+                            );
+                        }
                         let tokens = self.graph.begin(
                             info.driving,
                             info.driven,
@@ -81,10 +104,76 @@ impl CollateralMonitor {
                         if let Some(&index) = self.history_index.get(&id) {
                             self.history[index].ended_at = Some(at);
                         }
+                        if traced {
+                            self.emit_close(id, at);
+                        }
                     }
                 }
             }
         }
+        if traced {
+            self.telemetry
+                .gauge_set("attacks_open", self.tracker.active_count() as f64);
+        }
+    }
+
+    fn emit_transition(&self, transition: &Transition) {
+        match transition {
+            Transition::Begin(info) => {
+                self.telemetry.record_event(
+                    info.started_at.as_millis() * 1_000,
+                    TelemetryEvent::AttackOpened {
+                        id: info.id.0,
+                        kind: info.kind.label().to_string(),
+                        attacker: info.driving.as_raw(),
+                    },
+                );
+                self.telemetry.record_event(
+                    info.started_at.as_millis() * 1_000,
+                    TelemetryEvent::Lifecycle {
+                        uid: info.driving.as_raw(),
+                        transition: format!("Begin:{}", info.kind),
+                    },
+                );
+            }
+            Transition::End { id, at } => {
+                // The AttackClosed payload needs the accrued energy, which
+                // `emit_close` computes after the graph has settled; here
+                // only the lifecycle edge itself is reported.
+                if let Some(&index) = self.history_index.get(id) {
+                    let info = &self.history[index].info;
+                    self.telemetry.record_event(
+                        at.as_millis() * 1_000,
+                        TelemetryEvent::Lifecycle {
+                            uid: info.driving.as_raw(),
+                            transition: format!("End:{}", info.kind),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn emit_close(&mut self, id: AttackId, at: SimTime) {
+        let Some(&index) = self.history_index.get(&id) else {
+            return;
+        };
+        let info = &self.history[index].info;
+        let baseline = self.open_baseline.remove(&id).unwrap_or(0.0);
+        let accrued = (self.graph.collateral_total(info.driving).as_joules() - baseline).max(0.0);
+        self.telemetry.record_event(
+            at.as_millis() * 1_000,
+            TelemetryEvent::AttackClosed {
+                id: id.0,
+                kind: info.kind.label().to_string(),
+                attacker: info.driving.as_raw(),
+                collateral_joules: accrued,
+            },
+        );
+        self.telemetry.counter_add(
+            &format!("collateral_millijoules_total_{}", info.kind),
+            (accrued * 1_000.0) as u64,
+        );
     }
 
     /// Accrues one interval's component draws into every live collateral

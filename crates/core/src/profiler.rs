@@ -1,9 +1,12 @@
 //! The top-level profiler: power integration + attribution + (optionally)
 //! collateral monitoring.
 
+use std::sync::Arc;
+
 use ea_framework::AndroidSystem;
 use ea_power::{Battery, DevicePowerModel, Energy};
 use ea_sim::SimDuration;
+use ea_telemetry::{span, SinkHandle, TelemetryEvent, TelemetrySink};
 
 use ea_power::Component;
 
@@ -44,6 +47,7 @@ pub struct Profiler {
     monitor: Option<CollateralMonitor>,
     routines: Option<RoutineLedger>,
     integrated: Energy,
+    telemetry: SinkHandle,
 }
 
 impl Profiler {
@@ -62,6 +66,7 @@ impl Profiler {
             monitor: None,
             routines: None,
             integrated: Energy::ZERO,
+            telemetry: SinkHandle::noop(),
         }
     }
 
@@ -93,6 +98,30 @@ impl Profiler {
         self
     }
 
+    /// Attaches a telemetry sink: [`step`](Profiler::step) emits
+    /// per-interval attribution and battery-drain events, times its hot
+    /// paths as spans, and (in E-Android mode) forwards attack open/close
+    /// through the collateral monitor. The default sink discards
+    /// everything.
+    pub fn with_telemetry(mut self, sink: Arc<dyn TelemetrySink>) -> Self {
+        self.set_telemetry_handle(SinkHandle::new(sink));
+        self
+    }
+
+    /// [`with_telemetry`](Profiler::with_telemetry) as a setter, with a
+    /// pre-wrapped handle shared across layers.
+    pub fn set_telemetry_handle(&mut self, handle: SinkHandle) {
+        if let Some(monitor) = &mut self.monitor {
+            monitor.set_telemetry(handle.clone());
+        }
+        self.telemetry = handle;
+    }
+
+    /// The telemetry handle in use (no-op by default).
+    pub fn telemetry(&self) -> &SinkHandle {
+        &self.telemetry
+    }
+
     /// Enables eprof-style routine-level CPU accounting: each app's CPU
     /// energy is additionally split across its foreground UI, background
     /// residue, services, and scripted work.
@@ -119,34 +148,80 @@ impl Profiler {
     /// Advances the handset by one integration step and accounts the
     /// interval.
     pub fn step(&mut self, android: &mut AndroidSystem) {
+        let _step_span = span(self.telemetry.sink(), "profiler_step");
+        let traced = self.telemetry.enabled();
         let dt = self.step;
         android.advance(dt);
         let events = android.drain_events();
         if let Some(monitor) = &mut self.monitor {
+            let _observe_span = span(self.telemetry.sink(), "collateral_observe");
             monitor.observe(&events);
         }
         let usage = android.usage_snapshot();
         let draws = self.model.draws(android.now(), &usage);
-        for draw in &draws {
-            let energy = Energy::from_power(draw.power_mw, dt);
-            self.integrated += energy;
-            self.battery.drain(energy);
-            for (entity, charge) in attribute(draw, dt, self.policy) {
-                self.ledger.charge(entity, draw.component, charge);
-            }
-            // Routine-level split of each app's CPU energy.
-            if draw.component == Component::Cpu {
-                if let Some(routines) = &mut self.routines {
-                    for user in &draw.users {
-                        let share = energy * user.share.clamp(0.0, 1.0);
-                        let parts = android.demand_breakdown(user.uid);
-                        routines.charge_split(user.uid, share, &parts);
+        let drained_before = self.battery.drained();
+        // Per-app charge this interval, summed over components (telemetry
+        // only; the ledger keeps the per-component split).
+        let mut interval_charges: Vec<(ea_sim::Uid, f64)> = Vec::new();
+        {
+            let _attribute_span = span(self.telemetry.sink(), "attribute");
+            let attribute_started = std::time::Instant::now();
+            for draw in &draws {
+                let energy = Energy::from_power(draw.power_mw, dt);
+                self.integrated += energy;
+                let _ = self.battery.drain(energy);
+                for (entity, charge) in attribute(draw, dt, self.policy) {
+                    if traced {
+                        if let Some(uid) = entity.uid() {
+                            match interval_charges.iter_mut().find(|(u, _)| *u == uid) {
+                                Some((_, joules)) => *joules += charge.as_joules(),
+                                None => interval_charges.push((uid, charge.as_joules())),
+                            }
+                        }
+                    }
+                    self.ledger.charge(entity, draw.component, charge);
+                }
+                // Routine-level split of each app's CPU energy.
+                if draw.component == Component::Cpu {
+                    if let Some(routines) = &mut self.routines {
+                        for user in &draw.users {
+                            let share = energy * user.share.clamp(0.0, 1.0);
+                            let parts = android.demand_breakdown(user.uid);
+                            routines.charge_split(user.uid, share, &parts);
+                        }
                     }
                 }
+            }
+            if traced {
+                self.telemetry.observe(
+                    "attribution_interval_us",
+                    attribute_started.elapsed().as_secs_f64() * 1e6,
+                );
             }
         }
         if let Some(monitor) = &mut self.monitor {
             monitor.accrue(&draws, dt);
+        }
+        if traced {
+            let t_us = android.now().as_millis() * 1_000;
+            for (uid, joules) in interval_charges {
+                self.telemetry.record_event(
+                    t_us,
+                    TelemetryEvent::Attribution {
+                        uid: uid.as_raw(),
+                        joules,
+                    },
+                );
+            }
+            self.telemetry.record_event(
+                t_us,
+                TelemetryEvent::BatteryDrain {
+                    joules: (self.battery.drained() - drained_before).as_joules(),
+                    remaining_percent: self.battery.percent(),
+                },
+            );
+            self.telemetry
+                .gauge_set("battery_percent", self.battery.percent());
         }
     }
 

@@ -215,6 +215,58 @@ pub enum FrameworkEvent {
     },
 }
 
+impl FrameworkEvent {
+    /// A short stable label naming the event kind, for telemetry and logs.
+    #[must_use]
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            FrameworkEvent::ActivityStarted { .. } => "ActivityStarted",
+            FrameworkEvent::ActivityMovedToFront { .. } => "ActivityMovedToFront",
+            FrameworkEvent::AppInterrupted { .. } => "AppInterrupted",
+            FrameworkEvent::AppResumedToFront { .. } => "AppResumedToFront",
+            FrameworkEvent::ActivityLifecycle { .. } => "ActivityLifecycle",
+            FrameworkEvent::ForegroundChanged { .. } => "ForegroundChanged",
+            FrameworkEvent::ServiceStarted { .. } => "ServiceStarted",
+            FrameworkEvent::ServiceStopped { .. } => "ServiceStopped",
+            FrameworkEvent::ServiceBound { .. } => "ServiceBound",
+            FrameworkEvent::ServiceUnbound { .. } => "ServiceUnbound",
+            FrameworkEvent::WakelockAcquired { .. } => "WakelockAcquired",
+            FrameworkEvent::WakelockReleased { .. } => "WakelockReleased",
+            FrameworkEvent::BrightnessChanged { .. } => "BrightnessChanged",
+            FrameworkEvent::BrightnessModeChanged { .. } => "BrightnessModeChanged",
+            FrameworkEvent::BroadcastDelivered { .. } => "BroadcastDelivered",
+            FrameworkEvent::ScreenTurnedOn => "ScreenTurnedOn",
+            FrameworkEvent::ScreenTurnedOff => "ScreenTurnedOff",
+            FrameworkEvent::ProcessDied { .. } => "ProcessDied",
+        }
+    }
+
+    /// The app the event most directly concerns (the driven app for
+    /// cross-app events), when it concerns one.
+    #[must_use]
+    pub fn primary_uid(&self) -> Option<Uid> {
+        match self {
+            FrameworkEvent::ActivityStarted { driven, .. }
+            | FrameworkEvent::ServiceStarted { driven, .. }
+            | FrameworkEvent::ServiceStopped { driven, .. }
+            | FrameworkEvent::ServiceBound { driven, .. }
+            | FrameworkEvent::ServiceUnbound { driven, .. } => Some(*driven),
+            FrameworkEvent::ActivityMovedToFront { uid, .. }
+            | FrameworkEvent::AppResumedToFront { uid }
+            | FrameworkEvent::ActivityLifecycle { uid, .. }
+            | FrameworkEvent::WakelockAcquired { uid, .. }
+            | FrameworkEvent::WakelockReleased { uid, .. }
+            | FrameworkEvent::ProcessDied { uid } => Some(*uid),
+            FrameworkEvent::AppInterrupted { victim, .. } => Some(*victim),
+            FrameworkEvent::ForegroundChanged { to, .. } => *to,
+            FrameworkEvent::BroadcastDelivered { receiver, .. } => Some(*receiver),
+            FrameworkEvent::BrightnessChanged { source, .. }
+            | FrameworkEvent::BrightnessModeChanged { source, .. } => source.app_uid(),
+            FrameworkEvent::ScreenTurnedOn | FrameworkEvent::ScreenTurnedOff => None,
+        }
+    }
+}
+
 /// A framework event stamped with its instant.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TimedEvent {

@@ -7,6 +7,7 @@
 //! the [`FrameworkEvent`]s that E-Android's monitor consumes.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -14,6 +15,7 @@ use ea_power::{CameraUse, CpuUse, DeviceUsage, RadioUse, ScreenUsage};
 use ea_sim::{
     BinderBus, Clock, CpuScheduler, Pid, ProcessTable, SimDuration, SimTime, TransactionKind, Uid,
 };
+use ea_telemetry::{SinkHandle, TelemetryEvent, TelemetrySink};
 
 use crate::{
     ActivityId, ActivityRecord, ActivityState, AppBehavior, AppManifest, ChangeSource,
@@ -123,6 +125,7 @@ pub struct AndroidSystem {
     last_foreground: Option<Uid>,
     events: Vec<TimedEvent>,
     recording: bool,
+    telemetry: SinkHandle,
 }
 
 impl AndroidSystem {
@@ -162,6 +165,7 @@ impl AndroidSystem {
             last_foreground: None,
             events: Vec::new(),
             recording: true,
+            telemetry: SinkHandle::noop(),
         };
         system.install_system_app(Uid::from_raw(1_001), SYSTEM_PACKAGES[0]);
         system.install_system_app(Uid::from_raw(1_002), SYSTEM_PACKAGES[1]);
@@ -1282,9 +1286,19 @@ impl AndroidSystem {
     /// Advances simulated time, processing screen timeouts. Call in small
     /// steps (the accounting layer integrates usage between calls).
     pub fn advance(&mut self, span: SimDuration) {
-        self.clock.advance_by(span);
+        let _ = self.clock.advance_by(span);
         self.release_expired_wakelocks();
         self.check_screen_timeout();
+        if self.telemetry.enabled() {
+            self.telemetry.record_event(
+                self.clock.now().as_millis() * 1_000,
+                TelemetryEvent::KernelStats {
+                    queue_depth: self.events.len(),
+                    binder_transactions: self.binder.stats().total,
+                    sched_utilization: self.sched.total_utilization(),
+                },
+            );
+        }
     }
 
     fn release_expired_wakelocks(&mut self) {
@@ -1516,6 +1530,15 @@ impl AndroidSystem {
     // ------------------------------------------------------------------
 
     fn emit(&mut self, event: FrameworkEvent) {
+        if self.telemetry.enabled() {
+            self.telemetry.record_event(
+                self.clock.now().as_millis() * 1_000,
+                TelemetryEvent::Framework {
+                    kind: event.kind_label().to_string(),
+                    uid: event.primary_uid().map(Uid::as_raw),
+                },
+            );
+        }
         if !self.recording {
             return;
         }
@@ -1523,6 +1546,25 @@ impl AndroidSystem {
             at: self.clock.now(),
             event,
         });
+    }
+
+    /// Attaches a telemetry sink: every framework event is mirrored as a
+    /// [`TelemetryEvent::Framework`], and [`advance`](AndroidSystem::advance)
+    /// samples kernel statistics each call. The default sink discards
+    /// everything.
+    pub fn set_telemetry(&mut self, sink: Arc<dyn TelemetrySink>) {
+        self.set_telemetry_handle(SinkHandle::new(sink));
+    }
+
+    /// [`set_telemetry`](AndroidSystem::set_telemetry) with a pre-wrapped
+    /// handle, for callers sharing one handle across layers.
+    pub fn set_telemetry_handle(&mut self, handle: SinkHandle) {
+        self.telemetry = handle;
+    }
+
+    /// The telemetry handle in use (no-op by default).
+    pub fn telemetry(&self) -> &SinkHandle {
+        &self.telemetry
     }
 
     /// Enables or disables the E-Android framework extension (event

@@ -24,7 +24,10 @@ fn screen_off_pauses_then_unlock_resumes() {
     android.user_launch("com.a").unwrap();
     android.advance(SimDuration::from_secs(31)); // timeout
     assert!(!android.screen_is_on());
-    assert_eq!(android.live_activities_of(app)[0].state, ActivityState::Paused);
+    assert_eq!(
+        android.live_activities_of(app)[0].state,
+        ActivityState::Paused
+    );
     assert_eq!(android.foreground_uid(), None);
 
     android.user_unlock();
@@ -72,8 +75,12 @@ fn relaunching_a_running_app_stacks_a_fresh_activity() {
     // Two live instances: the stopped old one and the resumed new one.
     let live = android.live_activities_of(app);
     assert_eq!(live.len(), 2);
-    assert!(live.iter().any(|record| record.state == ActivityState::Resumed));
-    assert!(live.iter().any(|record| record.state == ActivityState::Stopped));
+    assert!(live
+        .iter()
+        .any(|record| record.state == ActivityState::Resumed));
+    assert!(live
+        .iter()
+        .any(|record| record.state == ActivityState::Stopped));
 }
 
 #[test]
@@ -81,7 +88,9 @@ fn wakelock_double_release_is_an_error_not_a_panic() {
     let mut android = AndroidSystem::new();
     let app = android.install(manifest("com.a"));
     android.user_launch("com.a").unwrap();
-    let lock = android.acquire_wakelock(app, WakelockKind::Partial).unwrap();
+    let lock = android
+        .acquire_wakelock(app, WakelockKind::Partial)
+        .unwrap();
     android.release_wakelock(app, lock).unwrap();
     assert!(matches!(
         android.release_wakelock(app, lock),
@@ -111,7 +120,9 @@ fn multiple_locks_release_independently_per_policy() {
         AppBehavior::light().with_wakelock_policy(WakelockPolicy::OnStop),
     );
     android.user_launch("com.a").unwrap();
-    android.acquire_wakelock(app, WakelockKind::Partial).unwrap();
+    android
+        .acquire_wakelock(app, WakelockKind::Partial)
+        .unwrap();
     android.acquire_wakelock(app, WakelockKind::Full).unwrap();
     assert_eq!(android.held_wakelocks(app).len(), 2);
     // OnStop: both released when the app backgrounds.
@@ -162,9 +173,7 @@ fn brightness_write_of_same_value_emits_no_event() {
     android.install(manifest("com.a"));
     let current = android.effective_brightness();
     android.drain_events();
-    android
-        .set_brightness(ChangeSource::User, current)
-        .unwrap();
+    android.set_brightness(ChangeSource::User, current).unwrap();
     assert!(
         android.drain_events().is_empty(),
         "no-op writes don't spam the monitor"

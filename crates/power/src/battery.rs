@@ -98,7 +98,7 @@ impl Default for DischargeCurve {
 ///
 /// let mut battery = Battery::nexus4();
 /// assert_eq!(battery.percent(), 100.0);
-/// battery.drain(Energy::from_joules(battery.capacity().as_joules() / 2.0));
+/// let _ = battery.drain(Energy::from_joules(battery.capacity().as_joules() / 2.0));
 /// assert!((battery.percent() - 50.0).abs() < 1e-9);
 /// assert!(!battery.is_empty());
 /// ```
@@ -199,7 +199,7 @@ mod tests {
     #[test]
     fn percent_declines_linearly() {
         let mut battery = Battery::with_capacity(Energy::from_joules(100.0));
-        battery.drain(Energy::from_joules(25.0));
+        let _ = battery.drain(Energy::from_joules(25.0));
         assert!((battery.percent() - 75.0).abs() < 1e-9);
     }
 
@@ -218,7 +218,7 @@ mod tests {
     #[test]
     fn recharge_restores_full() {
         let mut battery = Battery::nexus4();
-        battery.drain(Energy::from_joules(1_000.0));
+        let _ = battery.drain(Energy::from_joules(1_000.0));
         battery.recharge();
         assert_eq!(battery.percent(), 100.0);
     }
@@ -241,10 +241,10 @@ mod tests {
     fn lithium_gauge_collapses_near_empty() {
         let mut battery = Battery::with_capacity(Energy::from_joules(100.0))
             .with_discharge_curve(DischargeCurve::lithium_ion());
-        battery.drain(Energy::from_joules(50.0));
+        let _ = battery.drain(Energy::from_joules(50.0));
         // The plateau reads below the true 50%.
         assert!(battery.percent() < 50.0);
-        battery.drain(Energy::from_joules(45.0));
+        let _ = battery.drain(Energy::from_joules(45.0));
         // Near-empty knee: 5% true charge reads ~2%.
         assert!(battery.percent() < 5.0);
     }

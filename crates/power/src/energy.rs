@@ -25,6 +25,7 @@ use ea_sim::SimDuration;
 /// assert!((e.as_millijoules() - 10_000.0).abs() < 1e-6);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[must_use]
 pub struct Energy(f64);
 
 impl Energy {

@@ -42,7 +42,7 @@
 //! assert!(screen_mw > 100.0);
 //!
 //! let mut battery = Battery::nexus4();
-//! battery.drain(ea_power::Energy::from_joules(100.0));
+//! let _ = battery.drain(ea_power::Energy::from_joules(100.0));
 //! assert!(battery.percent() < 100.0);
 //! ```
 

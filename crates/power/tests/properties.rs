@@ -77,7 +77,7 @@ proptest! {
     fn battery_partition_invariant(drains in proptest::collection::vec(0.0f64..500.0, 0..60)) {
         let mut battery = Battery::nexus4();
         for joules in drains {
-            battery.drain(Energy::from_joules(joules));
+            let _ = battery.drain(Energy::from_joules(joules));
             let drained = battery.drained().as_joules();
             let remaining = battery.remaining().as_joules();
             let capacity = battery.capacity().as_joules();

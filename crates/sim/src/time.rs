@@ -16,12 +16,14 @@ use serde::{Deserialize, Serialize};
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
 )]
+#[must_use]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in milliseconds.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
 )]
+#[must_use]
 pub struct SimDuration(u64);
 
 impl SimTime {

@@ -1,0 +1,94 @@
+//! Typed structured events emitted by the profiling pipeline.
+//!
+//! Payloads are primitives (raw uids, label strings, joules as `f64`) so
+//! this crate sits below every other layer: the sim, framework, and core
+//! crates convert their own types before emitting.
+
+use serde::{Deserialize, Serialize};
+
+/// One structured event, timestamped in simulated time by the caller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TelemetryEvent {
+    /// An Android framework event left the system event bus.
+    Framework {
+        /// Event kind, e.g. `ActivityStarted`.
+        kind: String,
+        /// The app the event concerns, when it concerns one.
+        uid: Option<u32>,
+    },
+    /// The lifecycle tracker observed an app state transition.
+    Lifecycle {
+        /// App whose lifecycle changed.
+        uid: u32,
+        /// Human-readable transition, e.g. `Cached -> Foreground`.
+        transition: String,
+    },
+    /// A collateral-energy attack period opened (Algorithm 1 `begin`).
+    AttackOpened {
+        /// Monitor-assigned attack id.
+        id: u64,
+        /// Attack kind label, e.g. `ServiceBind`.
+        kind: String,
+        /// The attacking app.
+        attacker: u32,
+    },
+    /// A collateral-energy attack period closed (Algorithm 1 `end`).
+    AttackClosed {
+        /// Monitor-assigned attack id.
+        id: u64,
+        /// Attack kind label.
+        kind: String,
+        /// The attacking app.
+        attacker: u32,
+        /// Collateral energy accrued over the attack, in joules.
+        collateral_joules: f64,
+    },
+    /// One app's energy attribution for one profiler interval.
+    Attribution {
+        /// App charged.
+        uid: u32,
+        /// Energy charged this interval, in joules.
+        joules: f64,
+    },
+    /// The battery drained over one profiler interval.
+    BatteryDrain {
+        /// Energy drained, in joules.
+        joules: f64,
+        /// Remaining charge in percent of design capacity.
+        remaining_percent: f64,
+    },
+    /// Periodic kernel-simulation statistics.
+    KernelStats {
+        /// Pending entries in the event queue.
+        queue_depth: usize,
+        /// Binder transactions completed so far.
+        binder_transactions: u64,
+        /// Total CPU utilization across cores, in core-fractions.
+        sched_utilization: f64,
+    },
+}
+
+impl TelemetryEvent {
+    /// A short stable label for the event, used as counter suffix and
+    /// Chrome trace event name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TelemetryEvent::Framework { .. } => "framework",
+            TelemetryEvent::Lifecycle { .. } => "lifecycle",
+            TelemetryEvent::AttackOpened { .. } => "attack_opened",
+            TelemetryEvent::AttackClosed { .. } => "attack_closed",
+            TelemetryEvent::Attribution { .. } => "attribution",
+            TelemetryEvent::BatteryDrain { .. } => "battery_drain",
+            TelemetryEvent::KernelStats { .. } => "kernel_stats",
+        }
+    }
+}
+
+/// A [`TelemetryEvent`] plus its simulated-time timestamp; one JSONL line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Simulated time of the event, in microseconds.
+    pub t_us: u64,
+    /// The event itself.
+    pub event: TelemetryEvent,
+}

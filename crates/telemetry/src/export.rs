@@ -1,0 +1,227 @@
+//! Trace exporters: replayable JSONL and the Chrome trace-event format.
+
+use crate::{Recorder, TelemetryEvent, TraceRecord};
+use std::io::{self, Write};
+
+/// Writes the deterministic event stream as JSON Lines: one
+/// [`TraceRecord`] per line, in emission order. Replayable with
+/// [`read_jsonl`]; byte-identical across runs with the same seed because
+/// every timestamp is simulated time.
+pub fn write_jsonl(recorder: &Recorder, out: &mut dyn Write) -> io::Result<()> {
+    for record in recorder.events() {
+        let line = serde_json::to_string(&record)
+            .map_err(|error| io::Error::new(io::ErrorKind::InvalidData, error.to_string()))?;
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Parses a JSONL trace written by [`write_jsonl`].
+pub fn read_jsonl(input: &str) -> Result<Vec<TraceRecord>, String> {
+    input
+        .lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(|line| serde_json::from_str(line).map_err(|error| error.to_string()))
+        .collect()
+}
+
+fn push_arg(args: &mut Vec<(String, String)>, key: &str, value: impl std::fmt::Display) {
+    args.push((key.to_string(), value.to_string()));
+}
+
+/// Chrome trace args for one event: key → JSON-literal value.
+fn event_args(event: &TelemetryEvent) -> Vec<(String, String)> {
+    let mut args = Vec::new();
+    match event {
+        TelemetryEvent::Framework { kind, uid } => {
+            push_arg(&mut args, "kind", format!("{kind:?}"));
+            if let Some(uid) = uid {
+                push_arg(&mut args, "uid", uid);
+            }
+        }
+        TelemetryEvent::Lifecycle { uid, transition } => {
+            push_arg(&mut args, "uid", uid);
+            push_arg(&mut args, "transition", format!("{transition:?}"));
+        }
+        TelemetryEvent::AttackOpened { id, kind, attacker } => {
+            push_arg(&mut args, "id", id);
+            push_arg(&mut args, "kind", format!("{kind:?}"));
+            push_arg(&mut args, "attacker", attacker);
+        }
+        TelemetryEvent::AttackClosed {
+            id,
+            kind,
+            attacker,
+            collateral_joules,
+        } => {
+            push_arg(&mut args, "id", id);
+            push_arg(&mut args, "kind", format!("{kind:?}"));
+            push_arg(&mut args, "attacker", attacker);
+            push_arg(&mut args, "collateral_joules", collateral_joules);
+        }
+        TelemetryEvent::Attribution { uid, joules } => {
+            push_arg(&mut args, "uid", uid);
+            push_arg(&mut args, "joules", joules);
+        }
+        TelemetryEvent::BatteryDrain {
+            joules,
+            remaining_percent,
+        } => {
+            push_arg(&mut args, "joules", joules);
+            push_arg(&mut args, "remaining_percent", remaining_percent);
+        }
+        TelemetryEvent::KernelStats {
+            queue_depth,
+            binder_transactions,
+            sched_utilization,
+        } => {
+            push_arg(&mut args, "queue_depth", queue_depth);
+            push_arg(&mut args, "binder_transactions", binder_transactions);
+            push_arg(&mut args, "sched_utilization", sched_utilization);
+        }
+    }
+    args
+}
+
+fn write_args(out: &mut String, args: &[(String, String)]) {
+    out.push_str("\"args\":{");
+    for (index, (key, value)) in args.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{key}\":{value}"));
+    }
+    out.push('}');
+}
+
+/// Writes a Chrome trace-event file (the `trace.json` format Perfetto and
+/// `chrome://tracing` load).
+///
+/// Two tracks are emitted:
+///
+/// * **pid 1 "simulated time"** — the deterministic event stream as
+///   instant events, with attack periods as async begin/end pairs so each
+///   attack renders as a bar from open to close.
+/// * **pid 2 "host wall clock"** — completed spans of the instrumented
+///   hot paths as complete (`"X"`) events with real durations.
+pub fn write_chrome_trace(recorder: &Recorder, out: &mut dyn Write) -> io::Result<()> {
+    let mut body = String::from("{\"traceEvents\":[\n");
+    body.push_str(
+        "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"simulated time\"}},\n",
+    );
+    body.push_str(
+        "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":2,\"tid\":0,\
+         \"args\":{\"name\":\"host wall clock\"}},\n",
+    );
+
+    for record in recorder.events() {
+        let name = record.event.label();
+        let args = event_args(&record.event);
+        match &record.event {
+            TelemetryEvent::AttackOpened { id, kind, .. } => {
+                body.push_str(&format!(
+                    "{{\"ph\":\"b\",\"cat\":\"attack\",\"name\":\"attack:{}\",\
+                     \"id\":{id},\"ts\":{},\"pid\":1,\"tid\":1,",
+                    kind.replace('"', ""),
+                    record.t_us
+                ));
+                write_args(&mut body, &args);
+                body.push_str("},\n");
+            }
+            TelemetryEvent::AttackClosed { id, kind, .. } => {
+                body.push_str(&format!(
+                    "{{\"ph\":\"e\",\"cat\":\"attack\",\"name\":\"attack:{}\",\
+                     \"id\":{id},\"ts\":{},\"pid\":1,\"tid\":1,",
+                    kind.replace('"', ""),
+                    record.t_us
+                ));
+                write_args(&mut body, &args);
+                body.push_str("},\n");
+            }
+            _ => {
+                body.push_str(&format!(
+                    "{{\"ph\":\"i\",\"s\":\"t\",\"name\":\"{name}\",\
+                     \"ts\":{},\"pid\":1,\"tid\":1,",
+                    record.t_us
+                ));
+                write_args(&mut body, &args);
+                body.push_str("},\n");
+            }
+        }
+    }
+
+    for span in recorder.spans() {
+        body.push_str(&format!(
+            "{{\"ph\":\"X\",\"name\":\"{}\",\"ts\":{},\"dur\":{},\
+             \"pid\":2,\"tid\":1,\"args\":{{\"depth\":{}}}}},\n",
+            span.name.replace('"', ""),
+            span.start_us,
+            span.dur_us,
+            span.depth
+        ));
+    }
+
+    // Trailing comma cleanup: the metadata lines guarantee at least one
+    // entry, so strip the final ",\n".
+    if body.ends_with(",\n") {
+        body.truncate(body.len() - 2);
+        body.push('\n');
+    }
+    body.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out.write_all(body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TelemetrySink;
+
+    fn sample_recorder() -> Recorder {
+        let recorder = Recorder::new();
+        recorder.record_event(
+            5,
+            TelemetryEvent::AttackOpened {
+                id: 1,
+                kind: "ServiceBind".to_string(),
+                attacker: 10_001,
+            },
+        );
+        recorder.record_event(
+            905,
+            TelemetryEvent::AttackClosed {
+                id: 1,
+                kind: "ServiceBind".to_string(),
+                attacker: 10_001,
+                collateral_joules: 0.75,
+            },
+        );
+        let span = recorder.span_enter("step");
+        recorder.span_exit(span);
+        recorder
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let recorder = sample_recorder();
+        let mut buffer = Vec::new();
+        write_jsonl(&recorder, &mut buffer).expect("write");
+        let text = String::from_utf8(buffer).expect("utf8");
+        let replayed = read_jsonl(&text).expect("parse");
+        assert_eq!(replayed, recorder.events());
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_spans() {
+        let recorder = sample_recorder();
+        let mut buffer = Vec::new();
+        write_chrome_trace(&recorder, &mut buffer).expect("write");
+        let text = String::from_utf8(buffer).expect("utf8");
+        let value: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let events = value["traceEvents"].as_array().expect("event array");
+        assert!(events.iter().any(|event| event["ph"].as_str() == Some("X")));
+        assert!(events.iter().any(|event| event["ph"].as_str() == Some("b")));
+        assert!(events.iter().any(|event| event["ph"].as_str() == Some("e")));
+    }
+}

@@ -1,0 +1,306 @@
+//! The in-memory sink: collects events, metrics, and spans for export.
+
+use crate::{SpanId, TelemetryEvent, TelemetrySink, TraceRecord};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Upper bounds (inclusive) of the fixed histogram buckets, chosen for
+/// microsecond-scale latencies; the final implicit bucket is `+inf`.
+pub const HISTOGRAM_BOUNDS: [f64; 16] = [
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0,
+    25_000.0, 50_000.0, 100_000.0,
+];
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    /// One count per bound in [`HISTOGRAM_BOUNDS`], plus the overflow
+    /// bucket at the end.
+    counts: [u64; HISTOGRAM_BOUNDS.len() + 1],
+    sum: f64,
+    total: u64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            counts: [0; HISTOGRAM_BOUNDS.len() + 1],
+            sum: 0.0,
+            total: 0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let bucket = HISTOGRAM_BOUNDS
+            .iter()
+            .position(|bound| value <= *bound)
+            .unwrap_or(HISTOGRAM_BOUNDS.len());
+        self.counts[bucket] += 1;
+        self.sum += value;
+        self.total += 1;
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts; index `i` counts observations `<=
+    /// HISTOGRAM_BOUNDS[i]`, the final entry counts the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// Point-in-time copy of every metric the recorder holds.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Monotone counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-written gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// One completed wall-clock span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name, e.g. `Profiler::step`.
+    pub name: String,
+    /// Start offset from recorder creation, host wall clock, microseconds.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Nesting depth at entry (0 = outermost).
+    pub depth: usize,
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    id: SpanId,
+    name: String,
+    start: Instant,
+    depth: usize,
+}
+
+#[derive(Default)]
+struct MetricsState {
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Collects everything the pipeline emits; the sink used by tests, bench
+/// binaries, and the trace-export example.
+///
+/// Events, gauges, and histograms are guarded by short-lived mutexes;
+/// counters take the mutex once per name and are lock-free atomics after
+/// that. Span timestamps come from the host wall clock and are kept out
+/// of the deterministic event stream.
+pub struct Recorder {
+    epoch: Instant,
+    events: Mutex<Vec<TraceRecord>>,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    metrics: Mutex<MetricsState>,
+    open_spans: Mutex<Vec<OpenSpan>>,
+    finished_spans: Mutex<Vec<SpanRecord>>,
+    next_span: AtomicU64,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// An empty recorder; the wall-clock epoch for spans starts now.
+    pub fn new() -> Self {
+        Recorder {
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+            counters: Mutex::new(BTreeMap::new()),
+            metrics: Mutex::new(MetricsState::default()),
+            open_spans: Mutex::new(Vec::new()),
+            finished_spans: Mutex::new(Vec::new()),
+            next_span: AtomicU64::new(1),
+        }
+    }
+
+    /// Handle to the named counter; increments through it skip the map
+    /// lookup entirely.
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        let mut counters = self.counters.lock().expect("counter registry poisoned");
+        counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone()
+    }
+
+    /// All events recorded so far, in emission order.
+    pub fn events(&self) -> Vec<TraceRecord> {
+        self.events.lock().expect("event buffer poisoned").clone()
+    }
+
+    /// All completed spans so far, in completion order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.finished_spans
+            .lock()
+            .expect("span buffer poisoned")
+            .clone()
+    }
+
+    /// Snapshot of every counter, gauge, and histogram.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(name, value)| (name.clone(), value.load(Ordering::Relaxed)))
+            .collect();
+        let metrics = self.metrics.lock().expect("metrics poisoned");
+        MetricsSnapshot {
+            counters,
+            gauges: metrics.gauges.clone(),
+            histograms: metrics
+                .histograms
+                .iter()
+                .map(|(name, histogram)| {
+                    (
+                        name.clone(),
+                        HistogramSnapshot {
+                            counts: histogram.counts.to_vec(),
+                            sum: histogram.sum,
+                            count: histogram.total,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+impl TelemetrySink for Recorder {
+    fn record_event(&self, t_us: u64, event: TelemetryEvent) {
+        self.counter_add("events_processed_total", 1);
+        self.counter_add(&format!("events_{}_total", event.label()), 1);
+        self.events
+            .lock()
+            .expect("event buffer poisoned")
+            .push(TraceRecord { t_us, event });
+    }
+
+    fn counter_add(&self, name: &str, delta: u64) {
+        self.counter(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        let mut metrics = self.metrics.lock().expect("metrics poisoned");
+        metrics.gauges.insert(name.to_string(), value);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        let mut metrics = self.metrics.lock().expect("metrics poisoned");
+        metrics
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(Histogram::new)
+            .observe(value);
+    }
+
+    fn span_enter(&self, name: &str) -> SpanId {
+        let id = SpanId(self.next_span.fetch_add(1, Ordering::Relaxed));
+        let mut open = self.open_spans.lock().expect("span stack poisoned");
+        let depth = open.len();
+        open.push(OpenSpan {
+            id,
+            name: name.to_string(),
+            start: Instant::now(),
+            depth,
+        });
+        id
+    }
+
+    fn span_exit(&self, id: SpanId) {
+        let mut open = self.open_spans.lock().expect("span stack poisoned");
+        let Some(index) = open.iter().rposition(|span| span.id == id) else {
+            return;
+        };
+        let span = open.remove(index);
+        drop(open);
+        let end = Instant::now();
+        let start_us = span.start.duration_since(self.epoch).as_micros() as u64;
+        let dur_us = end.duration_since(span.start).as_micros() as u64;
+        let record = SpanRecord {
+            name: span.name,
+            start_us,
+            dur_us,
+            depth: span.depth,
+        };
+        self.observe(&format!("span_us_{}", record.name), record.dur_us as f64);
+        self.finished_spans
+            .lock()
+            .expect("span buffer poisoned")
+            .push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let recorder = Recorder::new();
+        recorder.counter_add("x", 2);
+        recorder.counter_add("x", 3);
+        assert_eq!(recorder.metrics().counters["x"], 5);
+    }
+
+    #[test]
+    fn events_count_themselves() {
+        let recorder = Recorder::new();
+        recorder.record_event(
+            10,
+            TelemetryEvent::Attribution {
+                uid: 10_001,
+                joules: 0.25,
+            },
+        );
+        let metrics = recorder.metrics();
+        assert_eq!(metrics.counters["events_processed_total"], 1);
+        assert_eq!(metrics.counters["events_attribution_total"], 1);
+        assert_eq!(recorder.events().len(), 1);
+    }
+
+    #[test]
+    fn spans_nest_and_complete() {
+        let recorder = Recorder::new();
+        let outer = recorder.span_enter("outer");
+        let inner = recorder.span_enter("inner");
+        recorder.span_exit(inner);
+        recorder.span_exit(outer);
+        let spans = recorder.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[1].depth, 0);
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_total() {
+        let recorder = Recorder::new();
+        for value in [0.5, 3.0, 80.0, 1e9] {
+            recorder.observe("h", value);
+        }
+        let snapshot = &recorder.metrics().histograms["h"];
+        assert_eq!(snapshot.count, 4);
+        assert_eq!(snapshot.counts.iter().sum::<u64>(), 4);
+        // 1e9 lands in the overflow bucket.
+        assert_eq!(*snapshot.counts.last().expect("overflow bucket"), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! The sink trait instrumented code talks to, and the no-op default.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::TelemetryEvent;
+
+/// Identifies one entered span; `SpanId::NONE` marks a span the sink
+/// declined to time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The null span, returned by disabled sinks.
+    pub const NONE: SpanId = SpanId(0);
+}
+
+/// Receiver for everything the instrumented pipeline reports.
+///
+/// Implementations must be thread-safe: the profiling pipeline itself is
+/// single-threaded, but sinks are shared as `Arc<dyn TelemetrySink>` and
+/// tests read while scenarios write.
+pub trait TelemetrySink: Send + Sync {
+    /// Whether the sink wants data at all. Call sites may skip building
+    /// event payloads when this is `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records a structured event at simulated time `t_us` (microseconds).
+    fn record_event(&self, t_us: u64, event: TelemetryEvent);
+
+    /// Adds `delta` to the named monotone counter.
+    fn counter_add(&self, name: &str, delta: u64);
+
+    /// Sets the named gauge to `value`.
+    fn gauge_set(&self, name: &str, value: f64);
+
+    /// Records one observation into the named histogram.
+    fn observe(&self, name: &str, value: f64);
+
+    /// Opens a wall-clock span; pair with [`TelemetrySink::span_exit`].
+    fn span_enter(&self, name: &str) -> SpanId;
+
+    /// Closes a span returned by [`TelemetrySink::span_enter`].
+    fn span_exit(&self, id: SpanId);
+}
+
+/// Discards everything; the default sink, so uninstrumented runs pay only
+/// a virtual call per emission site.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record_event(&self, _t_us: u64, _event: TelemetryEvent) {}
+
+    fn counter_add(&self, _name: &str, _delta: u64) {}
+
+    fn gauge_set(&self, _name: &str, _value: f64) {}
+
+    fn observe(&self, _name: &str, _value: f64) {}
+
+    fn span_enter(&self, _name: &str) -> SpanId {
+        SpanId::NONE
+    }
+
+    fn span_exit(&self, _id: SpanId) {}
+}
+
+/// A cheap, cloneable handle to a shared sink.
+///
+/// This is the form instrumented structs embed: it defaults to
+/// [`NoopSink`], implements `Debug` (so host structs keep deriving it),
+/// and clones by bumping a reference count. The instrumented pipeline
+/// checks [`SinkHandle::enabled`] before building event payloads, so the
+/// no-op default costs one virtual call per emission site.
+#[derive(Clone)]
+pub struct SinkHandle(Arc<dyn TelemetrySink>);
+
+impl SinkHandle {
+    /// Wraps a shared sink.
+    pub fn new(sink: Arc<dyn TelemetrySink>) -> Self {
+        SinkHandle(sink)
+    }
+
+    /// The discard-everything default.
+    pub fn noop() -> Self {
+        SinkHandle(Arc::new(NoopSink))
+    }
+
+    /// Whether the underlying sink wants data.
+    pub fn enabled(&self) -> bool {
+        self.0.enabled()
+    }
+
+    /// The underlying sink.
+    pub fn sink(&self) -> &dyn TelemetrySink {
+        &*self.0
+    }
+}
+
+impl Default for SinkHandle {
+    fn default() -> Self {
+        SinkHandle::noop()
+    }
+}
+
+impl fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SinkHandle")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl std::ops::Deref for SinkHandle {
+    type Target = dyn TelemetrySink;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+/// Closes its span on drop, so hot paths time themselves with one line.
+pub struct SpanGuard<'a> {
+    sink: &'a dyn TelemetrySink,
+    id: SpanId,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if self.id != SpanId::NONE {
+            self.sink.span_exit(self.id);
+        }
+    }
+}
+
+/// Opens a named span on `sink`, closed when the guard drops.
+pub fn span<'a>(sink: &'a dyn TelemetrySink, name: &str) -> SpanGuard<'a> {
+    let id = if sink.enabled() {
+        sink.span_enter(name)
+    } else {
+        SpanId::NONE
+    };
+    SpanGuard { sink, id }
+}

@@ -1,0 +1,54 @@
+//! Property-based tests of the metrics registry.
+
+use ea_telemetry::{Recorder, TelemetrySink};
+use proptest::prelude::*;
+
+proptest! {
+    /// Counters are monotone: after every `counter_add` the visible value
+    /// never decreases, and the final value is the exact sum of deltas.
+    #[test]
+    fn counters_are_monotone(deltas in proptest::collection::vec(0u64..1_000_000, 1..64)) {
+        let recorder = Recorder::new();
+        let mut previous = 0u64;
+        let mut expected = 0u64;
+        for delta in &deltas {
+            recorder.counter_add("events_processed_total", *delta);
+            expected += delta;
+            let current = recorder.metrics().counters["events_processed_total"];
+            prop_assert!(current >= previous, "counter regressed: {previous} -> {current}");
+            previous = current;
+        }
+        prop_assert_eq!(previous, expected);
+    }
+
+    /// Histogram bucket counts always sum to the number of observations,
+    /// whatever the values (including the +inf overflow bucket).
+    #[test]
+    fn histogram_buckets_sum_to_sample_count(
+        samples in proptest::collection::vec(0.0f64..1.0e7, 0..128),
+    ) {
+        let recorder = Recorder::new();
+        for sample in &samples {
+            recorder.observe("attribution_interval_us", *sample);
+        }
+        let metrics = recorder.metrics();
+        match metrics.histograms.get("attribution_interval_us") {
+            None => prop_assert!(samples.is_empty()),
+            Some(snapshot) => {
+                prop_assert_eq!(snapshot.count, samples.len() as u64);
+                prop_assert_eq!(snapshot.counts.iter().sum::<u64>(), snapshot.count);
+            }
+        }
+    }
+
+    /// Gauges hold the last written value regardless of write order.
+    #[test]
+    fn gauges_keep_last_write(values in proptest::collection::vec(-1.0e6f64..1.0e6, 1..32)) {
+        let recorder = Recorder::new();
+        for value in &values {
+            recorder.gauge_set("battery_percent", *value);
+        }
+        let last = *values.last().expect("non-empty");
+        prop_assert_eq!(recorder.metrics().gauges["battery_percent"], last);
+    }
+}

@@ -11,6 +11,7 @@
 //!   attack lifecycles, energy maps, enhanced accounting, battery interface.
 //! * [`apps`] — demo apps, the six malware, and scripted scenarios.
 //! * [`corpus`] — the synthetic Google Play corpus and manifest analyzer.
+//! * [`telemetry`] — structured tracing, metrics, and trace export.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,3 +22,4 @@ pub use ea_corpus as corpus;
 pub use ea_framework as framework;
 pub use ea_power as power;
 pub use ea_sim as sim;
+pub use ea_telemetry as telemetry;

@@ -1,0 +1,131 @@
+//! End-to-end telemetry: the traced pipeline covers every layer, the
+//! deterministic JSONL stream is byte-identical across same-seed runs, and
+//! the Chrome trace export carries complete spans.
+
+use std::sync::{Arc, OnceLock};
+
+use e_android::apps::Scenario;
+use e_android::core::{Profiler, ScreenPolicy};
+use e_android::telemetry::{export, Recorder, TelemetryEvent, TelemetrySummary};
+
+/// Runs every scripted scenario under the enhanced profiler into one
+/// shared recorder — the same sweep `fig09_effectiveness --trace` records.
+fn traced_sweep() -> Arc<Recorder> {
+    let recorder = Arc::new(Recorder::new());
+    for scenario in Scenario::ALL {
+        let profiler = Profiler::eandroid(ScreenPolicy::ForegroundApp);
+        let _ = scenario.run_traced(profiler, Arc::clone(&recorder) as Arc<_>);
+    }
+    recorder
+}
+
+/// One sweep shared by the read-only tests.
+fn shared_sweep() -> &'static Arc<Recorder> {
+    static SWEEP: OnceLock<Arc<Recorder>> = OnceLock::new();
+    SWEEP.get_or_init(traced_sweep)
+}
+
+fn jsonl_bytes(recorder: &Recorder) -> Vec<u8> {
+    let mut out = Vec::new();
+    export::write_jsonl(recorder, &mut out).expect("in-memory write");
+    out
+}
+
+#[test]
+fn jsonl_stream_is_byte_identical_across_runs() {
+    let first = jsonl_bytes(&traced_sweep());
+    let second = jsonl_bytes(&traced_sweep());
+    assert!(!first.is_empty());
+    assert_eq!(
+        first, second,
+        "same-seed runs must serialize identical event streams"
+    );
+}
+
+#[test]
+fn trace_covers_every_pipeline_layer() {
+    let recorder = shared_sweep();
+    let events = recorder.events();
+    let has = |predicate: fn(&TelemetryEvent) -> bool| {
+        events.iter().any(|record| predicate(&record.event))
+    };
+    assert!(
+        has(|e| matches!(e, TelemetryEvent::Framework { .. })),
+        "framework events missing"
+    );
+    assert!(
+        has(|e| matches!(e, TelemetryEvent::Lifecycle { .. })),
+        "lifecycle transitions missing"
+    );
+    assert!(
+        has(|e| matches!(e, TelemetryEvent::AttackOpened { .. })),
+        "attack opens missing"
+    );
+    assert!(
+        has(|e| matches!(e, TelemetryEvent::AttackClosed { .. })),
+        "attack closes missing"
+    );
+    assert!(
+        has(|e| matches!(e, TelemetryEvent::Attribution { .. })),
+        "per-interval attribution missing"
+    );
+    assert!(
+        has(|e| matches!(e, TelemetryEvent::BatteryDrain { .. })),
+        "battery drain ticks missing"
+    );
+    assert!(
+        has(|e| matches!(e, TelemetryEvent::KernelStats { .. })),
+        "kernel statistics missing"
+    );
+
+    let metrics = recorder.metrics();
+    assert_eq!(
+        metrics.counters["events_processed_total"],
+        events.len() as u64
+    );
+    assert!(metrics.histograms.contains_key("attribution_interval_us"));
+
+    let summary = TelemetrySummary::from_recorder(recorder);
+    assert_eq!(summary.event_count(), events.len());
+    assert!(summary.span_count() > 0);
+}
+
+#[test]
+fn jsonl_round_trips_through_the_reader() {
+    let recorder = shared_sweep();
+    let bytes = jsonl_bytes(recorder);
+    let text = String::from_utf8(bytes).expect("jsonl is utf-8");
+    let replayed = export::read_jsonl(&text).expect("replay parses");
+    assert_eq!(replayed, recorder.events());
+}
+
+#[test]
+fn chrome_trace_parses_with_complete_spans() {
+    // One scenario keeps the document small enough to parse quickly in
+    // debug builds; span coverage is the same either way.
+    let recorder = Arc::new(Recorder::new());
+    let profiler = Profiler::eandroid(ScreenPolicy::ForegroundApp);
+    let _ = Scenario::Scene1MessageVideo.run_traced(profiler, Arc::clone(&recorder) as Arc<_>);
+    let mut out = Vec::new();
+    export::write_chrome_trace(&recorder, &mut out).expect("in-memory write");
+    let text = String::from_utf8(out).expect("trace is utf-8");
+    let value: serde_json::Value = serde_json::from_str(&text).expect("trace.json parses");
+    let events = value["traceEvents"].as_array().expect("traceEvents array");
+    let complete_spans = events
+        .iter()
+        .filter(|event| event["ph"].as_str() == Some("X"))
+        .count();
+    assert!(
+        complete_spans >= 1,
+        "chrome trace must carry at least one complete span"
+    );
+}
+
+#[test]
+fn untraced_runs_record_nothing() {
+    let recorder = Arc::new(Recorder::new());
+    let profiler = Profiler::eandroid(ScreenPolicy::ForegroundApp);
+    let _ = Scenario::Scene1MessageVideo.run(profiler);
+    assert!(recorder.events().is_empty());
+    assert!(recorder.spans().is_empty());
+}

@@ -1,0 +1,198 @@
+//! Workspace-local benchmark harness exposing the criterion API surface
+//! the bench crate uses: [`Criterion`], benchmark groups, [`Bencher`],
+//! [`BenchmarkId`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! Timing is intentionally simple: each benchmark warms up briefly, then
+//! reports the mean wall-clock time over a fixed measurement window. With
+//! `--test` (as `cargo bench -- --test` passes), every benchmark runs a
+//! single iteration as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for benchmarks that want to defeat constant-folding.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// Smoke-test mode: run each benchmark once without timing.
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Applies command-line flags (`--test` is honored; the rest of the
+    /// upstream flag set is accepted and ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|arg| arg == "--test");
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_benchmark(self.test_mode, &id.to_string(), |bencher| f(bencher));
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the vendored harness sizes its own
+    /// measurement window.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _window: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion.test_mode, &label, |bencher| f(bencher));
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion.test_mode, &label, |bencher| {
+            f(bencher, input)
+        });
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark as `function/parameter`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter label.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Drives the timing loop of one benchmark.
+pub struct Bencher {
+    test_mode: bool,
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.iterations = 1;
+            self.mean_ns = 0.0;
+            return;
+        }
+        // Warm-up: run until ~20ms have elapsed to populate caches.
+        let warmup = Instant::now();
+        while warmup.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+        }
+        // Measurement: batches of doubling size until ~100ms accumulate.
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        let mut batch = 1u64;
+        while total < Duration::from_millis(100) {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iterations += batch;
+            batch = batch.saturating_mul(2);
+        }
+        self.iterations = iterations;
+        self.mean_ns = total.as_nanos() as f64 / iterations as f64;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(test_mode: bool, label: &str, mut f: F) {
+    let mut bencher = Bencher {
+        test_mode,
+        mean_ns: 0.0,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("test {label} ... ok");
+    } else if bencher.iterations > 0 {
+        println!(
+            "bench {label}: {} per iter ({} iterations)",
+            format_ns(bencher.mean_ns),
+            bencher.iterations
+        );
+    } else {
+        println!("bench {label}: no measurement (Bencher::iter not called)");
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1_000_000_000.0 {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    } else if ns >= 1_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.3} us", ns / 1_000.0)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundles benchmark functions into a single runner, as upstream does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

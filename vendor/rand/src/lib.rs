@@ -1,0 +1,270 @@
+//! Workspace-local subset of the `rand` 0.8 API.
+//!
+//! Provides the trait surface this workspace relies on — [`RngCore`],
+//! [`SeedableRng`], and the blanket [`Rng`] extension with `gen`,
+//! `gen_range`, and `gen_bool` — with the same value-derivation rules as
+//! upstream where determinism is observable (e.g. `f64` sampling uses the
+//! standard 53-bit mantissa construction).
+
+use std::fmt;
+use std::ops::Range;
+
+/// Error type for fallible RNG operations.
+#[derive(Debug)]
+pub struct Error {
+    message: &'static str,
+}
+
+impl Error {
+    /// Builds an error with a static message.
+    pub fn new(message: &'static str) -> Self {
+        Error { message }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fills `dest` with random bytes, reporting failure (infallible for
+    /// deterministic generators).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed material.
+    type Seed: Sized + Default + AsRef<[u8]> + AsMut<[u8]>;
+
+    /// Builds the generator from raw seed bytes.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it over the full seed
+    /// width so distinct inputs yield well-separated states.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            // SplitMix64 (Steele et al.) output function.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z = z ^ (z >> 31);
+            let bytes = (z as u32).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleRange: Sized {
+    /// Draws a uniform sample from `range`.
+    fn sample(range: Range<Self>, rng: &mut dyn RngCore) -> Self;
+}
+
+impl SampleRange for u64 {
+    fn sample(range: Range<Self>, rng: &mut dyn RngCore) -> Self {
+        assert!(range.start < range.end, "empty range in gen_range");
+        let span = range.end - range.start;
+        // Widening-multiply rejection sampling (Lemire), bias-free.
+        let mut x = rng.next_u64();
+        let mut m = (x as u128) * (span as u128);
+        let mut low = m as u64;
+        if low < span {
+            let threshold = span.wrapping_neg() % span;
+            while low < threshold {
+                x = rng.next_u64();
+                m = (x as u128) * (span as u128);
+                low = m as u64;
+            }
+        }
+        range.start + (m >> 64) as u64
+    }
+}
+
+impl SampleRange for u32 {
+    fn sample(range: Range<Self>, rng: &mut dyn RngCore) -> Self {
+        u64::sample(u64::from(range.start)..u64::from(range.end), rng) as u32
+    }
+}
+
+impl SampleRange for usize {
+    fn sample(range: Range<Self>, rng: &mut dyn RngCore) -> Self {
+        u64::sample(range.start as u64..range.end as u64, rng) as usize
+    }
+}
+
+impl SampleRange for i64 {
+    fn sample(range: Range<Self>, rng: &mut dyn RngCore) -> Self {
+        assert!(range.start < range.end, "empty range in gen_range");
+        let span = range.end.wrapping_sub(range.start) as u64;
+        let offset = u64::sample(0..span, rng);
+        range.start.wrapping_add(offset as i64)
+    }
+}
+
+impl SampleRange for f64 {
+    fn sample(range: Range<Self>, rng: &mut dyn RngCore) -> Self {
+        assert!(range.start < range.end, "empty range in gen_range");
+        let unit = sample_unit_f64(rng);
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// Uniform in `[0, 1)` from 53 random mantissa bits, as upstream's
+/// `Standard` distribution does.
+fn sample_unit_f64(rng: &mut dyn RngCore) -> f64 {
+    let bits = rng.next_u64() >> 11;
+    bits as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Convenience extension over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a half-open range.
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(range, self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        sample_unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Standard-distribution sampling, backing [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws a sample from the type's standard distribution.
+    fn sample_standard(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard(rng: &mut dyn RngCore) -> Self {
+        sample_unit_f64(rng)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard(rng: &mut dyn RngCore) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard(rng: &mut dyn RngCore) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let f = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = rng.gen_range(0usize..3);
+            assert!(i < 3);
+        }
+    }
+
+    #[test]
+    fn unit_f64_is_half_open() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,312 @@
+//! Generic deserialization over an owned, self-describing content tree.
+//!
+//! Instead of upstream serde's visitor machinery, deserializers in this
+//! workspace produce an owned [`Content`] tree (the JSON data model) and
+//! [`Deserialize`] impls pull typed values back out of it. The generic
+//! trait signatures match upstream, so hand-written impls such as the
+//! `#[serde(with = ...)]` helper modules compile unchanged.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+/// Errors produced while deserializing.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// An owned node of the self-describing data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Null / unit / `None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// A map, in insertion order.
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// The content as a map key string, when it is a string.
+    pub fn as_key(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// A data format that can yield the self-describing data model.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Consumes the deserializer, producing its full content tree.
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A type that can be deserialized from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A [`Deserializer`] over an already-materialized [`Content`] tree,
+/// parameterized on the error type of the outer format.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    marker: PhantomData<E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    /// Wraps a content node.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+
+    fn deserialize_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+/// Deserializes a `T` from an owned content node. This is the workhorse of
+/// derive-generated code.
+pub fn from_content<'de, T: Deserialize<'de>, E: Error>(content: Content) -> Result<T, E> {
+    T::deserialize(ContentDeserializer::<E>::new(content))
+}
+
+fn unexpected<E: Error>(expected: &str, got: &Content) -> E {
+    E::custom(format_args!("expected {expected}, found {}", got.kind()))
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Bool(v) => Ok(v),
+            other => Err(unexpected("bool", &other)),
+        }
+    }
+}
+
+macro_rules! deserialize_unsigned {
+    ($($ty:ty),*) => {
+        $(impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                let value = match content {
+                    Content::U64(v) => v,
+                    other => return Err(unexpected("unsigned integer", &other)),
+                };
+                <$ty>::try_from(value).map_err(|_| {
+                    D::Error::custom(format_args!(
+                        "integer {value} out of range for {}",
+                        stringify!($ty)
+                    ))
+                })
+            }
+        })*
+    };
+}
+
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_signed {
+    ($($ty:ty),*) => {
+        $(impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                let value: i64 = match content {
+                    Content::I64(v) => v,
+                    Content::U64(v) => i64::try_from(v).map_err(|_| {
+                        D::Error::custom(format_args!("integer {v} out of range"))
+                    })?,
+                    other => return Err(unexpected("integer", &other)),
+                };
+                <$ty>::try_from(value).map_err(|_| {
+                    D::Error::custom(format_args!(
+                        "integer {value} out of range for {}",
+                        stringify!($ty)
+                    ))
+                })
+            }
+        })*
+    };
+}
+
+deserialize_signed!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            other => Err(unexpected("number", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(unexpected("string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(D::Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(()),
+            other => Err(unexpected("null", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            content => from_content::<T, D::Error>(content).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+fn content_seq<'de, D: Deserializer<'de>>(deserializer: D) -> Result<Vec<Content>, D::Error> {
+    match deserializer.deserialize_content()? {
+        Content::Seq(items) => Ok(items),
+        other => Err(unexpected("sequence", &other)),
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        content_seq(deserializer)?
+            .into_iter()
+            .map(from_content::<T, D::Error>)
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        content_seq(deserializer)?
+            .into_iter()
+            .map(from_content::<T, D::Error>)
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        content_seq(deserializer)?
+            .into_iter()
+            .map(from_content::<T, D::Error>)
+            .collect()
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Map(pairs) => pairs
+                .into_iter()
+                .map(|(key, value)| {
+                    Ok((
+                        from_content::<K, D::Error>(key)?,
+                        from_content::<V, D::Error>(value)?,
+                    ))
+                })
+                .collect(),
+            other => Err(unexpected("map", &other)),
+        }
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($($name:ident),+) with $len:expr;)*) => {
+        $(impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<Des: Deserializer<'de>>(deserializer: Des) -> Result<Self, Des::Error> {
+                let items = content_seq(deserializer)?;
+                if items.len() != $len {
+                    return Err(Des::Error::custom(format_args!(
+                        "expected a tuple of length {}, found {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                let mut items = items.into_iter();
+                Ok(($(from_content::<$name, Des::Error>(
+                    items.next().expect("length checked"),
+                )?,)+))
+            }
+        })*
+    };
+}
+
+deserialize_tuple! {
+    (A) with 1;
+    (A, B) with 2;
+    (A, B, C) with 3;
+    (A, B, C, D) with 4;
+    (A, B, C, D, E) with 5;
+    (A, B, C, D, E, F) with 6;
+}

@@ -1,0 +1,21 @@
+//! A workspace-local subset of the `serde` serialization framework.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements exactly the serde surface the repository uses: the generic
+//! [`Serialize`]/[`Serializer`] traits (visitor-style, compound serializers
+//! included), an owned self-describing [`de::Content`] tree that powers
+//! [`Deserialize`], and a derive macro (`serde_derive`, re-exported under
+//! the `derive` feature) covering structs, tuple structs, and all four
+//! enum variant shapes with externally-tagged representation, matching
+//! upstream serde's JSON data model.
+
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

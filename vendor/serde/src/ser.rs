@@ -1,0 +1,346 @@
+//! Generic serialization: the `Serialize` / `Serializer` traits.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt::Display;
+
+/// Errors produced while serializing.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A type that can be serialized into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Compound serializer for sequences, tuples, and tuple structs/variants.
+pub trait SerializeSeq {
+    /// Final output type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes the next element.
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the sequence.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Compound serializer for maps.
+pub trait SerializeMap {
+    /// Final output type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes the next key.
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), Self::Error>;
+    /// Serializes the next value.
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the map.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Compound serializer for structs and struct variants.
+pub trait SerializeStruct {
+    /// Final output type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes the next named field.
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finishes the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that can serialize the serde data model.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Compound serializer for sequences/tuples.
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Compound serializer for maps.
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// Compound serializer for structs and struct variants.
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes the unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Some(value)`.
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit enum variant.
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a newtype enum variant.
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Begins a sequence.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begins a tuple enum variant.
+    fn serialize_tuple_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begins a map.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    /// Begins a struct.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    /// Begins a struct enum variant.
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+
+    /// Serializes an `i8` (delegates to [`Serializer::serialize_i64`]).
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(i64::from(v))
+    }
+    /// Serializes an `i16`.
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(i64::from(v))
+    }
+    /// Serializes an `i32`.
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(i64::from(v))
+    }
+    /// Serializes a `u8`.
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+    /// Serializes a `u16`.
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+    /// Serializes a `u32`.
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+    /// Serializes an `f32`.
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_f64(f64::from(v))
+    }
+    /// Serializes a `char` as a one-character string.
+    fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error> {
+        self.serialize_str(v.encode_utf8(&mut [0u8; 4]))
+    }
+    /// Serializes a unit struct.
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_unit()
+    }
+    /// Serializes a newtype struct transparently.
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error> {
+        value.serialize(self)
+    }
+    /// Begins a tuple (same encoding as a sequence).
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeSeq, Self::Error> {
+        self.serialize_seq(Some(len))
+    }
+    /// Begins a tuple struct (same encoding as a sequence).
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeSeq, Self::Error> {
+        self.serialize_seq(Some(len))
+    }
+    /// Serializes every item of `iter` as a sequence.
+    fn collect_seq<I>(self, iter: I) -> Result<Self::Ok, Self::Error>
+    where
+        I: IntoIterator,
+        I::Item: Serialize,
+    {
+        let iter = iter.into_iter();
+        let mut seq = self.serialize_seq(iter.size_hint().1)?;
+        for item in iter {
+            seq.serialize_element(&item)?;
+        }
+        seq.end()
+    }
+    /// Serializes every pair of `iter` as a map.
+    fn collect_map<K, V, I>(self, iter: I) -> Result<Self::Ok, Self::Error>
+    where
+        K: Serialize,
+        V: Serialize,
+        I: IntoIterator<Item = (K, V)>,
+    {
+        let iter = iter.into_iter();
+        let mut map = self.serialize_map(iter.size_hint().1)?;
+        for (key, value) in iter {
+            map.serialize_key(&key)?;
+            map.serialize_value(&value)?;
+        }
+        map.end()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! serialize_via {
+    ($($ty:ty => $method:ident),* $(,)?) => {
+        $(impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method(*self)
+            }
+        })*
+    };
+}
+
+serialize_via! {
+    bool => serialize_bool,
+    i8 => serialize_i8,
+    i16 => serialize_i16,
+    i32 => serialize_i32,
+    i64 => serialize_i64,
+    u8 => serialize_u8,
+    u16 => serialize_u16,
+    u32 => serialize_u32,
+    u64 => serialize_u64,
+    f32 => serialize_f32,
+    f64 => serialize_f64,
+    char => serialize_char,
+}
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(value) => serializer.serialize_some(value),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_map(self.iter())
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+) with $len:expr;)*) => {
+        $(impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut seq = serializer.serialize_tuple($len)?;
+                $(seq.serialize_element(&self.$idx)?;)+
+                seq.end()
+            }
+        })*
+    };
+}
+
+serialize_tuple! {
+    (A.0) with 1;
+    (A.0, B.1) with 2;
+    (A.0, B.1, C.2) with 3;
+    (A.0, B.1, C.2, D.3) with 4;
+    (A.0, B.1, C.2, D.3, E.4) with 5;
+    (A.0, B.1, C.2, D.3, E.4, F.5) with 6;
+}

@@ -1,0 +1,430 @@
+//! Derive macros for the vendored serde subset.
+//!
+//! The macros parse the item from its token-stream rendering with a small
+//! hand-written parser (`parse.rs`) and emit externally-tagged
+//! serialization code matching upstream serde's JSON data model. Supported:
+//! non-generic structs (named, tuple, unit) and enums (unit, newtype,
+//! tuple, struct variants), plus the `#[serde(with = "path")]` field
+//! attribute.
+
+use proc_macro::TokenStream;
+use std::fmt::Write as _;
+
+mod parse;
+
+use parse::{Field, Item, Parser, Variant, VariantShape};
+
+fn parse_input(input: TokenStream) -> Item {
+    let src = input.to_string();
+    Parser::new(&src)
+        .and_then(|mut parser| parser.parse_item())
+        .unwrap_or_else(|error| panic!("serde_derive (vendored): {error}\nitem: {src}"))
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    let mut out = String::new();
+    match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::new();
+            let _ = writeln!(
+                body,
+                "let mut __state = serde::Serializer::serialize_struct(__serializer, \"{name}\", {})?;",
+                fields.len()
+            );
+            for field in fields {
+                body.push_str(&serialize_field_stmt(
+                    field,
+                    &format!("&self.{}", field.name),
+                ));
+            }
+            body.push_str("serde::ser::SerializeStruct::end(__state)");
+            push_serialize_impl(&mut out, name, &body);
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            push_serialize_impl(
+                &mut out,
+                name,
+                &format!(
+                    "serde::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+                ),
+            );
+        }
+        Item::TupleStruct { name, arity } => {
+            let mut body = String::new();
+            let _ = writeln!(
+                body,
+                "let mut __state = serde::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {arity})?;"
+            );
+            for idx in 0..*arity {
+                let _ = writeln!(
+                    body,
+                    "serde::ser::SerializeSeq::serialize_element(&mut __state, &self.{idx})?;"
+                );
+            }
+            body.push_str("serde::ser::SerializeSeq::end(__state)");
+            push_serialize_impl(&mut out, name, &body);
+        }
+        Item::UnitStruct { name } => {
+            push_serialize_impl(
+                &mut out,
+                name,
+                &format!("serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")"),
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut body = String::from("match self {\n");
+            for (index, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vname} => serde::Serializer::serialize_unit_variant(__serializer, \"{name}\", {index}u32, \"{vname}\"),"
+                        );
+                    }
+                    VariantShape::Tuple(1) => {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vname}(__f0) => serde::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {index}u32, \"{vname}\", __f0),"
+                        );
+                    }
+                    VariantShape::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vname}({}) => {{ let mut __state = serde::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {index}u32, \"{vname}\", {arity})?;",
+                            binders.join(", ")
+                        );
+                        for binder in &binders {
+                            let _ = writeln!(
+                                body,
+                                "serde::ser::SerializeSeq::serialize_element(&mut __state, {binder})?;"
+                            );
+                        }
+                        body.push_str("serde::ser::SerializeSeq::end(__state) }\n");
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vname} {{ {} }} => {{ let mut __state = serde::Serializer::serialize_struct_variant(__serializer, \"{name}\", {index}u32, \"{vname}\", {})?;",
+                            binders.join(", "),
+                            fields.len()
+                        );
+                        for field in fields {
+                            body.push_str(&serialize_struct_variant_field(field));
+                        }
+                        body.push_str("serde::ser::SerializeStruct::end(__state) }\n");
+                    }
+                }
+            }
+            body.push('}');
+            push_serialize_impl(&mut out, name, &body);
+        }
+    }
+    out.parse().expect("generated Serialize impl parses")
+}
+
+fn push_serialize_impl(out: &mut String, name: &str, body: &str) {
+    let _ = write!(
+        out,
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn serialize<__S: serde::Serializer>(&self, __serializer: __S) -> Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    );
+}
+
+/// `state.serialize_field(...)` for one named struct field, honoring
+/// `#[serde(with = "path")]`.
+fn serialize_field_stmt(field: &Field, value_expr: &str) -> String {
+    let fname = &field.name;
+    match &field.with {
+        None => format!(
+            "serde::ser::SerializeStruct::serialize_field(&mut __state, \"{fname}\", {value_expr})?;\n"
+        ),
+        Some(path) => {
+            let ty = &field.ty;
+            format!(
+                "{{\n\
+                     struct __SerdeWith<'a>(&'a {ty});\n\
+                     impl<'a> serde::Serialize for __SerdeWith<'a> {{\n\
+                         fn serialize<__S: serde::Serializer>(&self, __serializer: __S) -> Result<__S::Ok, __S::Error> {{\n\
+                             {path}::serialize(self.0, __serializer)\n\
+                         }}\n\
+                     }}\n\
+                     serde::ser::SerializeStruct::serialize_field(&mut __state, \"{fname}\", &__SerdeWith({value_expr}))?;\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+/// Same as [`serialize_field_stmt`] but for struct-variant bindings (the
+/// field is already a reference binding named after itself).
+fn serialize_struct_variant_field(field: &Field) -> String {
+    let fname = &field.name;
+    match &field.with {
+        None => format!(
+            "serde::ser::SerializeStruct::serialize_field(&mut __state, \"{fname}\", {fname})?;\n"
+        ),
+        Some(path) => {
+            let ty = &field.ty;
+            format!(
+                "{{\n\
+                     struct __SerdeWith<'a>(&'a {ty});\n\
+                     impl<'a> serde::Serialize for __SerdeWith<'a> {{\n\
+                         fn serialize<__S: serde::Serializer>(&self, __serializer: __S) -> Result<__S::Ok, __S::Error> {{\n\
+                             {path}::serialize(self.0, __serializer)\n\
+                         }}\n\
+                     }}\n\
+                     serde::ser::SerializeStruct::serialize_field(&mut __state, \"{fname}\", &__SerdeWith({fname}))?;\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    let mut out = String::new();
+    match &item {
+        Item::NamedStruct { name, fields } => {
+            let body = deserialize_named_fields_body(name, fields, name);
+            push_deserialize_impl(&mut out, name, &body);
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            let body = format!(
+                "let __content = serde::de::Deserializer::deserialize_content(__deserializer)?;\n\
+                 Ok({name}(serde::de::from_content::<_, __D::Error>(__content)?))"
+            );
+            push_deserialize_impl(&mut out, name, &body);
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = deserialize_tuple_body(
+                name,
+                *arity,
+                "serde::de::Deserializer::deserialize_content(__deserializer)?",
+                name,
+            );
+            push_deserialize_impl(&mut out, name, &body);
+        }
+        Item::UnitStruct { name } => {
+            let body = format!(
+                "match serde::de::Deserializer::deserialize_content(__deserializer)? {{\n\
+                     serde::de::Content::Null => Ok({name}),\n\
+                     __other => Err(<__D::Error as serde::de::Error>::custom(format_args!(\n\
+                         \"expected null for unit struct {name}, found {{}}\", __other.kind()))),\n\
+                 }}"
+            );
+            push_deserialize_impl(&mut out, name, &body);
+        }
+        Item::Enum { name, variants } => {
+            let body = deserialize_enum_body(name, variants);
+            push_deserialize_impl(&mut out, name, &body);
+        }
+    }
+    out.parse().expect("generated Deserialize impl parses")
+}
+
+fn push_deserialize_impl(out: &mut String, name: &str, body: &str) {
+    let _ = write!(
+        out,
+        "#[automatically_derived]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) -> Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    );
+}
+
+/// Body that parses `__content_expr` (a map) into `constructor { fields }`.
+fn deserialize_named_fields_from_pairs(
+    type_label: &str,
+    fields: &[Field],
+    constructor: &str,
+) -> String {
+    let mut body = String::new();
+    for (idx, field) in fields.iter().enumerate() {
+        let ty = &field.ty;
+        let _ = writeln!(body, "let mut __field{idx}: Option<{ty}> = None;");
+    }
+    body.push_str("for (__key, __value) in __pairs {\n");
+    body.push_str("match serde::de::Content::as_key(&__key) {\n");
+    for (idx, field) in fields.iter().enumerate() {
+        let fname = &field.name;
+        let expr = match &field.with {
+            None => "serde::de::from_content::<_, __D::Error>(__value)?".to_string(),
+            Some(path) => format!(
+                "{path}::deserialize(serde::de::ContentDeserializer::<__D::Error>::new(__value))?"
+            ),
+        };
+        let _ = writeln!(
+            body,
+            "Some(\"{fname}\") => {{ __field{idx} = Some({expr}); }}"
+        );
+    }
+    body.push_str("_ => {}\n}\n}\n");
+    let _ = writeln!(body, "Ok({constructor} {{");
+    for (idx, field) in fields.iter().enumerate() {
+        let fname = &field.name;
+        let missing = if field.ty.trim_start().starts_with("Option") {
+            "None".to_string()
+        } else {
+            format!(
+                "return Err(<__D::Error as serde::de::Error>::custom(\
+                     \"missing field `{fname}` in {type_label}\"))"
+            )
+        };
+        let _ = writeln!(
+            body,
+            "{fname}: match __field{idx} {{ Some(__v) => __v, None => {missing} }},"
+        );
+    }
+    body.push_str("})");
+    body
+}
+
+fn deserialize_named_fields_body(type_label: &str, fields: &[Field], constructor: &str) -> String {
+    let mut body = String::from(
+        "let __content = serde::de::Deserializer::deserialize_content(__deserializer)?;\n",
+    );
+    let _ = writeln!(
+        body,
+        "let __pairs = match __content {{\n\
+             serde::de::Content::Map(__m) => __m,\n\
+             __other => return Err(<__D::Error as serde::de::Error>::custom(format_args!(\n\
+                 \"expected map for {type_label}, found {{}}\", __other.kind()))),\n\
+         }};"
+    );
+    body.push_str(&deserialize_named_fields_from_pairs(
+        type_label,
+        fields,
+        constructor,
+    ));
+    body
+}
+
+/// Body that parses `content_expr` (a sequence) into `constructor(..)`.
+fn deserialize_tuple_body(
+    constructor: &str,
+    arity: usize,
+    content_expr: &str,
+    type_label: &str,
+) -> String {
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "let __items = match {content_expr} {{\n\
+             serde::de::Content::Seq(__items) => __items,\n\
+             __other => return Err(<__D::Error as serde::de::Error>::custom(format_args!(\n\
+                 \"expected sequence for {type_label}, found {{}}\", __other.kind()))),\n\
+         }};"
+    );
+    let _ = writeln!(
+        body,
+        "if __items.len() != {arity} {{\n\
+             return Err(<__D::Error as serde::de::Error>::custom(format_args!(\n\
+                 \"expected {arity} elements for {type_label}, found {{}}\", __items.len())));\n\
+         }}\n\
+         let mut __items = __items.into_iter();"
+    );
+    let _ = write!(body, "Ok({constructor}(");
+    for _ in 0..arity {
+        body.push_str(
+            "serde::de::from_content::<_, __D::Error>(__items.next().expect(\"length checked\"))?, ",
+        );
+    }
+    body.push_str("))");
+    body
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut body = String::from(
+        "let __content = serde::de::Deserializer::deserialize_content(__deserializer)?;\n\
+         match __content {\n",
+    );
+    // Unit variants arrive as bare strings.
+    body.push_str("serde::de::Content::Str(__s) => match __s.as_str() {\n");
+    for variant in variants {
+        if matches!(variant.shape, VariantShape::Unit) {
+            let vname = &variant.name;
+            let _ = writeln!(body, "\"{vname}\" => Ok({name}::{vname}),");
+        }
+    }
+    let _ = writeln!(
+        body,
+        "__other => Err(<__D::Error as serde::de::Error>::custom(format_args!(\n\
+             \"unknown variant `{{__other}}` of enum {name}\"))),\n\
+         }},"
+    );
+    // Data-carrying variants arrive as single-entry maps.
+    body.push_str(
+        "serde::de::Content::Map(__m) if __m.len() == 1 => {\n\
+             let (__key, __value) = __m.into_iter().next().expect(\"length checked\");\n\
+             let __variant = match serde::de::Content::as_key(&__key) {\n\
+                 Some(__s) => __s.to_string(),\n\
+                 None => return Err(<__D::Error as serde::de::Error>::custom(\n\
+                     \"enum variant key must be a string\")),\n\
+             };\n\
+             match __variant.as_str() {\n",
+    );
+    for variant in variants {
+        let vname = &variant.name;
+        match &variant.shape {
+            VariantShape::Unit => {}
+            VariantShape::Tuple(1) => {
+                let _ = writeln!(
+                    body,
+                    "\"{vname}\" => Ok({name}::{vname}(serde::de::from_content::<_, __D::Error>(__value)?)),"
+                );
+            }
+            VariantShape::Tuple(arity) => {
+                let inner = deserialize_tuple_body(
+                    &format!("{name}::{vname}"),
+                    *arity,
+                    "__value",
+                    &format!("variant {name}::{vname}"),
+                );
+                let _ = writeln!(body, "\"{vname}\" => {{ {inner} }}");
+            }
+            VariantShape::Struct(fields) => {
+                let mut inner = format!(
+                    "let __pairs = match __value {{\n\
+                         serde::de::Content::Map(__m) => __m,\n\
+                         __other => return Err(<__D::Error as serde::de::Error>::custom(format_args!(\n\
+                             \"expected map for variant {name}::{vname}, found {{}}\", __other.kind()))),\n\
+                     }};\n"
+                );
+                inner.push_str(&deserialize_named_fields_from_pairs(
+                    &format!("variant {name}::{vname}"),
+                    fields,
+                    &format!("{name}::{vname}"),
+                ));
+                let _ = writeln!(body, "\"{vname}\" => {{ {inner} }}");
+            }
+        }
+    }
+    let _ = writeln!(
+        body,
+        "__other => Err(<__D::Error as serde::de::Error>::custom(format_args!(\n\
+             \"unknown variant `{{__other}}` of enum {name}\"))),\n\
+         }}\n\
+         }},"
+    );
+    let _ = writeln!(
+        body,
+        "__other => Err(<__D::Error as serde::de::Error>::custom(format_args!(\n\
+             \"expected string or single-entry map for enum {name}, found {{}}\", __other.kind()))),\n\
+         }}"
+    );
+    body
+}

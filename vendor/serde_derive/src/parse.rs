@@ -1,0 +1,429 @@
+//! A small lexer + parser for the `struct`/`enum` items handed to the
+//! derive macros. Works on the `TokenStream::to_string()` rendering of the
+//! item, which lets field types be spliced back into generated code as
+//! verbatim source slices.
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    /// Any literal (string, char, number); payload is the source text.
+    Literal(String),
+    /// `::` kept as one token so spliced paths stay valid.
+    PathSep,
+    Punct(char),
+}
+
+#[derive(Debug, Clone)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub start: usize,
+    pub end: usize,
+}
+
+pub fn lex(src: &str) -> Result<Vec<Spanned>, String> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Doc comments come back as `///`/`/** */` lines in the rendered
+        // token stream; skip all comment forms.
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+            continue;
+        }
+        let start = i;
+        if c == '"' {
+            i += 1;
+            while i < bytes.len() {
+                match bytes[i] as char {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            toks.push(Spanned {
+                tok: Tok::Literal(src[start..i].to_string()),
+                start,
+                end: i,
+            });
+        } else if c == '\'' {
+            // Lifetime (`'a`) or char literal (`'x'`, `'\n'`).
+            let mut j = i + 1;
+            while j < bytes.len() && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            if j > i + 1 && (j >= bytes.len() || bytes[j] != b'\'') {
+                // Lifetime: treat as a literal token (kept verbatim in types).
+                toks.push(Spanned {
+                    tok: Tok::Literal(src[start..j].to_string()),
+                    start,
+                    end: j,
+                });
+                i = j;
+            } else {
+                // Char literal.
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] as char {
+                        '\\' => i += 2,
+                        '\'' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                toks.push(Spanned {
+                    tok: Tok::Literal(src[start..i].to_string()),
+                    start,
+                    end: i,
+                });
+            }
+        } else if c.is_alphabetic() || c == '_' {
+            let mut j = i + 1;
+            while j < bytes.len() && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            toks.push(Spanned {
+                tok: Tok::Ident(src[i..j].to_string()),
+                start,
+                end: j,
+            });
+            i = j;
+        } else if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < bytes.len()
+                && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'.')
+            {
+                j += 1;
+            }
+            toks.push(Spanned {
+                tok: Tok::Literal(src[i..j].to_string()),
+                start,
+                end: j,
+            });
+            i = j;
+        } else if c == ':' && i + 1 < bytes.len() && bytes[i + 1] == b':' {
+            toks.push(Spanned {
+                tok: Tok::PathSep,
+                start,
+                end: i + 2,
+            });
+            i += 2;
+        } else {
+            toks.push(Spanned {
+                tok: Tok::Punct(c),
+                start,
+                end: i + 1,
+            });
+            i += 1;
+        }
+    }
+    Ok(toks)
+}
+
+/// One parsed field of a struct or struct variant.
+#[derive(Debug, Clone)]
+pub struct Field {
+    pub name: String,
+    /// Verbatim source of the field type.
+    pub ty: String,
+    /// Module path from `#[serde(with = "path")]`, when present.
+    pub with: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+pub enum VariantShape {
+    Unit,
+    /// Tuple variant with this many fields.
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+pub struct Variant {
+    pub name: String,
+    pub shape: VariantShape,
+}
+
+#[derive(Debug)]
+pub enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+pub struct Parser<'a> {
+    src: &'a str,
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    pub fn new(src: &'a str) -> Result<Self, String> {
+        Ok(Parser {
+            src,
+            toks: lex(src)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn bump(&mut self) -> Option<Spanned> {
+        let tok = self.toks.get(self.pos).cloned();
+        self.pos += 1;
+        tok
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), String> {
+        if self.eat_punct(c) {
+            Ok(())
+        } else {
+            Err(format!("expected `{c}`, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.bump().map(|s| s.tok) {
+            Some(Tok::Ident(name)) => Ok(name),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Skips a balanced group starting at an open delimiter already peeked.
+    fn skip_group(&mut self) -> Result<(), String> {
+        let open = match self.bump().map(|s| s.tok) {
+            Some(Tok::Punct(c @ ('(' | '[' | '{'))) => c,
+            other => return Err(format!("expected open delimiter, found {other:?}")),
+        };
+        let close = match open {
+            '(' => ')',
+            '[' => ']',
+            _ => '}',
+        };
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump().map(|s| s.tok) {
+                Some(Tok::Punct(c)) if c == open => depth += 1,
+                Some(Tok::Punct(c)) if c == close => depth -= 1,
+                Some(_) => {}
+                None => return Err("unbalanced delimiters".into()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Skips attributes; returns `with = "path"` if a serde attr carries one.
+    fn skip_attrs(&mut self) -> Result<Option<String>, String> {
+        let mut with = None;
+        while self.peek() == Some(&Tok::Punct('#')) {
+            self.pos += 1;
+            // Look inside `[serde (...)]` for `with = "..."`.
+            let group_start = self.pos;
+            self.skip_group()?;
+            let group: &[Spanned] = &self.toks[group_start..self.pos];
+            if group.len() >= 3 && group[1].tok == Tok::Ident("serde".to_string()) {
+                let mut k = 2;
+                while k + 2 < group.len() {
+                    if group[k].tok == Tok::Ident("with".to_string())
+                        && group[k + 1].tok == Tok::Punct('=')
+                    {
+                        if let Tok::Literal(lit) = &group[k + 2].tok {
+                            with = Some(lit.trim_matches('"').to_string());
+                        }
+                    }
+                    k += 1;
+                }
+            }
+        }
+        Ok(with)
+    }
+
+    fn skip_visibility(&mut self) -> Result<(), String> {
+        if self.peek() == Some(&Tok::Ident("pub".to_string())) {
+            self.pos += 1;
+            if self.peek() == Some(&Tok::Punct('(')) {
+                self.skip_group()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes tokens of a type until a top-level `,` or the closing
+    /// delimiter `stop`, returning the verbatim source slice.
+    fn parse_type(&mut self, stop: char) -> Result<String, String> {
+        let mut depth = 0isize;
+        let start = match self.toks.get(self.pos) {
+            Some(s) => s.start,
+            None => return Err("expected a type".into()),
+        };
+        let mut end = start;
+        loop {
+            match self.peek() {
+                None => return Err("unterminated type".into()),
+                Some(Tok::Punct(c)) => {
+                    let c = *c;
+                    if depth == 0 && (c == ',' || c == stop) {
+                        break;
+                    }
+                    match c {
+                        '<' | '(' | '[' => depth += 1,
+                        '>' | ')' | ']' => {
+                            if depth == 0 && c == stop {
+                                break;
+                            }
+                            depth -= 1;
+                        }
+                        _ => {}
+                    }
+                }
+                Some(_) => {}
+            }
+            end = self.toks[self.pos].end;
+            self.pos += 1;
+        }
+        Ok(self.src[start..end].to_string())
+    }
+
+    fn parse_named_fields(&mut self) -> Result<Vec<Field>, String> {
+        self.expect_punct('{')?;
+        let mut fields = Vec::new();
+        loop {
+            if self.eat_punct('}') {
+                break;
+            }
+            let with = self.skip_attrs()?;
+            if self.eat_punct('}') {
+                break;
+            }
+            self.skip_visibility()?;
+            let name = self.expect_ident()?;
+            self.expect_punct(':')?;
+            let ty = self.parse_type('}')?;
+            fields.push(Field { name, ty, with });
+            if !self.eat_punct(',') {
+                self.expect_punct('}')?;
+                break;
+            }
+        }
+        Ok(fields)
+    }
+
+    /// Counts the fields of a tuple struct/variant body `( ... )`.
+    fn parse_tuple_arity(&mut self) -> Result<usize, String> {
+        self.expect_punct('(')?;
+        let mut arity = 0usize;
+        loop {
+            if self.eat_punct(')') {
+                break;
+            }
+            let _ = self.skip_attrs()?;
+            if self.eat_punct(')') {
+                break;
+            }
+            self.skip_visibility()?;
+            let _ty = self.parse_type(')')?;
+            arity += 1;
+            if !self.eat_punct(',') {
+                self.expect_punct(')')?;
+                break;
+            }
+        }
+        Ok(arity)
+    }
+
+    pub fn parse_item(&mut self) -> Result<Item, String> {
+        let _ = self.skip_attrs()?;
+        self.skip_visibility()?;
+        let keyword = self.expect_ident()?;
+        let name = self.expect_ident()?;
+        if self.peek() == Some(&Tok::Punct('<')) {
+            return Err(format!(
+                "serde_derive (vendored): generics on `{name}` are not supported"
+            ));
+        }
+        match keyword.as_str() {
+            "struct" => {
+                if self.peek() == Some(&Tok::Punct('{')) {
+                    Ok(Item::NamedStruct {
+                        name,
+                        fields: self.parse_named_fields()?,
+                    })
+                } else if self.peek() == Some(&Tok::Punct('(')) {
+                    let arity = self.parse_tuple_arity()?;
+                    Ok(Item::TupleStruct { name, arity })
+                } else {
+                    Ok(Item::UnitStruct { name })
+                }
+            }
+            "enum" => {
+                self.expect_punct('{')?;
+                let mut variants = Vec::new();
+                loop {
+                    if self.eat_punct('}') {
+                        break;
+                    }
+                    let _ = self.skip_attrs()?;
+                    if self.eat_punct('}') {
+                        break;
+                    }
+                    let vname = self.expect_ident()?;
+                    let shape = match self.peek() {
+                        Some(Tok::Punct('(')) => VariantShape::Tuple(self.parse_tuple_arity()?),
+                        Some(Tok::Punct('{')) => VariantShape::Struct(self.parse_named_fields()?),
+                        _ => VariantShape::Unit,
+                    };
+                    variants.push(Variant { name: vname, shape });
+                    if !self.eat_punct(',') {
+                        self.expect_punct('}')?;
+                        break;
+                    }
+                }
+                Ok(Item::Enum { name, variants })
+            }
+            other => Err(format!("cannot derive serde traits for `{other}` items")),
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Workspace-local JSON support for the vendored serde subset.
+//!
+//! Provides the small slice of `serde_json` this workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], and a dynamic
+//! [`Value`] type. Numbers parse from their original source text with
+//! `f64::from_str` and print with Rust's shortest-round-trip formatting,
+//! so `f64` values survive a serialize/deserialize round trip exactly.
+
+mod de;
+mod ser;
+mod value;
+
+pub use de::from_str;
+pub use error::Error;
+pub use ser::{to_string, to_string_pretty};
+pub use value::Value;
+
+mod error {
+    use std::fmt;
+
+    /// Errors from JSON serialization or parsing.
+    #[derive(Debug)]
+    pub struct Error {
+        message: String,
+    }
+
+    impl Error {
+        pub(crate) fn new(message: impl Into<String>) -> Self {
+            Error {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    impl serde::ser::Error for Error {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            Error::new(msg.to_string())
+        }
+    }
+
+    impl serde::de::Error for Error {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            Error::new(msg.to_string())
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! JSON output: compact and pretty writers over the vendored serde model.
+
+use crate::Error;
+use serde::ser::{SerializeMap, SerializeSeq, SerializeStruct};
+use serde::{Serialize, Serializer};
+use std::fmt::Write as _;
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(JsonSerializer {
+        out: &mut out,
+        pretty: false,
+        depth: 0,
+    })?;
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(JsonSerializer {
+        out: &mut out,
+        pretty: true,
+        depth: 0,
+    })?;
+    Ok(out)
+}
+
+pub(crate) fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+pub(crate) fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's Display is shortest-round-trip, so values survive a
+        // serialize/parse cycle exactly.
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+struct JsonSerializer<'a> {
+    out: &'a mut String,
+    pretty: bool,
+    depth: usize,
+}
+
+impl<'a> JsonSerializer<'a> {
+    fn reborrow(&mut self) -> JsonSerializer<'_> {
+        JsonSerializer {
+            out: self.out,
+            pretty: self.pretty,
+            depth: self.depth,
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// In-progress JSON array or object.
+pub struct Compound<'a> {
+    ser: JsonSerializer<'a>,
+    /// Closing delimiter(s): `]`, `}`, or both for enum variant
+    /// wrappers like `{"Variant":[...]}`.
+    close: &'static str,
+    has_elements: bool,
+}
+
+impl<'a> Compound<'a> {
+    fn element_prefix(&mut self) {
+        if self.has_elements {
+            self.ser.out.push(',');
+        }
+        if self.ser.pretty {
+            newline_indent(self.ser.out, self.ser.depth + 1);
+        }
+        self.has_elements = true;
+    }
+
+    fn finish(self) -> Result<(), Error> {
+        if self.ser.pretty && self.has_elements {
+            newline_indent(self.ser.out, self.ser.depth);
+        }
+        self.ser.out.push_str(self.close);
+        Ok(())
+    }
+}
+
+impl<'a> SerializeSeq for Compound<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.element_prefix();
+        let mut inner = self.ser.reborrow();
+        inner.depth += 1;
+        value.serialize(inner)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl<'a> SerializeMap for Compound<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), Error> {
+        self.element_prefix();
+        key.serialize(KeySerializer { out: self.ser.out })
+    }
+
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.ser.out.push(':');
+        if self.ser.pretty {
+            self.ser.out.push(' ');
+        }
+        let mut inner = self.ser.reborrow();
+        inner.depth += 1;
+        value.serialize(inner)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl<'a> SerializeStruct for Compound<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        SerializeMap::serialize_key(self, name)?;
+        SerializeMap::serialize_value(self, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl<'a> Serializer for JsonSerializer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        write_f64(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        write_escaped(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        self.serialize_str(variant)
+    }
+
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        mut self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        let mut map = self.reborrow().serialize_map(Some(1))?;
+        map.serialize_key(&variant)?;
+        map.serialize_value(value)?;
+        SerializeMap::end(map)
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        self.out.push('[');
+        Ok(Compound {
+            ser: self,
+            close: "]",
+            has_elements: false,
+        })
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        // Externally tagged: {"Variant": [ ... ]} — emit the key, then hand
+        // back an open array positioned one level deeper.
+        let pretty = self.pretty;
+        let depth = self.depth;
+        self.out.push('{');
+        if pretty {
+            newline_indent(self.out, depth + 1);
+        }
+        write_escaped(self.out, variant);
+        self.out.push(':');
+        if pretty {
+            self.out.push(' ');
+        }
+        self.out.push('[');
+        Ok(Compound {
+            ser: JsonSerializer {
+                out: self.out,
+                pretty,
+                depth: depth + 1,
+            },
+            close: "]}",
+            has_elements: false,
+        })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        self.out.push('{');
+        Ok(Compound {
+            ser: self,
+            close: "}",
+            has_elements: false,
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>, Error> {
+        self.out.push('{');
+        Ok(Compound {
+            ser: self,
+            close: "}",
+            has_elements: false,
+        })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        let pretty = self.pretty;
+        let depth = self.depth;
+        self.out.push('{');
+        if pretty {
+            newline_indent(self.out, depth + 1);
+        }
+        write_escaped(self.out, variant);
+        self.out.push(':');
+        if pretty {
+            self.out.push(' ');
+        }
+        self.out.push('{');
+        Ok(Compound {
+            ser: JsonSerializer {
+                out: self.out,
+                pretty,
+                depth: depth + 1,
+            },
+            close: "}}",
+            has_elements: false,
+        })
+    }
+}
+
+/// Serializer for map keys: strings pass through, integers are quoted, the
+/// rest is rejected (JSON object keys must be strings).
+struct KeySerializer<'a> {
+    out: &'a mut String,
+}
+
+/// Key positions cannot hold compound values; this type is uninhabited-ish
+/// glue to satisfy the associated-type bounds.
+pub struct NoCompound {
+    never: std::convert::Infallible,
+}
+
+impl SerializeSeq for NoCompound {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, _value: &T) -> Result<(), Error> {
+        match self.never {}
+    }
+    fn end(self) -> Result<(), Error> {
+        match self.never {}
+    }
+}
+
+impl SerializeMap for NoCompound {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, _key: &T) -> Result<(), Error> {
+        match self.never {}
+    }
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, _value: &T) -> Result<(), Error> {
+        match self.never {}
+    }
+    fn end(self) -> Result<(), Error> {
+        match self.never {}
+    }
+}
+
+impl SerializeStruct for NoCompound {
+    type Ok = ();
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _name: &'static str,
+        _value: &T,
+    ) -> Result<(), Error> {
+        match self.never {}
+    }
+    fn end(self) -> Result<(), Error> {
+        match self.never {}
+    }
+}
+
+fn key_error() -> Error {
+    serde::ser::Error::custom("JSON object keys must be strings or integers")
+}
+
+impl<'a> Serializer for KeySerializer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = NoCompound;
+    type SerializeMap = NoCompound;
+    type SerializeStruct = NoCompound;
+
+    fn serialize_bool(self, _v: bool) -> Result<(), Error> {
+        Err(key_error())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        let _ = write!(self.out, "\"{v}\"");
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        let _ = write!(self.out, "\"{v}\"");
+        Ok(())
+    }
+
+    fn serialize_f64(self, _v: f64) -> Result<(), Error> {
+        Err(key_error())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        write_escaped(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        Err(key_error())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        Err(key_error())
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        self.serialize_str(variant)
+    }
+
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _value: &T,
+    ) -> Result<(), Error> {
+        Err(key_error())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<NoCompound, Error> {
+        Err(key_error())
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<NoCompound, Error> {
+        Err(key_error())
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<NoCompound, Error> {
+        Err(key_error())
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<NoCompound, Error> {
+        Err(key_error())
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<NoCompound, Error> {
+        Err(key_error())
+    }
+}

@@ -1,0 +1,146 @@
+//! A dynamically-typed JSON value.
+
+use serde::de::{Content, Deserialize, Deserializer};
+use serde::{Serialize, Serializer};
+use std::ops::Index;
+
+/// Any JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in document order.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The value as `&str`, when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, when it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, when it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, when it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Value::Null => serializer.serialize_unit(),
+            Value::Bool(v) => serializer.serialize_bool(*v),
+            Value::U64(v) => serializer.serialize_u64(*v),
+            Value::I64(v) => serializer.serialize_i64(*v),
+            Value::F64(v) => serializer.serialize_f64(*v),
+            Value::String(s) => serializer.serialize_str(s),
+            Value::Array(items) => serializer.collect_seq(items.iter()),
+            Value::Object(pairs) => {
+                serializer.collect_map(pairs.iter().map(|(k, v)| (k.as_str(), v)))
+            }
+        }
+    }
+}
+
+fn from_content(content: Content) -> Value {
+    match content {
+        Content::Null => Value::Null,
+        Content::Bool(v) => Value::Bool(v),
+        Content::U64(v) => Value::U64(v),
+        Content::I64(v) => Value::I64(v),
+        Content::F64(v) => Value::F64(v),
+        Content::Str(s) => Value::String(s),
+        Content::Seq(items) => Value::Array(items.into_iter().map(from_content).collect()),
+        Content::Map(pairs) => Value::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = match k {
+                        Content::Str(s) => s,
+                        other => format!("{other:?}"),
+                    };
+                    (key, from_content(v))
+                })
+                .collect(),
+        ),
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(from_content(deserializer.deserialize_content()?))
+    }
+}

@@ -1,0 +1,91 @@
+//! Corpus-wide static analysis: run the ea-lint rule registry over the
+//! Figure 2 corpus (1,124 synthetic Play-store manifests) and report
+//! diagnostic counts per rule plus the wall-time of the sweep. The
+//! static counterpart of `fig02_corpus`: where that binary measures how
+//! prevalent the attack *preconditions* are, this one measures what the
+//! analyzer makes of them.
+
+use std::time::Instant;
+
+use ea_bench::{report, TraceRequest};
+use ea_corpus::{generate_corpus, CorpusConfig};
+use ea_lint::Linter;
+use ea_telemetry::SinkHandle;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct RuleCount {
+    rule: String,
+    paper_attack: Option<u8>,
+    count: usize,
+}
+
+#[derive(Serialize)]
+struct LintCorpusReport {
+    apps: usize,
+    diagnostics: usize,
+    lint_wall_ms: f64,
+    per_rule: Vec<RuleCount>,
+}
+
+fn main() {
+    report::header("Corpus lint: ea-lint over the Figure 2 corpus");
+    let trace = TraceRequest::from_args();
+    let corpus = {
+        let _span = trace.as_ref().map(|t| t.span("generate_corpus"));
+        generate_corpus(&CorpusConfig::paper(), 2_017)
+    };
+
+    let linter = match &trace {
+        Some(trace) => Linter::new().with_telemetry(SinkHandle::new(trace.sink())),
+        None => Linter::new(),
+    };
+    let started = Instant::now();
+    let lint_report = {
+        let _span = trace.as_ref().map(|t| t.span("lint_corpus"));
+        linter.lint_manifests(&corpus)
+    };
+    let lint_wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+
+    if let Some(trace) = &trace {
+        trace.count("lint_apps_total", lint_report.apps_checked as u64);
+        trace.count("lint_diagnostics_total", lint_report.len() as u64);
+    }
+
+    println!("apps linted:    {}", lint_report.apps_checked);
+    println!("diagnostics:    {}", lint_report.len());
+    println!("lint wall-time: {lint_wall_ms:.1} ms");
+    println!();
+    println!("{:<26} {:>8} {:>7}", "rule", "attack", "count");
+    let per_rule: Vec<RuleCount> = lint_report
+        .counts_by_rule()
+        .into_iter()
+        .map(|(rule, count)| {
+            println!(
+                "{:<26} {:>8} {count:>7}",
+                rule.to_string(),
+                rule.paper_attack()
+                    .map(|n| format!("#{n}"))
+                    .unwrap_or_else(|| String::from("-")),
+            );
+            RuleCount {
+                rule: rule.to_string(),
+                paper_attack: rule.paper_attack(),
+                count,
+            }
+        })
+        .collect();
+
+    report::write_json(
+        "lint_corpus",
+        &LintCorpusReport {
+            apps: lint_report.apps_checked,
+            diagnostics: lint_report.len(),
+            lint_wall_ms,
+            per_rule,
+        },
+    );
+    if let Some(trace) = &trace {
+        trace.finish().expect("write trace files");
+    }
+}

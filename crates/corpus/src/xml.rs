@@ -37,22 +37,6 @@ impl fmt::Display for ManifestParseError {
 
 impl Error for ManifestParseError {}
 
-const ALL_PERMISSIONS: [Permission; 7] = [
-    Permission::WakeLock,
-    Permission::WriteSettings,
-    Permission::Camera,
-    Permission::Internet,
-    Permission::FineLocation,
-    Permission::SystemAlertWindow,
-    Permission::RecordAudio,
-];
-
-fn permission_from_name(name: &str) -> Option<Permission> {
-    ALL_PERMISSIONS
-        .into_iter()
-        .find(|permission| permission.manifest_name() == name)
-}
-
 fn component_tag(kind: ComponentKind) -> &'static str {
     match kind {
         ComponentKind::Activity => "activity",
@@ -162,7 +146,7 @@ pub fn parse_manifest_xml(xml: &str) -> Result<AppManifest, ManifestParseError> 
         } else if line.starts_with("<uses-permission") {
             let name = attr(line, "android:name")
                 .ok_or_else(|| err(line_no, "uses-permission missing android:name"))?;
-            match permission_from_name(name) {
+            match Permission::from_manifest_name(name) {
                 Some(permission) => permissions.push(permission),
                 None => return Err(err(line_no, &format!("unknown permission {name}"))),
             }

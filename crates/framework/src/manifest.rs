@@ -29,6 +29,19 @@ pub enum Permission {
 }
 
 impl Permission {
+    /// Every permission variant, in declaration order. The enum is
+    /// `#[non_exhaustive]`, so downstream crates iterate through this
+    /// constant instead of hand-maintaining their own lists.
+    pub const ALL: [Permission; 7] = [
+        Permission::WakeLock,
+        Permission::WriteSettings,
+        Permission::Camera,
+        Permission::Internet,
+        Permission::FineLocation,
+        Permission::SystemAlertWindow,
+        Permission::RecordAudio,
+    ];
+
     /// The manifest string, as APKTool would extract it.
     pub fn manifest_name(self) -> &'static str {
         match self {
@@ -40,6 +53,15 @@ impl Permission {
             Permission::SystemAlertWindow => "android.permission.SYSTEM_ALERT_WINDOW",
             Permission::RecordAudio => "android.permission.RECORD_AUDIO",
         }
+    }
+
+    /// The inverse of [`manifest_name`](Permission::manifest_name): parses
+    /// the `android.permission.*` string a manifest declares. Returns
+    /// `None` for permissions outside the modelled set.
+    pub fn from_manifest_name(name: &str) -> Option<Permission> {
+        Permission::ALL
+            .into_iter()
+            .find(|permission| permission.manifest_name() == name)
     }
 }
 
@@ -271,6 +293,28 @@ mod tests {
         assert!(manifest
             .handlers_for(ComponentKind::Activity, "android.intent.action.VIEW")
             .is_empty());
+    }
+
+    #[test]
+    fn permission_manifest_names_round_trip_over_all_variants() {
+        for permission in Permission::ALL {
+            assert_eq!(
+                Permission::from_manifest_name(permission.manifest_name()),
+                Some(permission),
+                "{permission:?} must round-trip through its manifest string"
+            );
+        }
+        assert_eq!(
+            Permission::from_manifest_name("android.permission.BOGUS"),
+            None
+        );
+        assert_eq!(Permission::from_manifest_name(""), None);
+        // Matching is exact: prefixes and case variants are rejected.
+        assert_eq!(Permission::from_manifest_name("WAKE_LOCK"), None);
+        assert_eq!(
+            Permission::from_manifest_name("android.permission.wake_lock"),
+            None
+        );
     }
 
     #[test]

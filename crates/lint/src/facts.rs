@@ -1,0 +1,135 @@
+//! Per-app fact extraction.
+//!
+//! Rules never look at raw framework state: a [`FactExtractor`]-style pass
+//! first distills each app into [`AppFacts`] — its manifest plus the
+//! behavioural facts that exist only at install time (wakelock release
+//! policy, background CPU demand). Corpus mode lints bare manifests, so
+//! the behavioural facts are optional; rules degrade gracefully when they
+//! are absent.
+
+use ea_framework::{
+    AppManifest, ComponentDecl, ComponentKind, InstalledApp, Permission, WakelockPolicy,
+};
+
+/// Everything the rules may inspect about one app.
+#[derive(Debug, Clone)]
+pub struct AppFacts {
+    /// Package name.
+    pub package: String,
+    /// UID when extracted from an installed system; `None` for bare
+    /// manifests (corpus mode).
+    pub uid: Option<u32>,
+    /// The declared manifest.
+    pub manifest: AppManifest,
+    /// Wakelock release policy, when the behaviour profile is known.
+    pub wakelock_policy: Option<WakelockPolicy>,
+    /// Background CPU demand (cores), when the behaviour profile is known.
+    pub background_util: Option<f64>,
+}
+
+impl AppFacts {
+    /// Extracts facts from a bare manifest (corpus mode: no behaviour).
+    pub fn from_manifest(manifest: &AppManifest) -> AppFacts {
+        AppFacts {
+            package: manifest.package.clone(),
+            uid: None,
+            manifest: manifest.clone(),
+            wakelock_policy: None,
+            background_util: None,
+        }
+    }
+
+    /// Extracts facts from an installed app, behaviour profile included.
+    pub fn from_installed(app: &InstalledApp) -> AppFacts {
+        AppFacts {
+            package: app.manifest.package.clone(),
+            uid: Some(app.uid.as_raw()),
+            manifest: app.manifest.clone(),
+            wakelock_policy: Some(app.behavior.wakelock_policy),
+            background_util: Some(app.behavior.background_util),
+        }
+    }
+
+    /// Exported components of the given kind.
+    pub fn exported(&self, kind: ComponentKind) -> impl Iterator<Item = &ComponentDecl> {
+        self.manifest
+            .components
+            .iter()
+            .filter(move |decl| decl.exported && decl.kind == kind)
+    }
+
+    /// Whether any activity is exported.
+    pub fn has_exported_activity(&self) -> bool {
+        self.exported(ComponentKind::Activity).next().is_some()
+    }
+
+    /// Whether any service is exported.
+    pub fn has_exported_service(&self) -> bool {
+        self.exported(ComponentKind::Service).next().is_some()
+    }
+
+    /// Declared transparent overlay activities.
+    pub fn transparent_activities(&self) -> impl Iterator<Item = &ComponentDecl> {
+        self.manifest
+            .components
+            .iter()
+            .filter(|decl| decl.kind == ComponentKind::Activity && decl.transparent)
+    }
+
+    /// Exported receivers listening for the given broadcast action.
+    pub fn receivers_for(&self, action: &str) -> Vec<&ComponentDecl> {
+        self.manifest.handlers_for(ComponentKind::Receiver, action)
+    }
+
+    /// Whether the app requests `permission`.
+    pub fn has_permission(&self, permission: Permission) -> bool {
+        self.manifest.has_permission(permission)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_framework::AndroidSystem;
+
+    fn sample_manifest() -> AppManifest {
+        AppManifest::builder("com.example.facts")
+            .activity("Main", true)
+            .transparent_activity("Ghost", false)
+            .service("Worker", true)
+            .service("Private", false)
+            .receiver("Unlock", true, &["android.intent.action.USER_PRESENT"])
+            .permission(Permission::WakeLock)
+            .build()
+    }
+
+    #[test]
+    fn manifest_facts_have_no_behaviour() {
+        let facts = AppFacts::from_manifest(&sample_manifest());
+        assert_eq!(facts.package, "com.example.facts");
+        assert_eq!(facts.uid, None);
+        assert_eq!(facts.wakelock_policy, None);
+        assert!(facts.has_exported_activity());
+        assert!(facts.has_exported_service());
+        assert_eq!(facts.exported(ComponentKind::Service).count(), 1);
+        assert_eq!(facts.transparent_activities().count(), 1);
+        assert_eq!(
+            facts
+                .receivers_for("android.intent.action.USER_PRESENT")
+                .len(),
+            1
+        );
+        assert!(facts.has_permission(Permission::WakeLock));
+    }
+
+    #[test]
+    fn installed_facts_carry_uid_and_policy() {
+        let mut android = AndroidSystem::new();
+        let uid = android.install(sample_manifest());
+        let app = android.app(uid).unwrap();
+        let facts = AppFacts::from_installed(app);
+        assert_eq!(facts.uid, Some(uid.as_raw()));
+        assert!(facts.wakelock_policy.is_some());
+        assert!(facts.background_util.is_some());
+    }
+}

@@ -1,0 +1,187 @@
+//! The cross-app analysis context and implicit-intent flow pass.
+//!
+//! Rules receive a [`LintContext`] holding every app's [`AppFacts`] plus a
+//! precomputed intent-flow graph: for each implicit action declared
+//! anywhere in the set, which exported components would the resolver offer
+//! as handlers. From that graph the pass derives *attack chains* — paths
+//! `U → T1 → T2` where each hop is an implicit intent another app answers
+//! — which is the static shadow of the paper's chain-attack propagation
+//! (Algorithm 1 merges collateral maps along exactly these edges).
+
+use std::collections::BTreeMap;
+
+use ea_framework::ComponentKind;
+
+use crate::facts::AppFacts;
+
+/// One exported implicit-intent handler somewhere in the app set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Handler {
+    /// Index of the owning app in [`LintContext::apps`].
+    pub app: usize,
+    /// Component class name.
+    pub component: String,
+    /// Activity, service, or receiver.
+    pub kind: ComponentKind,
+}
+
+/// A two-hop implicit-intent chain starting at one app.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chain {
+    /// Action of the first hop.
+    pub first_action: String,
+    /// Handler of the first hop (the app the origin would exploit).
+    pub first: Handler,
+    /// Action of the second hop.
+    pub second_action: String,
+    /// Handler of the second hop (the app the exploited app could in turn
+    /// reach).
+    pub second: Handler,
+}
+
+/// The cross-app state shared by every rule invocation.
+#[derive(Debug)]
+pub struct LintContext {
+    apps: Vec<AppFacts>,
+    /// action → exported handlers, ordered by (app, component).
+    handlers: BTreeMap<String, Vec<Handler>>,
+}
+
+impl LintContext {
+    /// Builds the context and runs the intent-flow pass.
+    pub fn new(apps: Vec<AppFacts>) -> LintContext {
+        let mut handlers: BTreeMap<String, Vec<Handler>> = BTreeMap::new();
+        for (index, facts) in apps.iter().enumerate() {
+            for decl in facts.manifest.components.iter().filter(|d| d.exported) {
+                for action in &decl.intent_actions {
+                    handlers.entry(action.clone()).or_default().push(Handler {
+                        app: index,
+                        component: decl.name.clone(),
+                        kind: decl.kind,
+                    });
+                }
+            }
+        }
+        LintContext { apps, handlers }
+    }
+
+    /// Every app under analysis.
+    pub fn apps(&self) -> &[AppFacts] {
+        &self.apps
+    }
+
+    /// Apps other than the one at `index`.
+    pub fn others(&self, index: usize) -> impl Iterator<Item = &AppFacts> {
+        self.apps
+            .iter()
+            .enumerate()
+            .filter(move |(i, _)| *i != index)
+            .map(|(_, facts)| facts)
+    }
+
+    /// Exported handlers for an implicit `action`, across all apps.
+    pub fn handlers_of(&self, action: &str) -> &[Handler] {
+        self.handlers.get(action).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Implicit-intent chains of length two starting at app `index`:
+    /// `index → T1 → T2` with `T1 ≠ index`, `T2 ∉ {index, T1}`. Returns at
+    /// most `limit` chains, in deterministic action order.
+    pub fn chains_from(&self, index: usize, limit: usize) -> Vec<Chain> {
+        let mut chains = Vec::new();
+        for (first_action, first_handlers) in &self.handlers {
+            for first in first_handlers.iter().filter(|h| h.app != index) {
+                for (second_action, second_handlers) in &self.handlers {
+                    for second in second_handlers
+                        .iter()
+                        .filter(|h| h.app != index && h.app != first.app)
+                    {
+                        chains.push(Chain {
+                            first_action: first_action.clone(),
+                            first: first.clone(),
+                            second_action: second_action.clone(),
+                            second: second.clone(),
+                        });
+                        if chains.len() >= limit {
+                            return chains;
+                        }
+                    }
+                }
+            }
+        }
+        chains
+    }
+
+    /// Renders a chain as evidence text, e.g.
+    /// `com.a -[SEND]-> com.b/Share -[VIEW]-> com.c/Open`.
+    pub fn describe_chain(&self, origin: usize, chain: &Chain) -> String {
+        format!(
+            "{} -[{}]-> {}/{} -[{}]-> {}/{}",
+            self.apps[origin].package,
+            chain.first_action,
+            self.apps[chain.first.app].package,
+            chain.first.component,
+            chain.second_action,
+            self.apps[chain.second.app].package,
+            chain.second.component,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_framework::AppManifest;
+
+    fn ctx() -> LintContext {
+        let manifests = [
+            AppManifest::builder("com.a").activity("Main", true).build(),
+            AppManifest::builder("com.b")
+                .activity_with_actions("Share", true, &["SEND"])
+                .build(),
+            AppManifest::builder("com.c")
+                .activity_with_actions("Open", true, &["VIEW"])
+                .activity_with_actions("Hidden", false, &["VIEW"])
+                .build(),
+        ];
+        LintContext::new(manifests.iter().map(AppFacts::from_manifest).collect())
+    }
+
+    #[test]
+    fn flow_pass_indexes_exported_handlers_only() {
+        let ctx = ctx();
+        assert_eq!(ctx.handlers_of("SEND").len(), 1);
+        assert_eq!(ctx.handlers_of("VIEW").len(), 1, "non-exported excluded");
+        assert!(ctx.handlers_of("EDIT").is_empty());
+    }
+
+    #[test]
+    fn chains_skip_origin_and_repeat_apps() {
+        let ctx = ctx();
+        let chains = ctx.chains_from(0, 10);
+        assert!(!chains.is_empty());
+        for chain in &chains {
+            assert_ne!(chain.first.app, 0);
+            assert_ne!(chain.second.app, 0);
+            assert_ne!(chain.second.app, chain.first.app);
+        }
+        // com.b's only reachable next hop is com.c and vice versa.
+        let described = ctx.describe_chain(0, &chains[0]);
+        assert_eq!(
+            described,
+            "com.a -[SEND]-> com.b/Share -[VIEW]-> com.c/Open"
+        );
+    }
+
+    #[test]
+    fn no_chain_with_fewer_than_three_apps() {
+        let manifests = [
+            AppManifest::builder("com.a").activity("Main", true).build(),
+            AppManifest::builder("com.b")
+                .activity_with_actions("Share", true, &["SEND"])
+                .build(),
+        ];
+        let ctx = LintContext::new(manifests.iter().map(AppFacts::from_manifest).collect());
+        assert!(ctx.chains_from(0, 10).is_empty());
+    }
+}

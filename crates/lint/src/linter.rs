@@ -1,0 +1,243 @@
+//! The linter driver: runs the registry over an app set and collects a
+//! report.
+//!
+//! Three entry points, one engine:
+//!
+//! * [`Linter::lint_system`] — facts from an [`AndroidSystem`]'s installed
+//!   user apps (behaviour profiles included),
+//! * [`Linter::lint_manifests`] — facts from bare manifests (the Figure 2
+//!   corpus mode),
+//! * [`LintSystem::lint`] — the one-call convenience on `AndroidSystem`
+//!   itself, inheriting the system's telemetry sink.
+
+use ea_core::AttackKind;
+use ea_framework::{AndroidSystem, AppManifest};
+use ea_telemetry::{span, SinkHandle};
+
+use crate::diagnostic::{Diagnostic, RuleId};
+use crate::facts::AppFacts;
+use crate::flow::LintContext;
+use crate::rules::{default_rules, Rule};
+
+/// The outcome of one lint pass.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All findings, sorted by (package, rule code) for stable output.
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many apps were analyzed.
+    pub apps_checked: usize,
+}
+
+impl LintReport {
+    /// Whether no rule fired.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// Every [`AttackKind`] statically predicted for the app with `uid`,
+    /// deduplicated, in first-seen order.
+    pub fn predicted_kinds(&self, uid: u32) -> Vec<AttackKind> {
+        let mut kinds = Vec::new();
+        for diag in self.diagnostics.iter().filter(|d| d.uid == Some(uid)) {
+            for &kind in &diag.predicted {
+                if !kinds.contains(&kind) {
+                    kinds.push(kind);
+                }
+            }
+        }
+        kinds
+    }
+
+    /// Diagnostics per rule, in rule-code order, zero counts included.
+    pub fn counts_by_rule(&self) -> Vec<(RuleId, usize)> {
+        RuleId::ALL
+            .iter()
+            .map(|&rule| {
+                let count = self.diagnostics.iter().filter(|d| d.rule == rule).count();
+                (rule, count)
+            })
+            .collect()
+    }
+}
+
+/// Runs a rule registry over app facts.
+pub struct Linter {
+    rules: Vec<Box<dyn Rule>>,
+    telemetry: SinkHandle,
+}
+
+impl Default for Linter {
+    fn default() -> Self {
+        Linter::new()
+    }
+}
+
+impl Linter {
+    /// A linter with the built-in registry and no telemetry.
+    pub fn new() -> Linter {
+        Linter {
+            rules: default_rules(),
+            telemetry: SinkHandle::noop(),
+        }
+    }
+
+    /// A linter with a custom rule registry.
+    pub fn with_rules(rules: Vec<Box<dyn Rule>>) -> Linter {
+        Linter {
+            rules,
+            telemetry: SinkHandle::noop(),
+        }
+    }
+
+    /// Reports counters and spans through `handle`.
+    pub fn with_telemetry(mut self, handle: SinkHandle) -> Linter {
+        self.telemetry = handle;
+        self
+    }
+
+    /// `(id, description)` of every registered rule, in registry order.
+    pub fn rule_listing(&self) -> Vec<(RuleId, &'static str)> {
+        self.rules
+            .iter()
+            .map(|rule| (rule.id(), rule.description()))
+            .collect()
+    }
+
+    /// Runs every rule over a prebuilt context.
+    pub fn run(&self, ctx: &LintContext) -> LintReport {
+        let _pass = span(self.telemetry.sink(), "lint_pass");
+        let mut diagnostics = Vec::new();
+        for (index, facts) in ctx.apps().iter().enumerate() {
+            for rule in &self.rules {
+                if let Some(diag) = rule.check(index, facts, ctx) {
+                    diagnostics.push(diag);
+                }
+            }
+        }
+        diagnostics.sort_by(|a, b| {
+            (a.package.as_str(), a.rule.code()).cmp(&(b.package.as_str(), b.rule.code()))
+        });
+
+        if self.telemetry.enabled() {
+            self.telemetry
+                .counter_add("lint_apps_checked_total", ctx.apps().len() as u64);
+            self.telemetry
+                .counter_add("lint_diagnostics_total", diagnostics.len() as u64);
+            for diag in &diagnostics {
+                self.telemetry.counter_add(
+                    &format!("lint_rule_{}_total", diag.rule.code().to_lowercase()),
+                    1,
+                );
+            }
+        }
+        LintReport {
+            diagnostics,
+            apps_checked: ctx.apps().len(),
+        }
+    }
+
+    /// Lints the installed user apps of a running system.
+    pub fn lint_system(&self, android: &AndroidSystem) -> LintReport {
+        let facts = android.user_apps().map(AppFacts::from_installed).collect();
+        self.run(&LintContext::new(facts))
+    }
+
+    /// Lints bare manifests (corpus mode; no behaviour facts).
+    pub fn lint_manifests(&self, manifests: &[AppManifest]) -> LintReport {
+        let facts = manifests.iter().map(AppFacts::from_manifest).collect();
+        self.run(&LintContext::new(facts))
+    }
+}
+
+/// Extension trait giving [`AndroidSystem`] a one-call static analysis
+/// pass: `android.lint()` runs the built-in registry over the installed
+/// user apps, reporting through the system's telemetry sink.
+pub trait LintSystem {
+    /// Statically analyzes the installed user apps.
+    fn lint(&self) -> LintReport;
+}
+
+impl LintSystem for AndroidSystem {
+    fn lint(&self) -> LintReport {
+        Linter::new()
+            .with_telemetry(self.telemetry().clone())
+            .lint_system(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_framework::Permission;
+    use ea_telemetry::Recorder;
+    use std::sync::Arc;
+
+    fn pair() -> Vec<AppManifest> {
+        vec![
+            AppManifest::builder("com.a")
+                .activity("Main", true)
+                .permission(Permission::WakeLock)
+                .build(),
+            AppManifest::builder("com.b").activity("Open", true).build(),
+        ]
+    }
+
+    #[test]
+    fn report_is_sorted_and_counts_match() {
+        let report = Linter::new().lint_manifests(&pair());
+        assert_eq!(report.apps_checked, 2);
+        assert!(!report.is_empty());
+        let keys: Vec<(String, &str)> = report
+            .diagnostics
+            .iter()
+            .map(|d| (d.package.clone(), d.rule.code()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        let total: usize = report.counts_by_rule().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, report.len());
+    }
+
+    #[test]
+    fn system_lint_sees_installed_apps_and_uids() {
+        let mut android = AndroidSystem::new();
+        for manifest in pair() {
+            android.install(manifest);
+        }
+        let report = android.lint();
+        assert_eq!(report.apps_checked, 2);
+        let uid = android.uid_of("com.a").unwrap().as_raw();
+        assert!(
+            report
+                .predicted_kinds(uid)
+                .contains(&AttackKind::WakelockLeak),
+            "WAKE_LOCK app must be flagged for wakelock leaks"
+        );
+        assert!(report.diagnostics.iter().all(|d| d.uid.is_some()));
+    }
+
+    #[test]
+    fn lint_pass_reports_telemetry() {
+        let recorder = Arc::new(Recorder::new());
+        let linter = Linter::new().with_telemetry(SinkHandle::new(recorder.clone()));
+        let report = linter.lint_manifests(&pair());
+        let metrics = recorder.metrics();
+        assert_eq!(metrics.counters.get("lint_apps_checked_total"), Some(&2));
+        assert_eq!(
+            metrics.counters.get("lint_diagnostics_total"),
+            Some(&(report.len() as u64))
+        );
+    }
+
+    #[test]
+    fn rule_listing_covers_registry() {
+        let listing = Linter::new().rule_listing();
+        assert_eq!(listing.len(), RuleId::ALL.len());
+    }
+}

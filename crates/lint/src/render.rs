@@ -1,0 +1,139 @@
+//! Text and JSON renderers for lint reports.
+//!
+//! Both renderers emit diagnostics in the report's stable order
+//! (package, then rule code), so identical app sets always render
+//! byte-identically — the golden-file tests pin that contract.
+
+use serde::Serialize;
+
+use crate::diagnostic::Diagnostic;
+use crate::linter::LintReport;
+
+/// Renders a report for terminals: one block per diagnostic, grouped
+/// under the package heading.
+pub fn to_text(report: &LintReport) -> String {
+    let mut out = format!(
+        "ea-lint: {} diagnostic(s) across {} app(s)\n",
+        report.len(),
+        report.apps_checked
+    );
+    let mut current_package: Option<&str> = None;
+    for diag in &report.diagnostics {
+        if current_package != Some(diag.package.as_str()) {
+            current_package = Some(diag.package.as_str());
+            out.push('\n');
+            match diag.uid {
+                Some(uid) => out.push_str(&format!("{} (uid {uid})\n", diag.package)),
+                None => out.push_str(&format!("{}\n", diag.package)),
+            }
+        }
+        out.push_str(&format!(
+            "  [{}] {}: {}\n",
+            diag.severity, diag.rule, diag.message
+        ));
+        if !diag.predicted.is_empty() {
+            let kinds: Vec<&str> = diag.predicted.iter().map(|k| k.label()).collect();
+            out.push_str(&format!("      predicts: {}\n", kinds.join(", ")));
+        }
+        for item in &diag.evidence {
+            out.push_str(&format!("      evidence: {item}\n"));
+        }
+    }
+    out
+}
+
+// The vendored serde_derive does not support generic parameters, so the
+// JSON view owns its strings.
+#[derive(Serialize)]
+struct JsonDiagnostic {
+    rule: String,
+    severity: &'static str,
+    package: String,
+    uid: Option<u32>,
+    predicted: Vec<&'static str>,
+    message: String,
+    evidence: Vec<String>,
+}
+
+#[derive(Serialize)]
+struct JsonReport {
+    apps_checked: usize,
+    diagnostics: Vec<JsonDiagnostic>,
+}
+
+fn json_view(diag: &Diagnostic) -> JsonDiagnostic {
+    JsonDiagnostic {
+        rule: diag.rule.to_string(),
+        severity: diag.severity.label(),
+        package: diag.package.clone(),
+        uid: diag.uid,
+        predicted: diag.predicted.iter().map(|k| k.label()).collect(),
+        message: diag.message.clone(),
+        evidence: diag.evidence.clone(),
+    }
+}
+
+/// Renders a report as pretty-printed JSON (trailing newline included).
+pub fn to_json(report: &LintReport) -> String {
+    let view = JsonReport {
+        apps_checked: report.apps_checked,
+        diagnostics: report.diagnostics.iter().map(json_view).collect(),
+    };
+    let mut out = serde_json::to_string_pretty(&view).expect("lint report serializes");
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linter::Linter;
+    use ea_framework::{AppManifest, Permission};
+
+    fn report() -> LintReport {
+        Linter::new().lint_manifests(&[
+            AppManifest::builder("com.a")
+                .activity("Main", true)
+                .permission(Permission::WakeLock)
+                .build(),
+            AppManifest::builder("com.b").activity("Open", true).build(),
+        ])
+    }
+
+    #[test]
+    fn text_mentions_rules_and_counts() {
+        let text = to_text(&report());
+        assert!(text.starts_with("ea-lint: "));
+        assert!(text.contains("EA0006-wakelock-hold"));
+        assert!(text.contains("predicts: WakelockLeak"));
+        assert!(text.contains("com.a\n"));
+    }
+
+    #[test]
+    fn json_parses_back_and_keeps_order() {
+        let json = to_json(&report());
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["apps_checked"].as_u64(), Some(2));
+        let diags = value["diagnostics"].as_array().unwrap();
+        assert!(!diags.is_empty());
+        let keys: Vec<String> = diags
+            .iter()
+            .map(|d| {
+                format!(
+                    "{}|{}",
+                    d["package"].as_str().unwrap(),
+                    d["rule"].as_str().unwrap()
+                )
+            })
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(to_text(&report()), to_text(&report()));
+        assert_eq!(to_json(&report()), to_json(&report()));
+    }
+}

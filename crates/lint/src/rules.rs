@@ -1,0 +1,656 @@
+//! The rule trait, the built-in registry, and one rule per attack.
+//!
+//! Each rule inspects one app's [`AppFacts`] against the shared
+//! [`LintContext`] and emits at most one [`Diagnostic`]. Rules are
+//! deliberately *sound over-approximations* of the dynamic attack
+//! machines in [`ea_core::LifecycleTracker`]: whenever the framework
+//! could let an app open an attack period of some [`AttackKind`], at
+//! least one rule predicts that kind for that app. The soundness harness
+//! ([`crate::soundness`]) enforces this against every scenario run.
+//!
+//! Two rules are broader than intuition suggests, on purpose:
+//!
+//! * [`BackgroundSprayRule`] (`EA0002`) fires whenever *any* other user
+//!   app is installed, because `AndroidSystem::move_task_to_front` and
+//!   `app_open_home` have **no** permission or exported-component
+//!   precondition — any app can displace any task, which is exactly the
+//!   paper's point about attack #2.
+//! * [`WakelockHoldRule`] (`EA0006`) fires on the `WAKE_LOCK` permission
+//!   alone, because a screen wakelock acquired while backgrounded leaks
+//!   immediately regardless of the release policy.
+
+use ea_core::AttackKind;
+use ea_framework::{AndroidSystem, ComponentKind, Permission, WakelockPolicy};
+
+use crate::diagnostic::{Diagnostic, RuleId, Severity};
+use crate::facts::AppFacts;
+use crate::flow::LintContext;
+
+/// Cap on listed evidence items; the remainder collapses to `+N more`.
+const EVIDENCE_LIMIT: usize = 3;
+
+/// A single static check, run once per app.
+pub trait Rule {
+    /// Stable identifier of this rule.
+    fn id(&self) -> RuleId;
+
+    /// One-line description for `--help`-style listings and docs.
+    fn description(&self) -> &'static str;
+
+    /// Checks app `index` of `ctx`; `facts == &ctx.apps()[index]`.
+    fn check(&self, index: usize, facts: &AppFacts, ctx: &LintContext) -> Option<Diagnostic>;
+}
+
+/// The default registry: every built-in rule, in code order.
+pub fn default_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(ComponentHijackRule),
+        Box::new(BackgroundSprayRule),
+        Box::new(ServiceTetherRule),
+        Box::new(OverlayInterruptRule),
+        Box::new(SettingsTamperRule),
+        Box::new(WakelockHoldRule),
+        Box::new(NoSleepBugRule),
+        Box::new(StealthAutostartRule),
+        Box::new(AttackChainRule),
+    ]
+}
+
+fn diagnostic(
+    rule: RuleId,
+    severity: Severity,
+    facts: &AppFacts,
+    predicted: Vec<AttackKind>,
+    message: String,
+    evidence: Vec<String>,
+) -> Diagnostic {
+    Diagnostic {
+        rule,
+        severity,
+        package: facts.package.clone(),
+        uid: facts.uid,
+        predicted,
+        message,
+        evidence,
+    }
+}
+
+fn clip(mut items: Vec<String>) -> Vec<String> {
+    if items.len() > EVIDENCE_LIMIT {
+        let extra = items.len() - EVIDENCE_LIMIT;
+        items.truncate(EVIDENCE_LIMIT);
+        items.push(format!("+{extra} more"));
+    }
+    items
+}
+
+/// `EA0001`: paper attack #1 — start an exported activity of another app
+/// over and over ("applications can be readily exploited through their
+/// app components").
+pub struct ComponentHijackRule;
+
+impl Rule for ComponentHijackRule {
+    fn id(&self) -> RuleId {
+        RuleId::ComponentHijack
+    }
+
+    fn description(&self) -> &'static str {
+        "another app exports an activity this app could repeatedly start (attack #1)"
+    }
+
+    fn check(&self, index: usize, facts: &AppFacts, ctx: &LintContext) -> Option<Diagnostic> {
+        let targets: Vec<String> = ctx
+            .others(index)
+            .flat_map(|other| {
+                other
+                    .exported(ComponentKind::Activity)
+                    .map(move |decl| format!("{}/{}", other.package, decl.name))
+            })
+            .collect();
+        if targets.is_empty() {
+            return None;
+        }
+        Some(diagnostic(
+            self.id(),
+            Severity::Info,
+            facts,
+            vec![AttackKind::ActivityStart],
+            format!(
+                "{} exported activities of other apps are startable from here",
+                targets.len()
+            ),
+            clip(targets),
+        ))
+    }
+}
+
+/// `EA0002`: paper attack #2 — "a background app definitely drains
+/// battery". Task reordering (`move_task_to_front`, `app_open_home`) has
+/// no static precondition at all, so this fires whenever any other user
+/// app is installed; that breadth is what makes the rule set sound for
+/// [`AttackKind::ActivityStart`] and [`AttackKind::Interruption`].
+pub struct BackgroundSprayRule;
+
+impl Rule for BackgroundSprayRule {
+    fn id(&self) -> RuleId {
+        RuleId::BackgroundSpray
+    }
+
+    fn description(&self) -> &'static str {
+        "co-installed apps can be displaced into the draining background (attack #2)"
+    }
+
+    fn check(&self, index: usize, facts: &AppFacts, ctx: &LintContext) -> Option<Diagnostic> {
+        let neighbors = ctx.others(index).count();
+        if neighbors == 0 {
+            return None;
+        }
+        let draining: Vec<String> = ctx
+            .others(index)
+            .filter(|other| other.background_util.unwrap_or(0.0) > 0.0)
+            .map(|other| {
+                format!(
+                    "{} (background demand {:.2} cores)",
+                    other.package,
+                    other.background_util.unwrap_or(0.0)
+                )
+            })
+            .collect();
+        let severity = if draining.is_empty() {
+            Severity::Info
+        } else {
+            Severity::Warning
+        };
+        Some(diagnostic(
+            self.id(),
+            severity,
+            facts,
+            vec![AttackKind::ActivityStart, AttackKind::Interruption],
+            format!(
+                "{neighbors} co-installed app(s) can be pushed to the background \
+                 (task reordering needs no permission)"
+            ),
+            clip(draining),
+        ))
+    }
+}
+
+/// `EA0003`: paper attack #3 — bind an exported service and never unbind,
+/// pinning the victim's workload alive.
+pub struct ServiceTetherRule;
+
+impl Rule for ServiceTetherRule {
+    fn id(&self) -> RuleId {
+        RuleId::ServiceTether
+    }
+
+    fn description(&self) -> &'static str {
+        "another app exports a service this app could bind and never unbind (attack #3)"
+    }
+
+    fn check(&self, index: usize, facts: &AppFacts, ctx: &LintContext) -> Option<Diagnostic> {
+        let targets: Vec<String> = ctx
+            .others(index)
+            .flat_map(|other| {
+                other
+                    .exported(ComponentKind::Service)
+                    .map(move |decl| format!("{}/{}", other.package, decl.name))
+            })
+            .collect();
+        if targets.is_empty() {
+            return None;
+        }
+        Some(diagnostic(
+            self.id(),
+            Severity::Warning,
+            facts,
+            vec![AttackKind::ServiceBind, AttackKind::ServiceStart],
+            format!(
+                "{} exported services of other apps are bindable from here",
+                targets.len()
+            ),
+            clip(targets),
+        ))
+    }
+}
+
+/// `EA0004`: paper attack #4 — a transparent activity that interrupts the
+/// foreground app and forwards taps to itself (tap-jacking).
+pub struct OverlayInterruptRule;
+
+impl Rule for OverlayInterruptRule {
+    fn id(&self) -> RuleId {
+        RuleId::OverlayInterrupt
+    }
+
+    fn description(&self) -> &'static str {
+        "declares a transparent overlay activity usable for interrupt-and-tap-jack (attack #4)"
+    }
+
+    fn check(&self, _index: usize, facts: &AppFacts, _ctx: &LintContext) -> Option<Diagnostic> {
+        let overlays: Vec<String> = facts
+            .transparent_activities()
+            .map(|decl| decl.name.clone())
+            .collect();
+        if overlays.is_empty() {
+            return None;
+        }
+        let severity = if facts.has_permission(Permission::SystemAlertWindow) {
+            Severity::Critical
+        } else {
+            Severity::Warning
+        };
+        let mut evidence = clip(overlays);
+        if severity == Severity::Critical {
+            evidence.push(String::from("also holds SYSTEM_ALERT_WINDOW"));
+        }
+        Some(diagnostic(
+            self.id(),
+            severity,
+            facts,
+            vec![AttackKind::Interruption],
+            String::from("transparent activity can overlay and interrupt the foreground app"),
+            evidence,
+        ))
+    }
+}
+
+/// `EA0005`: paper attack #5 — rewrite brightness / brightness mode
+/// through the settings provider.
+pub struct SettingsTamperRule;
+
+impl Rule for SettingsTamperRule {
+    fn id(&self) -> RuleId {
+        RuleId::SettingsTamper
+    }
+
+    fn description(&self) -> &'static str {
+        "may rewrite screen brightness settings (attack #5)"
+    }
+
+    fn check(&self, _index: usize, facts: &AppFacts, _ctx: &LintContext) -> Option<Diagnostic> {
+        if !facts.has_permission(Permission::WriteSettings) {
+            return None;
+        }
+        // The paper's attack pairs the settings write with a self-closing
+        // transparent settings page so the user never sees it.
+        let stealthy = facts.transparent_activities().next().is_some();
+        let severity = if stealthy {
+            Severity::Critical
+        } else {
+            Severity::Warning
+        };
+        let mut evidence = vec![String::from("holds WRITE_SETTINGS")];
+        if stealthy {
+            evidence.push(String::from(
+                "transparent activity available to hide the settings change",
+            ));
+        }
+        Some(diagnostic(
+            self.id(),
+            severity,
+            facts,
+            vec![AttackKind::ScreenConfig],
+            String::from("can escalate screen brightness behind the user's back"),
+            evidence,
+        ))
+    }
+}
+
+/// `EA0006`: paper attack #6 — hold a screen wakelock while invisible.
+/// Fires on the `WAKE_LOCK` permission alone: a screen lock acquired
+/// while backgrounded leaks regardless of release policy, so the
+/// permission is the sound precondition for [`AttackKind::WakelockLeak`].
+pub struct WakelockHoldRule;
+
+impl Rule for WakelockHoldRule {
+    fn id(&self) -> RuleId {
+        RuleId::WakelockHold
+    }
+
+    fn description(&self) -> &'static str {
+        "may hold wakelocks while invisible (attack #6)"
+    }
+
+    fn check(&self, _index: usize, facts: &AppFacts, _ctx: &LintContext) -> Option<Diagnostic> {
+        if !facts.has_permission(Permission::WakeLock) {
+            return None;
+        }
+        let (severity, policy_note) = match facts.wakelock_policy {
+            Some(WakelockPolicy::Never) => (
+                Severity::Critical,
+                "never releases wakelocks (malicious per the no-sleep taxonomy)",
+            ),
+            Some(WakelockPolicy::OnStop) | Some(WakelockPolicy::OnDestroy) => (
+                Severity::Warning,
+                "releases wakelocks later than onPause (buggy per the no-sleep taxonomy)",
+            ),
+            Some(WakelockPolicy::OnPause) => (
+                Severity::Info,
+                "releases wakelocks in onPause (well-written)",
+            ),
+            _ => (
+                Severity::Info,
+                "release policy unknown (manifest-only lint)",
+            ),
+        };
+        Some(diagnostic(
+            self.id(),
+            severity,
+            facts,
+            vec![AttackKind::WakelockLeak],
+            String::from("WAKE_LOCK permission allows keeping the screen on while invisible"),
+            vec![String::from(policy_note)],
+        ))
+    }
+}
+
+/// `EA0007`: the no-sleep-bug taxonomy's buggy classes — wakelocks
+/// released only in `onStop`/`onDestroy` keep burning after the user
+/// navigates away even with no attacker present.
+pub struct NoSleepBugRule;
+
+impl Rule for NoSleepBugRule {
+    fn id(&self) -> RuleId {
+        RuleId::NoSleepBug
+    }
+
+    fn description(&self) -> &'static str {
+        "wakelock released only in onStop/onDestroy (no-sleep bug)"
+    }
+
+    fn check(&self, _index: usize, facts: &AppFacts, _ctx: &LintContext) -> Option<Diagnostic> {
+        if !facts.has_permission(Permission::WakeLock) {
+            return None;
+        }
+        let policy = facts.wakelock_policy?;
+        let hook = match policy {
+            WakelockPolicy::OnStop => "onStop",
+            WakelockPolicy::OnDestroy => "onDestroy",
+            _ => return None,
+        };
+        Some(diagnostic(
+            self.id(),
+            Severity::Warning,
+            facts,
+            vec![AttackKind::WakelockLeak],
+            format!("wakelocks released only in {hook}; paused screens stay lit"),
+            vec![format!("release policy: {hook}")],
+        ))
+    }
+}
+
+/// `EA0008`: an exported receiver for `ACTION_USER_PRESENT` — the
+/// paper malware's stealth trigger ("launches itself when the user
+/// unlocks the screen"). A surface finding: it predicts no attack kind
+/// by itself, it marks the app that can *start* attacking unprompted.
+pub struct StealthAutostartRule;
+
+impl Rule for StealthAutostartRule {
+    fn id(&self) -> RuleId {
+        RuleId::StealthAutostart
+    }
+
+    fn description(&self) -> &'static str {
+        "exported receiver wakes the app on screen unlock (stealth autostart)"
+    }
+
+    fn check(&self, _index: usize, facts: &AppFacts, _ctx: &LintContext) -> Option<Diagnostic> {
+        let receivers: Vec<String> = facts
+            .receivers_for(AndroidSystem::ACTION_USER_PRESENT)
+            .into_iter()
+            .map(|decl| decl.name.clone())
+            .collect();
+        if receivers.is_empty() {
+            return None;
+        }
+        Some(diagnostic(
+            self.id(),
+            Severity::Warning,
+            facts,
+            Vec::new(),
+            String::from("runs unprompted on every screen unlock"),
+            clip(receivers),
+        ))
+    }
+}
+
+/// `EA0009`: the intent-flow pass found a cross-app implicit-intent chain
+/// of length ≥ 2 from this app — the static shadow of the paper's chain
+/// attacks, where collateral propagates `driving → driven → driven`.
+pub struct AttackChainRule;
+
+impl Rule for AttackChainRule {
+    fn id(&self) -> RuleId {
+        RuleId::AttackChain
+    }
+
+    fn description(&self) -> &'static str {
+        "implicit-intent chain of length >= 2 reachable from here (chain attack)"
+    }
+
+    fn check(&self, index: usize, facts: &AppFacts, ctx: &LintContext) -> Option<Diagnostic> {
+        let chains = ctx.chains_from(index, EVIDENCE_LIMIT);
+        if chains.is_empty() {
+            return None;
+        }
+        let mut predicted = Vec::new();
+        for chain in &chains {
+            let kind = match chain.first.kind {
+                ComponentKind::Activity => Some(AttackKind::ActivityStart),
+                ComponentKind::Service => Some(AttackKind::ServiceStart),
+                ComponentKind::Receiver => None,
+            };
+            if let Some(kind) = kind {
+                if !predicted.contains(&kind) {
+                    predicted.push(kind);
+                }
+            }
+        }
+        let evidence = chains
+            .iter()
+            .map(|chain| ctx.describe_chain(index, chain))
+            .collect();
+        Some(diagnostic(
+            self.id(),
+            Severity::Info,
+            facts,
+            predicted,
+            String::from("collateral could propagate along a cross-app intent chain"),
+            evidence,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_framework::AppManifest;
+
+    fn facts_of(manifests: &[AppManifest]) -> LintContext {
+        LintContext::new(manifests.iter().map(AppFacts::from_manifest).collect())
+    }
+
+    fn check_one(rule: &dyn Rule, ctx: &LintContext, index: usize) -> Option<Diagnostic> {
+        rule.check(index, &ctx.apps()[index], ctx)
+    }
+
+    #[test]
+    fn hijack_requires_a_foreign_exported_activity() {
+        let ctx = facts_of(&[
+            AppManifest::builder("com.a")
+                .activity("Main", false)
+                .build(),
+            AppManifest::builder("com.b").activity("Open", true).build(),
+        ]);
+        let diag = check_one(&ComponentHijackRule, &ctx, 0).unwrap();
+        assert_eq!(diag.rule, RuleId::ComponentHijack);
+        assert!(diag.predicts(AttackKind::ActivityStart));
+        assert_eq!(diag.evidence, vec!["com.b/Open"]);
+        // com.b sees no foreign exported activity (com.a's is private).
+        assert!(check_one(&ComponentHijackRule, &ctx, 1).is_none());
+    }
+
+    #[test]
+    fn spray_fires_with_any_neighbor_and_none_alone() {
+        let lonely = facts_of(&[AppManifest::builder("com.a").activity("Main", true).build()]);
+        assert!(check_one(&BackgroundSprayRule, &lonely, 0).is_none());
+
+        let pair = facts_of(&[
+            AppManifest::builder("com.a")
+                .activity("Main", false)
+                .build(),
+            AppManifest::builder("com.b")
+                .activity("Main", false)
+                .build(),
+        ]);
+        let diag = check_one(&BackgroundSprayRule, &pair, 0).unwrap();
+        assert!(diag.predicts(AttackKind::ActivityStart));
+        assert!(diag.predicts(AttackKind::Interruption));
+        assert_eq!(diag.severity, Severity::Info, "no known background demand");
+    }
+
+    #[test]
+    fn tether_requires_a_foreign_exported_service() {
+        let ctx = facts_of(&[
+            AppManifest::builder("com.a").activity("Main", true).build(),
+            AppManifest::builder("com.b")
+                .service("Worker", true)
+                .build(),
+        ]);
+        let diag = check_one(&ServiceTetherRule, &ctx, 0).unwrap();
+        assert!(diag.predicts(AttackKind::ServiceBind));
+        assert!(diag.predicts(AttackKind::ServiceStart));
+        assert!(check_one(&ServiceTetherRule, &ctx, 1).is_none());
+    }
+
+    #[test]
+    fn overlay_severity_escalates_with_alert_window() {
+        let plain = facts_of(&[AppManifest::builder("com.a")
+            .transparent_activity("Ghost", false)
+            .build()]);
+        assert_eq!(
+            check_one(&OverlayInterruptRule, &plain, 0)
+                .unwrap()
+                .severity,
+            Severity::Warning
+        );
+
+        let armed = facts_of(&[AppManifest::builder("com.a")
+            .transparent_activity("Ghost", false)
+            .permission(Permission::SystemAlertWindow)
+            .build()]);
+        assert_eq!(
+            check_one(&OverlayInterruptRule, &armed, 0)
+                .unwrap()
+                .severity,
+            Severity::Critical
+        );
+    }
+
+    #[test]
+    fn settings_tamper_needs_write_settings() {
+        let no_perm = facts_of(&[AppManifest::builder("com.a").build()]);
+        assert!(check_one(&SettingsTamperRule, &no_perm, 0).is_none());
+
+        let armed = facts_of(&[AppManifest::builder("com.a")
+            .permission(Permission::WriteSettings)
+            .transparent_activity("SettingsGhost", false)
+            .build()]);
+        let diag = check_one(&SettingsTamperRule, &armed, 0).unwrap();
+        assert_eq!(diag.severity, Severity::Critical);
+        assert!(diag.predicts(AttackKind::ScreenConfig));
+    }
+
+    #[test]
+    fn wakelock_hold_severity_follows_taxonomy() {
+        let manifest = AppManifest::builder("com.a")
+            .permission(Permission::WakeLock)
+            .build();
+        let mut facts = AppFacts::from_manifest(&manifest);
+        let ctx = LintContext::new(vec![facts.clone()]);
+
+        let unknown = WakelockHoldRule.check(0, &facts, &ctx).unwrap();
+        assert_eq!(unknown.severity, Severity::Info);
+
+        facts.wakelock_policy = Some(WakelockPolicy::Never);
+        assert_eq!(
+            WakelockHoldRule.check(0, &facts, &ctx).unwrap().severity,
+            Severity::Critical
+        );
+        facts.wakelock_policy = Some(WakelockPolicy::OnDestroy);
+        assert_eq!(
+            WakelockHoldRule.check(0, &facts, &ctx).unwrap().severity,
+            Severity::Warning
+        );
+    }
+
+    #[test]
+    fn no_sleep_bug_only_for_buggy_policies() {
+        let manifest = AppManifest::builder("com.a")
+            .permission(Permission::WakeLock)
+            .build();
+        let mut facts = AppFacts::from_manifest(&manifest);
+        let ctx = LintContext::new(vec![facts.clone()]);
+
+        assert!(
+            NoSleepBugRule.check(0, &facts, &ctx).is_none(),
+            "unknown policy"
+        );
+        facts.wakelock_policy = Some(WakelockPolicy::OnPause);
+        assert!(NoSleepBugRule.check(0, &facts, &ctx).is_none());
+        facts.wakelock_policy = Some(WakelockPolicy::Never);
+        assert!(
+            NoSleepBugRule.check(0, &facts, &ctx).is_none(),
+            "covered by EA0006"
+        );
+        facts.wakelock_policy = Some(WakelockPolicy::OnStop);
+        assert!(NoSleepBugRule.check(0, &facts, &ctx).is_some());
+        facts.wakelock_policy = Some(WakelockPolicy::OnDestroy);
+        let diag = NoSleepBugRule.check(0, &facts, &ctx).unwrap();
+        assert!(diag.predicts(AttackKind::WakelockLeak));
+    }
+
+    #[test]
+    fn stealth_autostart_wants_user_present_receiver() {
+        let quiet = facts_of(&[AppManifest::builder("com.a")
+            .receiver("Boot", true, &["android.intent.action.BOOT_COMPLETED"])
+            .build()]);
+        assert!(check_one(&StealthAutostartRule, &quiet, 0).is_none());
+
+        let armed = facts_of(&[AppManifest::builder("com.a")
+            .receiver("Unlock", true, &[AndroidSystem::ACTION_USER_PRESENT])
+            .build()]);
+        let diag = check_one(&StealthAutostartRule, &armed, 0).unwrap();
+        assert!(diag.predicted.is_empty(), "surface rule predicts nothing");
+    }
+
+    #[test]
+    fn chain_rule_predicts_by_first_hop_kind() {
+        let ctx = facts_of(&[
+            AppManifest::builder("com.origin").build(),
+            AppManifest::builder("com.svc")
+                .service("Sync", true)
+                .build(),
+            AppManifest::builder("com.b")
+                .activity_with_actions("Share", true, &["SEND"])
+                .build(),
+            AppManifest::builder("com.c")
+                .activity_with_actions("Open", true, &["VIEW"])
+                .build(),
+        ]);
+        let diag = check_one(&AttackChainRule, &ctx, 0).unwrap();
+        assert!(diag.predicts(AttackKind::ActivityStart));
+        assert!(!diag.evidence.is_empty());
+    }
+
+    #[test]
+    fn registry_is_in_code_order() {
+        let rules = default_rules();
+        let ids: Vec<RuleId> = rules.iter().map(|r| r.id()).collect();
+        assert_eq!(ids, RuleId::ALL.to_vec());
+        for rule in &rules {
+            assert!(!rule.description().is_empty());
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! The soundness harness: static prediction ⊇ dynamic observation.
+//!
+//! A static analyzer for energy attacks is only trustworthy if it never
+//! misses: every attack period the dynamic [`ea_core::CollateralMonitor`]
+//! records must have been predicted, for the same UID, by some static
+//! diagnostic. This module turns that contract into a checkable function:
+//! extract the `(driving uid, AttackKind)` pairs a run observed, then
+//! verify each pair appears in the [`LintReport`] produced *before* the
+//! run. Scenario tests and the proptest harness both call through here.
+
+use ea_core::{AttackKind, AttackRecord};
+
+use crate::linter::LintReport;
+
+/// One dynamically observed attack the static pass failed to predict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoundnessViolation {
+    /// UID of the driving (attacking) app.
+    pub uid: u32,
+    /// The observed attack kind with no matching static prediction.
+    pub kind: AttackKind,
+}
+
+impl std::fmt::Display for SoundnessViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "uid {} dynamically drove {} but no static diagnostic predicted it",
+            self.uid, self.kind
+        )
+    }
+}
+
+/// Deduplicated `(driving uid, kind)` pairs from an attack history.
+pub fn observed_attacks(history: &[AttackRecord]) -> Vec<(u32, AttackKind)> {
+    let mut pairs: Vec<(u32, AttackKind)> = Vec::new();
+    for record in history {
+        let pair = (record.info.driving.as_raw(), record.info.kind);
+        if !pairs.contains(&pair) {
+            pairs.push(pair);
+        }
+    }
+    pairs
+}
+
+/// Checks the superset property: every observed pair must be predicted by
+/// a diagnostic for the same UID. Returns the misses (empty = sound).
+pub fn check_superset(
+    report: &LintReport,
+    observed: &[(u32, AttackKind)],
+) -> Vec<SoundnessViolation> {
+    observed
+        .iter()
+        .filter(|(uid, kind)| !report.predicted_kinds(*uid).contains(kind))
+        .map(|&(uid, kind)| SoundnessViolation { uid, kind })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::{Diagnostic, RuleId, Severity};
+
+    fn diag(uid: u32, predicted: Vec<AttackKind>) -> Diagnostic {
+        Diagnostic {
+            rule: RuleId::WakelockHold,
+            severity: Severity::Warning,
+            package: format!("com.app.{uid}"),
+            uid: Some(uid),
+            predicted,
+            message: String::new(),
+            evidence: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn superset_holds_when_every_pair_is_predicted() {
+        let report = LintReport {
+            diagnostics: vec![
+                diag(10_000, vec![AttackKind::WakelockLeak]),
+                diag(
+                    10_001,
+                    vec![AttackKind::ActivityStart, AttackKind::Interruption],
+                ),
+            ],
+            apps_checked: 2,
+        };
+        let observed = vec![
+            (10_000, AttackKind::WakelockLeak),
+            (10_001, AttackKind::Interruption),
+        ];
+        assert!(check_superset(&report, &observed).is_empty());
+    }
+
+    #[test]
+    fn miss_is_reported_per_uid_and_kind() {
+        let report = LintReport {
+            diagnostics: vec![diag(10_000, vec![AttackKind::WakelockLeak])],
+            apps_checked: 1,
+        };
+        let observed = vec![
+            (10_000, AttackKind::ScreenConfig),
+            (10_002, AttackKind::WakelockLeak),
+        ];
+        let violations = check_superset(&report, &observed);
+        assert_eq!(violations.len(), 2);
+        assert!(violations[0].to_string().contains("ScreenConfig"));
+    }
+
+    #[test]
+    fn over_approximation_is_fine() {
+        let report = LintReport {
+            diagnostics: vec![diag(10_000, vec![AttackKind::WakelockLeak])],
+            apps_checked: 1,
+        };
+        // Nothing observed at all: still sound.
+        assert!(check_superset(&report, &[]).is_empty());
+    }
+}

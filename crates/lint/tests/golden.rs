@@ -1,0 +1,94 @@
+//! Golden-file tests for the renderers: a fixed app set must render
+//! byte-identically forever. Rule IDs, ordering, and field layout are an
+//! output contract — CI diffs, dashboards, and the paper-reproduction
+//! scripts all parse this output.
+//!
+//! To regenerate after an intentional format change:
+//! `GOLDEN_BLESS=1 cargo test -p ea-lint --test golden`, then review the
+//! diff under `crates/lint/tests/golden/`.
+
+use ea_framework::{AndroidSystem, AppManifest, Permission};
+use ea_lint::{render, LintSystem};
+
+/// A miniature of the demo world: a victim-style app with an exported
+/// service and a wakelock, plus a malware-style app with every attack
+/// precondition (mirrors `com.fungame.sprint`).
+fn fixture() -> AndroidSystem {
+    let mut android = AndroidSystem::new();
+    android.install(
+        AppManifest::builder("com.example.victim")
+            .category("productivity")
+            .activity("Main", true)
+            .service("Worker", true)
+            .permission(Permission::WakeLock)
+            .build(),
+    );
+    android.install(
+        AppManifest::builder("com.fungame.sprint")
+            .category("game")
+            .activity("Game", true)
+            .transparent_activity("Ghost", false)
+            .service("Daemon", false)
+            .receiver(
+                "UnlockListener",
+                true,
+                &[AndroidSystem::ACTION_USER_PRESENT],
+            )
+            .permission(Permission::WakeLock)
+            .permission(Permission::WriteSettings)
+            .permission(Permission::SystemAlertWindow)
+            .build(),
+    );
+    android
+}
+
+fn check_golden(name: &str, expected: &str, actual: &str) {
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(name);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    assert_eq!(
+        expected, actual,
+        "golden file {name} is stale; regenerate with GOLDEN_BLESS=1 and review the diff"
+    );
+}
+
+#[test]
+fn text_rendering_matches_golden() {
+    let report = fixture().lint();
+    check_golden(
+        "demo.txt",
+        include_str!("golden/demo.txt"),
+        &render::to_text(&report),
+    );
+}
+
+#[test]
+fn json_rendering_matches_golden() {
+    let report = fixture().lint();
+    check_golden(
+        "demo.json",
+        include_str!("golden/demo.json"),
+        &render::to_json(&report),
+    );
+}
+
+#[test]
+fn golden_json_is_valid_and_complete() {
+    let report = fixture().lint();
+    let value: serde_json::Value =
+        serde_json::from_str(&render::to_json(&report)).expect("golden JSON parses");
+    assert_eq!(value["diagnostics"].as_array().unwrap().len(), report.len());
+    // The malware-style app trips the critical overlay and settings rules.
+    let severities: Vec<&str> = value["diagnostics"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|d| d["severity"].as_str().unwrap())
+        .collect();
+    assert!(severities.contains(&"CRITICAL"));
+}

@@ -1,0 +1,226 @@
+//! The soundness property, under fire: for *random* app sets driven by
+//! *random* action sequences, the static lint report taken before the run
+//! must predict every `(driving uid, AttackKind)` pair the dynamic
+//! monitor records. This is the same superset contract the scenario suite
+//! checks, but over the whole configuration space proptest can reach.
+
+use ea_core::CollateralMonitor;
+use ea_framework::{
+    AndroidSystem, AppBehavior, AppManifest, ChangeSource, Intent, Permission, WakelockKind,
+    WakelockPolicy,
+};
+use ea_lint::soundness::{check_superset, observed_attacks};
+use ea_lint::Linter;
+use ea_sim::SimDuration;
+use proptest::prelude::*;
+
+/// Implicit actions the generator may declare and fire.
+const ACTIONS: [&str; 3] = [
+    "android.intent.action.SEND",
+    "android.intent.action.VIEW",
+    "android.media.action.VIDEO_CAPTURE",
+];
+
+/// Generator-side description of one app.
+#[derive(Debug, Clone)]
+struct AppSpec {
+    export_main: bool,
+    transparent_ghost: bool,
+    service: Option<bool>, // Some(exported)
+    implicit_action: Option<usize>,
+    wake_lock: bool,
+    write_settings: bool,
+    policy: WakelockPolicy,
+}
+
+fn app_spec() -> impl Strategy<Value = AppSpec> {
+    (
+        (
+            any::<bool>(),
+            any::<bool>(),
+            proptest::option::of(any::<bool>()),
+            proptest::option::of(0usize..ACTIONS.len()),
+        ),
+        (any::<bool>(), any::<bool>(), 0u8..4),
+    )
+        .prop_map(
+            |(
+                (export_main, transparent_ghost, service, implicit_action),
+                (wake_lock, write_settings, policy),
+            )| {
+                AppSpec {
+                    export_main,
+                    transparent_ghost,
+                    service,
+                    implicit_action,
+                    wake_lock,
+                    write_settings,
+                    policy: match policy {
+                        0 => WakelockPolicy::OnPause,
+                        1 => WakelockPolicy::OnStop,
+                        2 => WakelockPolicy::OnDestroy,
+                        _ => WakelockPolicy::Never,
+                    },
+                }
+            },
+        )
+}
+
+fn manifest_of(index: usize, spec: &AppSpec) -> AppManifest {
+    let mut builder = AppManifest::builder(format!("com.prop.app{index}"));
+    builder = match spec.implicit_action {
+        Some(action) => builder.activity_with_actions("Main", spec.export_main, &[ACTIONS[action]]),
+        None => builder.activity("Main", spec.export_main),
+    };
+    if spec.transparent_ghost {
+        builder = builder.transparent_activity("Ghost", false);
+    }
+    if let Some(exported) = spec.service {
+        builder = builder.service("Worker", exported);
+    }
+    if spec.wake_lock {
+        builder = builder.permission(Permission::WakeLock);
+    }
+    if spec.write_settings {
+        builder = builder.permission(Permission::WriteSettings);
+    }
+    builder.build()
+}
+
+/// One random action against the system. App indices are taken modulo the
+/// installed count, so every generated op is applicable.
+#[derive(Debug, Clone)]
+enum Op {
+    Launch(usize),
+    StartActivity(usize, usize),
+    StartImplicit(usize, usize),
+    MoveToFront(usize, usize),
+    OpenHome(usize),
+    BindService(usize, usize),
+    StartService(usize, usize),
+    AcquireLock(usize, bool),
+    Brightness(usize, u8),
+    BrightnessMode(usize, bool),
+    PressBack,
+    Advance(u64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..8).prop_map(Op::Launch),
+        (0usize..8, 0usize..8).prop_map(|(a, b)| Op::StartActivity(a, b)),
+        (0usize..8, 0usize..ACTIONS.len()).prop_map(|(a, n)| Op::StartImplicit(a, n)),
+        (0usize..8, 0usize..8).prop_map(|(a, b)| Op::MoveToFront(a, b)),
+        (0usize..8).prop_map(Op::OpenHome),
+        (0usize..8, 0usize..8).prop_map(|(a, b)| Op::BindService(a, b)),
+        (0usize..8, 0usize..8).prop_map(|(a, b)| Op::StartService(a, b)),
+        (0usize..8, any::<bool>()).prop_map(|(a, bright)| Op::AcquireLock(a, bright)),
+        (0usize..8, any::<u8>()).prop_map(|(a, v)| Op::Brightness(a, v)),
+        (0usize..8, any::<bool>()).prop_map(|(a, manual)| Op::BrightnessMode(a, manual)),
+        Just(Op::PressBack),
+        (1u64..40).prop_map(Op::Advance),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn static_prediction_is_superset_of_dynamic_observation(
+        specs in proptest::collection::vec(app_spec(), 1..5),
+        ops in proptest::collection::vec(op(), 0..48),
+    ) {
+        let mut android = AndroidSystem::new();
+        let uids: Vec<_> = specs
+            .iter()
+            .enumerate()
+            .map(|(index, spec)| {
+                android.install_with_behavior(
+                    manifest_of(index, spec),
+                    AppBehavior::demo().with_wakelock_policy(spec.policy),
+                )
+            })
+            .collect();
+        let packages: Vec<String> = uids
+            .iter()
+            .map(|&uid| android.app(uid).unwrap().manifest.package.clone())
+            .collect();
+
+        // Static pass first: the report must already cover whatever the
+        // random run manages to do.
+        let report = Linter::new().lint_system(&android);
+
+        let n = uids.len();
+        for op in &ops {
+            // Errors (missing permission, non-exported target, unknown
+            // component) are expected outcomes of random driving: the
+            // framework refusing an action is itself a soundness-relevant
+            // fact, because refused actions must not open attack periods.
+            let _ = match *op {
+                Op::Launch(a) => android.user_launch(&packages[a % n]).map(|_| ()),
+                Op::StartActivity(a, b) => android
+                    .start_activity(
+                        uids[a % n],
+                        Intent::explicit(packages[b % n].clone(), "Main"),
+                    )
+                    .map(|_| ()),
+                Op::StartImplicit(a, action) => android
+                    .start_activity(uids[a % n], Intent::implicit(ACTIONS[action]))
+                    .map(|_| ()),
+                Op::MoveToFront(a, b) => {
+                    android.move_task_to_front(ChangeSource::App(uids[a % n]), uids[b % n])
+                }
+                Op::OpenHome(a) => {
+                    android.app_open_home(uids[a % n]);
+                    Ok(())
+                }
+                Op::BindService(a, b) => android
+                    .bind_service(
+                        uids[a % n],
+                        Intent::explicit(packages[b % n].clone(), "Worker"),
+                    )
+                    .map(|_| ()),
+                Op::StartService(a, b) => android
+                    .start_service(
+                        uids[a % n],
+                        Intent::explicit(packages[b % n].clone(), "Worker"),
+                    )
+                    .map(|_| ()),
+                Op::AcquireLock(a, bright) => {
+                    let kind = if bright {
+                        WakelockKind::ScreenBright
+                    } else {
+                        WakelockKind::Partial
+                    };
+                    android.acquire_wakelock(uids[a % n], kind).map(|_| ())
+                }
+                Op::Brightness(a, value) => {
+                    android.set_brightness(ChangeSource::App(uids[a % n]), value)
+                }
+                Op::BrightnessMode(a, manual) => {
+                    android.set_brightness_mode(ChangeSource::App(uids[a % n]), manual)
+                }
+                Op::PressBack => {
+                    android.user_press_back();
+                    Ok(())
+                }
+                Op::Advance(secs) => {
+                    android.advance(SimDuration::from_secs(secs));
+                    Ok(())
+                }
+            };
+        }
+        android.advance(SimDuration::from_secs(5));
+
+        let mut monitor = CollateralMonitor::new();
+        monitor.observe(&android.drain_events());
+
+        let observed = observed_attacks(monitor.attack_history());
+        let violations = check_superset(&report, &observed);
+        prop_assert!(
+            violations.is_empty(),
+            "static analysis missed dynamic attacks: {:?}",
+            violations
+        );
+    }
+}

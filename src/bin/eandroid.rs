@@ -21,6 +21,8 @@ use e_android::core::{
     labels_from, AttackTimeline, BatteryView, DetectorConfig, Profiler, ScreenPolicy,
 };
 use e_android::corpus::{analyze, generate_corpus, to_manifest_xml, CorpusConfig};
+use e_android::framework::AndroidSystem;
+use e_android::lint::{render, LintSystem, Linter};
 
 const HELP: &str = "\
 eandroid — collateral-energy profiling on a simulated Android handset
@@ -45,6 +47,11 @@ COMMANDS:
     micro                   run the Figure 10 micro-benchmark matrix
         --runs N                   samples per op/config (default 50)
     antutu                  run the Figure 11 parity benchmark
+    lint [demo|corpus]      static collateral-energy analysis (rules EA0001-EA0009)
+        --json                     emit the report as JSON
+        --rules                    list the rule registry and exit
+        --seed N                   corpus RNG seed (default 2017)
+        --size N                   corpus size (default 1124)
     workload                simulate a randomized day of phone use
         --seed N                   RNG seed (default 7)
         --sessions N               user sessions (default 10)
@@ -61,6 +68,7 @@ fn main() -> ExitCode {
         Some("corpus") => cmd_corpus(&args.collect::<Vec<_>>()),
         Some("micro") => cmd_micro(&args.collect::<Vec<_>>()),
         Some("antutu") => cmd_antutu(),
+        Some("lint") => cmd_lint(&args.collect::<Vec<_>>()),
         Some("workload") => cmd_workload(&args.collect::<Vec<_>>()),
         Some("list") => {
             println!("scenarios:");
@@ -307,6 +315,70 @@ fn cmd_workload(args: &[&str]) -> ExitCode {
         "{}",
         BatteryView::eandroid(profiler.ledger(), graph, &labels)
     );
+    ExitCode::SUCCESS
+}
+
+fn cmd_lint(args: &[&str]) -> ExitCode {
+    if has_flag(args, "--rules") {
+        println!("{:<26} {:<8} description", "rule", "attack");
+        for (rule, description) in Linter::new().rule_listing() {
+            let attack = rule
+                .paper_attack()
+                .map(|n| format!("#{n}"))
+                .unwrap_or_else(|| String::from("-"));
+            println!("{:<26} {:<8} {}", rule.to_string(), attack, description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let target = match args.first() {
+        None | Some(&"demo") => "demo",
+        Some(&"corpus") => "corpus",
+        Some(&flag) if flag.starts_with("--") => "demo",
+        Some(&other) => {
+            eprintln!("unknown lint target: {other} (expected demo or corpus)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if target == "demo" {
+        // The paper's testbed: the six demo apps plus the fungame malware.
+        let mut android = AndroidSystem::new();
+        e_android::apps::DemoApps::install_all(&mut android);
+        e_android::apps::Malware::install(&mut android);
+        let report = android.lint();
+        if has_flag(args, "--json") {
+            print!("{}", render::to_json(&report));
+        } else {
+            print!("{}", render::to_text(&report));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(2_017);
+    let size: usize = flag_value(args, "--size")
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(1_124);
+    let config = CorpusConfig {
+        size,
+        ..CorpusConfig::paper()
+    };
+    let corpus = generate_corpus(&config, seed);
+    let report = Linter::new().lint_manifests(&corpus);
+    if has_flag(args, "--json") {
+        print!("{}", render::to_json(&report));
+    } else {
+        println!(
+            "{} diagnostic(s) across {} app(s)",
+            report.len(),
+            report.apps_checked
+        );
+        for (rule, count) in report.counts_by_rule() {
+            println!("  {:<26} {count:>6}", rule.to_string());
+        }
+    }
     ExitCode::SUCCESS
 }
 

@@ -1,0 +1,363 @@
+//! Fleet-wide aggregation: fold per-device reports, in device-index
+//! order, into one [`FleetReport`].
+//!
+//! The merge is deterministic by construction: the engine hands this
+//! module a vector indexed by device — whatever interleaving the worker
+//! threads produced — so every accumulator sees the same values in the
+//! same order regardless of `--jobs`. Wall-clock facts (throughput,
+//! worker utilization) live in [`crate::FleetRunStats`], *outside* the
+//! report, so the serialized report is byte-identical for a given
+//! `(seed, fleet_size)`.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::FleetConfig;
+use crate::device::DeviceReport;
+
+/// How many drivers/victims the ranked tables keep.
+const TOP_LIMIT: usize = 10;
+
+/// A device whose workload panicked: recorded, not fatal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceFailure {
+    /// Device index within the fleet.
+    pub index: usize,
+    /// The device's derived seed (for replaying the failure alone).
+    pub seed: u64,
+    /// The captured panic message.
+    pub message: String,
+}
+
+/// Population prevalence of one attack kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KindPrevalence {
+    /// The attack-kind label (`ea_core::AttackKind::label`).
+    pub kind: String,
+    /// Devices that recorded at least one period of this kind.
+    pub devices: usize,
+    /// Total attack periods across the fleet.
+    pub periods: usize,
+    /// Total collateral energy attributed to this kind, joules.
+    pub collateral_joules: f64,
+    /// Apps the static linter flagged for this kind, summed over devices.
+    pub statically_predicted_apps: usize,
+}
+
+/// Nearest-rank percentiles of per-device battery drain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DrainPercentiles {
+    /// Median drain, joules.
+    pub p50: f64,
+    /// 90th percentile drain, joules.
+    pub p90: f64,
+    /// 99th percentile drain, joules.
+    pub p99: f64,
+    /// Mean drain, joules.
+    pub mean: f64,
+    /// Worst device, joules.
+    pub max: f64,
+}
+
+/// One row of the ranked driver/victim tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedEntity {
+    /// Package name, `screen`, or `system`.
+    pub name: String,
+    /// Total collateral joules across the fleet.
+    pub joules: f64,
+    /// Devices on which this entity appeared.
+    pub devices: usize,
+}
+
+/// The population-scale static-vs-dynamic cross-check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LintCrossCheck {
+    /// Apps analyzed, summed over devices.
+    pub apps_linted: usize,
+    /// Diagnostics emitted, summed over devices.
+    pub diagnostics: usize,
+    /// Observed `(uid, kind)` pairs with no static prediction, summed over
+    /// devices. The superset invariant keeps this at zero.
+    pub superset_violations: usize,
+}
+
+/// One compact per-device row (enough to audit the percentiles).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceRow {
+    /// Device index.
+    pub index: usize,
+    /// Device seed.
+    pub seed: u64,
+    /// Whether the malware was installed.
+    pub infected: bool,
+    /// Installed user apps.
+    pub apps: usize,
+    /// Battery drain over the day, joules.
+    pub drained_joules: f64,
+}
+
+/// The fleet-wide aggregate: everything `eandroid fleet` reports.
+///
+/// Serialization is deterministic: all maps are ordered, all ranked
+/// tables are sorted with total tie-breaks, and no wall-clock value is
+/// included.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Report schema version (bump on breaking shape changes).
+    pub schema_version: u32,
+    /// The fleet seed.
+    pub fleet_seed: u64,
+    /// Devices requested.
+    pub fleet_size: usize,
+    /// Seed of the shared app corpus.
+    pub corpus_seed: u64,
+    /// Size of the shared app corpus.
+    pub corpus_size: usize,
+    /// Devices that completed their day.
+    pub devices_completed: usize,
+    /// Devices whose workload panicked.
+    pub failures: Vec<DeviceFailure>,
+    /// Completed devices carrying the malware.
+    pub infected_devices: usize,
+    /// Per-device battery-drain distribution.
+    pub drain_joules: DrainPercentiles,
+    /// Attack-kind prevalence across the population, sorted by kind.
+    pub prevalence: Vec<KindPrevalence>,
+    /// Top collateral drivers (who *caused* the energy), by package.
+    pub top_drivers: Vec<RankedEntity>,
+    /// Top collateral victims (who *burned* the energy), by package.
+    pub top_victims: Vec<RankedEntity>,
+    /// Static-vs-dynamic population cross-check.
+    pub lint: LintCrossCheck,
+    /// Compact per-device rows, in index order.
+    pub devices: Vec<DeviceRow>,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Ranks an accumulated `(name -> (joules, devices))` map: descending by
+/// energy, name as the total tie-break, clipped to the table limit.
+fn rank(map: BTreeMap<String, (f64, usize)>) -> Vec<RankedEntity> {
+    let mut rows: Vec<RankedEntity> = map
+        .into_iter()
+        .map(|(name, (joules, devices))| RankedEntity {
+            name,
+            joules,
+            devices,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.joules
+            .partial_cmp(&a.joules)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    rows.truncate(TOP_LIMIT);
+    rows
+}
+
+/// Folds per-device outcomes (index order) into the fleet report.
+pub fn aggregate(
+    config: &FleetConfig,
+    outcomes: Vec<Result<DeviceReport, DeviceFailure>>,
+) -> FleetReport {
+    let mut failures = Vec::new();
+    let mut drains = Vec::new();
+    let mut infected_devices = 0;
+    let mut kind_devices: BTreeMap<String, usize> = BTreeMap::new();
+    let mut kind_periods: BTreeMap<String, usize> = BTreeMap::new();
+    let mut kind_joules: BTreeMap<String, f64> = BTreeMap::new();
+    let mut kind_predicted: BTreeMap<String, usize> = BTreeMap::new();
+    let mut drivers: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+    let mut victims: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+    let mut lint = LintCrossCheck {
+        apps_linted: 0,
+        diagnostics: 0,
+        superset_violations: 0,
+    };
+    let mut devices = Vec::new();
+
+    for outcome in outcomes {
+        let report = match outcome {
+            Ok(report) => report,
+            Err(failure) => {
+                failures.push(failure);
+                continue;
+            }
+        };
+        drains.push(report.drained_joules);
+        if report.infected {
+            infected_devices += 1;
+        }
+        for (kind, periods) in &report.periods_by_kind {
+            *kind_devices.entry(kind.clone()).or_default() += 1;
+            *kind_periods.entry(kind.clone()).or_default() += periods;
+        }
+        for (kind, joules) in &report.collateral_by_kind {
+            *kind_joules.entry(kind.clone()).or_default() += joules;
+        }
+        for (kind, apps) in &report.predicted_apps_by_kind {
+            *kind_predicted.entry(kind.clone()).or_default() += apps;
+        }
+        for (name, joules) in &report.drivers {
+            let entry = drivers.entry(name.clone()).or_insert((0.0, 0));
+            entry.0 += joules;
+            entry.1 += 1;
+        }
+        for (name, joules) in &report.victims {
+            let entry = victims.entry(name.clone()).or_insert((0.0, 0));
+            entry.0 += joules;
+            entry.1 += 1;
+        }
+        lint.apps_linted += report.apps_linted;
+        lint.diagnostics += report.lint_diagnostics;
+        lint.superset_violations += report.soundness_violations;
+        devices.push(DeviceRow {
+            index: report.index,
+            seed: report.seed,
+            infected: report.infected,
+            apps: report.apps_installed,
+            drained_joules: report.drained_joules,
+        });
+    }
+
+    let devices_completed = drains.len();
+    let mean = if drains.is_empty() {
+        0.0
+    } else {
+        drains.iter().sum::<f64>() / drains.len() as f64
+    };
+    let mut sorted = drains;
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let drain_joules = DrainPercentiles {
+        p50: percentile(&sorted, 50.0),
+        p90: percentile(&sorted, 90.0),
+        p99: percentile(&sorted, 99.0),
+        mean,
+        max: sorted.last().copied().unwrap_or(0.0),
+    };
+
+    // Union of every kind any table mentions, in label order.
+    let mut kinds: Vec<String> = kind_devices
+        .keys()
+        .chain(kind_predicted.keys())
+        .cloned()
+        .collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    let prevalence = kinds
+        .into_iter()
+        .map(|kind| KindPrevalence {
+            devices: kind_devices.get(&kind).copied().unwrap_or(0),
+            periods: kind_periods.get(&kind).copied().unwrap_or(0),
+            collateral_joules: kind_joules.get(&kind).copied().unwrap_or(0.0),
+            statically_predicted_apps: kind_predicted.get(&kind).copied().unwrap_or(0),
+            kind,
+        })
+        .collect();
+
+    FleetReport {
+        schema_version: 1,
+        fleet_seed: config.seed,
+        fleet_size: config.size,
+        corpus_seed: config.corpus_seed,
+        corpus_size: config.corpus_size,
+        devices_completed,
+        failures,
+        infected_devices,
+        drain_joules,
+        prevalence,
+        top_drivers: rank(drivers),
+        top_victims: rank(victims),
+        lint,
+        devices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device(index: usize, drained: f64, infected: bool) -> DeviceReport {
+        DeviceReport {
+            index,
+            seed: index as u64,
+            apps_installed: 8,
+            infected,
+            vectors: Vec::new(),
+            sim_seconds: 100.0,
+            drained_joules: drained,
+            battery_percent: 99.0,
+            periods_by_kind: BTreeMap::from([(String::from("ActivityStart"), 2)]),
+            collateral_by_kind: BTreeMap::from([(String::from("ActivityStart"), 1.5)]),
+            drivers: BTreeMap::from([(String::from("com.a"), 1.5)]),
+            victims: BTreeMap::from([(String::from("screen"), 1.5)]),
+            predicted_apps_by_kind: BTreeMap::from([(String::from("ActivityStart"), 8)]),
+            apps_linted: 8,
+            lint_diagnostics: 20,
+            soundness_violations: 0,
+        }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 90.0), 90.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[4.0], 99.0), 4.0);
+    }
+
+    #[test]
+    fn aggregate_folds_failures_and_devices() {
+        let config = FleetConfig {
+            size: 3,
+            ..FleetConfig::default()
+        };
+        let outcomes = vec![
+            Ok(device(0, 10.0, true)),
+            Err(DeviceFailure {
+                index: 1,
+                seed: 1,
+                message: String::from("boom"),
+            }),
+            Ok(device(2, 30.0, false)),
+        ];
+        let report = aggregate(&config, outcomes);
+        assert_eq!(report.devices_completed, 2);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.infected_devices, 1);
+        assert_eq!(report.drain_joules.max, 30.0);
+        assert_eq!(report.drain_joules.mean, 20.0);
+        assert_eq!(report.prevalence.len(), 1);
+        assert_eq!(report.prevalence[0].devices, 2);
+        assert_eq!(report.prevalence[0].periods, 4);
+        assert_eq!(report.top_drivers[0].name, "com.a");
+        assert_eq!(report.top_drivers[0].devices, 2);
+        assert_eq!(report.lint.apps_linted, 16);
+        assert_eq!(report.devices.len(), 2);
+    }
+
+    #[test]
+    fn rank_is_total_ordered() {
+        let map = BTreeMap::from([
+            (String::from("b"), (1.0, 1)),
+            (String::from("a"), (1.0, 1)),
+            (String::from("c"), (5.0, 2)),
+        ]);
+        let rows = rank(map);
+        assert_eq!(rows[0].name, "c");
+        assert_eq!(rows[1].name, "a", "ties break by name");
+        assert_eq!(rows[2].name, "b");
+    }
+}

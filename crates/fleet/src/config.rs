@@ -1,0 +1,137 @@
+//! Fleet configuration and the per-device seed schedule.
+
+use serde::{Deserialize, Serialize};
+
+/// The splitmix64 increment (the golden-ratio gamma).
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The splitmix64 finalizer: a bijective avalanche mix on 64 bits.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Device `index`'s seed: position `index + 1` of the splitmix64 stream
+/// started at the fleet seed. Pure function of `(fleet_seed, index)`, so
+/// a device's whole simulation is independent of which worker thread runs
+/// it and of how many workers exist.
+pub fn device_seed(fleet_seed: u64, index: usize) -> u64 {
+    mix(fleet_seed.wrapping_add((index as u64).wrapping_add(1).wrapping_mul(GAMMA)))
+}
+
+/// Configuration of one fleet run. Everything that influences the
+/// simulation is here; `jobs` only chooses the thread count and never
+/// changes the [`crate::FleetReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Fleet seed: every device seed derives from it via splitmix64.
+    pub seed: u64,
+    /// Number of devices to simulate.
+    pub size: usize,
+    /// Worker threads; `0` means `std::thread::available_parallelism()`.
+    pub jobs: usize,
+    /// Seed of the shared synthetic Play corpus the app mixes sample from.
+    pub corpus_seed: u64,
+    /// Size of the shared corpus (the paper's collection is 1,124).
+    pub corpus_size: usize,
+    /// Minimum corpus apps installed per device (besides the demo set).
+    pub min_apps: usize,
+    /// Maximum corpus apps installed per device.
+    pub max_apps: usize,
+    /// Probability a device carries the energy malware.
+    pub infection_rate: f64,
+    /// Probability an uninfected device exhibits the benign no-sleep bug.
+    pub benign_bug_rate: f64,
+    /// User sessions (unlock → interact → pocket) in the scripted day.
+    pub sessions: usize,
+    /// Mean attended seconds per session.
+    pub mean_session_secs: u64,
+    /// Mean pocketed seconds between sessions.
+    pub mean_idle_secs: u64,
+    /// Profiler integration step in milliseconds.
+    pub step_millis: u64,
+    /// Device indices whose workload deliberately panics (fault-injection
+    /// testing of the shard-failure path).
+    pub panic_devices: Vec<usize>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            seed: 2_026,
+            size: 64,
+            jobs: 0,
+            corpus_seed: 2_017,
+            corpus_size: 1_124,
+            min_apps: 4,
+            max_apps: 16,
+            infection_rate: 0.30,
+            benign_bug_rate: 0.15,
+            sessions: 2,
+            mean_session_secs: 25,
+            mean_idle_secs: 45,
+            step_millis: 250,
+            panic_devices: Vec::new(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// A small, fast configuration for tests: tiny corpus, short day.
+    pub fn smoke(size: usize, seed: u64) -> Self {
+        FleetConfig {
+            seed,
+            size,
+            corpus_size: 48,
+            min_apps: 2,
+            max_apps: 6,
+            sessions: 2,
+            mean_session_secs: 10,
+            mean_idle_secs: 20,
+            ..FleetConfig::default()
+        }
+    }
+
+    /// The worker-thread count this run will actually use.
+    pub fn effective_jobs(&self) -> usize {
+        match self.jobs {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_seeds_are_stable_and_distinct() {
+        let a = device_seed(42, 0);
+        assert_eq!(a, device_seed(42, 0), "pure function of (seed, index)");
+        let seeds: Vec<u64> = (0..1_000).map(|i| device_seed(42, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "no collisions in 1k devices");
+    }
+
+    #[test]
+    fn different_fleet_seeds_give_different_schedules() {
+        assert_ne!(device_seed(1, 0), device_seed(2, 0));
+    }
+
+    #[test]
+    fn effective_jobs_resolves_zero() {
+        let mut config = FleetConfig {
+            jobs: 0,
+            ..FleetConfig::default()
+        };
+        assert!(config.effective_jobs() >= 1);
+        config.jobs = 3;
+        assert_eq!(config.effective_jobs(), 3);
+    }
+}

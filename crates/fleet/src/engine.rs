@@ -1,0 +1,284 @@
+//! The sharded fleet engine: a std-only worker pool over the device
+//! index space.
+//!
+//! ## Sharding model
+//!
+//! Device indices are grouped into small contiguous *shards*; workers
+//! claim the next unclaimed shard from a shared atomic cursor and
+//! simulate its devices one by one. Claiming shards instead of single
+//! devices keeps the cursor cold, and claiming dynamically (rather than
+//! pre-splitting the range) self-balances: a worker that drew cheap
+//! devices steals the shards a slow worker never reached.
+//!
+//! ## Determinism contract
+//!
+//! Which worker simulates a device affects nothing: device seeds are a
+//! pure function of `(fleet_seed, index)`, each simulation owns all of
+//! its state, and results are written into a slot vector by device index
+//! before [`crate::aggregate`] folds them in index order. The same
+//! `(seed, size)` therefore yields a byte-identical [`FleetReport`] at
+//! any `--jobs`.
+//!
+//! ## Failure handling
+//!
+//! A panicking device is caught with [`std::panic::catch_unwind`] on the
+//! worker, recorded as a [`DeviceFailure`], and never aborts the run; the
+//! default panic hook is wrapped once so worker panics do not spray the
+//! terminal while everyone else's devices keep simulating.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, Once};
+use std::time::Instant;
+
+use ea_corpus::{generate_corpus, CorpusConfig};
+use ea_telemetry::{span, SinkHandle};
+use serde::{Deserialize, Serialize};
+
+use crate::aggregate::{aggregate, DeviceFailure};
+use crate::config::{device_seed, FleetConfig};
+use crate::device::{simulate_device, DeviceReport};
+use crate::FleetReport;
+
+/// Wall-clock facts about one engine run. Deliberately *not* part of
+/// [`FleetReport`]: timing varies run to run, the report must not.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetRunStats {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// End-to-end wall time, milliseconds (corpus generation included).
+    pub wall_ms: f64,
+    /// Completed devices per wall-clock second.
+    pub devices_per_sec: f64,
+    /// Per-worker busy ratio (device time / run wall time), `0.0..=1.0`.
+    pub worker_utilization: Vec<f64>,
+}
+
+thread_local! {
+    /// Set while a fleet worker runs a device: the wrapped panic hook
+    /// stays quiet for these threads (the panic becomes a report entry).
+    static QUIET_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+static HOOK_INIT: Once = Once::new();
+
+/// Wraps the current panic hook (once per process) so threads that opted
+/// in via [`QUIET_PANICS`] panic silently; everyone else keeps the
+/// previous behaviour.
+fn install_quiet_hook() {
+    HOOK_INIT.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|quiet| quiet.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Extracts the human-readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        String::from("panic with non-string payload")
+    }
+}
+
+/// Runs the fleet with no telemetry.
+pub fn run_fleet(config: &FleetConfig) -> (FleetReport, FleetRunStats) {
+    run_fleet_traced(config, SinkHandle::noop())
+}
+
+/// Runs the fleet, reporting spans, counters, and per-worker utilization
+/// gauges through `sink`.
+pub fn run_fleet_traced(config: &FleetConfig, sink: SinkHandle) -> (FleetReport, FleetRunStats) {
+    install_quiet_hook();
+    let started = Instant::now();
+    let _run_span = span(sink.sink(), "fleet_run");
+
+    let corpus = {
+        let _corpus_span = span(sink.sink(), "fleet_corpus_generate");
+        generate_corpus(
+            &CorpusConfig {
+                size: config.corpus_size,
+                ..CorpusConfig::paper()
+            },
+            config.corpus_seed,
+        )
+    };
+
+    let size = config.size;
+    let jobs = config.effective_jobs().max(1).min(size.max(1));
+    // Small shards: cheap claims, good balance. At least one device each.
+    let shard_size = (size / (jobs * 8).max(1)).clamp(1, 32);
+    let shard_count = size.div_ceil(shard_size.max(1)).max(1);
+
+    let next_shard = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Result<DeviceReport, DeviceFailure>>>> =
+        Mutex::new((0..size).map(|_| None).collect());
+    let busy: Mutex<Vec<f64>> = Mutex::new(vec![0.0; jobs]);
+
+    std::thread::scope(|scope| {
+        for worker in 0..jobs {
+            let corpus = &corpus;
+            let next_shard = &next_shard;
+            let slots = &slots;
+            let busy = &busy;
+            let sink = sink.clone();
+            scope.spawn(move || {
+                QUIET_PANICS.with(|quiet| quiet.set(true));
+                let mut busy_secs = 0.0;
+                loop {
+                    let shard = next_shard.fetch_add(1, Ordering::Relaxed);
+                    if shard >= shard_count {
+                        break;
+                    }
+                    let lo = shard * shard_size;
+                    let hi = ((shard + 1) * shard_size).min(size);
+                    for index in lo..hi {
+                        let device_started = Instant::now();
+                        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                            simulate_device(config, corpus, index)
+                        }))
+                        .map_err(|payload| DeviceFailure {
+                            index,
+                            seed: device_seed(config.seed, index),
+                            message: panic_message(payload),
+                        });
+                        let device_secs = device_started.elapsed().as_secs_f64();
+                        busy_secs += device_secs;
+                        if sink.enabled() {
+                            sink.observe("fleet_device_wall_ms", device_secs * 1_000.0);
+                            match &outcome {
+                                Ok(_) => sink.counter_add("fleet_devices_completed_total", 1),
+                                Err(_) => sink.counter_add("fleet_devices_failed_total", 1),
+                            }
+                        }
+                        slots.lock().expect("slot lock")[index] = Some(outcome);
+                    }
+                }
+                busy.lock().expect("busy lock")[worker] = busy_secs;
+                QUIET_PANICS.with(|quiet| quiet.set(false));
+            });
+        }
+    });
+
+    let outcomes: Vec<Result<DeviceReport, DeviceFailure>> = slots
+        .into_inner()
+        .expect("slot lock")
+        .into_iter()
+        .map(|slot| slot.expect("every device index was claimed"))
+        .collect();
+
+    let report = {
+        let _merge_span = span(sink.sink(), "fleet_merge");
+        aggregate(config, outcomes)
+    };
+
+    let wall_secs = started.elapsed().as_secs_f64();
+    let worker_utilization: Vec<f64> = busy
+        .into_inner()
+        .expect("busy lock")
+        .into_iter()
+        .map(|busy_secs| {
+            if wall_secs > 0.0 {
+                (busy_secs / wall_secs).min(1.0)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    if sink.enabled() {
+        sink.gauge_set("fleet_devices_total", size as f64);
+        for (worker, utilization) in worker_utilization.iter().enumerate() {
+            sink.gauge_set(&format!("fleet_worker_{worker}_utilization"), *utilization);
+        }
+    }
+    let stats = FleetRunStats {
+        jobs,
+        wall_ms: wall_secs * 1_000.0,
+        devices_per_sec: if wall_secs > 0.0 {
+            report.devices_completed as f64 / wall_secs
+        } else {
+            0.0
+        },
+        worker_utilization,
+    };
+    (report, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_telemetry::Recorder;
+    use std::sync::Arc;
+
+    #[test]
+    fn fleet_run_completes_every_device() {
+        let config = FleetConfig {
+            jobs: 2,
+            ..FleetConfig::smoke(6, 21)
+        };
+        let (report, stats) = run_fleet(&config);
+        assert_eq!(report.devices_completed, 6);
+        assert!(report.failures.is_empty());
+        assert_eq!(report.devices.len(), 6);
+        assert_eq!(stats.jobs, 2);
+        assert!(stats.wall_ms > 0.0);
+        assert_eq!(stats.worker_utilization.len(), 2);
+    }
+
+    #[test]
+    fn jobs_never_changes_the_report() {
+        let mut config = FleetConfig::smoke(5, 1_234);
+        config.jobs = 1;
+        let (sequential, _) = run_fleet(&config);
+        config.jobs = 4;
+        let (parallel, _) = run_fleet(&config);
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn panicking_device_becomes_a_failure_entry() {
+        let config = FleetConfig {
+            jobs: 2,
+            panic_devices: vec![1],
+            ..FleetConfig::smoke(4, 9)
+        };
+        let (report, _) = run_fleet(&config);
+        assert_eq!(report.devices_completed, 3);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].index, 1);
+        assert!(report.failures[0].message.contains("injected fault"));
+        assert_eq!(report.failures[0].seed, device_seed(config.seed, 1));
+        // The surviving devices are fully aggregated.
+        assert_eq!(report.devices.len(), 3);
+        assert!(report.drain_joules.max > 0.0);
+    }
+
+    #[test]
+    fn telemetry_reports_completion_counters_and_utilization() {
+        let recorder = Arc::new(Recorder::new());
+        let config = FleetConfig {
+            jobs: 2,
+            panic_devices: vec![0],
+            ..FleetConfig::smoke(4, 2)
+        };
+        let (_, stats) = run_fleet_traced(&config, SinkHandle::new(recorder.clone()));
+        let metrics = recorder.metrics();
+        assert_eq!(
+            metrics.counters.get("fleet_devices_completed_total"),
+            Some(&3)
+        );
+        assert_eq!(metrics.counters.get("fleet_devices_failed_total"), Some(&1));
+        assert!(metrics.gauges.contains_key("fleet_worker_0_utilization"));
+        assert!(recorder
+            .spans()
+            .iter()
+            .any(|span_record| span_record.name == "fleet_run"));
+        assert_eq!(stats.worker_utilization.len(), 2);
+    }
+}

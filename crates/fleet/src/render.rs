@@ -1,0 +1,128 @@
+//! Deterministic renderers for the fleet report.
+
+use std::fmt::Write as _;
+
+use crate::{FleetReport, FleetRunStats};
+
+/// The report as pretty-printed JSON (trailing newline included).
+/// Byte-identical for a given `(seed, fleet_size)` at any job count.
+pub fn to_json(report: &FleetReport) -> String {
+    let mut json = serde_json::to_string_pretty(report).expect("fleet report serializes");
+    json.push('\n');
+    json
+}
+
+/// The report as a human-readable summary table.
+pub fn to_text(report: &FleetReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fleet: {} device(s), seed {} (corpus {} x{})",
+        report.fleet_size, report.fleet_seed, report.corpus_seed, report.corpus_size
+    );
+    let _ = writeln!(
+        out,
+        "completed {} | failed {} | infected {}",
+        report.devices_completed,
+        report.failures.len(),
+        report.infected_devices
+    );
+    for failure in &report.failures {
+        let _ = writeln!(
+            out,
+            "  FAILED device {} (seed {}): {}",
+            failure.index, failure.seed, failure.message
+        );
+    }
+    let drain = &report.drain_joules;
+    let _ = writeln!(
+        out,
+        "battery drain (J): p50 {:.1} | p90 {:.1} | p99 {:.1} | mean {:.1} | max {:.1}",
+        drain.p50, drain.p90, drain.p99, drain.mean, drain.max
+    );
+
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>8} {:>14} {:>16}",
+        "attack kind", "devices", "periods", "collateral J", "predicted apps"
+    );
+    for row in &report.prevalence {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>8} {:>14.1} {:>16}",
+            row.kind,
+            row.devices,
+            row.periods,
+            row.collateral_joules,
+            row.statically_predicted_apps
+        );
+    }
+
+    for (title, rows) in [
+        ("top collateral drivers", &report.top_drivers),
+        ("top collateral victims", &report.top_victims),
+    ] {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{title}:");
+        for row in rows {
+            let _ = writeln!(
+                out,
+                "  {:<34} {:>10.1} J on {:>4} device(s)",
+                row.name, row.joules, row.devices
+            );
+        }
+    }
+
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "lint cross-check: {} app(s), {} diagnostic(s), {} superset violation(s)",
+        report.lint.apps_linted, report.lint.diagnostics, report.lint.superset_violations
+    );
+    out
+}
+
+/// The wall-clock side channel (never part of the JSON report).
+pub fn stats_line(stats: &FleetRunStats) -> String {
+    let utilization: Vec<String> = stats
+        .worker_utilization
+        .iter()
+        .map(|u| format!("{:.0}%", u * 100.0))
+        .collect();
+    format!(
+        "wall {:.0} ms | {:.1} devices/s | {} worker(s) busy [{}]",
+        stats.wall_ms,
+        stats.devices_per_sec,
+        stats.jobs,
+        utilization.join(" ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_fleet, FleetConfig};
+
+    #[test]
+    fn renderers_cover_the_report() {
+        let config = FleetConfig {
+            jobs: 2,
+            panic_devices: vec![2],
+            ..FleetConfig::smoke(4, 77)
+        };
+        let (report, stats) = run_fleet(&config);
+
+        let json = to_json(&report);
+        let parsed: FleetReport = serde_json::from_str(&json).expect("round-trips");
+        assert_eq!(parsed, report);
+
+        let text = to_text(&report);
+        assert!(text.contains("fleet: 4 device(s)"));
+        assert!(text.contains("FAILED device 2"));
+        assert!(text.contains("lint cross-check"));
+
+        let line = stats_line(&stats);
+        assert!(line.contains("devices/s"));
+    }
+}

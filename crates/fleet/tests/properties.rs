@@ -1,0 +1,48 @@
+//! Property tests for the fleet determinism contract: the serialized
+//! report is a pure function of `(seed, size)` — never of the job count.
+
+use ea_fleet::{render, run_fleet, FleetConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn report_is_independent_of_job_count(
+        size in 1usize..6,
+        seed in 0u64..1_000,
+        jobs in 2usize..5,
+    ) {
+        let mut config = FleetConfig::smoke(size, seed);
+        config.jobs = 1;
+        let (sequential, _) = run_fleet(&config);
+        config.jobs = jobs;
+        let (parallel, _) = run_fleet(&config);
+        prop_assert_eq!(
+            render::to_json(&sequential),
+            render::to_json(&parallel),
+            "jobs={} changed the report for (seed={}, size={})", jobs, seed, size
+        );
+    }
+
+    #[test]
+    fn fleet_always_accounts_for_every_device(
+        size in 1usize..6,
+        seed in 0u64..1_000,
+        panic_index in 0usize..6,
+    ) {
+        let config = FleetConfig {
+            jobs: 2,
+            panic_devices: vec![panic_index],
+            ..FleetConfig::smoke(size, seed)
+        };
+        let (report, _) = run_fleet(&config);
+        prop_assert_eq!(report.devices_completed + report.failures.len(), size);
+        if panic_index < size {
+            prop_assert_eq!(report.failures.len(), 1);
+            prop_assert_eq!(report.failures[0].index, panic_index);
+        } else {
+            prop_assert!(report.failures.is_empty());
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! eandroid micro [--runs N]
 //! eandroid antutu
 //! eandroid workload [--seed N] [--sessions N]
+//! eandroid fleet [--size N] [--seed N] [--jobs J] [--json] [--trace <base>]
 //! eandroid list
 //! eandroid help
 //! ```
@@ -21,8 +22,10 @@ use e_android::core::{
     labels_from, AttackTimeline, BatteryView, DetectorConfig, Profiler, ScreenPolicy,
 };
 use e_android::corpus::{analyze, generate_corpus, to_manifest_xml, CorpusConfig};
+use e_android::fleet::{run_fleet_traced, FleetConfig};
 use e_android::framework::AndroidSystem;
 use e_android::lint::{render, LintSystem, Linter};
+use e_android::telemetry::SinkHandle;
 
 const HELP: &str = "\
 eandroid — collateral-energy profiling on a simulated Android handset
@@ -55,6 +58,13 @@ COMMANDS:
     workload                simulate a randomized day of phone use
         --seed N                   RNG seed (default 7)
         --sessions N               user sessions (default 10)
+    fleet                   simulate a fleet of devices and aggregate
+        --size N                   devices to simulate (default 64)
+        --seed N                   fleet seed (default 2026)
+        --jobs J                   worker threads (default: all cores)
+        --json                     emit the deterministic report as JSON
+        --trace <base>             export telemetry to <base>.jsonl + <base>.trace.json
+        --inject-panic N           fault-inject a panic into device N
     list                    list scenario and depletion-case names
     help                    this text
 ";
@@ -70,6 +80,7 @@ fn main() -> ExitCode {
         Some("antutu") => cmd_antutu(),
         Some("lint") => cmd_lint(&args.collect::<Vec<_>>()),
         Some("workload") => cmd_workload(&args.collect::<Vec<_>>()),
+        Some("fleet") => cmd_fleet(&args.collect::<Vec<_>>()),
         Some("list") => {
             println!("scenarios:");
             for scenario in Scenario::ALL {
@@ -315,6 +326,47 @@ fn cmd_workload(args: &[&str]) -> ExitCode {
         "{}",
         BatteryView::eandroid(profiler.ledger(), graph, &labels)
     );
+    ExitCode::SUCCESS
+}
+
+fn cmd_fleet(args: &[&str]) -> ExitCode {
+    let mut config = FleetConfig::default();
+    if let Some(size) = flag_value(args, "--size").and_then(|value| value.parse().ok()) {
+        config.size = size;
+    }
+    if let Some(seed) = flag_value(args, "--seed").and_then(|value| value.parse().ok()) {
+        config.seed = seed;
+    }
+    if let Some(jobs) = flag_value(args, "--jobs").and_then(|value| value.parse().ok()) {
+        config.jobs = jobs;
+    }
+    if let Some(index) = flag_value(args, "--inject-panic").and_then(|value| value.parse().ok()) {
+        config.panic_devices.push(index);
+    }
+
+    let trace = flag_value(args, "--trace").map(ea_bench::TraceRequest::to_base);
+    let sink = match &trace {
+        Some(trace) => SinkHandle::new(trace.sink()),
+        None => SinkHandle::noop(),
+    };
+    let (report, stats) = run_fleet_traced(&config, sink);
+
+    // The report is the deterministic artifact; wall-clock facts go to
+    // stderr so `--json` output stays byte-identical across job counts.
+    if has_flag(args, "--json") {
+        print!("{}", e_android::fleet::render::to_json(&report));
+    } else {
+        print!("{}", e_android::fleet::render::to_text(&report));
+    }
+    eprintln!("{}", e_android::fleet::render::stats_line(&stats));
+    if let Some(trace) = &trace {
+        if let Err(error) = trace.finish() {
+            eprintln!("fleet: failed to write trace files: {error}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Device failures are data, not a process error: the report carries
+    // them and the run still succeeded.
     ExitCode::SUCCESS
 }
 

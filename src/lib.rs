@@ -13,6 +13,8 @@
 //! * [`corpus`] — the synthetic Google Play corpus and manifest analyzer.
 //! * [`telemetry`] — structured tracing, metrics, and trace export.
 //! * [`lint`] — static collateral-energy analyzer (rules `EA0001`–`EA0009`).
+//! * [`fleet`] — sharded parallel fleet simulator with population-scale
+//!   collateral-energy aggregation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +22,7 @@
 pub use ea_apps as apps;
 pub use ea_core as core;
 pub use ea_corpus as corpus;
+pub use ea_fleet as fleet;
 pub use ea_framework as framework;
 pub use ea_lint as lint;
 pub use ea_power as power;

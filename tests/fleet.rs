@@ -1,0 +1,79 @@
+//! End-to-end fleet contract tests: byte-identical reports across worker
+//! counts, and fault injection that degrades to a `DeviceFailure` entry
+//! instead of aborting the run.
+
+use e_android::fleet::{render, run_fleet, FleetConfig};
+
+/// The headline determinism guarantee: for a fixed `(seed, size)` the
+/// serialized report is the same bytes at `--jobs 1`, `4`, and `8`.
+#[test]
+fn report_bytes_are_identical_across_job_counts() {
+    let mut config = FleetConfig::smoke(12, 424_242);
+    config.jobs = 1;
+    let (sequential, _) = run_fleet(&config);
+    let baseline = render::to_json(&sequential);
+
+    for jobs in [4, 8] {
+        config.jobs = jobs;
+        let (parallel, _) = run_fleet(&config);
+        assert_eq!(
+            baseline,
+            render::to_json(&parallel),
+            "jobs={jobs} changed the report bytes"
+        );
+    }
+}
+
+/// A deliberately panicking device workload becomes a failure entry; every
+/// other device is still simulated and aggregated.
+#[test]
+fn injected_fault_is_contained_and_reported() {
+    let config = FleetConfig {
+        jobs: 4,
+        panic_devices: vec![3],
+        ..FleetConfig::smoke(8, 99)
+    };
+    let (report, _) = run_fleet(&config);
+
+    assert_eq!(report.failures.len(), 1, "exactly the injected fault");
+    assert_eq!(report.failures[0].index, 3);
+    assert!(report.failures[0].message.contains("injected fault"));
+    assert_eq!(report.devices_completed, 7);
+    assert_eq!(report.devices.len(), 7, "survivors fully aggregated");
+    assert!(report.devices.iter().all(|row| row.index != 3));
+    assert!(report.drain_joules.max > 0.0);
+    assert!(!report.prevalence.is_empty() || report.infected_devices == 0);
+}
+
+/// The failure path is itself deterministic: the same injected fault
+/// yields the same report regardless of worker count.
+#[test]
+fn fault_injection_does_not_break_determinism() {
+    let mut config = FleetConfig {
+        panic_devices: vec![1, 5],
+        ..FleetConfig::smoke(6, 7)
+    };
+    config.jobs = 1;
+    let (sequential, _) = run_fleet(&config);
+    config.jobs = 4;
+    let (parallel, _) = run_fleet(&config);
+    assert_eq!(render::to_json(&sequential), render::to_json(&parallel));
+    assert_eq!(sequential.failures.len(), 2);
+}
+
+/// The population-scale lint cross-check holds end to end: nothing the
+/// dynamic fleet observed escaped the static analyzer.
+#[test]
+fn fleet_superset_invariant_holds() {
+    let config = FleetConfig {
+        jobs: 2,
+        infection_rate: 1.0,
+        ..FleetConfig::smoke(6, 11)
+    };
+    let (report, _) = run_fleet(&config);
+    assert!(report.infected_devices > 0);
+    assert_eq!(
+        report.lint.superset_violations, 0,
+        "static prediction must be a superset of dynamic observation"
+    );
+}

@@ -84,6 +84,22 @@ pub fn run_depletion_with_model(
     cap_hours: u64,
     model: ea_power::DevicePowerModel,
 ) -> DepletionCurve {
+    run_depletion_inner(case, cap_hours, model, false)
+}
+
+/// Runs one Figure 3 case on the pre-optimization reference accounting
+/// path. Produces the identical curve by the hot-path equivalence
+/// contract; exists so the golden tests can diff the two paths.
+pub fn run_depletion_reference(case: DepletionCase, cap_hours: u64) -> DepletionCurve {
+    run_depletion_inner(case, cap_hours, ea_power::DevicePowerModel::nexus4(), true)
+}
+
+fn run_depletion_inner(
+    case: DepletionCase,
+    cap_hours: u64,
+    model: ea_power::DevicePowerModel,
+    reference: bool,
+) -> DepletionCurve {
     let mut android = AndroidSystem::new();
 
     // The attacked app: nearly-empty demo app. For the interrupt case it is
@@ -142,6 +158,9 @@ pub fn run_depletion_with_model(
     let mut profiler = Profiler::android(ScreenPolicy::SeparateEntity)
         .with_model(model)
         .with_step(SimDuration::from_secs(5));
+    if reference {
+        profiler = profiler.with_reference_accounting();
+    }
 
     let mut points = vec![DepletionPoint {
         hours: 0.0,

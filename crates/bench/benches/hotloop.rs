@@ -1,0 +1,321 @@
+//! Hot-loop benchmark suite: the slot-interned, zero-alloc accounting
+//! path against the pre-optimization reference path, measured in the
+//! same process on the same workloads.
+//!
+//! Three tiers, mirroring the hot loop's callers:
+//!
+//! * `single_step` — one steady-state [`Profiler::step`] on a loaded
+//!   handset with live collateral periods (the innermost unit of work);
+//! * `day_in_the_life` — a scripted multi-session device day, end to end;
+//! * `fleet_shard` — a small `ea_fleet` shard, devices/sec.
+//!
+//! A fourth pair (`telemetry/*`) measures the sink-off fast path: a
+//! profiler with no [`SinkHandle`] attached must cost the same as one
+//! that never heard of telemetry, and the sink-on overhead is recorded.
+//!
+//! With `--test` the suite smoke-runs everything once. Otherwise it
+//! writes `BENCH_hotloop.json` at the repository root (schema
+//! `ea-bench/hotloop/v1`) — the committed baseline the CI regression
+//! gate compares against.
+
+use std::sync::Arc;
+
+use criterion::{smoke_mode, take_measurements, BenchmarkId, Criterion, Measurement};
+use ea_apps::demo::{packages, DemoApps};
+use ea_apps::malware::Malware;
+use ea_core::{Profiler, ScreenPolicy};
+use ea_fleet::{run_fleet, FleetConfig};
+use ea_framework::AndroidSystem;
+use ea_power::Battery;
+use ea_sim::SimDuration;
+use ea_telemetry::Recorder;
+use serde::Serialize;
+
+/// Single-step speedup the hot-loop overhaul must deliver.
+const TARGET_SINGLE_STEP_SPEEDUP: f64 = 2.0;
+
+/// A handset in the steady state the profiler's hot loop actually sees:
+/// screen on, a foreground app, background audio, radio traffic on two
+/// uids, and live collateral periods (malware driving two victims), so
+/// every stage — event drain, usage snapshot, power model, attribution,
+/// accrual — does real work each step.
+fn loaded_handset(profiler: &mut Profiler) -> AndroidSystem {
+    let mut android = AndroidSystem::new();
+    let apps = DemoApps::install_all(&mut android);
+    let malware = Malware::install(&mut android);
+    android.user_unlock();
+    android.user_launch(packages::MESSAGE).unwrap();
+    android
+        .start_service(
+            apps.music,
+            ea_framework::Intent::explicit(packages::MUSIC, "Playback"),
+        )
+        .unwrap();
+    android.set_audio(apps.music, true);
+    android.set_wifi_kbps(apps.message, 1_200.0);
+    android.set_wifi_kbps(apps.music, 400.0);
+    android
+        .user_launch(ea_apps::malware::MALWARE_PACKAGE)
+        .unwrap();
+    malware
+        .attack2_background(
+            &mut android,
+            &[(packages::VICTIM, "Main"), (packages::VICTIM2, "Main")],
+        )
+        .unwrap();
+    // Settle: drain the install/launch event burst so iterations measure
+    // the steady state, not the cold start.
+    for _ in 0..8 {
+        android.note_user_activity();
+        profiler.step(&mut android);
+    }
+    android
+}
+
+/// A profiler that cannot run out of battery inside a measurement window.
+fn bottomless(reference: bool) -> Profiler {
+    let profiler = Profiler::eandroid(ScreenPolicy::SeparateEntity)
+        .with_step(SimDuration::from_millis(250))
+        .with_battery(Battery::with_capacity_mah(1.0e9, 3.8));
+    if reference {
+        profiler.with_reference_accounting()
+    } else {
+        profiler
+    }
+}
+
+fn bench_single_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_step");
+    for (label, reference) in [("optimized", false), ("reference", true)] {
+        group.bench_with_input(BenchmarkId::new("step", label), &reference, |b, &refr| {
+            let mut profiler = bottomless(refr);
+            let mut android = loaded_handset(&mut profiler);
+            b.iter(|| {
+                android.note_user_activity();
+                profiler.step(&mut android);
+            });
+        });
+    }
+    group.finish();
+}
+
+/// A deterministic scripted day: three sessions of attended use with app
+/// switches, radio bursts, and one background-app attack, each followed
+/// by pocketed idle. No RNG — both accounting paths replay the exact
+/// same event stream.
+fn scripted_day(reference: bool) -> Profiler {
+    let mut profiler = bottomless(reference);
+    let mut android = AndroidSystem::new();
+    let apps = DemoApps::install_all(&mut android);
+    let malware = Malware::install(&mut android);
+    for session in 0..3u32 {
+        android.user_unlock();
+        for second in 0..20u32 {
+            android.note_user_activity();
+            if second == 4 {
+                let _ = android.user_launch(packages::MESSAGE);
+                android.set_wifi_kbps(apps.message, 2_000.0);
+            }
+            if second == 10 {
+                let _ = android.start_service(
+                    apps.music,
+                    ea_framework::Intent::explicit(packages::MUSIC, "Playback"),
+                );
+                android.set_audio(apps.music, true);
+            }
+            if second == 14 && session == 1 {
+                let _ = android.user_launch(ea_apps::malware::MALWARE_PACKAGE);
+                let _ = malware.attack2_background(
+                    &mut android,
+                    &[(packages::VICTIM, "Main"), (packages::VICTIM2, "Main")],
+                );
+            }
+            profiler.run(&mut android, SimDuration::from_secs(1));
+        }
+        android.set_wifi_kbps(apps.message, 0.0);
+        android.set_audio(apps.music, false);
+        let _ = android.stop_service(
+            apps.music,
+            ea_framework::Intent::explicit(packages::MUSIC, "Playback"),
+        );
+        android.user_press_home();
+        profiler.run(&mut android, SimDuration::from_secs(40));
+    }
+    profiler
+}
+
+fn bench_day_in_the_life(c: &mut Criterion) {
+    let mut group = c.benchmark_group("day_in_the_life");
+    for (label, reference) in [("optimized", false), ("reference", true)] {
+        group.bench_with_input(BenchmarkId::new("device", label), &reference, |b, &refr| {
+            b.iter(|| scripted_day(refr));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fleet_shard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_shard");
+    for (label, reference) in [("optimized", false), ("reference", true)] {
+        let config = FleetConfig {
+            jobs: 1,
+            reference_accounting: reference,
+            ..FleetConfig::smoke(4, 2_026)
+        };
+        group.bench_with_input(
+            BenchmarkId::new("devices_4", label),
+            &config,
+            |b, config| {
+                b.iter(|| run_fleet(config));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry");
+    for (label, sink_on) in [("sink_off", false), ("sink_on", true)] {
+        group.bench_with_input(BenchmarkId::new("step", label), &sink_on, |b, &on| {
+            let mut profiler = bottomless(false);
+            if on {
+                profiler = profiler.with_telemetry(Arc::new(Recorder::new()));
+            }
+            let mut android = loaded_handset(&mut profiler);
+            b.iter(|| {
+                android.note_user_activity();
+                profiler.step(&mut android);
+            });
+        });
+    }
+    group.finish();
+}
+
+#[derive(Serialize)]
+struct BenchEntry {
+    label: String,
+    mean_ns: f64,
+    iterations: u64,
+}
+
+#[derive(Serialize)]
+struct SpeedupSection {
+    single_step: f64,
+    day_in_the_life: f64,
+    fleet_shard: f64,
+    target_single_step: f64,
+    single_step_meets_target: bool,
+}
+
+#[derive(Serialize)]
+struct TelemetrySection {
+    sink_off_ns: f64,
+    sink_on_ns: f64,
+    /// Cost of *disabled* telemetry: sink-off step vs the plain
+    /// single-step bench (identical code path — this bounds the noise
+    /// floor and proves the fast path adds nothing).
+    sink_off_overhead_pct: f64,
+    sink_on_overhead_pct: f64,
+}
+
+#[derive(Serialize)]
+struct HotloopReport {
+    schema: &'static str,
+    benches: Vec<BenchEntry>,
+    speedup: SpeedupSection,
+    telemetry: TelemetrySection,
+}
+
+/// The label's best (minimum) mean across repeat rounds.
+fn mean_of(measurements: &[Measurement], label: &str) -> f64 {
+    measurements
+        .iter()
+        .filter(|m| m.label == label)
+        .map(|m| m.mean_ns)
+        .min_by(|a, b| a.total_cmp(b))
+        .unwrap_or_else(|| panic!("benchmark {label} did not run"))
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    // Repeat the whole suite and keep each label's *minimum* mean: on a
+    // shared host the min is far more stable than any single window, and
+    // the reference/optimized ratio is what the gate consumes.
+    let rounds = if smoke_mode() { 1 } else { 3 };
+    for round in 0..rounds {
+        if rounds > 1 {
+            println!("--- round {}/{rounds} ---", round + 1);
+        }
+        bench_single_step(&mut criterion);
+        bench_day_in_the_life(&mut criterion);
+        bench_fleet_shard(&mut criterion);
+        bench_telemetry(&mut criterion);
+    }
+
+    let measurements = take_measurements();
+    if smoke_mode() {
+        println!(
+            "smoke mode: {} benches ran once, BENCH_hotloop.json not rewritten",
+            measurements.len()
+        );
+        return;
+    }
+
+    let step_opt = mean_of(&measurements, "single_step/step/optimized");
+    let step_ref = mean_of(&measurements, "single_step/step/reference");
+    let day_opt = mean_of(&measurements, "day_in_the_life/device/optimized");
+    let day_ref = mean_of(&measurements, "day_in_the_life/device/reference");
+    let fleet_opt = mean_of(&measurements, "fleet_shard/devices_4/optimized");
+    let fleet_ref = mean_of(&measurements, "fleet_shard/devices_4/reference");
+    let sink_off = mean_of(&measurements, "telemetry/step/sink_off");
+    let sink_on = mean_of(&measurements, "telemetry/step/sink_on");
+
+    let speedup = SpeedupSection {
+        single_step: step_ref / step_opt,
+        day_in_the_life: day_ref / day_opt,
+        fleet_shard: fleet_ref / fleet_opt,
+        target_single_step: TARGET_SINGLE_STEP_SPEEDUP,
+        single_step_meets_target: step_ref / step_opt >= TARGET_SINGLE_STEP_SPEEDUP,
+    };
+    let telemetry = TelemetrySection {
+        sink_off_ns: sink_off,
+        sink_on_ns: sink_on,
+        sink_off_overhead_pct: (sink_off / step_opt - 1.0) * 100.0,
+        sink_on_overhead_pct: (sink_on / sink_off - 1.0) * 100.0,
+    };
+    println!(
+        "\nspeedup (reference / optimized): single_step {:.2}x | day {:.2}x | fleet {:.2}x",
+        speedup.single_step, speedup.day_in_the_life, speedup.fleet_shard
+    );
+    println!(
+        "telemetry: sink-off overhead {:+.2}% (noise floor) | sink-on overhead {:+.2}%",
+        telemetry.sink_off_overhead_pct, telemetry.sink_on_overhead_pct
+    );
+
+    // One entry per label: the best round (matching what the ratios use).
+    let mut benches: Vec<BenchEntry> = Vec::new();
+    for m in &measurements {
+        match benches.iter_mut().find(|entry| entry.label == m.label) {
+            Some(entry) if m.mean_ns < entry.mean_ns => {
+                entry.mean_ns = m.mean_ns;
+                entry.iterations = m.iterations;
+            }
+            Some(_) => {}
+            None => benches.push(BenchEntry {
+                label: m.label.clone(),
+                mean_ns: m.mean_ns,
+                iterations: m.iterations,
+            }),
+        }
+    }
+    let report = HotloopReport {
+        schema: "ea-bench/hotloop/v1",
+        benches,
+        speedup,
+        telemetry,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotloop.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(path, json + "\n").expect("write BENCH_hotloop.json");
+    println!("wrote {path}");
+}

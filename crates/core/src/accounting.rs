@@ -28,19 +28,36 @@ pub fn attribute(
     dt: SimDuration,
     policy: ScreenPolicy,
 ) -> Vec<(Entity, Energy)> {
+    let mut charges = Vec::new();
+    attribute_into(draw, dt, policy, &mut charges);
+    charges
+}
+
+/// [`attribute`] writing into a caller-owned scratch buffer — the hot-loop
+/// form. The buffer is cleared first; capacity is reused across calls, so a
+/// steady-state profiler tick performs no attribution allocations.
+pub fn attribute_into(
+    draw: &ComponentDraw,
+    dt: SimDuration,
+    policy: ScreenPolicy,
+    charges: &mut Vec<(Entity, Energy)>,
+) {
+    charges.clear();
     let total = Energy::from_power(draw.power_mw, dt);
     if total.is_zero() {
-        return Vec::new();
+        return;
     }
 
     if draw.component == Component::Screen {
-        return match policy {
-            ScreenPolicy::SeparateEntity => vec![(Entity::Screen, total)],
+        let entity = match policy {
+            ScreenPolicy::SeparateEntity => Entity::Screen,
             ScreenPolicy::ForegroundApp => match draw.users.first() {
-                Some(user) => vec![(Entity::App(user.uid), total)],
-                None => vec![(Entity::System, total)],
+                Some(user) => Entity::App(user.uid),
+                None => Entity::System,
             },
         };
+        charges.push((entity, total));
+        return;
     }
 
     // Shares from well-formed draws sum to at most 1; defensively rescale
@@ -56,7 +73,6 @@ pub fn attribute(
         1.0
     };
 
-    let mut charges = Vec::with_capacity(draw.users.len() + 1);
     let mut attributed = Energy::ZERO;
     for user in &draw.users {
         let share = total * (user.share.clamp(0.0, 1.0) * scale);
@@ -69,27 +85,39 @@ pub fn attribute(
     if !remainder.is_zero() {
         charges.push((Entity::System, remainder));
     }
-    charges
 }
 
 /// The entities whose consumption feeds the collateral maps: the screen as
 /// [`Entity::Screen`] regardless of baseline policy, apps by their usage
 /// shares. System draw is never collateral.
 pub fn collateral_consumers(draw: &ComponentDraw, dt: SimDuration) -> Vec<(Entity, Energy)> {
+    let mut consumers = Vec::new();
+    collateral_consumers_into(draw, dt, &mut consumers);
+    consumers
+}
+
+/// [`collateral_consumers`] writing into a caller-owned scratch buffer —
+/// the hot-loop form (cleared first, capacity reused).
+pub fn collateral_consumers_into(
+    draw: &ComponentDraw,
+    dt: SimDuration,
+    consumers: &mut Vec<(Entity, Energy)>,
+) {
+    consumers.clear();
     let total = Energy::from_power(draw.power_mw, dt);
     if total.is_zero() {
-        return Vec::new();
+        return;
     }
     if draw.component == Component::Screen {
-        return vec![(Entity::Screen, total)];
+        consumers.push((Entity::Screen, total));
+        return;
     }
-    draw.users
-        .iter()
-        .filter_map(|user| {
-            let share = total * user.share.clamp(0.0, 1.0);
-            (!share.is_zero()).then_some((Entity::App(user.uid), share))
-        })
-        .collect()
+    for user in &draw.users {
+        let share = total * user.share.clamp(0.0, 1.0);
+        if !share.is_zero() {
+            consumers.push((Entity::App(user.uid), share));
+        }
+    }
 }
 
 #[cfg(test)]

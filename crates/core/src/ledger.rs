@@ -1,15 +1,72 @@
 //! The energy ledger: who consumed what, by component.
+//!
+//! # Hot-path storage
+//!
+//! [`charge`](EnergyLedger::charge) runs once per `(entity, component)` pair
+//! per profiler tick, making it the single hottest write in the pipeline.
+//! The default **dense** storage interns entities to [`UidSlot`]s and keeps
+//! one fixed-size `[Energy; N]` row per entity (N = component count), so a
+//! charge is two array indexes instead of two tree walks. The **reference**
+//! storage ([`EnergyLedger::reference`]) preserves the original
+//! `BTreeMap<Entity, BTreeMap<Component, Energy>>` implementation as the
+//! validation baseline. Every query, comparison, and serialization
+//! canonicalizes to entity/component order, so the two storages are
+//! observably identical (including serialized bytes and float rounding —
+//! dense rows sum in component order with exact-zero gaps, which leaves
+//! IEEE-754 sums bit-identical to the sparse reference sums).
 
 use std::collections::BTreeMap;
 
+use serde::de::Deserializer;
+use serde::ser::Serializer;
 use serde::{Deserialize, Serialize};
 
 use ea_power::{Component, Energy};
 
+use crate::slot::SlotInterner;
 use crate::Entity;
 
 /// Per-component energy totals for one entity.
 pub type ComponentBreakdown = BTreeMap<Component, Energy>;
+
+const COMPONENTS: usize = Component::ALL.len();
+
+/// One dense row: per-component energy plus a bitmask of the components
+/// ever charged (distinguishes "never charged" from an exact-zero sum).
+#[derive(Debug, Clone, Copy, Default)]
+struct LedgerRow {
+    energy: [Energy; COMPONENTS],
+    mask: u8,
+}
+
+impl LedgerRow {
+    fn total(&self) -> Energy {
+        // Uncharged cells hold exact 0.0; adding them is an IEEE no-op, so
+        // this sum is bit-identical to summing only the charged components
+        // in component order (what the reference BTreeMap does).
+        self.energy.iter().copied().sum()
+    }
+
+    fn breakdown(&self) -> ComponentBreakdown {
+        Component::ALL
+            .iter()
+            .filter(|&&component| self.mask & (1 << component as u8) != 0)
+            .map(|&component| (component, self.energy[component as usize]))
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Storage {
+    Dense {
+        interner: SlotInterner,
+        rows: Vec<LedgerRow>,
+        /// Slots ever charged (fixed slots exist from birth but may stay
+        /// empty; apps only get a row by being charged).
+        touched: Vec<bool>,
+    },
+    Reference(BTreeMap<Entity, ComponentBreakdown>),
+}
 
 /// The base double-entry of every profiler: entity × component → energy.
 ///
@@ -24,65 +81,161 @@ pub type ComponentBreakdown = BTreeMap<Component, Energy>;
 /// ledger.charge(Entity::Screen, Component::Screen, Energy::from_joules(1.0));
 /// assert!((ledger.total_of(Entity::Screen).as_joules() - 3.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EnergyLedger {
-    #[serde(with = "crate::serde_util::map_pairs")]
-    entries: BTreeMap<Entity, ComponentBreakdown>,
+    storage: Storage,
+}
+
+impl Default for EnergyLedger {
+    fn default() -> Self {
+        EnergyLedger::new()
+    }
 }
 
 impl EnergyLedger {
-    /// An empty ledger.
+    /// An empty ledger on the dense (slot-interned) storage.
     pub fn new() -> Self {
-        EnergyLedger::default()
+        EnergyLedger {
+            storage: Storage::Dense {
+                interner: SlotInterner::new(),
+                rows: Vec::new(),
+                touched: Vec::new(),
+            },
+        }
+    }
+
+    /// An empty ledger on the reference (nested-map) storage — the
+    /// pre-optimization baseline used for validation and benchmarking.
+    pub fn reference() -> Self {
+        EnergyLedger {
+            storage: Storage::Reference(BTreeMap::new()),
+        }
+    }
+
+    /// Whether this ledger runs on the reference storage.
+    pub fn is_reference(&self) -> bool {
+        matches!(self.storage, Storage::Reference(_))
     }
 
     /// Adds `energy` consumed by `entity` on `component`.
+    #[inline]
     pub fn charge(&mut self, entity: Entity, component: Component, energy: Energy) {
         if energy.is_zero() {
             return;
         }
-        *self
-            .entries
-            .entry(entity)
-            .or_default()
-            .entry(component)
-            .or_insert(Energy::ZERO) += energy;
+        match &mut self.storage {
+            Storage::Dense {
+                interner,
+                rows,
+                touched,
+            } => {
+                let slot = interner.intern(entity);
+                if rows.len() <= slot.index() {
+                    rows.resize_with(slot.index() + 1, LedgerRow::default);
+                    touched.resize(slot.index() + 1, false);
+                }
+                let row = &mut rows[slot.index()];
+                row.energy[component as usize] += energy;
+                row.mask |= 1 << component as u8;
+                touched[slot.index()] = true;
+            }
+            Storage::Reference(entries) => {
+                *entries
+                    .entry(entity)
+                    .or_default()
+                    .entry(component)
+                    .or_insert(Energy::ZERO) += energy;
+            }
+        }
+    }
+
+    fn dense_row(&self, entity: Entity) -> Option<&LedgerRow> {
+        match &self.storage {
+            Storage::Dense {
+                interner,
+                rows,
+                touched,
+            } => {
+                let slot = interner.slot_of(entity)?;
+                if !touched.get(slot.index()).copied().unwrap_or(false) {
+                    return None;
+                }
+                rows.get(slot.index())
+            }
+            Storage::Reference(_) => None,
+        }
     }
 
     /// Total energy of one entity across components.
     pub fn total_of(&self, entity: Entity) -> Energy {
-        self.entries
-            .get(&entity)
-            .map(|breakdown| breakdown.values().copied().sum())
-            .unwrap_or(Energy::ZERO)
+        match &self.storage {
+            Storage::Dense { .. } => self
+                .dense_row(entity)
+                .map(LedgerRow::total)
+                .unwrap_or(Energy::ZERO),
+            Storage::Reference(entries) => entries
+                .get(&entity)
+                .map(|breakdown| breakdown.values().copied().sum())
+                .unwrap_or(Energy::ZERO),
+        }
     }
 
     /// The per-component breakdown of one entity.
     pub fn breakdown_of(&self, entity: Entity) -> ComponentBreakdown {
-        self.entries.get(&entity).cloned().unwrap_or_default()
+        match &self.storage {
+            Storage::Dense { .. } => self
+                .dense_row(entity)
+                .map(LedgerRow::breakdown)
+                .unwrap_or_default(),
+            Storage::Reference(entries) => entries.get(&entity).cloned().unwrap_or_default(),
+        }
     }
 
     /// Energy of one entity on one component.
     pub fn of(&self, entity: Entity, component: Component) -> Energy {
-        self.entries
-            .get(&entity)
-            .and_then(|breakdown| breakdown.get(&component))
-            .copied()
-            .unwrap_or(Energy::ZERO)
+        match &self.storage {
+            Storage::Dense { .. } => self
+                .dense_row(entity)
+                .map(|row| row.energy[component as usize])
+                .unwrap_or(Energy::ZERO),
+            Storage::Reference(entries) => entries
+                .get(&entity)
+                .and_then(|breakdown| breakdown.get(&component))
+                .copied()
+                .unwrap_or(Energy::ZERO),
+        }
+    }
+
+    /// All charged entities, in entity order.
+    fn sorted_entities(&self) -> Vec<Entity> {
+        match &self.storage {
+            Storage::Dense {
+                interner, touched, ..
+            } => {
+                let mut entities: Vec<Entity> = interner
+                    .iter()
+                    .filter(|&(slot, _)| touched.get(slot.index()).copied().unwrap_or(false))
+                    .map(|(_, entity)| entity)
+                    .collect();
+                entities.sort();
+                entities
+            }
+            Storage::Reference(entries) => entries.keys().copied().collect(),
+        }
     }
 
     /// All entities with any charge, in stable order.
     pub fn entities(&self) -> impl Iterator<Item = Entity> + '_ {
-        self.entries.keys().copied()
+        self.sorted_entities().into_iter()
     }
 
     /// `(entity, total)` pairs sorted by descending total — the battery
     /// interface ranking.
     pub fn ranking(&self) -> Vec<(Entity, Energy)> {
         let mut rows: Vec<(Entity, Energy)> = self
-            .entries
-            .keys()
-            .map(|&entity| (entity, self.total_of(entity)))
+            .sorted_entities()
+            .into_iter()
+            .map(|entity| (entity, self.total_of(entity)))
             .collect();
         rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         rows
@@ -91,9 +244,9 @@ impl EnergyLedger {
     /// Sum over all entities — must equal the battery drain (energy
     /// conservation; property-tested).
     pub fn grand_total(&self) -> Energy {
-        self.entries
-            .keys()
-            .map(|&entity| self.total_of(entity))
+        self.sorted_entities()
+            .into_iter()
+            .map(|entity| self.total_of(entity))
             .sum()
     }
 
@@ -101,6 +254,70 @@ impl EnergyLedger {
     /// paper's Figure 9 bars).
     pub fn percent_of(&self, entity: Entity) -> f64 {
         100.0 * self.total_of(entity).fraction_of(self.grand_total())
+    }
+
+    /// The canonical map view both storages serialize to and compare by.
+    fn canonical(&self) -> BTreeMap<Entity, ComponentBreakdown> {
+        match &self.storage {
+            Storage::Dense { .. } => self
+                .sorted_entities()
+                .into_iter()
+                .map(|entity| (entity, self.breakdown_of(entity)))
+                .collect(),
+            Storage::Reference(entries) => entries.clone(),
+        }
+    }
+}
+
+impl PartialEq for EnergyLedger {
+    fn eq(&self, other: &Self) -> bool {
+        self.canonical() == other.canonical()
+    }
+}
+
+/// The historical wire shape: `{"entries": [[entity, {component: energy}]]}`.
+#[derive(Serialize, Deserialize)]
+struct Wire {
+    #[serde(with = "crate::serde_util::map_pairs")]
+    entries: BTreeMap<Entity, ComponentBreakdown>,
+}
+
+impl Serialize for EnergyLedger {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        Wire {
+            entries: self.canonical(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for EnergyLedger {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let wire = Wire::deserialize(deserializer)?;
+        let mut ledger = EnergyLedger::new();
+        for (entity, breakdown) in wire.entries {
+            // Zero entries don't round-trip through charge(); preserve them
+            // by writing the row directly.
+            if let Storage::Dense {
+                interner,
+                rows,
+                touched,
+            } = &mut ledger.storage
+            {
+                let slot = interner.intern(entity);
+                if rows.len() <= slot.index() {
+                    rows.resize_with(slot.index() + 1, LedgerRow::default);
+                    touched.resize(slot.index() + 1, false);
+                }
+                let row = &mut rows[slot.index()];
+                for (component, energy) in breakdown {
+                    row.energy[component as usize] = energy;
+                    row.mask |= 1 << component as u8;
+                }
+                touched[slot.index()] = true;
+            }
+        }
+        Ok(ledger)
     }
 }
 
@@ -113,52 +330,85 @@ mod tests {
         Entity::App(Uid::from_raw(10_000 + n))
     }
 
+    /// Every behavioral test runs against both storages.
+    fn both(test: impl Fn(EnergyLedger)) {
+        test(EnergyLedger::new());
+        test(EnergyLedger::reference());
+    }
+
     #[test]
     fn charges_accumulate_per_component() {
-        let mut ledger = EnergyLedger::new();
-        ledger.charge(app(1), Component::Cpu, Energy::from_joules(1.0));
-        ledger.charge(app(1), Component::Cpu, Energy::from_joules(2.0));
-        ledger.charge(app(1), Component::Camera, Energy::from_joules(4.0));
-        assert!((ledger.of(app(1), Component::Cpu).as_joules() - 3.0).abs() < 1e-12);
-        assert!((ledger.total_of(app(1)).as_joules() - 7.0).abs() < 1e-12);
+        both(|mut ledger| {
+            ledger.charge(app(1), Component::Cpu, Energy::from_joules(1.0));
+            ledger.charge(app(1), Component::Cpu, Energy::from_joules(2.0));
+            ledger.charge(app(1), Component::Camera, Energy::from_joules(4.0));
+            assert!((ledger.of(app(1), Component::Cpu).as_joules() - 3.0).abs() < 1e-12);
+            assert!((ledger.total_of(app(1)).as_joules() - 7.0).abs() < 1e-12);
+        });
     }
 
     #[test]
     fn zero_charges_create_no_rows() {
-        let mut ledger = EnergyLedger::new();
-        ledger.charge(app(1), Component::Cpu, Energy::ZERO);
-        assert_eq!(ledger.entities().count(), 0);
+        both(|mut ledger| {
+            ledger.charge(app(1), Component::Cpu, Energy::ZERO);
+            assert_eq!(ledger.entities().count(), 0);
+        });
     }
 
     #[test]
     fn ranking_sorts_descending() {
-        let mut ledger = EnergyLedger::new();
-        ledger.charge(app(1), Component::Cpu, Energy::from_joules(1.0));
-        ledger.charge(app(2), Component::Cpu, Energy::from_joules(5.0));
-        ledger.charge(Entity::Screen, Component::Screen, Energy::from_joules(3.0));
-        let ranking = ledger.ranking();
-        assert_eq!(ranking[0].0, app(2));
-        assert_eq!(ranking[1].0, Entity::Screen);
-        assert_eq!(ranking[2].0, app(1));
+        both(|mut ledger| {
+            ledger.charge(app(1), Component::Cpu, Energy::from_joules(1.0));
+            ledger.charge(app(2), Component::Cpu, Energy::from_joules(5.0));
+            ledger.charge(Entity::Screen, Component::Screen, Energy::from_joules(3.0));
+            let ranking = ledger.ranking();
+            assert_eq!(ranking[0].0, app(2));
+            assert_eq!(ranking[1].0, Entity::Screen);
+            assert_eq!(ranking[2].0, app(1));
+        });
     }
 
     #[test]
     fn percent_sums_to_hundred() {
-        let mut ledger = EnergyLedger::new();
-        ledger.charge(app(1), Component::Cpu, Energy::from_joules(1.0));
-        ledger.charge(app(2), Component::Cpu, Energy::from_joules(3.0));
-        let sum: f64 = [app(1), app(2)]
-            .iter()
-            .map(|&entity| ledger.percent_of(entity))
-            .sum();
-        assert!((sum - 100.0).abs() < 1e-9);
-        assert!((ledger.percent_of(app(2)) - 75.0).abs() < 1e-9);
+        both(|mut ledger| {
+            ledger.charge(app(1), Component::Cpu, Energy::from_joules(1.0));
+            ledger.charge(app(2), Component::Cpu, Energy::from_joules(3.0));
+            let sum: f64 = [app(1), app(2)]
+                .iter()
+                .map(|&entity| ledger.percent_of(entity))
+                .sum();
+            assert!((sum - 100.0).abs() < 1e-9);
+            assert!((ledger.percent_of(app(2)) - 75.0).abs() < 1e-9);
+        });
     }
 
     #[test]
     fn empty_ledger_percent_is_zero() {
-        let ledger = EnergyLedger::new();
-        assert_eq!(ledger.percent_of(app(1)), 0.0);
-        assert!(ledger.grand_total().is_zero());
+        both(|ledger| {
+            assert_eq!(ledger.percent_of(app(1)), 0.0);
+            assert!(ledger.grand_total().is_zero());
+        });
+    }
+
+    #[test]
+    fn dense_and_reference_storages_compare_and_serialize_equal() {
+        let mut dense = EnergyLedger::new();
+        let mut reference = EnergyLedger::reference();
+        for ledger in [&mut dense, &mut reference] {
+            // Charge out of entity order to exercise canonicalization.
+            ledger.charge(Entity::System, Component::Cpu, Energy::from_joules(0.25));
+            ledger.charge(app(9), Component::Wifi, Energy::from_joules(1.0));
+            ledger.charge(app(2), Component::Cpu, Energy::from_joules(2.0));
+            ledger.charge(Entity::Screen, Component::Screen, Energy::from_joules(3.0));
+        }
+        assert_eq!(dense, reference);
+        let dense_json = serde_json::to_string(&dense).unwrap();
+        let reference_json = serde_json::to_string(&reference).unwrap();
+        assert_eq!(dense_json, reference_json);
+
+        let roundtrip: EnergyLedger = serde_json::from_str(&dense_json).unwrap();
+        assert_eq!(roundtrip, dense);
+        assert!(!roundtrip.is_reference());
+        assert_eq!(roundtrip.breakdown_of(app(9)), dense.breakdown_of(app(9)),);
     }
 }

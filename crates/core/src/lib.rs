@@ -69,9 +69,12 @@ mod monitor;
 mod profiler;
 mod routines;
 mod serde_util;
+mod slot;
 mod timeline;
 
-pub use accounting::{attribute, collateral_consumers, ScreenPolicy};
+pub use accounting::{
+    attribute, attribute_into, collateral_consumers, collateral_consumers_into, ScreenPolicy,
+};
 pub use detector::{flagged, report, CollateralFinding, DetectorConfig, FlagReason};
 pub use energy_map::{CollateralEntry, CollateralGraph, LinkToken};
 pub use entity::Entity;
@@ -81,4 +84,5 @@ pub use lifecycle::{AttackId, AttackInfo, AttackKind, LifecycleTracker, Transiti
 pub use monitor::{AttackRecord, CollateralMonitor};
 pub use profiler::Profiler;
 pub use routines::RoutineLedger;
+pub use slot::{SlotInterner, UidSlot};
 pub use timeline::{AttackTimeline, TimelineRow};

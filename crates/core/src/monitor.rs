@@ -9,8 +9,11 @@ use ea_power::ComponentDraw;
 use ea_sim::{SimDuration, SimTime};
 use ea_telemetry::{SinkHandle, TelemetryEvent};
 
-use crate::accounting::collateral_consumers;
-use crate::{AttackId, AttackInfo, CollateralGraph, LifecycleTracker, LinkToken, Transition};
+use crate::accounting::collateral_consumers_into;
+use crate::{
+    AttackId, AttackInfo, CollateralGraph, Entity, LifecycleTracker, LinkToken, Transition,
+};
+use ea_power::Energy;
 
 /// One attack period as recorded in the monitor's history: the lifecycle
 /// info plus when (and whether) it ended.
@@ -52,12 +55,24 @@ pub struct CollateralMonitor {
     /// The driving app's collateral total when each open period began, so
     /// the close event can report the energy accrued over the period.
     open_baseline: BTreeMap<AttackId, f64>,
+    /// Scratch buffer reused across [`accrue`](Self::accrue) calls so the
+    /// per-tick consumer split allocates nothing in steady state.
+    consumers_scratch: Vec<(Entity, Energy)>,
 }
 
 impl CollateralMonitor {
-    /// A monitor with no open attack periods.
+    /// A monitor with no open attack periods, on the dense graph storage.
     pub fn new() -> Self {
         CollateralMonitor::default()
+    }
+
+    /// A monitor whose graph runs on the reference (nested-map) storage —
+    /// the pre-optimization baseline used for validation and benchmarking.
+    pub fn reference() -> Self {
+        CollateralMonitor {
+            graph: CollateralGraph::reference(),
+            ..CollateralMonitor::default()
+        }
     }
 
     /// Attaches a telemetry sink: attack open/close and lifecycle
@@ -184,11 +199,14 @@ impl CollateralMonitor {
         if !self.graph.any_live_links() {
             return;
         }
+        let mut consumers = std::mem::take(&mut self.consumers_scratch);
         for draw in draws {
-            for (entity, energy) in collateral_consumers(draw, dt) {
+            collateral_consumers_into(draw, dt, &mut consumers);
+            for &(entity, energy) in &consumers {
                 self.graph.accrue(entity, energy);
             }
         }
+        self.consumers_scratch = consumers;
     }
 
     /// The collateral energy maps.

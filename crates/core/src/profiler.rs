@@ -3,15 +3,17 @@
 
 use std::sync::Arc;
 
-use ea_framework::AndroidSystem;
-use ea_power::{Battery, DevicePowerModel, Energy};
+use ea_framework::{AndroidSystem, TimedEvent};
+use ea_power::{Battery, ComponentDraw, DevicePowerModel, DeviceUsage, Energy};
 use ea_sim::SimDuration;
 use ea_telemetry::{span, SinkHandle, TelemetryEvent, TelemetrySink};
 
 use ea_power::Component;
 
-use crate::accounting::attribute;
-use crate::{CollateralGraph, CollateralMonitor, EnergyLedger, RoutineLedger, ScreenPolicy};
+use crate::accounting::{attribute, attribute_into};
+use crate::{
+    CollateralGraph, CollateralMonitor, EnergyLedger, Entity, RoutineLedger, ScreenPolicy,
+};
 
 /// An energy profiler attached to a simulated handset.
 ///
@@ -48,6 +50,15 @@ pub struct Profiler {
     routines: Option<RoutineLedger>,
     integrated: Energy,
     telemetry: SinkHandle,
+    /// Run the original (pre-optimization) allocating step path against the
+    /// reference storages — the validation/benchmark baseline.
+    reference: bool,
+    /// Scratch buffers recycled across steps so a steady-state tick makes
+    /// no heap allocations on the optimized path.
+    events_scratch: Vec<TimedEvent>,
+    usage_scratch: DeviceUsage,
+    draws_scratch: Vec<ComponentDraw>,
+    charges_scratch: Vec<(Entity, Energy)>,
 }
 
 impl Profiler {
@@ -67,6 +78,11 @@ impl Profiler {
             routines: None,
             integrated: Energy::ZERO,
             telemetry: SinkHandle::noop(),
+            reference: false,
+            events_scratch: Vec::new(),
+            usage_scratch: DeviceUsage::idle(),
+            draws_scratch: Vec::new(),
+            charges_scratch: Vec::new(),
         }
     }
 
@@ -130,6 +146,27 @@ impl Profiler {
         self
     }
 
+    /// Switches this profiler to the reference (pre-optimization) path:
+    /// nested-map ledger and graph storages driven by the original
+    /// per-tick-allocating step. Observable results are identical to the
+    /// default optimized path — the golden/property tests assert it and the
+    /// `hotloop` bench suite measures the gap. Call before the first step.
+    pub fn with_reference_accounting(mut self) -> Self {
+        self.reference = true;
+        self.ledger = EnergyLedger::reference();
+        if let Some(monitor) = &mut self.monitor {
+            let mut reference = CollateralMonitor::reference();
+            reference.set_telemetry(self.telemetry.clone());
+            *monitor = reference;
+        }
+        self
+    }
+
+    /// Whether this profiler runs the reference (pre-optimization) path.
+    pub fn is_reference(&self) -> bool {
+        self.reference
+    }
+
     /// Whether collateral monitoring is enabled (E-Android mode).
     pub fn is_collateral_enabled(&self) -> bool {
         self.monitor.is_some()
@@ -147,30 +184,45 @@ impl Profiler {
 
     /// Advances the handset by one integration step and accounts the
     /// interval.
+    ///
+    /// The optimized path (default) recycles scratch buffers for events,
+    /// the usage snapshot, the component draws, and the attribution split,
+    /// so a steady-state step touches the allocator zero times; with no
+    /// telemetry sink attached, no event payloads, timestamps, or spans are
+    /// constructed at all. [`with_reference_accounting`] switches to the
+    /// original allocating step for baseline comparison.
+    ///
+    /// [`with_reference_accounting`]: Profiler::with_reference_accounting
     pub fn step(&mut self, android: &mut AndroidSystem) {
-        let _step_span = span(self.telemetry.sink(), "profiler_step");
+        if self.reference {
+            return self.step_reference(android);
+        }
         let traced = self.telemetry.enabled();
+        let _step_span = traced.then(|| span(self.telemetry.sink(), "profiler_step"));
         let dt = self.step;
         android.advance(dt);
-        let events = android.drain_events();
+        android.drain_events_into(&mut self.events_scratch);
         if let Some(monitor) = &mut self.monitor {
-            let _observe_span = span(self.telemetry.sink(), "collateral_observe");
-            monitor.observe(&events);
+            let _observe_span = traced.then(|| span(self.telemetry.sink(), "collateral_observe"));
+            monitor.observe(&self.events_scratch);
         }
-        let usage = android.usage_snapshot();
-        let draws = self.model.draws(android.now(), &usage);
+        android.usage_snapshot_into(&mut self.usage_scratch);
+        self.model
+            .draws_into(android.now(), &self.usage_scratch, &mut self.draws_scratch);
         let drained_before = self.battery.drained();
         // Per-app charge this interval, summed over components (telemetry
         // only; the ledger keeps the per-component split).
         let mut interval_charges: Vec<(ea_sim::Uid, f64)> = Vec::new();
         {
-            let _attribute_span = span(self.telemetry.sink(), "attribute");
-            let attribute_started = std::time::Instant::now();
-            for draw in &draws {
+            let _attribute_span = traced.then(|| span(self.telemetry.sink(), "attribute"));
+            let attribute_started = traced.then(std::time::Instant::now);
+            let mut charges = std::mem::take(&mut self.charges_scratch);
+            for draw in &self.draws_scratch {
                 let energy = Energy::from_power(draw.power_mw, dt);
                 self.integrated += energy;
                 let _ = self.battery.drain(energy);
-                for (entity, charge) in attribute(draw, dt, self.policy) {
+                attribute_into(draw, dt, self.policy, &mut charges);
+                for &(entity, charge) in &charges {
                     if traced {
                         if let Some(uid) = entity.uid() {
                             match interval_charges.iter_mut().find(|(u, _)| *u == uid) {
@@ -192,6 +244,67 @@ impl Profiler {
                     }
                 }
             }
+            self.charges_scratch = charges;
+            if let Some(started) = attribute_started {
+                self.telemetry.observe(
+                    "attribution_interval_us",
+                    started.elapsed().as_secs_f64() * 1e6,
+                );
+            }
+        }
+        if let Some(monitor) = &mut self.monitor {
+            monitor.accrue(&self.draws_scratch, dt);
+        }
+        if traced {
+            self.emit_step_events(android, interval_charges, drained_before);
+        }
+    }
+
+    /// The original per-tick-allocating step, preserved verbatim as the
+    /// baseline the `hotloop` bench suite and golden tests measure the
+    /// optimized path against.
+    fn step_reference(&mut self, android: &mut AndroidSystem) {
+        let _step_span = span(self.telemetry.sink(), "profiler_step");
+        let traced = self.telemetry.enabled();
+        let dt = self.step;
+        android.advance(dt);
+        let events = android.drain_events();
+        if let Some(monitor) = &mut self.monitor {
+            let _observe_span = span(self.telemetry.sink(), "collateral_observe");
+            monitor.observe(&events);
+        }
+        let usage = android.usage_snapshot();
+        let draws = self.model.draws(android.now(), &usage);
+        let drained_before = self.battery.drained();
+        let mut interval_charges: Vec<(ea_sim::Uid, f64)> = Vec::new();
+        {
+            let _attribute_span = span(self.telemetry.sink(), "attribute");
+            let attribute_started = std::time::Instant::now();
+            for draw in &draws {
+                let energy = Energy::from_power(draw.power_mw, dt);
+                self.integrated += energy;
+                let _ = self.battery.drain(energy);
+                for (entity, charge) in attribute(draw, dt, self.policy) {
+                    if traced {
+                        if let Some(uid) = entity.uid() {
+                            match interval_charges.iter_mut().find(|(u, _)| *u == uid) {
+                                Some((_, joules)) => *joules += charge.as_joules(),
+                                None => interval_charges.push((uid, charge.as_joules())),
+                            }
+                        }
+                    }
+                    self.ledger.charge(entity, draw.component, charge);
+                }
+                if draw.component == Component::Cpu {
+                    if let Some(routines) = &mut self.routines {
+                        for user in &draw.users {
+                            let share = energy * user.share.clamp(0.0, 1.0);
+                            let parts = android.demand_breakdown(user.uid);
+                            routines.charge_split(user.uid, share, &parts);
+                        }
+                    }
+                }
+            }
             if traced {
                 self.telemetry.observe(
                     "attribution_interval_us",
@@ -203,26 +316,37 @@ impl Profiler {
             monitor.accrue(&draws, dt);
         }
         if traced {
-            let t_us = android.now().as_millis() * 1_000;
-            for (uid, joules) in interval_charges {
-                self.telemetry.record_event(
-                    t_us,
-                    TelemetryEvent::Attribution {
-                        uid: uid.as_raw(),
-                        joules,
-                    },
-                );
-            }
+            self.emit_step_events(android, interval_charges, drained_before);
+        }
+    }
+
+    /// Per-step telemetry tail, shared by both step paths and only reached
+    /// with an enabled sink.
+    fn emit_step_events(
+        &self,
+        android: &AndroidSystem,
+        interval_charges: Vec<(ea_sim::Uid, f64)>,
+        drained_before: Energy,
+    ) {
+        let t_us = android.now().as_millis() * 1_000;
+        for (uid, joules) in interval_charges {
             self.telemetry.record_event(
                 t_us,
-                TelemetryEvent::BatteryDrain {
-                    joules: (self.battery.drained() - drained_before).as_joules(),
-                    remaining_percent: self.battery.percent(),
+                TelemetryEvent::Attribution {
+                    uid: uid.as_raw(),
+                    joules,
                 },
             );
-            self.telemetry
-                .gauge_set("battery_percent", self.battery.percent());
         }
+        self.telemetry.record_event(
+            t_us,
+            TelemetryEvent::BatteryDrain {
+                joules: (self.battery.drained() - drained_before).as_joules(),
+                remaining_percent: self.battery.percent(),
+            },
+        );
+        self.telemetry
+            .gauge_set("battery_percent", self.battery.percent());
     }
 
     /// Runs for `span` (rounded up to whole steps).

@@ -1,0 +1,237 @@
+//! Dense slot interning for accounting entities.
+//!
+//! The hot loop charges energy to [`Entity`] keys thousands of times per
+//! simulated second. Tree maps keyed by `Uid`/`Entity` pay a pointer-chasing
+//! comparison walk on every charge; the interner instead assigns each entity
+//! a dense `u32` slot the first time it is seen (for apps: at install /
+//! first draw), after which every ledger and collateral-map operation is a
+//! plain array index.
+//!
+//! Slot assignment is an implementation detail: all query and serialization
+//! paths canonicalize to `Entity` order, so two structures holding the same
+//! logical content compare and serialize identically regardless of the
+//! order their slots were assigned in.
+
+use ea_sim::Uid;
+
+use crate::Entity;
+
+/// A dense index standing in for one accounting entity ([`Entity::Screen`],
+/// [`Entity::System`], or one app UID).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UidSlot(u32);
+
+impl UidSlot {
+    /// The fixed slot of [`Entity::Screen`].
+    pub const SCREEN: UidSlot = UidSlot(0);
+    /// The fixed slot of [`Entity::System`].
+    pub const SYSTEM: UidSlot = UidSlot(1);
+
+    /// The slot as a bare array index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a slot from a bare index (caller promises it came from the
+    /// same interner).
+    #[inline]
+    pub(crate) const fn from_index(index: usize) -> Self {
+        UidSlot(index as u32)
+    }
+}
+
+/// Window of app UIDs resolved by direct indexing. Android assigns app
+/// sandbox UIDs from 10_000 upward, so in practice every app lands here;
+/// anything outside the window falls back to a sorted-vec lookup.
+const DIRECT_WINDOW: u32 = 1 << 16;
+
+/// Interns entities to dense [`UidSlot`]s.
+///
+/// Screen and System occupy fixed slots 0 and 1; app UIDs are assigned
+/// slots in first-seen order from 2. Lookups for UIDs in the standard app
+/// range (`FIRST_APP..FIRST_APP + 65536`) are a single array index.
+#[derive(Debug, Clone)]
+pub struct SlotInterner {
+    /// `raw - FIRST_APP` → slot + 1 (0 = unassigned), for the direct window.
+    direct: Vec<u32>,
+    /// Sorted `(raw, slot)` pairs for UIDs outside the direct window.
+    overflow: Vec<(u32, u32)>,
+    /// Slot → entity, seeded with the two fixed slots.
+    entities: Vec<Entity>,
+}
+
+impl Default for SlotInterner {
+    fn default() -> Self {
+        SlotInterner::new()
+    }
+}
+
+impl SlotInterner {
+    /// An interner holding only the fixed Screen/System slots.
+    pub fn new() -> Self {
+        SlotInterner {
+            direct: Vec::new(),
+            overflow: Vec::new(),
+            entities: vec![Entity::Screen, Entity::System],
+        }
+    }
+
+    /// Number of slots assigned (including the two fixed ones).
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Whether only the fixed slots exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 2
+    }
+
+    /// The slot of `entity`, assigning one if this is its first appearance.
+    #[inline]
+    pub fn intern(&mut self, entity: Entity) -> UidSlot {
+        match entity {
+            Entity::Screen => UidSlot::SCREEN,
+            Entity::System => UidSlot::SYSTEM,
+            Entity::App(uid) => self.intern_uid(uid),
+        }
+    }
+
+    /// The slot of app `uid`, assigning one on first appearance.
+    #[inline]
+    pub fn intern_uid(&mut self, uid: Uid) -> UidSlot {
+        let raw = uid.as_raw();
+        let offset = raw.wrapping_sub(Uid::FIRST_APP.as_raw());
+        if offset < DIRECT_WINDOW {
+            let index = offset as usize;
+            if index < self.direct.len() {
+                let found = self.direct[index];
+                if found != 0 {
+                    return UidSlot(found - 1);
+                }
+            } else {
+                self.direct.resize(index + 1, 0);
+            }
+            let slot = self.push_entity(Entity::App(uid));
+            self.direct[index] = slot.0 + 1;
+            slot
+        } else {
+            match self.overflow.binary_search_by_key(&raw, |&(r, _)| r) {
+                Ok(position) => UidSlot(self.overflow[position].1),
+                Err(position) => {
+                    let slot = self.push_entity(Entity::App(uid));
+                    self.overflow.insert(position, (raw, slot.0));
+                    slot
+                }
+            }
+        }
+    }
+
+    fn push_entity(&mut self, entity: Entity) -> UidSlot {
+        let slot = UidSlot(self.entities.len() as u32);
+        self.entities.push(entity);
+        slot
+    }
+
+    /// The slot of `entity` if it has been interned.
+    #[inline]
+    pub fn slot_of(&self, entity: Entity) -> Option<UidSlot> {
+        match entity {
+            Entity::Screen => Some(UidSlot::SCREEN),
+            Entity::System => Some(UidSlot::SYSTEM),
+            Entity::App(uid) => self.slot_of_uid(uid),
+        }
+    }
+
+    /// The slot of app `uid` if it has been interned.
+    #[inline]
+    pub fn slot_of_uid(&self, uid: Uid) -> Option<UidSlot> {
+        let raw = uid.as_raw();
+        let offset = raw.wrapping_sub(Uid::FIRST_APP.as_raw());
+        if offset < DIRECT_WINDOW {
+            match self.direct.get(offset as usize) {
+                Some(&found) if found != 0 => Some(UidSlot(found - 1)),
+                _ => None,
+            }
+        } else {
+            self.overflow
+                .binary_search_by_key(&raw, |&(r, _)| r)
+                .ok()
+                .map(|position| UidSlot(self.overflow[position].1))
+        }
+    }
+
+    /// The entity a slot stands for.
+    #[inline]
+    pub fn entity(&self, slot: UidSlot) -> Entity {
+        self.entities[slot.index()]
+    }
+
+    /// All assigned slots as `(slot, entity)` pairs, in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (UidSlot, Entity)> + '_ {
+        self.entities
+            .iter()
+            .enumerate()
+            .map(|(index, &entity)| (UidSlot::from_index(index), entity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uid(n: u32) -> Uid {
+        Uid::from_raw(10_000 + n)
+    }
+
+    #[test]
+    fn fixed_slots_are_stable() {
+        let mut interner = SlotInterner::new();
+        assert_eq!(interner.intern(Entity::Screen), UidSlot::SCREEN);
+        assert_eq!(interner.intern(Entity::System), UidSlot::SYSTEM);
+        assert_eq!(interner.entity(UidSlot::SCREEN), Entity::Screen);
+        assert_eq!(interner.entity(UidSlot::SYSTEM), Entity::System);
+    }
+
+    #[test]
+    fn apps_intern_in_first_seen_order() {
+        let mut interner = SlotInterner::new();
+        let a = interner.intern(Entity::App(uid(7)));
+        let b = interner.intern(Entity::App(uid(3)));
+        assert_eq!(a.index(), 2);
+        assert_eq!(b.index(), 3);
+        assert_eq!(interner.intern(Entity::App(uid(7))), a, "idempotent");
+        assert_eq!(interner.slot_of(Entity::App(uid(3))), Some(b));
+        assert_eq!(interner.entity(a), Entity::App(uid(7)));
+    }
+
+    #[test]
+    fn out_of_window_uids_use_the_overflow_path() {
+        let mut interner = SlotInterner::new();
+        let system_server = Uid::from_raw(1_000); // below FIRST_APP: wraps
+        let huge = Uid::from_raw(10_000 + (1 << 20));
+        let a = interner.intern_uid(system_server);
+        let b = interner.intern_uid(huge);
+        assert_ne!(a, b);
+        assert_eq!(interner.slot_of_uid(system_server), Some(a));
+        assert_eq!(interner.slot_of_uid(huge), Some(b));
+        assert_eq!(interner.entity(b), Entity::App(huge));
+        assert_eq!(interner.slot_of_uid(Uid::from_raw(999)), None);
+    }
+
+    #[test]
+    fn unknown_uids_resolve_to_none() {
+        let interner = SlotInterner::new();
+        assert_eq!(interner.slot_of(Entity::App(uid(1))), None);
+        assert_eq!(interner.slot_of(Entity::Screen), Some(UidSlot::SCREEN));
+    }
+
+    #[test]
+    fn default_interner_matches_new() {
+        let mut interner = SlotInterner::default();
+        assert_eq!(interner.entity(UidSlot::SCREEN), Entity::Screen);
+        let slot = interner.intern(Entity::App(uid(1)));
+        assert_eq!(slot.index(), 2);
+        assert_eq!(interner.len(), 3);
+    }
+}

@@ -54,6 +54,12 @@ pub struct FleetConfig {
     /// Device indices whose workload deliberately panics (fault-injection
     /// testing of the shard-failure path).
     pub panic_devices: Vec<usize>,
+    /// Run every device's profiler on the pre-optimization reference
+    /// accounting path. Produces the same report (the two paths are
+    /// byte-equivalent by contract); exists so benchmarks can measure the
+    /// hot-loop speedup on the full fleet workload in a single run.
+    #[serde(default)]
+    pub reference_accounting: bool,
 }
 
 impl Default for FleetConfig {
@@ -73,6 +79,7 @@ impl Default for FleetConfig {
             mean_idle_secs: 45,
             step_millis: 250,
             panic_devices: Vec::new(),
+            reference_accounting: false,
         }
     }
 }

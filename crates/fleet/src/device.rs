@@ -139,6 +139,9 @@ pub fn simulate_device(config: &FleetConfig, corpus: &[AppManifest], index: usiz
 
     let mut profiler = Profiler::eandroid(ScreenPolicy::SeparateEntity)
         .with_step(SimDuration::from_millis(config.step_millis.max(1)));
+    if config.reference_accounting {
+        profiler = profiler.with_reference_accounting();
+    }
 
     // Which vectors fire, and in which session. All RNG draws happen
     // whether or not the malware is present, keeping the day scripts of
@@ -505,6 +508,22 @@ mod tests {
         let a = simulate_device(&config, &corpus, 0);
         let b = simulate_device(&config, &corpus, 0);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reference_accounting_is_result_equivalent() {
+        let config = FleetConfig::smoke(1, 99);
+        let corpus = corpus_for(&config);
+        let optimized = simulate_device(&config, &corpus, 0);
+        let reference = simulate_device(
+            &FleetConfig {
+                reference_accounting: true,
+                ..config
+            },
+            &corpus,
+            0,
+        );
+        assert_eq!(optimized, reference, "slot-interned path must match");
     }
 
     #[test]

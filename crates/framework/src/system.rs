@@ -342,6 +342,15 @@ impl AndroidSystem {
         std::mem::take(&mut self.events)
     }
 
+    /// Batched form of [`drain_events`](Self::drain_events): swaps the
+    /// accumulated events into `out` (cleared first), so one buffer
+    /// shuttles between the framework and its observer with no per-step
+    /// allocation and observers see exactly one slice per step.
+    pub fn drain_events_into(&mut self, out: &mut Vec<TimedEvent>) {
+        out.clear();
+        std::mem::swap(&mut self.events, out);
+    }
+
     // ------------------------------------------------------------------
     // User actions
     // ------------------------------------------------------------------
@@ -1483,7 +1492,17 @@ impl AndroidSystem {
     /// Builds the current [`DeviceUsage`] snapshot for the power model.
     pub fn usage_snapshot(&self) -> DeviceUsage {
         let mut usage = DeviceUsage::idle();
-        for slice in self.sched.utilizations() {
+        self.usage_snapshot_into(&mut usage);
+        usage
+    }
+
+    /// Zero-allocation form of [`usage_snapshot`](Self::usage_snapshot):
+    /// clears and refills `usage`, reusing its vector capacity. CPU slices
+    /// stream straight from the scheduler without materializing an
+    /// intermediate vector.
+    pub fn usage_snapshot_into(&self, usage: &mut DeviceUsage) {
+        usage.clear();
+        for slice in self.sched.slices() {
             if slice.utilization <= 0.0 {
                 continue;
             }
@@ -1504,25 +1523,20 @@ impl AndroidSystem {
             ScreenUsage::off()
         };
         usage.camera = self.camera;
-        usage.audio = self.audio.iter().copied().collect();
-        usage.gps = self.gps.iter().copied().collect();
-        usage.wifi = self
-            .wifi
-            .iter()
-            .map(|(&uid, &kbps)| RadioUse {
-                uid,
-                throughput_kbps: kbps,
-            })
-            .collect();
-        usage.cellular = self
-            .cellular
-            .iter()
-            .map(|(&uid, &kbps)| RadioUse {
-                uid,
-                throughput_kbps: kbps,
-            })
-            .collect();
+        usage.audio.extend(self.audio.iter().copied());
+        usage.gps.extend(self.gps.iter().copied());
         usage
+            .wifi
+            .extend(self.wifi.iter().map(|(&uid, &kbps)| RadioUse {
+                uid,
+                throughput_kbps: kbps,
+            }));
+        usage
+            .cellular
+            .extend(self.cellular.iter().map(|(&uid, &kbps)| RadioUse {
+                uid,
+                throughput_kbps: kbps,
+            }));
     }
 
     // ------------------------------------------------------------------

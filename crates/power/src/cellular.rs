@@ -9,6 +9,8 @@ use serde::{Deserialize, Serialize};
 
 use ea_sim::{SimDuration, SimTime, Uid};
 
+use crate::usage::RadioUse;
+
 /// RRC-like radio resource states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CellularState {
@@ -57,13 +59,13 @@ impl CellularModel {
     }
 
     /// Observes the interval ending at `now`, returning
-    /// `(power_mw, responsible_uids, state)`.
-    pub fn observe(
-        &mut self,
-        now: SimTime,
-        traffic: &[(Uid, f64)],
-    ) -> (f64, Vec<Uid>, CellularState) {
-        let total_kbps: f64 = traffic.iter().map(|(_, kbps)| kbps.max(0.0)).sum();
+    /// `(power_mw, responsible_uids, state)`. The returned slice borrows the
+    /// model's own last-user record — no per-tick clone.
+    pub fn observe(&mut self, now: SimTime, traffic: &[RadioUse]) -> (f64, &[Uid], CellularState) {
+        let total_kbps: f64 = traffic
+            .iter()
+            .map(|radio| radio.throughput_kbps.max(0.0))
+            .sum();
         if total_kbps > 0.0 {
             let state = if total_kbps >= self.dch_threshold_kbps {
                 CellularState::Dch
@@ -72,19 +74,21 @@ impl CellularModel {
             };
             self.last_active_at = Some(now);
             self.last_state = state;
-            self.last_users = traffic
-                .iter()
-                .filter(|(_, kbps)| *kbps > 0.0)
-                .map(|(uid, _)| *uid)
-                .collect();
-            return (self.power_of(state), self.last_users.clone(), state);
+            self.last_users.clear();
+            self.last_users.extend(
+                traffic
+                    .iter()
+                    .filter(|radio| radio.throughput_kbps > 0.0)
+                    .map(|radio| radio.uid),
+            );
+            return (self.power_of(state), &self.last_users, state);
         }
 
         let state = self.state_at(now);
-        let users = if state == CellularState::Idle {
-            Vec::new()
+        let users: &[Uid] = if state == CellularState::Idle {
+            &[]
         } else {
-            self.last_users.clone()
+            &self.last_users
         };
         (self.power_of(state), users, state)
     }
@@ -120,10 +124,17 @@ mod tests {
         Uid::from_raw(10_000 + n)
     }
 
+    fn radio(n: u32, kbps: f64) -> RadioUse {
+        RadioUse {
+            uid: uid(n),
+            throughput_kbps: kbps,
+        }
+    }
+
     #[test]
     fn heavy_traffic_promotes_to_dch() {
         let mut cell = CellularModel::nexus4();
-        let (power, _, state) = cell.observe(SimTime::ZERO, &[(uid(1), 500.0)]);
+        let (power, _, state) = cell.observe(SimTime::ZERO, &[radio(1, 500.0)]);
         assert_eq!(state, CellularState::Dch);
         assert_eq!(power, cell.dch_mw);
     }
@@ -131,14 +142,14 @@ mod tests {
     #[test]
     fn light_traffic_uses_fach() {
         let mut cell = CellularModel::nexus4();
-        let (_, _, state) = cell.observe(SimTime::ZERO, &[(uid(1), 50.0)]);
+        let (_, _, state) = cell.observe(SimTime::ZERO, &[radio(1, 50.0)]);
         assert_eq!(state, CellularState::Fach);
     }
 
     #[test]
     fn demotion_chain_dch_fach_idle() {
         let mut cell = CellularModel::nexus4();
-        cell.observe(SimTime::ZERO, &[(uid(1), 500.0)]);
+        cell.observe(SimTime::ZERO, &[radio(1, 500.0)]);
 
         // Inside the DCH tail.
         let (_, users, state) = cell.observe(SimTime::from_secs(3), &[]);
@@ -166,7 +177,7 @@ mod tests {
     #[test]
     fn fach_activity_never_reports_dch_tail() {
         let mut cell = CellularModel::nexus4();
-        cell.observe(SimTime::ZERO, &[(uid(1), 50.0)]);
+        cell.observe(SimTime::ZERO, &[radio(1, 50.0)]);
         let (_, _, state) = cell.observe(SimTime::from_secs(2), &[]);
         assert_eq!(
             state,

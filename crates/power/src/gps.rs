@@ -33,11 +33,13 @@ impl GpsModel {
     }
 
     /// Observes the interval ending at `now` with `holders` holding GPS
-    /// sessions; returns `(power_mw, responsible_uids)`.
-    pub fn observe(&mut self, now: SimTime, holders: &[Uid]) -> (f64, Vec<Uid>) {
+    /// sessions; returns `(power_mw, responsible_uids)`. The responsible
+    /// uids are exactly the holders, so the input slice is returned
+    /// directly — no per-tick clone.
+    pub fn observe<'a>(&mut self, now: SimTime, holders: &'a [Uid]) -> (f64, &'a [Uid]) {
         if holders.is_empty() {
             self.session_started_at = None;
-            return (0.0, Vec::new());
+            return (0.0, &[]);
         }
         let started = *self.session_started_at.get_or_insert(now);
         let power = if now.saturating_since(started) < self.acquire_time {
@@ -45,7 +47,7 @@ impl GpsModel {
         } else {
             self.track_mw
         };
-        (power, holders.to_vec())
+        (power, holders)
     }
 }
 
@@ -60,7 +62,9 @@ mod tests {
     #[test]
     fn off_when_no_holders() {
         let mut gps = GpsModel::nexus4();
-        assert_eq!(gps.observe(SimTime::ZERO, &[]), (0.0, Vec::new()));
+        let (power, users) = gps.observe(SimTime::ZERO, &[]);
+        assert_eq!(power, 0.0);
+        assert!(users.is_empty());
     }
 
     #[test]
@@ -87,7 +91,8 @@ mod tests {
         let mut gps = GpsModel::nexus4();
         let (single, _) = gps.observe(SimTime::from_secs(100), &[uid(1)]);
         let mut gps2 = GpsModel::nexus4();
-        let (multi, users) = gps2.observe(SimTime::from_secs(100), &[uid(1), uid(2)]);
+        let holders = [uid(1), uid(2)];
+        let (multi, users) = gps2.observe(SimTime::from_secs(100), &holders);
         assert_eq!(single, multi);
         assert_eq!(users.len(), 2);
     }

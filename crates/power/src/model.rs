@@ -121,33 +121,38 @@ impl DevicePowerModel {
     /// When the device is fully idle it is considered suspended and only the
     /// suspend floor is reported (as unattributed CPU-component draw).
     pub fn draws(&mut self, now: SimTime, usage: &DeviceUsage) -> Vec<ComponentDraw> {
+        let mut out = Vec::new();
+        self.draws_into(now, usage, &mut out);
+        out
+    }
+
+    /// Zero-allocation form of [`draws`](Self::draws): writes into `out`,
+    /// recycling both the outer vector and the per-draw `users` allocations
+    /// left there by the previous tick. At steady state a profiler step
+    /// touches the allocator zero times through this path.
+    pub fn draws_into(&mut self, now: SimTime, usage: &DeviceUsage, out: &mut Vec<ComponentDraw>) {
+        // Reclaim the users allocations from last tick's draws (at most 7).
+        let mut pool: [Vec<UsageShare>; 7] = Default::default();
+        for (slot, draw) in pool.iter_mut().zip(out.drain(..)) {
+            *slot = draw.users;
+            slot.clear();
+        }
+        let mut pool = pool.into_iter();
+
         // Radio FSMs must observe every interval, even idle ones, so their
         // tails expire on schedule.
-        let wifi_traffic: Vec<(Uid, f64)> = usage
-            .wifi
-            .iter()
-            .map(|radio| (radio.uid, radio.throughput_kbps))
-            .collect();
-        let (wifi_mw, wifi_users) = self.wifi.observe(now, &wifi_traffic);
-
-        let cell_traffic: Vec<(Uid, f64)> = usage
-            .cellular
-            .iter()
-            .map(|radio| (radio.uid, radio.throughput_kbps))
-            .collect();
-        let (cell_mw, cell_users, _) = self.cellular.observe(now, &cell_traffic);
-
+        let (wifi_mw, wifi_users) = self.wifi.observe(now, &usage.wifi);
+        let (cell_mw, cell_users, _) = self.cellular.observe(now, &usage.cellular);
         let (gps_mw, gps_users) = self.gps.observe(now, &usage.gps);
 
         if !usage.is_active() && wifi_users.is_empty() && cell_users.is_empty() {
-            return vec![ComponentDraw {
+            out.push(ComponentDraw {
                 component: Component::Cpu,
                 power_mw: self.suspend_mw,
-                users: Vec::new(),
-            }];
+                users: pool.next().unwrap_or_default(),
+            });
+            return;
         }
-
-        let mut draws = Vec::with_capacity(7);
 
         // CPU: static awake draw is unattributed; the dynamic part is split
         // by granted utilization.
@@ -158,20 +163,20 @@ impl DevicePowerModel {
         } else {
             0.0
         };
-        let cpu_users = if total_util > 0.0 {
-            usage
-                .cpu
-                .iter()
-                .filter(|cpu_use| cpu_use.utilization > 0.0)
-                .map(|cpu_use| UsageShare {
-                    uid: cpu_use.uid,
-                    share: cpu_use.utilization / total_util * dynamic_fraction,
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
-        draws.push(ComponentDraw {
+        let mut cpu_users = pool.next().unwrap_or_default();
+        if total_util > 0.0 {
+            cpu_users.extend(
+                usage
+                    .cpu
+                    .iter()
+                    .filter(|cpu_use| cpu_use.utilization > 0.0)
+                    .map(|cpu_use| UsageShare {
+                        uid: cpu_use.uid,
+                        share: cpu_use.utilization / total_util * dynamic_fraction,
+                    }),
+            );
+        }
+        out.push(ComponentDraw {
             component: Component::Cpu,
             power_mw: cpu_mw,
             users: cpu_users,
@@ -183,62 +188,67 @@ impl DevicePowerModel {
             usage.screen.brightness,
             usage.screen.luma,
         );
-        let screen_users = match (usage.screen.on, usage.screen.foreground) {
-            (true, Some(uid)) => vec![UsageShare { uid, share: 1.0 }],
-            _ => Vec::new(),
-        };
-        draws.push(ComponentDraw {
+        let mut screen_users = pool.next().unwrap_or_default();
+        if let (true, Some(uid)) = (usage.screen.on, usage.screen.foreground) {
+            screen_users.push(UsageShare { uid, share: 1.0 });
+        }
+        out.push(ComponentDraw {
             component: Component::Screen,
             power_mw: screen_mw,
             users: screen_users,
         });
 
-        draws.push(ComponentDraw {
+        let mut wifi_shares = pool.next().unwrap_or_default();
+        fill_equal_shares(wifi_users, &mut wifi_shares);
+        out.push(ComponentDraw {
             component: Component::Wifi,
             power_mw: wifi_mw,
-            users: equal_shares(&wifi_users),
+            users: wifi_shares,
         });
-        draws.push(ComponentDraw {
+        let mut cell_shares = pool.next().unwrap_or_default();
+        fill_equal_shares(cell_users, &mut cell_shares);
+        out.push(ComponentDraw {
             component: Component::Cellular,
             power_mw: cell_mw,
-            users: equal_shares(&cell_users),
+            users: cell_shares,
         });
-        draws.push(ComponentDraw {
+        let mut gps_shares = pool.next().unwrap_or_default();
+        fill_equal_shares(gps_users, &mut gps_shares);
+        out.push(ComponentDraw {
             component: Component::Gps,
             power_mw: gps_mw,
-            users: equal_shares(&gps_users),
+            users: gps_shares,
         });
 
-        let (camera_mw, camera_users) = match usage.camera {
+        let mut camera_users = pool.next().unwrap_or_default();
+        let camera_mw = match usage.camera {
             Some(camera_use) => {
                 let mode = if camera_use.recording {
                     CameraMode::Recording
                 } else {
                     CameraMode::Preview
                 };
-                (
-                    self.camera.power_mw(mode),
-                    vec![UsageShare {
-                        uid: camera_use.uid,
-                        share: 1.0,
-                    }],
-                )
+                camera_users.push(UsageShare {
+                    uid: camera_use.uid,
+                    share: 1.0,
+                });
+                self.camera.power_mw(mode)
             }
-            None => (0.0, Vec::new()),
+            None => 0.0,
         };
-        draws.push(ComponentDraw {
+        out.push(ComponentDraw {
             component: Component::Camera,
             power_mw: camera_mw,
             users: camera_users,
         });
 
-        draws.push(ComponentDraw {
+        let mut audio_users = pool.next().unwrap_or_default();
+        fill_equal_shares(&usage.audio, &mut audio_users);
+        out.push(ComponentDraw {
             component: Component::Audio,
             power_mw: self.audio.power_mw(!usage.audio.is_empty()),
-            users: equal_shares(&usage.audio),
+            users: audio_users,
         });
-
-        draws
     }
 
     /// Total device draw for `usage` at `now`, mW.
@@ -250,12 +260,12 @@ impl DevicePowerModel {
     }
 }
 
-fn equal_shares(uids: &[Uid]) -> Vec<UsageShare> {
+fn fill_equal_shares(uids: &[Uid], out: &mut Vec<UsageShare>) {
     if uids.is_empty() {
-        return Vec::new();
+        return;
     }
     let share = 1.0 / uids.len() as f64;
-    uids.iter().map(|&uid| UsageShare { uid, share }).collect()
+    out.extend(uids.iter().map(|&uid| UsageShare { uid, share }));
 }
 
 #[cfg(test)]

@@ -114,6 +114,19 @@ impl DeviceUsage {
         DeviceUsage::default()
     }
 
+    /// Resets to the idle state while keeping every vector's capacity — the
+    /// hot-loop companion of [`idle`](Self::idle), used by snapshot
+    /// producers that refill the same buffer every tick.
+    pub fn clear(&mut self) {
+        self.cpu.clear();
+        self.screen = ScreenUsage::off();
+        self.camera = None;
+        self.audio.clear();
+        self.gps.clear();
+        self.wifi.clear();
+        self.cellular.clear();
+    }
+
     /// Total granted CPU utilization across apps, in cores.
     pub fn total_cpu(&self) -> f64 {
         self.cpu.iter().map(|use_| use_.utilization).sum()

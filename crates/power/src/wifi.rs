@@ -11,6 +11,8 @@ use serde::{Deserialize, Serialize};
 
 use ea_sim::{SimDuration, SimTime, Uid};
 
+use crate::usage::RadioUse;
+
 /// WiFi radio model. Stateful: remembers the last activity instant and the
 /// apps responsible, to price and attribute the tail.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,22 +59,28 @@ impl WifiModel {
 
     /// Observes the interval ending at `now` with the given per-app traffic,
     /// returning `(power_mw, responsible_uids)`. Must be called with
-    /// non-decreasing `now`.
-    pub fn observe(&mut self, now: SimTime, traffic: &[(Uid, f64)]) -> (f64, Vec<Uid>) {
-        let total_kbps: f64 = traffic.iter().map(|(_, kbps)| kbps.max(0.0)).sum();
+    /// non-decreasing `now`. The returned slice borrows the model's own
+    /// last-user record — no per-tick clone.
+    pub fn observe(&mut self, now: SimTime, traffic: &[RadioUse]) -> (f64, &[Uid]) {
+        let total_kbps: f64 = traffic
+            .iter()
+            .map(|radio| radio.throughput_kbps.max(0.0))
+            .sum();
         if total_kbps > 0.0 {
             self.last_active_at = Some(now);
-            self.last_users = traffic
-                .iter()
-                .filter(|(_, kbps)| *kbps > 0.0)
-                .map(|(uid, _)| *uid)
-                .collect();
+            self.last_users.clear();
+            self.last_users.extend(
+                traffic
+                    .iter()
+                    .filter(|radio| radio.throughput_kbps > 0.0)
+                    .map(|radio| radio.uid),
+            );
             let power = self.active_mw + self.mw_per_mbps * (total_kbps / 1_000.0);
-            return (power, self.last_users.clone());
+            return (power, &self.last_users);
         }
         match self.phase(now) {
-            WifiPhase::Tail => (self.tail_mw, self.last_users.clone()),
-            _ => (self.idle_mw, Vec::new()),
+            WifiPhase::Tail => (self.tail_mw, &self.last_users),
+            _ => (self.idle_mw, &[]),
         }
     }
 
@@ -99,11 +107,18 @@ mod tests {
         Uid::from_raw(10_000 + n)
     }
 
+    fn radio(n: u32, kbps: f64) -> RadioUse {
+        RadioUse {
+            uid: uid(n),
+            throughput_kbps: kbps,
+        }
+    }
+
     #[test]
     fn active_power_scales_with_throughput() {
         let mut wifi = WifiModel::nexus4();
-        let (slow, _) = wifi.observe(SimTime::ZERO, &[(uid(0), 100.0)]);
-        let (fast, _) = wifi.observe(SimTime::from_secs(1), &[(uid(0), 10_000.0)]);
+        let (slow, _) = wifi.observe(SimTime::ZERO, &[radio(0, 100.0)]);
+        let (fast, _) = wifi.observe(SimTime::from_secs(1), &[radio(0, 10_000.0)]);
         assert!(fast > slow);
         assert!(slow >= wifi.active_mw);
     }
@@ -111,23 +126,23 @@ mod tests {
     #[test]
     fn tail_follows_activity_then_idles() {
         let mut wifi = WifiModel::nexus4();
-        wifi.observe(SimTime::ZERO, &[(uid(1), 500.0)]);
+        wifi.observe(SimTime::ZERO, &[radio(1, 500.0)]);
 
         let (tail_power, tail_users) = wifi.observe(SimTime::from_millis(300), &[]);
-        assert_eq!(tail_power, wifi.tail_mw);
         assert_eq!(tail_users, vec![uid(1)], "tail charged to last user");
+        assert_eq!(tail_power, wifi.tail_mw);
 
         let (idle_power, idle_users) = wifi.observe(SimTime::from_millis(2_000), &[]);
-        assert_eq!(idle_power, wifi.idle_mw);
         assert!(idle_users.is_empty());
+        assert_eq!(idle_power, wifi.idle_mw);
     }
 
     #[test]
     fn idle_before_any_activity() {
         let mut wifi = WifiModel::nexus4();
         let (power, users) = wifi.observe(SimTime::from_secs(5), &[]);
-        assert_eq!(power, wifi.idle_mw);
         assert!(users.is_empty());
+        assert_eq!(power, wifi.idle_mw);
         assert_eq!(wifi.phase(SimTime::from_secs(5)), WifiPhase::Idle);
     }
 
@@ -136,7 +151,7 @@ mod tests {
         let mut wifi = WifiModel::nexus4();
         let (_, users) = wifi.observe(
             SimTime::ZERO,
-            &[(uid(1), 100.0), (uid(2), 0.0), (uid(3), 50.0)],
+            &[radio(1, 100.0), radio(2, 0.0), radio(3, 50.0)],
         );
         assert_eq!(users, vec![uid(1), uid(3)], "zero-traffic apps excluded");
     }
@@ -144,8 +159,8 @@ mod tests {
     #[test]
     fn negative_throughput_is_treated_as_zero() {
         let mut wifi = WifiModel::nexus4();
-        let (power, users) = wifi.observe(SimTime::ZERO, &[(uid(1), -5.0)]);
-        assert_eq!(power, wifi.idle_mw);
+        let (power, users) = wifi.observe(SimTime::ZERO, &[radio(1, -5.0)]);
         assert!(users.is_empty());
+        assert_eq!(power, wifi.idle_mw);
     }
 }

@@ -102,11 +102,16 @@ proptest! {
         let mut now = SimTime::ZERO;
         for (advance, kbps) in steps {
             now += SimDuration::from_millis(advance);
-            let traffic = if kbps > 0.0 { vec![(Uid::FIRST_APP, kbps)] } else { Vec::new() };
+            let traffic = if kbps > 0.0 {
+                vec![RadioUse { uid: Uid::FIRST_APP, throughput_kbps: kbps }]
+            } else {
+                Vec::new()
+            };
             let (power, users) = wifi.observe(now, &traffic);
+            let users = users.to_vec();
             prop_assert!(power >= wifi.idle_mw - 1e-9);
             if kbps > 0.0 {
-                prop_assert_eq!(users.as_slice(), &[Uid::FIRST_APP]);
+                prop_assert_eq!(users, vec![Uid::FIRST_APP]);
                 prop_assert!(power >= wifi.active_mw);
             }
         }

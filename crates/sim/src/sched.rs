@@ -97,22 +97,27 @@ impl CpuScheduler {
         self.total_demand().min(self.cores)
     }
 
-    /// Computes per-process utilization under proportional sharing, in PID
-    /// order.
-    pub fn utilizations(&self) -> Vec<CpuSlice> {
+    /// Streams per-process utilization under proportional sharing, in PID
+    /// order, without allocating — the hot-loop form consumed once per
+    /// profiler step ([`utilizations`](Self::utilizations) is the collected
+    /// convenience wrapper).
+    pub fn slices(&self) -> impl Iterator<Item = CpuSlice> + '_ {
         let total = self.total_demand();
         let scale = if total > self.cores {
             self.cores / total
         } else {
             1.0
         };
-        self.demands
-            .iter()
-            .map(|(&pid, &demand)| CpuSlice {
-                pid,
-                utilization: demand * scale,
-            })
-            .collect()
+        self.demands.iter().map(move |(&pid, &demand)| CpuSlice {
+            pid,
+            utilization: demand * scale,
+        })
+    }
+
+    /// Computes per-process utilization under proportional sharing, in PID
+    /// order.
+    pub fn utilizations(&self) -> Vec<CpuSlice> {
+        self.slices().collect()
     }
 }
 

@@ -8,11 +8,41 @@
 //! `--test` (as `cargo bench -- --test` passes), every benchmark runs a
 //! single iteration as a smoke test.
 
+use std::cell::RefCell;
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
 /// Re-export for benchmarks that want to defeat constant-folding.
 pub use std::hint::black_box;
+
+/// One completed benchmark measurement, as recorded by [`take_measurements`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Full benchmark label (`group/function/parameter`).
+    pub label: String,
+    /// Mean wall-clock nanoseconds per iteration (0.0 in `--test` mode).
+    pub mean_ns: f64,
+    /// Iterations timed inside the measurement window.
+    pub iterations: u64,
+}
+
+thread_local! {
+    static MEASUREMENTS: RefCell<Vec<Measurement>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Drains every measurement recorded on this thread since the last call.
+///
+/// Custom `main`s (benches with `harness = false` that post-process their
+/// own numbers) run their benchmark groups, then call this to compute
+/// ratios or emit machine-readable reports. Entries appear in run order.
+pub fn take_measurements() -> Vec<Measurement> {
+    MEASUREMENTS.with(|cell| std::mem::take(&mut *cell.borrow_mut()))
+}
+
+/// Whether `--test` smoke mode was requested on the command line.
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|arg| arg == "--test")
+}
 
 /// Top-level benchmark driver.
 #[derive(Default)]
@@ -151,6 +181,13 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(test_mode: bool, label: &str, mut f: F)
         iterations: 0,
     };
     f(&mut bencher);
+    MEASUREMENTS.with(|cell| {
+        cell.borrow_mut().push(Measurement {
+            label: label.to_string(),
+            mean_ns: bencher.mean_ns,
+            iterations: bencher.iterations,
+        })
+    });
     if test_mode {
         println!("test {label} ... ok");
     } else if bencher.iterations > 0 {

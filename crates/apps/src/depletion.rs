@@ -77,6 +77,24 @@ pub fn run_depletion(case: DepletionCase, cap_hours: u64) -> DepletionCurve {
     run_depletion_with_model(case, cap_hours, ea_power::DevicePowerModel::nexus4())
 }
 
+/// Runs one Figure 3 case with a seeded fault plan attached to both the
+/// framework and the profiler. A zero-rate plan is a byte-identical
+/// no-op relative to [`run_depletion`].
+pub fn run_depletion_chaos(
+    case: DepletionCase,
+    cap_hours: u64,
+    plan: &ea_chaos::FaultPlan,
+    lane: u64,
+) -> DepletionCurve {
+    run_depletion_inner(
+        case,
+        cap_hours,
+        ea_power::DevicePowerModel::nexus4(),
+        false,
+        Some((plan, lane)),
+    )
+}
+
 /// Runs one Figure 3 case on an explicit hardware model — the ablation that
 /// shows the attack ordering is not an artifact of the LCD calibration.
 pub fn run_depletion_with_model(
@@ -84,14 +102,20 @@ pub fn run_depletion_with_model(
     cap_hours: u64,
     model: ea_power::DevicePowerModel,
 ) -> DepletionCurve {
-    run_depletion_inner(case, cap_hours, model, false)
+    run_depletion_inner(case, cap_hours, model, false, None)
 }
 
 /// Runs one Figure 3 case on the pre-optimization reference accounting
 /// path. Produces the identical curve by the hot-path equivalence
 /// contract; exists so the golden tests can diff the two paths.
 pub fn run_depletion_reference(case: DepletionCase, cap_hours: u64) -> DepletionCurve {
-    run_depletion_inner(case, cap_hours, ea_power::DevicePowerModel::nexus4(), true)
+    run_depletion_inner(
+        case,
+        cap_hours,
+        ea_power::DevicePowerModel::nexus4(),
+        true,
+        None,
+    )
 }
 
 fn run_depletion_inner(
@@ -99,6 +123,7 @@ fn run_depletion_inner(
     cap_hours: u64,
     model: ea_power::DevicePowerModel,
     reference: bool,
+    faults: Option<(&ea_chaos::FaultPlan, u64)>,
 ) -> DepletionCurve {
     let mut android = AndroidSystem::new();
 
@@ -160,6 +185,10 @@ fn run_depletion_inner(
         .with_step(SimDuration::from_secs(5));
     if reference {
         profiler = profiler.with_reference_accounting();
+    }
+    if let Some((plan, lane)) = faults {
+        android.attach_faults(plan.framework_faults(lane));
+        profiler = profiler.with_chaos(plan.power_faults(lane));
     }
 
     let mut points = vec![DepletionPoint {

@@ -144,6 +144,17 @@ impl Scenario {
         self.run_on(android, profiler)
     }
 
+    /// Runs the scenario under fault injection: the plan's power faults
+    /// corrupt the profiler's counter readings and its framework faults
+    /// perturb binder, intents, wakelocks, the clock, and the event queue.
+    /// `lane` isolates the injector streams (use the device index in fleet
+    /// runs); a zero-rate plan is byte-identical to [`Scenario::run`].
+    pub fn run_chaos(self, profiler: Profiler, plan: &ea_chaos::FaultPlan, lane: u64) -> RunOutput {
+        let mut android = AndroidSystem::new();
+        android.attach_faults(plan.framework_faults(lane));
+        self.run_on(android, profiler.with_chaos(plan.power_faults(lane)))
+    }
+
     fn run_on(self, mut android: AndroidSystem, mut profiler: Profiler) -> RunOutput {
         let apps = DemoApps::install_all(&mut android);
         let mut malware = None;

@@ -118,6 +118,66 @@ fn fine_step_profiles_identical() {
     );
 }
 
+/// Like [`fingerprint`], but with a fault plan attached via the chaos
+/// entry point. A zero-rate plan must not move a single byte.
+fn fingerprint_chaos(
+    scenario: Scenario,
+    profiler: Profiler,
+    plan: &ea_chaos::FaultPlan,
+) -> (String, String, u64) {
+    let run = scenario.run_chaos(profiler, plan, 0);
+    let ledger = serde_json::to_string(run.profiler.ledger()).expect("serialize ledger");
+    let graph = match run.profiler.collateral() {
+        Some(graph) => serde_json::to_string(graph).expect("serialize graph"),
+        None => String::new(),
+    };
+    let drained = run.profiler.battery().drained().as_joules().to_bits();
+    (ledger, graph, drained)
+}
+
+#[test]
+fn zero_rate_fault_plan_is_a_byte_identical_noop_on_figure_artifacts() {
+    let plan = ea_chaos::FaultPlan::zero(2_026);
+
+    // fig01: stock-Android profiler.
+    let bare = fingerprint(
+        Scenario::Scene1MessageVideo,
+        Profiler::android(ScreenPolicy::SeparateEntity),
+    );
+    let chaos = fingerprint_chaos(
+        Scenario::Scene1MessageVideo,
+        Profiler::android(ScreenPolicy::SeparateEntity),
+        &plan,
+    );
+    diff_json("fig01 ledger under zero plan", &chaos.0, &bare.0);
+    assert_eq!(chaos.2, bare.2, "fig01 drained-energy bits under zero plan");
+
+    // fig08: full E-Android profiler with the collateral monitor.
+    let bare = fingerprint(
+        Scenario::Scene2HybridChain,
+        Profiler::eandroid(ScreenPolicy::SeparateEntity),
+    );
+    let chaos = fingerprint_chaos(
+        Scenario::Scene2HybridChain,
+        Profiler::eandroid(ScreenPolicy::SeparateEntity),
+        &plan,
+    );
+    diff_json("fig08 ledger under zero plan", &chaos.0, &bare.0);
+    diff_json("fig08 graph under zero plan", &chaos.1, &bare.1);
+    assert_eq!(chaos.2, bare.2, "fig08 drained-energy bits under zero plan");
+
+    // fig03: the depletion race.
+    for case in DepletionCase::ALL {
+        let bare = run_depletion(case, 1);
+        let chaos = ea_apps::run_depletion_chaos(case, 1, &plan, 0);
+        assert_eq!(
+            bare, chaos,
+            "depletion curve {} moved under a zero-rate plan",
+            bare.label
+        );
+    }
+}
+
 #[test]
 fn fleet_report_bytes_stable_across_jobs_and_paths() {
     let base = FleetConfig {

@@ -1,0 +1,124 @@
+//! Injected/detected fault counters.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Counts of faults by kind, split into *injected* (the injector fired) and
+/// *detected* (some layer noticed and compensated). The difference —
+/// *masked* — is what the pipeline absorbed without ever seeing.
+///
+/// # Example
+///
+/// ```
+/// use ea_chaos::FaultLog;
+///
+/// let mut log = FaultLog::default();
+/// log.inject("counter_reset");
+/// log.inject("counter_reset");
+/// log.detect("counter_reset");
+/// assert_eq!(log.injected_total(), 2);
+/// assert_eq!(log.detected_total(), 1);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultLog {
+    /// Faults the injector fired, by kind label.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub injected: BTreeMap<String, u64>,
+    /// Faults a layer detected and compensated for, by kind label.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub detected: BTreeMap<String, u64>,
+}
+
+impl FaultLog {
+    /// Records one injected fault of `kind`.
+    pub fn inject(&mut self, kind: &str) {
+        bump(&mut self.injected, kind);
+    }
+
+    /// Records one detected fault of `kind`.
+    pub fn detect(&mut self, kind: &str) {
+        bump(&mut self.detected, kind);
+    }
+
+    /// Folds another log into this one.
+    pub fn merge(&mut self, other: &FaultLog) {
+        for (kind, count) in &other.injected {
+            *self.injected.entry(kind.clone()).or_insert(0) += count;
+        }
+        for (kind, count) in &other.detected {
+            *self.detected.entry(kind.clone()).or_insert(0) += count;
+        }
+    }
+
+    /// Total faults injected, over all kinds.
+    #[must_use]
+    pub fn injected_total(&self) -> u64 {
+        self.injected.values().sum()
+    }
+
+    /// Total faults detected, over all kinds.
+    #[must_use]
+    pub fn detected_total(&self) -> u64 {
+        self.detected.values().sum()
+    }
+
+    /// Per-kind `injected - detected`, clamped at zero: the faults that were
+    /// absorbed without any layer noticing.
+    #[must_use]
+    pub fn masked(&self) -> BTreeMap<String, u64> {
+        let mut masked = BTreeMap::new();
+        for (kind, &injected) in &self.injected {
+            let detected = self.detected.get(kind).copied().unwrap_or(0);
+            let hidden = injected.saturating_sub(detected);
+            if hidden > 0 {
+                masked.insert(kind.clone(), hidden);
+            }
+        }
+        masked
+    }
+
+    /// Whether nothing was ever recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.injected.is_empty() && self.detected.is_empty()
+    }
+}
+
+fn bump(map: &mut BTreeMap<String, u64>, kind: &str) {
+    match map.get_mut(kind) {
+        Some(count) => *count += 1,
+        None => {
+            map.insert(kind.to_string(), 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = FaultLog::default();
+        a.inject("x");
+        let mut b = FaultLog::default();
+        b.inject("x");
+        b.detect("y");
+        a.merge(&b);
+        assert_eq!(a.injected.get("x"), Some(&2));
+        assert_eq!(a.detected.get("y"), Some(&1));
+    }
+
+    #[test]
+    fn masked_clamps_at_zero() {
+        let mut log = FaultLog::default();
+        log.inject("a");
+        log.detect("a");
+        log.detect("a");
+        log.inject("b");
+        let masked = log.masked();
+        assert!(!masked.contains_key("a"));
+        assert_eq!(masked.get("b"), Some(&1));
+    }
+}

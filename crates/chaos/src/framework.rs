@@ -1,0 +1,194 @@
+//! Framework- and sim-level fault decisions.
+//!
+//! The framework owns the clock, the scheduler, the event queue, binder,
+//! and the wakelock table, so it is the layer that *applies* both the
+//! framework faults (binder failures, intent drop/duplicate, lost wakelock
+//! releases) and the sim faults (clock skew, event reordering, scheduler
+//! hiccups). This injector only makes the decisions; the framework performs
+//! the state changes so no dependency cycle forms.
+
+use ea_sim::{SimDuration, SimRng};
+
+use crate::{FaultLog, FaultRates};
+
+/// What happens to one broadcast delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntentFate {
+    /// Delivered normally.
+    Deliver,
+    /// Silently dropped before the receiver wakes.
+    Drop,
+    /// Delivered twice.
+    Duplicate,
+}
+
+/// The per-run framework/sim injector. One instance per `AndroidSystem`;
+/// each decision consumes from a private seeded stream, so identical event
+/// sequences see identical faults.
+#[derive(Debug, Clone)]
+pub struct FrameworkFaults {
+    rates: FaultRates,
+    rng: SimRng,
+    log: FaultLog,
+}
+
+impl FrameworkFaults {
+    pub(crate) fn new(rates: FaultRates, rng: SimRng) -> Self {
+        FrameworkFaults {
+            rates,
+            rng,
+            log: FaultLog::default(),
+        }
+    }
+
+    /// Whether this binder transaction fails (the framework retries it
+    /// internally, as real binder clients do).
+    pub fn binder_transaction_fails(&mut self) -> bool {
+        let fired = self.rates.binder_failure > 0.0 && self.rng.chance(self.rates.binder_failure);
+        if fired {
+            self.log.inject("binder_failure");
+        }
+        fired
+    }
+
+    /// How long a death notification is delayed, when it is; `None` means
+    /// it arrives immediately (the healthy path).
+    pub fn death_notification_delay(&mut self) -> Option<SimDuration> {
+        if self.rates.binder_failure > 0.0 && self.rng.chance(self.rates.binder_failure) {
+            self.log.inject("death_delayed");
+            let secs = self.rng.range_u64(5, 20);
+            Some(SimDuration::from_secs(secs))
+        } else {
+            None
+        }
+    }
+
+    /// The fate of one broadcast delivery.
+    pub fn intent_fate(&mut self) -> IntentFate {
+        if self.rates.intent_drop > 0.0 && self.rng.chance(self.rates.intent_drop) {
+            self.log.inject("intent_drop");
+            IntentFate::Drop
+        } else if self.rates.intent_duplicate > 0.0 && self.rng.chance(self.rates.intent_duplicate)
+        {
+            self.log.inject("intent_duplicate");
+            IntentFate::Duplicate
+        } else {
+            IntentFate::Deliver
+        }
+    }
+
+    /// Whether this wakelock release is lost in transit.
+    pub fn wakelock_release_lost(&mut self) -> bool {
+        let fired = self.rates.wakelock_release_lost > 0.0
+            && self.rng.chance(self.rates.wakelock_release_lost);
+        if fired {
+            self.log.inject("wakelock_release_lost");
+        }
+        fired
+    }
+
+    /// Applies clock skew to one tick's span: occasionally stretched or
+    /// compressed by up to ±10 %, never below 1 ms (the clock stays
+    /// monotonic).
+    pub fn skew_span(&mut self, span: SimDuration) -> SimDuration {
+        if self.rates.clock_skew <= 0.0 || !self.rng.chance(self.rates.clock_skew) {
+            return span;
+        }
+        self.log.inject("clock_skew");
+        let factor = self.rng.range_f64(0.9, 1.1);
+        let millis = ((span.as_millis() as f64 * factor).round() as u64).max(1);
+        SimDuration::from_millis(millis)
+    }
+
+    /// Whether this tick's housekeeping pass (wakelock expiry, screen
+    /// timeout) stalls.
+    pub fn sched_hiccup(&mut self) -> bool {
+        let fired = self.rates.sched_hiccup > 0.0 && self.rng.chance(self.rates.sched_hiccup);
+        if fired {
+            self.log.inject("sched_hiccup");
+        }
+        fired
+    }
+
+    /// Which two same-instant events in a freshly drained slice of `len`
+    /// events swap places, if any.
+    pub fn reorder_slice(&mut self, len: usize) -> Option<usize> {
+        if len < 2 || self.rates.event_reorder <= 0.0 || !self.rng.chance(self.rates.event_reorder)
+        {
+            return None;
+        }
+        // The caller swaps (i, i + 1) only when both share a timestamp, and
+        // records the injection itself when the swap actually happens.
+        Some(self.rng.range_u64(0, (len - 1) as u64) as usize)
+    }
+
+    /// Records one injected fault of `kind` (for faults the framework
+    /// applies itself, like an event reorder that found a swappable pair).
+    pub fn note_injected(&mut self, kind: &str) {
+        self.log.inject(kind);
+    }
+
+    /// Records one detected/compensated fault of `kind` (sweep reclaims,
+    /// binder retries, late death deliveries).
+    pub fn note_detected(&mut self, kind: &str) {
+        self.log.detect(kind);
+    }
+
+    /// The injected/detected counters so far.
+    #[must_use]
+    pub fn log(&self) -> &FaultLog {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultPlan;
+
+    #[test]
+    fn zero_rates_decide_nothing() {
+        let mut faults = FaultPlan::zero(1).framework_faults(0);
+        assert!(!faults.binder_transaction_fails());
+        assert_eq!(faults.death_notification_delay(), None);
+        assert_eq!(faults.intent_fate(), IntentFate::Deliver);
+        assert!(!faults.wakelock_release_lost());
+        let span = SimDuration::from_millis(100);
+        assert_eq!(faults.skew_span(span), span);
+        assert!(!faults.sched_hiccup());
+        assert_eq!(faults.reorder_slice(10), None);
+        assert!(faults.log().is_empty());
+    }
+
+    #[test]
+    fn same_lane_same_decisions() {
+        let plan = FaultPlan::uniform(13, 0.5);
+        let mut a = plan.framework_faults(2);
+        let mut b = plan.framework_faults(2);
+        for _ in 0..100 {
+            assert_eq!(a.intent_fate(), b.intent_fate());
+            assert_eq!(a.wakelock_release_lost(), b.wakelock_release_lost());
+            assert_eq!(
+                a.skew_span(SimDuration::from_millis(100)),
+                b.skew_span(SimDuration::from_millis(100))
+            );
+        }
+        assert_eq!(a.log(), b.log());
+    }
+
+    #[test]
+    fn skew_keeps_spans_positive() {
+        let plan = FaultPlan {
+            seed: 5,
+            rates: FaultRates {
+                clock_skew: 1.0,
+                ..FaultRates::ZERO
+            },
+        };
+        let mut faults = plan.framework_faults(0);
+        for _ in 0..100 {
+            let skewed = faults.skew_span(SimDuration::from_millis(1));
+            assert!(skewed.as_millis() >= 1);
+        }
+    }
+}

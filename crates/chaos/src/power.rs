@@ -1,0 +1,233 @@
+//! Kernel energy-counter corruption.
+//!
+//! The profiler models per-component cumulative energy counters (the
+//! `/sys`/`/proc` readings a real profiler integrates). [`PowerFaults`]
+//! corrupts that reading stream the way real kernels do: counters reset to
+//! zero across a subsystem restart, jump backward after a clock fixup,
+//! stick at a stale value when a driver wedges, or spike toward saturation
+//! on an overflow. Corruption state is per counter slot and persistent
+//! where the real failure is persistent (a reset shifts the baseline for
+//! good until the sanitizer re-baselines).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use ea_sim::SimRng;
+
+use crate::{FaultLog, FaultRates};
+
+/// The kinds of counter glitch, in the order they are rolled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Glitch {
+    Reset,
+    Backward,
+    Stuck,
+    Overflow,
+}
+
+impl Glitch {
+    /// The fault-taxonomy label for this glitch kind.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Glitch::Reset => "counter_reset",
+            Glitch::Backward => "counter_backward",
+            Glitch::Stuck => "counter_stuck",
+            Glitch::Overflow => "counter_overflow",
+        }
+    }
+}
+
+/// One corrupted counter observation handed to the sanitizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterReading {
+    /// The (corrupted) cumulative value, in joules.
+    pub value: f64,
+    /// The glitch that *started* this tick, if any. A reading can be
+    /// corrupted with no onset when a persistent offset from an earlier
+    /// reset/backward jump is still in effect.
+    pub onset: Option<Glitch>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct SlotFault {
+    /// Persistent additive offset (resets and backward jumps shift the
+    /// baseline until the reader re-baselines; the truth keeps counting).
+    offset: f64,
+    /// Remaining ticks the counter stays frozen.
+    stuck_left: u32,
+    /// The frozen value while stuck.
+    stuck_value: f64,
+}
+
+/// The per-run kernel-counter injector. One instance per profiler; its RNG
+/// stream advances once per glitch roll, so identical call sequences yield
+/// identical corruption regardless of which accounting backend runs above.
+#[derive(Debug, Clone)]
+pub struct PowerFaults {
+    rates: FaultRates,
+    rng: SimRng,
+    slots: BTreeMap<u8, SlotFault>,
+    log: FaultLog,
+}
+
+/// How many ticks a stuck counter stays frozen.
+const STUCK_TICKS: u32 = 3;
+
+impl PowerFaults {
+    pub(crate) fn new(rates: FaultRates, rng: SimRng) -> Self {
+        PowerFaults {
+            rates,
+            rng,
+            slots: BTreeMap::new(),
+            log: FaultLog::default(),
+        }
+    }
+
+    /// Given the true cumulative energy (joules) for counter `slot`, returns
+    /// the corrupted reading the profiler would see — or `None` when the
+    /// counter is currently healthy, in which case the caller must use the
+    /// exact true value (this is what makes a zero-rate plan a byte-exact
+    /// no-op).
+    pub fn corrupt(&mut self, slot: u8, true_cum: f64) -> Option<CounterReading> {
+        if self.rates.is_zero() {
+            return None;
+        }
+        let state = self.slots.entry(slot).or_default();
+        if state.stuck_left > 0 {
+            state.stuck_left -= 1;
+            return Some(CounterReading {
+                value: state.stuck_value,
+                onset: None,
+            });
+        }
+        let glitch = if self.rng.chance(self.rates.counter_reset) {
+            Some(Glitch::Reset)
+        } else if self.rng.chance(self.rates.counter_backward) {
+            Some(Glitch::Backward)
+        } else if self.rng.chance(self.rates.counter_stuck) {
+            Some(Glitch::Stuck)
+        } else if self.rng.chance(self.rates.counter_overflow) {
+            Some(Glitch::Overflow)
+        } else {
+            None
+        };
+        match glitch {
+            Some(Glitch::Reset) => {
+                self.log.inject("counter_reset");
+                state.offset = -true_cum;
+                Some(CounterReading {
+                    value: 0.0,
+                    onset: Some(Glitch::Reset),
+                })
+            }
+            Some(Glitch::Backward) => {
+                self.log.inject("counter_backward");
+                let jump = self.rng.range_f64(0.05, 0.40) * true_cum.max(1.0);
+                state.offset -= jump;
+                Some(CounterReading {
+                    value: (true_cum + state.offset).max(0.0),
+                    onset: Some(Glitch::Backward),
+                })
+            }
+            Some(Glitch::Stuck) => {
+                self.log.inject("counter_stuck");
+                state.stuck_left = STUCK_TICKS;
+                state.stuck_value = (true_cum + state.offset).max(0.0);
+                Some(CounterReading {
+                    value: state.stuck_value,
+                    onset: Some(Glitch::Stuck),
+                })
+            }
+            Some(Glitch::Overflow) => {
+                self.log.inject("counter_overflow");
+                let spike = self.rng.range_f64(50.0, 500.0);
+                Some(CounterReading {
+                    value: (true_cum + state.offset).max(0.0) + spike,
+                    onset: Some(Glitch::Overflow),
+                })
+            }
+            None => {
+                if state.offset != 0.0 {
+                    // Baseline still shifted from an earlier reset/backward
+                    // jump: the reading is corrupt even with no new glitch.
+                    Some(CounterReading {
+                        value: (true_cum + state.offset).max(0.0),
+                        onset: None,
+                    })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The sanitizer (or any downstream detector) records what it caught
+    /// here, so injected-vs-detected lines up in one log.
+    pub fn note_detected(&mut self, kind: &str) {
+        self.log.detect(kind);
+    }
+
+    /// The injected/detected counters so far.
+    #[must_use]
+    pub fn log(&self) -> &FaultLog {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultPlan;
+
+    #[test]
+    fn zero_rates_never_corrupt() {
+        let mut faults = FaultPlan::zero(1).power_faults(0);
+        for tick in 0..1000 {
+            assert_eq!(faults.corrupt(0, f64::from(tick)), None);
+        }
+        assert!(faults.log().is_empty());
+    }
+
+    #[test]
+    fn reset_shifts_the_baseline_persistently() {
+        let rates = FaultRates {
+            counter_reset: 1.0,
+            ..FaultRates::ZERO
+        };
+        let mut faults = PowerFaults::new(rates, SimRng::seed(5));
+        let first = faults.corrupt(0, 100.0).expect("always fires");
+        assert_eq!(first.value, 0.0);
+        assert_eq!(first.onset, Some(Glitch::Reset));
+    }
+
+    #[test]
+    fn stuck_holds_for_a_few_ticks() {
+        let rates = FaultRates {
+            counter_stuck: 1.0,
+            ..FaultRates::ZERO
+        };
+        let mut faults = PowerFaults::new(rates, SimRng::seed(5));
+        let onset = faults.corrupt(0, 10.0).expect("sticks");
+        assert_eq!(onset.onset, Some(Glitch::Stuck));
+        for tick in 0..STUCK_TICKS {
+            let held = faults.corrupt(0, 11.0 + f64::from(tick)).expect("held");
+            assert_eq!(held.value, onset.value);
+            assert_eq!(held.onset, None);
+        }
+    }
+
+    #[test]
+    fn same_stream_for_same_lane() {
+        let plan = FaultPlan::uniform(77, 0.5);
+        let mut a = plan.power_faults(4);
+        let mut b = plan.power_faults(4);
+        for tick in 0..200 {
+            let cum = f64::from(tick) * 0.1;
+            assert_eq!(a.corrupt(1, cum), b.corrupt(1, cum));
+        }
+        assert_eq!(a.log(), b.log());
+    }
+}

@@ -1,0 +1,258 @@
+//! The profiler's degraded-mode plumbing: corrupted counter readings go
+//! through the [`CounterSanitizer`] before any joule reaches the ledger.
+//!
+//! [`ProfilerChaos`] models the kernel counter bank a real profiler reads:
+//! one cumulative energy counter per hardware component. Each interval it
+//! (1) drains the battery with the *true* energy (physics does not care
+//! about counter glitches), (2) lets the injector corrupt the reading, (3)
+//! sanitizes the reading back into a delta, and (4) rescales the interval's
+//! component draw so attribution, routine splits, and collateral accrual all
+//! see the sanitized energy. A conservation cap guarantees the total
+//! attributed energy never exceeds the total drawn, no matter what the
+//! glitch stream does.
+
+use std::collections::BTreeMap;
+
+use ea_chaos::{FaultLog, PowerFaults};
+use ea_power::{Battery, Component, ComponentDraw, Energy};
+use ea_sim::SimDuration;
+use ea_telemetry::SinkHandle;
+
+use crate::sanitize::{Confidence, CounterSanitizer};
+use crate::Entity;
+
+fn slot_of(component: Component) -> u8 {
+    match component {
+        Component::Cpu => 0,
+        Component::Screen => 1,
+        Component::Wifi => 2,
+        Component::Cellular => 3,
+        Component::Gps => 4,
+        Component::Camera => 5,
+        Component::Audio => 6,
+        // `Component` is non-exhaustive; future components share one slot.
+        _ => 7,
+    }
+}
+
+/// Per-profiler fault-injection state: the injector, the sanitizer, the
+/// simulated counter bank, and the degraded-energy bookkeeping.
+#[derive(Debug)]
+pub struct ProfilerChaos {
+    faults: PowerFaults,
+    sanitizer: CounterSanitizer,
+    /// True cumulative energy per counter slot (joules) — what the kernel
+    /// counter would read if it never glitched. One slot per component,
+    /// plus a shared overflow slot for future non-exhaustive variants.
+    counters: [f64; Component::ALL.len() + 1],
+    /// Cumulative true energy drawn (joules).
+    drawn: f64,
+    /// Cumulative energy handed to attribution after sanitization (joules).
+    attributed: f64,
+    /// Energy attributed under degraded confidence (joules).
+    degraded: f64,
+    /// Degraded energy split by entity, charged by usage share.
+    degraded_by_entity: BTreeMap<Entity, f64>,
+}
+
+impl ProfilerChaos {
+    /// Wraps a seeded injector.
+    #[must_use]
+    pub fn new(faults: PowerFaults) -> Self {
+        ProfilerChaos {
+            faults,
+            sanitizer: CounterSanitizer::new(),
+            counters: [0.0; Component::ALL.len() + 1],
+            drawn: 0.0,
+            attributed: 0.0,
+            degraded: 0.0,
+            degraded_by_entity: BTreeMap::new(),
+        }
+    }
+
+    /// The interval pre-pass: drains the battery with true energy, corrupts
+    /// and sanitizes each component counter, and rescales `draws` in place
+    /// so everything downstream accounts the sanitized energy.
+    ///
+    /// When a reading is healthy the draw is left untouched — not
+    /// recomputed — so a zero-rate plan leaves every downstream byte
+    /// identical to a run with no chaos attached.
+    pub fn apply(
+        &mut self,
+        draws: &mut [ComponentDraw],
+        dt: SimDuration,
+        battery: &mut Battery,
+        telemetry: &SinkHandle,
+    ) {
+        let traced = telemetry.enabled();
+        for draw in draws.iter_mut() {
+            let true_energy = Energy::from_power(draw.power_mw, dt);
+            let _ = battery.drain(true_energy);
+            let true_delta = true_energy.as_joules();
+            self.drawn += true_delta;
+
+            let slot = slot_of(draw.component);
+            self.counters[usize::from(slot)] += true_delta;
+            let reading = self.faults.corrupt(slot, self.counters[usize::from(slot)]);
+            let corrupted = reading.is_some();
+            let sanitized =
+                self.sanitizer
+                    .observe(slot, true_delta, reading.map(|reading| reading.value));
+            if let Some(anomaly) = sanitized.anomaly {
+                self.faults.note_detected(anomaly.label());
+                if traced {
+                    telemetry.counter_add("chaos_anomalies_detected", 1);
+                }
+            }
+
+            if sanitized.confidence == Confidence::Exact {
+                // Healthy: the draw already carries the exact energy.
+                self.attributed += true_delta;
+                continue;
+            }
+
+            // Conservation cap: cumulative attributed energy can never
+            // exceed cumulative true draw, whatever the substitution did.
+            let headroom = (self.drawn - self.attributed).max(0.0);
+            let accepted = sanitized.delta.min(headroom).max(0.0);
+            self.attributed += accepted;
+            self.degraded += accepted;
+            for user in &draw.users {
+                let share = accepted * user.share.clamp(0.0, 1.0);
+                if share > 0.0 {
+                    *self
+                        .degraded_by_entity
+                        .entry(Entity::App(user.uid))
+                        .or_insert(0.0) += share;
+                }
+            }
+            if traced {
+                telemetry.counter_add(
+                    "chaos_degraded_microjoules",
+                    (accepted * 1.0e6).max(0.0) as u64,
+                );
+            }
+            if corrupted || accepted != true_delta {
+                // Rescale the draw so downstream attribution integrates the
+                // sanitized energy instead of the corrupted/true one.
+                let factor = if true_delta > 0.0 {
+                    accepted / true_delta
+                } else {
+                    0.0
+                };
+                draw.power_mw *= factor;
+                if true_delta == 0.0 && accepted > 0.0 {
+                    // Held-last-good over an idle interval: synthesize the
+                    // power level directly.
+                    draw.power_mw = accepted / dt.as_secs_f64().max(1e-9) * 1_000.0;
+                }
+            }
+        }
+    }
+
+    /// The injected/detected fault counters.
+    #[must_use]
+    pub fn log(&self) -> &FaultLog {
+        self.faults.log()
+    }
+
+    /// Total energy attributed under degraded confidence.
+    pub fn degraded_energy(&self) -> Energy {
+        Energy::from_joules(self.degraded)
+    }
+
+    /// Degraded energy per entity (apps only; shares of glitched draws).
+    #[must_use]
+    pub fn degraded_by_entity(&self) -> BTreeMap<Entity, Energy> {
+        self.degraded_by_entity
+            .iter()
+            .map(|(&entity, &joules)| (entity, Energy::from_joules(joules)))
+            .collect()
+    }
+
+    /// Overall run confidence: degraded once any interval was repaired.
+    #[must_use]
+    pub fn confidence(&self) -> Confidence {
+        if self.sanitizer.degraded_intervals() > 0 {
+            Confidence::Degraded
+        } else {
+            Confidence::Exact
+        }
+    }
+
+    /// Cumulative true energy drawn (joules).
+    #[must_use]
+    pub fn drawn_joules(&self) -> f64 {
+        self.drawn
+    }
+
+    /// Cumulative attributed energy after sanitization (joules).
+    #[must_use]
+    pub fn attributed_joules(&self) -> f64 {
+        self.attributed
+    }
+
+    /// Anomalies the sanitizer caught.
+    #[must_use]
+    pub fn anomalies(&self) -> u64 {
+        self.sanitizer.anomalies()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_chaos::FaultPlan;
+    use ea_power::UsageShare;
+    use ea_sim::Uid;
+
+    fn draw(power_mw: f64) -> ComponentDraw {
+        ComponentDraw {
+            component: Component::Cpu,
+            power_mw,
+            users: vec![UsageShare {
+                uid: Uid::from_raw(10_001),
+                share: 1.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn zero_plan_leaves_draws_untouched() {
+        let mut chaos = ProfilerChaos::new(FaultPlan::zero(1).power_faults(0));
+        let mut battery = Battery::nexus4();
+        let dt = SimDuration::from_millis(100);
+        let telemetry = SinkHandle::noop();
+        for _ in 0..100 {
+            let mut draws = vec![draw(800.0)];
+            chaos.apply(&mut draws, dt, &mut battery, &telemetry);
+            assert_eq!(draws[0].power_mw, 800.0);
+        }
+        assert_eq!(chaos.confidence(), Confidence::Exact);
+        assert_eq!(chaos.degraded_energy(), Energy::ZERO);
+        assert_eq!(chaos.attributed_joules(), chaos.drawn_joules());
+    }
+
+    #[test]
+    fn attribution_never_exceeds_draw_under_faults() {
+        let plan = FaultPlan::counters_only(9, 0.2);
+        let mut chaos = ProfilerChaos::new(plan.power_faults(0));
+        let mut battery = Battery::nexus4();
+        let dt = SimDuration::from_millis(100);
+        let telemetry = SinkHandle::noop();
+        for tick in 0..2_000 {
+            let mut draws = vec![draw(500.0 + f64::from(tick % 7) * 100.0)];
+            chaos.apply(&mut draws, dt, &mut battery, &telemetry);
+        }
+        assert!(chaos.log().injected_total() > 0, "faults actually fired");
+        assert!(chaos.anomalies() > 0, "sanitizer caught some");
+        assert!(
+            chaos.attributed_joules() <= chaos.drawn_joules() + 1e-9,
+            "conservation: {} <= {}",
+            chaos.attributed_joules(),
+            chaos.drawn_joules()
+        );
+        assert_eq!(chaos.confidence(), Confidence::Degraded);
+        assert!(chaos.degraded_energy().as_joules() > 0.0);
+    }
+}

@@ -18,7 +18,7 @@ use ea_framework::AndroidSystem;
 use ea_power::Energy;
 use ea_sim::Uid;
 
-use crate::{CollateralGraph, EnergyLedger, Entity};
+use crate::{CollateralGraph, Confidence, EnergyLedger, Entity};
 
 /// One row of the battery interface.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,6 +37,10 @@ pub struct BatteryRow {
     pub total: Energy,
     /// Share of the view's grand total, in percent.
     pub percent: f64,
+    /// Energy in this row reconstructed by the counter sanitizer rather
+    /// than measured exactly (zero on a clean run).
+    #[serde(default)]
+    pub degraded: Energy,
 }
 
 /// A rendered battery interface.
@@ -46,6 +50,13 @@ pub struct BatteryView {
     pub rows: Vec<BatteryRow>,
     /// Sum of row totals.
     pub grand_total: Energy,
+    /// Whether every joule shown is exact, or some were reconstructed by
+    /// the counter sanitizer under fault injection.
+    #[serde(default)]
+    pub confidence: Confidence,
+    /// Total energy in the view carried under degraded confidence.
+    #[serde(default)]
+    pub degraded_total: Energy,
 }
 
 /// Builds display labels for entities from the installed apps (system apps
@@ -99,6 +110,7 @@ impl BatteryView {
                 collateral: Vec::new(),
                 total: own,
                 percent: 0.0,
+                degraded: Energy::ZERO,
             })
             .collect();
         Self::finish(&mut rows)
@@ -139,6 +151,7 @@ impl BatteryView {
                     collateral,
                     total: own + collateral_sum,
                     percent: 0.0,
+                    degraded: Energy::ZERO,
                 }
             })
             .collect();
@@ -158,7 +171,51 @@ impl BatteryView {
         BatteryView {
             rows: std::mem::take(rows),
             grand_total,
+            confidence: Confidence::Exact,
+            degraded_total: Energy::ZERO,
         }
+    }
+
+    /// Tags rows (and the view) with the degraded energy the counter
+    /// sanitizer reconstructed, from
+    /// [`ProfilerChaos::degraded_by_entity`](crate::ProfilerChaos::degraded_by_entity).
+    /// A run with no repaired intervals stays [`Confidence::Exact`].
+    #[must_use]
+    pub fn with_degraded(mut self, degraded: &BTreeMap<Entity, Energy>) -> Self {
+        let mut total = Energy::ZERO;
+        for row in &mut self.rows {
+            if let Some(&energy) = degraded.get(&row.entity) {
+                row.degraded = energy;
+                total += energy;
+            }
+        }
+        // Degraded energy on entities that never made a row (fully
+        // quarantined sources) still counts toward the view total.
+        for (entity, &energy) in degraded {
+            if self.row(*entity).is_none() {
+                total += energy;
+            }
+        }
+        self.degraded_total = total;
+        if !total.is_zero() {
+            self.confidence = Confidence::Degraded;
+        }
+        self
+    }
+
+    /// Forces the overall run confidence. Use with
+    /// [`ProfilerChaos::confidence`](crate::ProfilerChaos::confidence):
+    /// the sanitizer may repair intervals whose energy cannot be pinned
+    /// to any app (a glitched screen counter with no foreground user),
+    /// leaving the per-entity degraded map empty even though the
+    /// numbers are reconstructed. [`Confidence::Exact`] never upgrades
+    /// an already-degraded view.
+    #[must_use]
+    pub fn with_confidence(mut self, confidence: Confidence) -> Self {
+        if confidence == Confidence::Degraded {
+            self.confidence = Confidence::Degraded;
+        }
+        self
     }
 
     /// The row for `entity`, if it consumed anything.
@@ -223,7 +280,15 @@ impl fmt::Display for BatteryView {
                 writeln!(f, "    + {driven:<22} {energy:>10}")?;
             }
         }
-        write!(f, "total: {}", self.grand_total)
+        write!(f, "total: {}", self.grand_total)?;
+        if self.confidence == Confidence::Degraded {
+            write!(
+                f,
+                "\n(degraded: {} reconstructed by the counter sanitizer)",
+                self.degraded_total
+            )?;
+        }
+        Ok(())
     }
 }
 

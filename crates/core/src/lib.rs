@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 
 mod accounting;
+mod chaos;
 mod detector;
 mod energy_map;
 mod entity;
@@ -68,6 +69,7 @@ mod lifecycle;
 mod monitor;
 mod profiler;
 mod routines;
+mod sanitize;
 mod serde_util;
 mod slot;
 mod timeline;
@@ -75,6 +77,7 @@ mod timeline;
 pub use accounting::{
     attribute, attribute_into, collateral_consumers, collateral_consumers_into, ScreenPolicy,
 };
+pub use chaos::ProfilerChaos;
 pub use detector::{flagged, report, CollateralFinding, DetectorConfig, FlagReason};
 pub use energy_map::{CollateralEntry, CollateralGraph, LinkToken};
 pub use entity::Entity;
@@ -84,5 +87,6 @@ pub use lifecycle::{AttackId, AttackInfo, AttackKind, LifecycleTracker, Transiti
 pub use monitor::{AttackRecord, CollateralMonitor};
 pub use profiler::Profiler;
 pub use routines::RoutineLedger;
+pub use sanitize::{Anomaly, Confidence, CounterSanitizer, Sanitized, QUARANTINE_TICKS};
 pub use slot::{SlotInterner, UidSlot};
 pub use timeline::{AttackTimeline, TimelineRow};

@@ -12,7 +12,8 @@ use ea_power::Component;
 
 use crate::accounting::{attribute, attribute_into};
 use crate::{
-    CollateralGraph, CollateralMonitor, EnergyLedger, Entity, RoutineLedger, ScreenPolicy,
+    CollateralGraph, CollateralMonitor, EnergyLedger, Entity, ProfilerChaos, RoutineLedger,
+    ScreenPolicy,
 };
 
 /// An energy profiler attached to a simulated handset.
@@ -53,6 +54,8 @@ pub struct Profiler {
     /// Run the original (pre-optimization) allocating step path against the
     /// reference storages — the validation/benchmark baseline.
     reference: bool,
+    /// Fault injection + counter sanitization, when chaos is attached.
+    chaos: Option<Box<ProfilerChaos>>,
     /// Scratch buffers recycled across steps so a steady-state tick makes
     /// no heap allocations on the optimized path.
     events_scratch: Vec<TimedEvent>,
@@ -79,6 +82,7 @@ impl Profiler {
             integrated: Energy::ZERO,
             telemetry: SinkHandle::noop(),
             reference: false,
+            chaos: None,
             events_scratch: Vec::new(),
             usage_scratch: DeviceUsage::idle(),
             draws_scratch: Vec::new(),
@@ -167,6 +171,23 @@ impl Profiler {
         self.reference
     }
 
+    /// Attaches seeded kernel-counter fault injection: every step the
+    /// per-component counter readings pass through the injector and the
+    /// counter sanitizer before any energy reaches the ledger. The battery
+    /// always drains the true energy; attribution sees the sanitized
+    /// (possibly held-last-good, conservation-capped) energy, tagged
+    /// [`crate::Confidence::Degraded`] where repaired. A zero-rate plan is
+    /// a byte-exact no-op.
+    pub fn with_chaos(mut self, faults: ea_chaos::PowerFaults) -> Self {
+        self.chaos = Some(Box::new(ProfilerChaos::new(faults)));
+        self
+    }
+
+    /// The fault-injection state, when chaos is attached.
+    pub fn chaos(&self) -> Option<&ProfilerChaos> {
+        self.chaos.as_deref()
+    }
+
     /// Whether collateral monitoring is enabled (E-Android mode).
     pub fn is_collateral_enabled(&self) -> bool {
         self.monitor.is_some()
@@ -210,6 +231,21 @@ impl Profiler {
         self.model
             .draws_into(android.now(), &self.usage_scratch, &mut self.draws_scratch);
         let drained_before = self.battery.drained();
+        // Chaos pre-pass: drains the battery with true energy and rescales
+        // glitched draws to their sanitized values, so the loop below must
+        // not drain again.
+        let predrained = match &mut self.chaos {
+            Some(chaos) => {
+                chaos.apply(
+                    &mut self.draws_scratch,
+                    dt,
+                    &mut self.battery,
+                    &self.telemetry,
+                );
+                true
+            }
+            None => false,
+        };
         // Per-app charge this interval, summed over components (telemetry
         // only; the ledger keeps the per-component split).
         let mut interval_charges: Vec<(ea_sim::Uid, f64)> = Vec::new();
@@ -220,7 +256,9 @@ impl Profiler {
             for draw in &self.draws_scratch {
                 let energy = Energy::from_power(draw.power_mw, dt);
                 self.integrated += energy;
-                let _ = self.battery.drain(energy);
+                if !predrained {
+                    let _ = self.battery.drain(energy);
+                }
                 attribute_into(draw, dt, self.policy, &mut charges);
                 for &(entity, charge) in &charges {
                     if traced {
@@ -274,8 +312,17 @@ impl Profiler {
             monitor.observe(&events);
         }
         let usage = android.usage_snapshot();
-        let draws = self.model.draws(android.now(), &usage);
+        let mut draws = self.model.draws(android.now(), &usage);
         let drained_before = self.battery.drained();
+        // Chaos pre-pass, mirrored from the optimized path so both backends
+        // see the identical sanitized draw stream.
+        let predrained = match &mut self.chaos {
+            Some(chaos) => {
+                chaos.apply(&mut draws, dt, &mut self.battery, &self.telemetry);
+                true
+            }
+            None => false,
+        };
         let mut interval_charges: Vec<(ea_sim::Uid, f64)> = Vec::new();
         {
             let _attribute_span = span(self.telemetry.sink(), "attribute");
@@ -283,7 +330,9 @@ impl Profiler {
             for draw in &draws {
                 let energy = Energy::from_power(draw.power_mw, dt);
                 self.integrated += energy;
-                let _ = self.battery.drain(energy);
+                if !predrained {
+                    let _ = self.battery.drain(energy);
+                }
                 for (entity, charge) in attribute(draw, dt, self.policy) {
                     if traced {
                         if let Some(uid) = entity.uid() {

@@ -1,0 +1,321 @@
+//! The counter sanitizer: dirty kernel readings in, trustworthy deltas out.
+//!
+//! Real energy counters misbehave — they reset across subsystem restarts,
+//! jump backward after clock fixups, stick when a driver wedges, and spike
+//! on overflow. The sanitizer sits in front of the ledger and turns the raw
+//! cumulative reading stream into per-interval deltas the accounting layer
+//! can trust, flagging everything it had to repair as
+//! [`Confidence::Degraded`].
+//!
+//! The state machine per counter slot (see DESIGN.md §11):
+//!
+//! ```text
+//!            clean reading                      delta < 0
+//!   Healthy ───────────────▶ Healthy   Healthy ───────────▶ re-baseline,
+//!                                                           hold-last-good,
+//!            delta ≫ EMA                                    quarantine
+//!   Healthy ───────────────▶ spike dropped (baseline kept), quarantine
+//!
+//!            flat while EMA > 0 (≥ STUCK_FLAT_TICKS)
+//!   Healthy ───────────────▶ hold-last-good per flat tick, quarantine
+//! ```
+//!
+//! While quarantined, a slot's output is tagged degraded even when the
+//! readings look clean again — a source that just glitched is not trusted
+//! for [`QUARANTINE_TICKS`] intervals.
+
+use serde::{Deserialize, Serialize};
+
+/// How trustworthy a sanitized quantity is.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Confidence {
+    /// The reading stream was clean: the value is exact.
+    #[default]
+    Exact,
+    /// The sanitizer repaired or quarantined the source: the value is a
+    /// best-effort reconstruction.
+    Degraded,
+}
+
+/// The anomaly classes the sanitizer distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Anomaly {
+    /// The counter collapsed to (near) zero: a reset.
+    Reset,
+    /// The counter moved backward without resetting.
+    Backward,
+    /// The counter froze while the device was visibly active.
+    Stuck,
+    /// The delta is implausibly large: an overflow/saturation spike.
+    Overflow,
+}
+
+impl Anomaly {
+    /// The fault-taxonomy label (matches the injector's injected labels).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Anomaly::Reset => "counter_reset",
+            Anomaly::Backward => "counter_backward",
+            Anomaly::Stuck => "counter_stuck",
+            Anomaly::Overflow => "counter_overflow",
+        }
+    }
+}
+
+/// The sanitizer's verdict for one interval of one counter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sanitized {
+    /// The delta (joules) to account for this interval.
+    pub delta: f64,
+    /// Whether the value is exact or reconstructed/quarantined.
+    pub confidence: Confidence,
+    /// The anomaly detected this interval, if any.
+    pub anomaly: Option<Anomaly>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct SlotState {
+    /// Last accepted raw reading (the re-baselined cumulative value).
+    prev: f64,
+    /// Exponential moving average of recent accepted deltas.
+    ema: f64,
+    /// Last delta accepted from a healthy interval — the hold-last-good
+    /// substitute.
+    last_good: f64,
+    /// Consecutive flat (zero-delta) intervals while activity was expected.
+    flat: u32,
+    /// Remaining intervals of distrust after an anomaly.
+    quarantine: u32,
+}
+
+/// Intervals a slot stays distrusted after an anomaly.
+pub const QUARANTINE_TICKS: u32 = 5;
+/// Flat intervals (with positive EMA) before the counter is declared stuck.
+const STUCK_FLAT_TICKS: u32 = 2;
+/// A delta this many times the EMA is an overflow spike.
+const OVERFLOW_EMA_FACTOR: f64 = 50.0;
+/// Absolute overflow floor (joules per interval) so quiet counters cannot
+/// trip the ratio test on noise.
+const OVERFLOW_FLOOR_J: f64 = 5.0;
+/// A reading below this fraction of the previous one is a reset rather
+/// than a backward jump.
+const RESET_FRACTION: f64 = 0.01;
+/// EMA smoothing factor.
+const EMA_ALPHA: f64 = 0.2;
+
+/// Per-slot counter sanitization. Feed it one observation per interval per
+/// slot via [`CounterSanitizer::observe`].
+#[derive(Debug, Default)]
+pub struct CounterSanitizer {
+    slots: std::collections::BTreeMap<u8, SlotState>,
+    degraded_intervals: u64,
+    anomalies: u64,
+}
+
+impl CounterSanitizer {
+    /// A sanitizer with every slot healthy.
+    #[must_use]
+    pub fn new() -> Self {
+        CounterSanitizer::default()
+    }
+
+    /// Processes one interval for counter `slot`.
+    ///
+    /// `true_delta` is the interval's true energy (joules); `reading` is the
+    /// corrupted cumulative value when the injector corrupted this read, or
+    /// `None` when the counter is healthy. On the healthy path the true
+    /// delta is passed through untouched — bit-for-bit — so a fault-free
+    /// plan cannot perturb accounting.
+    pub fn observe(&mut self, slot: u8, true_delta: f64, reading: Option<f64>) -> Sanitized {
+        let state = self.slots.entry(slot).or_default();
+        let Some(raw) = reading else {
+            // Healthy read: exact passthrough; the baseline tracks truth.
+            state.prev += true_delta;
+            state.ema = state.ema * (1.0 - EMA_ALPHA) + true_delta * EMA_ALPHA;
+            state.last_good = true_delta;
+            state.flat = 0;
+            let confidence = if state.quarantine > 0 {
+                state.quarantine -= 1;
+                self.degraded_intervals += 1;
+                Confidence::Degraded
+            } else {
+                Confidence::Exact
+            };
+            return Sanitized {
+                delta: true_delta,
+                confidence,
+                anomaly: None,
+            };
+        };
+
+        let delta = raw - state.prev;
+        let overflow_cap = (state.ema * OVERFLOW_EMA_FACTOR).max(OVERFLOW_FLOOR_J);
+        let (accepted, anomaly) = if delta < 0.0 {
+            // Backward movement: re-baseline to the new (lower) value and
+            // substitute the held delta.
+            let kind = if raw <= state.prev * RESET_FRACTION {
+                Anomaly::Reset
+            } else {
+                Anomaly::Backward
+            };
+            state.prev = raw;
+            (state.last_good, Some(kind))
+        } else if delta > overflow_cap {
+            // Transient spike: keep the old baseline so the next sane
+            // reading produces a sane delta, and substitute the held delta.
+            (state.last_good, Some(Anomaly::Overflow))
+        } else if delta == 0.0 && state.ema > 1e-9 {
+            // Flat while recently active: possibly stuck.
+            state.flat += 1;
+            if state.flat >= STUCK_FLAT_TICKS {
+                (state.last_good, Some(Anomaly::Stuck))
+            } else {
+                // Too early to call: accept the zero (under-attribution is
+                // safe) but report it as degraded.
+                (0.0, None)
+            }
+        } else {
+            // The corrupted stream looks locally consistent (e.g. a
+            // persistent post-reset offset after re-baselining): accept the
+            // observed delta.
+            state.prev = raw;
+            state.ema = state.ema * (1.0 - EMA_ALPHA) + delta * EMA_ALPHA;
+            state.flat = 0;
+            (delta, None)
+        };
+
+        if anomaly.is_some() {
+            state.quarantine = QUARANTINE_TICKS;
+            self.anomalies += 1;
+        } else if state.quarantine > 0 {
+            state.quarantine -= 1;
+        }
+        self.degraded_intervals += 1;
+        Sanitized {
+            delta: accepted.max(0.0),
+            confidence: Confidence::Degraded,
+            anomaly,
+        }
+    }
+
+    /// Intervals that produced degraded output so far.
+    #[must_use]
+    pub fn degraded_intervals(&self) -> u64 {
+        self.degraded_intervals
+    }
+
+    /// Anomalies detected so far.
+    #[must_use]
+    pub fn anomalies(&self) -> u64 {
+        self.anomalies
+    }
+
+    /// Whether `slot` is currently quarantined.
+    #[must_use]
+    pub fn is_quarantined(&self, slot: u8) -> bool {
+        self.slots
+            .get(&slot)
+            .is_some_and(|state| state.quarantine > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_stream_is_exact_passthrough() {
+        let mut sanitizer = CounterSanitizer::new();
+        let deltas = [0.1, 0.25, 0.0, 0.17];
+        for &delta in &deltas {
+            let out = sanitizer.observe(0, delta, None);
+            assert_eq!(out.delta, delta, "bit-exact passthrough");
+            assert_eq!(out.confidence, Confidence::Exact);
+            assert_eq!(out.anomaly, None);
+        }
+        assert_eq!(sanitizer.degraded_intervals(), 0);
+    }
+
+    #[test]
+    fn reset_is_detected_and_held() {
+        let mut sanitizer = CounterSanitizer::new();
+        for _ in 0..10 {
+            sanitizer.observe(0, 0.2, None);
+        }
+        // Counter collapses to zero.
+        let out = sanitizer.observe(0, 0.2, Some(0.0));
+        assert_eq!(out.anomaly, Some(Anomaly::Reset));
+        assert_eq!(out.confidence, Confidence::Degraded);
+        assert!((out.delta - 0.2).abs() < 1e-12, "hold-last-good");
+        assert!(sanitizer.is_quarantined(0));
+    }
+
+    #[test]
+    fn backward_jump_is_distinguished_from_reset() {
+        let mut sanitizer = CounterSanitizer::new();
+        for _ in 0..10 {
+            sanitizer.observe(0, 1.0, None);
+        }
+        // 10 J so far; the counter slips back to 8 J (not near zero).
+        let out = sanitizer.observe(0, 1.0, Some(8.0));
+        assert_eq!(out.anomaly, Some(Anomaly::Backward));
+    }
+
+    #[test]
+    fn overflow_spike_keeps_the_baseline() {
+        let mut sanitizer = CounterSanitizer::new();
+        for _ in 0..10 {
+            sanitizer.observe(0, 0.1, None);
+        }
+        let spike = sanitizer.observe(0, 0.1, Some(1.0e6));
+        assert_eq!(spike.anomaly, Some(Anomaly::Overflow));
+        assert!(spike.delta < 1.0, "spike replaced by held delta");
+        // Next clean tick recovers exactly.
+        let clean = sanitizer.observe(0, 0.1, None);
+        assert_eq!(clean.delta, 0.1);
+        assert_eq!(clean.confidence, Confidence::Degraded, "still quarantined");
+    }
+
+    #[test]
+    fn stuck_counter_is_flagged_after_flat_ticks() {
+        let mut sanitizer = CounterSanitizer::new();
+        // 0.25 is exactly representable, so the cumulative sum is exact.
+        for _ in 0..10 {
+            sanitizer.observe(0, 0.25, None);
+        }
+        let held = 2.5; // cumulative value the counter froze at
+        let first = sanitizer.observe(0, 0.25, Some(held));
+        assert_eq!(first.anomaly, None, "one flat tick could be idle");
+        let second = sanitizer.observe(0, 0.25, Some(held));
+        assert_eq!(second.anomaly, Some(Anomaly::Stuck));
+        assert!((second.delta - 0.25).abs() < 1e-12, "hold-last-good");
+    }
+
+    #[test]
+    fn quarantine_decays_back_to_exact() {
+        let mut sanitizer = CounterSanitizer::new();
+        for _ in 0..5 {
+            sanitizer.observe(0, 0.5, None);
+        }
+        sanitizer.observe(0, 0.5, Some(0.0));
+        for _ in 0..QUARANTINE_TICKS {
+            let out = sanitizer.observe(0, 0.5, None);
+            assert_eq!(out.confidence, Confidence::Degraded);
+        }
+        let out = sanitizer.observe(0, 0.5, None);
+        assert_eq!(out.confidence, Confidence::Exact);
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let mut sanitizer = CounterSanitizer::new();
+        for _ in 0..5 {
+            sanitizer.observe(0, 0.5, None);
+            sanitizer.observe(1, 0.2, None);
+        }
+        sanitizer.observe(0, 0.5, Some(0.0));
+        assert!(sanitizer.is_quarantined(0));
+        assert!(!sanitizer.is_quarantined(1));
+    }
+}

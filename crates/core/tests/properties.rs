@@ -249,3 +249,66 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Degraded-mode properties (DESIGN.md §11): whatever the glitch stream does,
+// the sanitizer keeps attribution conservative and finite.
+
+proptest! {
+    #[test]
+    fn attribution_never_exceeds_drain_under_arbitrary_glitch_streams(
+        seed in any::<u64>(),
+        lane in 0u64..8,
+        rate in 0.0f64..1.0,
+        powers in proptest::collection::vec((0.0f64..3_000.0, 1u64..500), 1..200),
+    ) {
+        use ea_core::ProfilerChaos;
+        use ea_chaos::FaultPlan;
+        use ea_power::Battery;
+        use ea_telemetry::SinkHandle;
+
+        let plan = FaultPlan::uniform(seed, rate);
+        let mut chaos = ProfilerChaos::new(plan.power_faults(lane));
+        let mut battery = Battery::nexus4();
+        let telemetry = SinkHandle::noop();
+        for (power_mw, millis) in powers {
+            let mut draws = vec![ComponentDraw {
+                component: Component::Cpu,
+                power_mw,
+                users: vec![UsageShare { uid: uid(1), share: 1.0 }],
+            }];
+            chaos.apply(
+                &mut draws,
+                SimDuration::from_millis(millis),
+                &mut battery,
+                &telemetry,
+            );
+            prop_assert!(draws[0].power_mw.is_finite() && draws[0].power_mw >= 0.0);
+        }
+        prop_assert!(chaos.attributed_joules().is_finite());
+        prop_assert!(
+            chaos.attributed_joules() <= chaos.drawn_joules() + 1e-6,
+            "conservation: attributed {} <= drawn {}",
+            chaos.attributed_joules(),
+            chaos.drawn_joules()
+        );
+        prop_assert!(chaos.degraded_energy().as_joules() <= chaos.attributed_joules() + 1e-6);
+    }
+
+    #[test]
+    fn sanitizer_output_is_finite_and_nonnegative_for_any_reading(
+        observations in proptest::collection::vec(
+            (0u8..4, 0.0f64..100.0, proptest::option::of(-1.0e12f64..1.0e12)),
+            1..300,
+        ),
+    ) {
+        use ea_core::CounterSanitizer;
+
+        let mut sanitizer = CounterSanitizer::new();
+        for (slot, true_delta, reading) in observations {
+            let sanitized = sanitizer.observe(slot, true_delta, reading);
+            prop_assert!(sanitized.delta.is_finite());
+            prop_assert!(sanitized.delta >= 0.0, "delta {}", sanitized.delta);
+        }
+    }
+}

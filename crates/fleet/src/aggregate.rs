@@ -14,20 +14,50 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use crate::config::FleetConfig;
-use crate::device::DeviceReport;
+use crate::device::{DeviceCheckpoint, DeviceReport};
 
 /// How many drivers/victims the ranked tables keep.
 const TOP_LIMIT: usize = 10;
 
-/// A device whose workload panicked: recorded, not fatal.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// A device whose workload panicked past its retry budget: recorded, not
+/// fatal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeviceFailure {
     /// Device index within the fleet.
     pub index: usize,
     /// The device's derived seed (for replaying the failure alone).
     pub seed: u64,
-    /// The captured panic message.
+    /// The captured panic message (of the final attempt).
     pub message: String,
+    /// Simulation attempts made, including the first.
+    #[serde(default)]
+    pub attempts: u32,
+    /// The last per-session progress snapshot, salvaged from the crashed
+    /// attempt that got furthest.
+    #[serde(default)]
+    pub checkpoint: Option<DeviceCheckpoint>,
+}
+
+/// The degraded-mode health section of a fleet run: what was injected,
+/// what the stack caught, and how the supervisor's retry budget was
+/// spent. All-zero on a fault-free run (the section is always present,
+/// so a zero-rate plan stays byte-identical to no plan at all).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetHealth {
+    /// Faults injected across every device, by taxonomy label.
+    pub faults_injected: BTreeMap<String, u64>,
+    /// Faults the stack detected or compensated, by taxonomy label.
+    pub faults_detected: BTreeMap<String, u64>,
+    /// Injected-but-undetected counts, by taxonomy label.
+    pub faults_masked: BTreeMap<String, u64>,
+    /// Devices that needed at least one retry.
+    pub devices_retried: usize,
+    /// Retried devices that eventually completed.
+    pub devices_recovered: usize,
+    /// Devices abandoned after exhausting the retry budget.
+    pub devices_abandoned: usize,
+    /// Abandoned devices that still salvaged a progress checkpoint.
+    pub checkpoints_salvaged: usize,
 }
 
 /// Population prevalence of one attack kind.
@@ -131,6 +161,9 @@ pub struct FleetReport {
     pub top_victims: Vec<RankedEntity>,
     /// Static-vs-dynamic population cross-check.
     pub lint: LintCrossCheck,
+    /// Fault-injection and supervision health (all-zero without faults).
+    #[serde(default)]
+    pub health: FleetHealth,
     /// Compact per-device rows, in index order.
     pub devices: Vec<DeviceRow>,
 }
@@ -166,11 +199,16 @@ fn rank(map: BTreeMap<String, (f64, usize)>) -> Vec<RankedEntity> {
 }
 
 /// Folds per-device outcomes (index order) into the fleet report.
+///
+/// `health` arrives pre-filled with the supervisor's retry accounting
+/// (retried/recovered/abandoned, device-panic counts); this fold adds
+/// every device's fault log and derives the masked counts.
 pub fn aggregate(
     config: &FleetConfig,
     outcomes: Vec<Result<DeviceReport, DeviceFailure>>,
+    mut health: FleetHealth,
 ) -> FleetReport {
-    let mut failures = Vec::new();
+    let mut failures: Vec<DeviceFailure> = Vec::new();
     let mut drains = Vec::new();
     let mut infected_devices = 0;
     let mut kind_devices: BTreeMap<String, usize> = BTreeMap::new();
@@ -221,6 +259,12 @@ pub fn aggregate(
         lint.apps_linted += report.apps_linted;
         lint.diagnostics += report.lint_diagnostics;
         lint.superset_violations += report.soundness_violations;
+        for (kind, count) in &report.fault_log.injected {
+            *health.faults_injected.entry(kind.clone()).or_default() += count;
+        }
+        for (kind, count) in &report.fault_log.detected {
+            *health.faults_detected.entry(kind.clone()).or_default() += count;
+        }
         devices.push(DeviceRow {
             index: report.index,
             seed: report.seed,
@@ -265,8 +309,20 @@ pub fn aggregate(
         })
         .collect();
 
+    health.checkpoints_salvaged = failures
+        .iter()
+        .filter(|failure| failure.checkpoint.is_some())
+        .count();
+    for (kind, &injected) in &health.faults_injected {
+        let detected = health.faults_detected.get(kind).copied().unwrap_or(0);
+        let masked = injected.saturating_sub(detected);
+        if masked > 0 {
+            health.faults_masked.insert(kind.clone(), masked);
+        }
+    }
+
     FleetReport {
-        schema_version: 1,
+        schema_version: 2,
         fleet_seed: config.seed,
         fleet_size: config.size,
         corpus_seed: config.corpus_seed,
@@ -279,6 +335,7 @@ pub fn aggregate(
         top_drivers: rank(drivers),
         top_victims: rank(victims),
         lint,
+        health,
         devices,
     }
 }
@@ -305,6 +362,7 @@ mod tests {
             apps_linted: 8,
             lint_diagnostics: 20,
             soundness_violations: 0,
+            fault_log: ea_chaos::FaultLog::default(),
         }
     }
 
@@ -330,10 +388,16 @@ mod tests {
                 index: 1,
                 seed: 1,
                 message: String::from("boom"),
+                attempts: 3,
+                checkpoint: Some(DeviceCheckpoint {
+                    sessions_completed: 1,
+                    sim_seconds: 40.0,
+                    drained_joules: 5.0,
+                }),
             }),
             Ok(device(2, 30.0, false)),
         ];
-        let report = aggregate(&config, outcomes);
+        let report = aggregate(&config, outcomes, FleetHealth::default());
         assert_eq!(report.devices_completed, 2);
         assert_eq!(report.failures.len(), 1);
         assert_eq!(report.infected_devices, 1);
@@ -346,6 +410,26 @@ mod tests {
         assert_eq!(report.top_drivers[0].devices, 2);
         assert_eq!(report.lint.apps_linted, 16);
         assert_eq!(report.devices.len(), 2);
+        assert_eq!(report.schema_version, 2);
+        assert_eq!(report.health.checkpoints_salvaged, 1);
+    }
+
+    #[test]
+    fn health_folds_device_logs_and_derives_masked() {
+        let config = FleetConfig {
+            size: 1,
+            ..FleetConfig::default()
+        };
+        let mut victim = device(0, 10.0, false);
+        victim.fault_log.inject("counter_reset");
+        victim.fault_log.inject("counter_reset");
+        victim.fault_log.detect("counter_reset");
+        victim.fault_log.inject("intent_drop");
+        let report = aggregate(&config, vec![Ok(victim)], FleetHealth::default());
+        assert_eq!(report.health.faults_injected["counter_reset"], 2);
+        assert_eq!(report.health.faults_detected["counter_reset"], 1);
+        assert_eq!(report.health.faults_masked["counter_reset"], 1);
+        assert_eq!(report.health.faults_masked["intent_drop"], 1);
     }
 
     #[test]

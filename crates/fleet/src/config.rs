@@ -1,5 +1,6 @@
 //! Fleet configuration and the per-device seed schedule.
 
+use ea_chaos::FaultPlan;
 use serde::{Deserialize, Serialize};
 
 /// The splitmix64 increment (the golden-ratio gamma).
@@ -60,6 +61,20 @@ pub struct FleetConfig {
     /// hot-loop speedup on the full fleet workload in a single run.
     #[serde(default)]
     pub reference_accounting: bool,
+    /// Fault-injection plan, applied to every device on its own lane
+    /// (counter glitches, framework faults, device panics, slow devices,
+    /// poisoned corpus entries). `None` — or a zero-rate plan — leaves the
+    /// report byte-identical to a fault-free run.
+    #[serde(default)]
+    pub faults: Option<FaultPlan>,
+    /// Retries the supervisor grants a panicked device before abandoning
+    /// it (the per-device fault budget).
+    #[serde(default = "default_max_retries")]
+    pub max_retries: u32,
+}
+
+fn default_max_retries() -> u32 {
+    2
 }
 
 impl Default for FleetConfig {
@@ -80,6 +95,8 @@ impl Default for FleetConfig {
             step_millis: 250,
             panic_devices: Vec::new(),
             reference_accounting: false,
+            faults: None,
+            max_retries: default_max_retries(),
         }
     }
 }

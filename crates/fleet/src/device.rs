@@ -6,10 +6,12 @@
 //! profiler state is local, and nothing reads clocks or global state, so
 //! the same device produces the same report on any worker thread.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 use ea_apps::demo::{packages, DemoApps, ACTION_VIDEO_CAPTURE};
 use ea_apps::malware::{Malware, MALWARE_PACKAGE};
+use ea_chaos::{FaultLog, FaultPlan};
 use ea_core::{labels_from, Entity, Profiler, ScreenPolicy};
 use ea_framework::{AndroidSystem, AppManifest, ChangeSource, Intent, WakelockKind};
 use ea_lint::{soundness, Linter};
@@ -54,6 +56,24 @@ impl AttackVector {
     }
 }
 
+/// The message prefix of a chaos-injected device panic; the supervisor
+/// recognizes it to account the fault as injected-and-caught.
+pub const CHAOS_PANIC_PREFIX: &str = "chaos: injected device panic";
+
+/// A partial-progress snapshot the simulation writes after every
+/// completed session. When the device later panics, the supervisor
+/// salvages the last snapshot into the [`crate::DeviceFailure`] so a
+/// crashed device still contributes evidence instead of vanishing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceCheckpoint {
+    /// User sessions that fully completed before the crash.
+    pub sessions_completed: usize,
+    /// Simulated seconds covered by those sessions.
+    pub sim_seconds: f64,
+    /// Battery energy drained so far, joules.
+    pub drained_joules: f64,
+}
+
 /// The distilled outcome of one simulated device.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeviceReport {
@@ -93,6 +113,10 @@ pub struct DeviceReport {
     /// Dynamically observed `(uid, kind)` pairs the static pass missed.
     /// The superset invariant says this is always zero.
     pub soundness_violations: usize,
+    /// Faults injected into and detected on this device (counter glitches,
+    /// framework faults, fleet faults). Empty on a fault-free run.
+    #[serde(default)]
+    pub fault_log: FaultLog,
 }
 
 /// Simulates device `index` of the fleet and reports the outcome.
@@ -103,6 +127,21 @@ pub struct DeviceReport {
 /// fault injection; the engine catches it and records a
 /// [`crate::DeviceFailure`]).
 pub fn simulate_device(config: &FleetConfig, corpus: &[AppManifest], index: usize) -> DeviceReport {
+    let checkpoint = Cell::new(None);
+    simulate_device_attempt(config, corpus, index, 0, &checkpoint)
+}
+
+/// [`simulate_device`] under supervision: `attempt` re-keys the injected
+/// device panic (so a retry can succeed where the first attempt crashed)
+/// and `checkpoint` receives a progress snapshot after every completed
+/// session, readable by the supervisor even after a panic unwinds.
+pub fn simulate_device_attempt(
+    config: &FleetConfig,
+    corpus: &[AppManifest],
+    index: usize,
+    attempt: u32,
+    checkpoint: &Cell<Option<DeviceCheckpoint>>,
+) -> DeviceReport {
     assert!(
         !config.panic_devices.contains(&index),
         "injected fault in device {index}"
@@ -111,8 +150,34 @@ pub fn simulate_device(config: &FleetConfig, corpus: &[AppManifest], index: usiz
     let mut rng = SimRng::seed(seed);
     let mut android = AndroidSystem::new();
 
+    // Fleet-level faults for this device's lane. A `None` or zero-rate
+    // plan decides nothing, so the fault-free path is byte-identical.
+    let plan: Option<&FaultPlan> = config.faults.as_ref().filter(|plan| !plan.is_zero());
+    let mut fleet_log = FaultLog::default();
+    let lane = index as u64;
+    let panic_session = plan
+        .and_then(|plan| plan.device_panic_session(lane, attempt, config.sessions.max(1) as u32));
+    if let Some(plan) = plan {
+        android.attach_faults(plan.framework_faults(lane));
+        if plan.device_slow(lane) {
+            // A thermally-throttled straggler: burns wall-clock time on its
+            // worker without touching the simulation (the report stays
+            // byte-identical at any --jobs).
+            fleet_log.inject("slow_device");
+            fleet_log.detect("slow_device");
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+    }
+    let poisoned = plan.map(|plan| plan.poisoned_corpus(corpus.len()));
+
     // Sample the app mix: `k` distinct corpus manifests.
-    let sampled = sample_app_mix(config, corpus, &mut rng);
+    let sampled = sample_app_mix(
+        config,
+        corpus,
+        &mut rng,
+        poisoned.as_deref(),
+        &mut fleet_log,
+    );
     let mut launchable: Vec<String> = Vec::with_capacity(sampled.len() + 5);
     for manifest in &sampled {
         launchable.push(manifest.package.clone());
@@ -142,6 +207,9 @@ pub fn simulate_device(config: &FleetConfig, corpus: &[AppManifest], index: usiz
     if config.reference_accounting {
         profiler = profiler.with_reference_accounting();
     }
+    if let Some(plan) = plan {
+        profiler = profiler.with_chaos(plan.power_faults(lane));
+    }
 
     // Which vectors fire, and in which session. All RNG draws happen
     // whether or not the malware is present, keeping the day scripts of
@@ -150,6 +218,10 @@ pub fn simulate_device(config: &FleetConfig, corpus: &[AppManifest], index: usiz
     let vectors = pick_vectors(&mut rng);
 
     for session in 0..config.sessions.max(1) {
+        assert!(
+            panic_session != Some(session as u32),
+            "{CHAOS_PANIC_PREFIX} (device {index}, attempt {attempt}, session {session})"
+        );
         android.user_unlock();
         let session_secs = 1 + rng.range_u64(1, config.mean_session_secs.max(2) * 2);
         for _ in 0..session_secs {
@@ -193,6 +265,12 @@ pub fn simulate_device(config: &FleetConfig, corpus: &[AppManifest], index: usiz
         }
         let idle = rng.range_u64(1, config.mean_idle_secs.max(2) * 2);
         profiler.run(&mut android, SimDuration::from_secs(idle));
+
+        checkpoint.set(Some(DeviceCheckpoint {
+            sessions_completed: session + 1,
+            sim_seconds: android.now().as_secs_f64(),
+            drained_joules: profiler.battery().drained().as_joules(),
+        }));
     }
 
     distill(
@@ -203,28 +281,49 @@ pub fn simulate_device(config: &FleetConfig, corpus: &[AppManifest], index: usiz
         android,
         profiler,
         &lint_report,
+        fleet_log,
     )
 }
 
-/// Draws `min_apps..=max_apps` distinct corpus manifests.
+/// Draws `min_apps..=max_apps` distinct corpus manifests. Poisoned corpus
+/// entries (fault injection) are rejected by install-time manifest
+/// validation: the draw is logged and redrawn, shrinking the mix only
+/// when the healthy pool runs dry.
 fn sample_app_mix(
     config: &FleetConfig,
     corpus: &[AppManifest],
     rng: &mut SimRng,
+    poisoned: Option<&[bool]>,
+    fleet_log: &mut FaultLog,
 ) -> Vec<AppManifest> {
     if corpus.is_empty() {
         return Vec::new();
     }
-    let lo = config.min_apps.min(corpus.len());
-    let hi = config.max_apps.clamp(lo, corpus.len());
+    let healthy = match poisoned {
+        Some(mask) => mask.iter().filter(|&&bad| !bad).count(),
+        None => corpus.len(),
+    };
+    let lo = config.min_apps.min(healthy);
+    let hi = config.max_apps.clamp(lo, healthy);
     let k = if hi > lo {
         lo + rng.range_u64(0, (hi - lo + 1) as u64) as usize
     } else {
         lo
     };
     let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    let mut rejected: Vec<usize> = Vec::new();
     while chosen.len() < k {
         let candidate = rng.range_u64(0, corpus.len() as u64) as usize;
+        if poisoned.is_some_and(|mask| mask[candidate]) {
+            if !rejected.contains(&candidate) {
+                // First time this device draws the poisoned entry: the
+                // installer's validation rejects it, and the draw repeats.
+                rejected.push(candidate);
+                fleet_log.inject("corpus_poison");
+                fleet_log.detect("corpus_poison");
+            }
+            continue;
+        }
         if !chosen.contains(&candidate) {
             chosen.push(candidate);
         }
@@ -388,6 +487,7 @@ fn attended(android: &mut AndroidSystem, profiler: &mut Profiler, seconds: u64) 
 }
 
 /// Reads the run's profiler, monitor, and lint report into the report.
+#[allow(clippy::too_many_arguments)]
 fn distill(
     index: usize,
     seed: u64,
@@ -396,7 +496,14 @@ fn distill(
     android: AndroidSystem,
     profiler: Profiler,
     lint_report: &ea_lint::LintReport,
+    mut fault_log: FaultLog,
 ) -> DeviceReport {
+    if let Some(framework_log) = android.fault_log() {
+        fault_log.merge(framework_log);
+    }
+    if let Some(chaos) = profiler.chaos() {
+        fault_log.merge(chaos.log());
+    }
     let labels = labels_from(&android);
     let entity_label = |entity: Entity| -> String {
         match entity {
@@ -483,6 +590,7 @@ fn distill(
         apps_linted: lint_report.apps_checked,
         lint_diagnostics: lint_report.len(),
         soundness_violations,
+        fault_log,
     }
 }
 

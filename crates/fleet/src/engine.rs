@@ -35,9 +35,9 @@ use ea_corpus::{generate_corpus, CorpusConfig};
 use ea_telemetry::{span, SinkHandle};
 use serde::{Deserialize, Serialize};
 
-use crate::aggregate::{aggregate, DeviceFailure};
+use crate::aggregate::{aggregate, DeviceFailure, FleetHealth};
 use crate::config::{device_seed, FleetConfig};
-use crate::device::{simulate_device, DeviceReport};
+use crate::device::{simulate_device_attempt, DeviceReport, CHAOS_PANIC_PREFIX};
 use crate::FleetReport;
 
 /// Wall-clock facts about one engine run. Deliberately *not* part of
@@ -87,6 +87,70 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// One worker's supervision tally, merged into [`FleetHealth`] at the end
+/// of the run (pure sums: merge order cannot change the report).
+#[derive(Debug, Default, Clone)]
+struct Supervision {
+    retried: usize,
+    recovered: usize,
+    abandoned: usize,
+    chaos_panics: u64,
+}
+
+/// Deterministic per-attempt backoff before a device retry: a short,
+/// seeded pause so a transiently-wedged host resource (the fault model
+/// for a panic that a retry can survive) gets time to clear.
+fn retry_backoff(fleet_seed: u64, index: usize, attempt: u32) -> std::time::Duration {
+    let mix = device_seed(fleet_seed ^ u64::from(attempt).wrapping_mul(0x9E37), index);
+    std::time::Duration::from_millis(1 + mix % 5)
+}
+
+/// Supervises one device: bounded retries with seeded backoff, partial
+/// progress salvaged through the checkpoint cell the simulation writes.
+fn supervise_device(
+    config: &FleetConfig,
+    corpus: &[ea_framework::AppManifest],
+    index: usize,
+    tally: &mut Supervision,
+) -> Result<DeviceReport, DeviceFailure> {
+    let checkpoint = std::cell::Cell::new(None);
+    let mut attempts = 0u32;
+    loop {
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            simulate_device_attempt(config, corpus, index, attempts, &checkpoint)
+        }));
+        attempts += 1;
+        match result {
+            Ok(report) => {
+                if attempts > 1 {
+                    tally.recovered += 1;
+                }
+                return Ok(report);
+            }
+            Err(payload) => {
+                let message = panic_message(payload);
+                if message.contains(CHAOS_PANIC_PREFIX) {
+                    tally.chaos_panics += 1;
+                }
+                if attempts > config.max_retries {
+                    tally.abandoned += 1;
+                    return Err(DeviceFailure {
+                        index,
+                        seed: device_seed(config.seed, index),
+                        message,
+                        attempts,
+                        checkpoint: checkpoint.get(),
+                    });
+                }
+                if attempts == 1 {
+                    tally.retried += 1;
+                }
+                std::thread::sleep(retry_backoff(config.seed, index, attempts));
+            }
+        }
+    }
+}
+
 /// Runs the fleet with no telemetry.
 pub fn run_fleet(config: &FleetConfig) -> (FleetReport, FleetRunStats) {
     run_fleet_traced(config, SinkHandle::noop())
@@ -120,6 +184,7 @@ pub fn run_fleet_traced(config: &FleetConfig, sink: SinkHandle) -> (FleetReport,
     let slots: Mutex<Vec<Option<Result<DeviceReport, DeviceFailure>>>> =
         Mutex::new((0..size).map(|_| None).collect());
     let busy: Mutex<Vec<f64>> = Mutex::new(vec![0.0; jobs]);
+    let supervision: Mutex<Supervision> = Mutex::new(Supervision::default());
 
     std::thread::scope(|scope| {
         for worker in 0..jobs {
@@ -127,10 +192,12 @@ pub fn run_fleet_traced(config: &FleetConfig, sink: SinkHandle) -> (FleetReport,
             let next_shard = &next_shard;
             let slots = &slots;
             let busy = &busy;
+            let supervision = &supervision;
             let sink = sink.clone();
             scope.spawn(move || {
                 QUIET_PANICS.with(|quiet| quiet.set(true));
                 let mut busy_secs = 0.0;
+                let mut tally = Supervision::default();
                 loop {
                     let shard = next_shard.fetch_add(1, Ordering::Relaxed);
                     if shard >= shard_count {
@@ -140,14 +207,7 @@ pub fn run_fleet_traced(config: &FleetConfig, sink: SinkHandle) -> (FleetReport,
                     let hi = ((shard + 1) * shard_size).min(size);
                     for index in lo..hi {
                         let device_started = Instant::now();
-                        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-                            simulate_device(config, corpus, index)
-                        }))
-                        .map_err(|payload| DeviceFailure {
-                            index,
-                            seed: device_seed(config.seed, index),
-                            message: panic_message(payload),
-                        });
+                        let outcome = supervise_device(config, corpus, index, &mut tally);
                         let device_secs = device_started.elapsed().as_secs_f64();
                         busy_secs += device_secs;
                         if sink.enabled() {
@@ -161,6 +221,11 @@ pub fn run_fleet_traced(config: &FleetConfig, sink: SinkHandle) -> (FleetReport,
                     }
                 }
                 busy.lock().expect("busy lock")[worker] = busy_secs;
+                let mut merged = supervision.lock().expect("supervision lock");
+                merged.retried += tally.retried;
+                merged.recovered += tally.recovered;
+                merged.abandoned += tally.abandoned;
+                merged.chaos_panics += tally.chaos_panics;
                 QUIET_PANICS.with(|quiet| quiet.set(false));
             });
         }
@@ -173,9 +238,28 @@ pub fn run_fleet_traced(config: &FleetConfig, sink: SinkHandle) -> (FleetReport,
         .map(|slot| slot.expect("every device index was claimed"))
         .collect();
 
+    let tally = supervision.into_inner().expect("supervision lock");
+    let mut health = FleetHealth {
+        devices_retried: tally.retried,
+        devices_recovered: tally.recovered,
+        devices_abandoned: tally.abandoned,
+        ..FleetHealth::default()
+    };
+    if tally.chaos_panics > 0 {
+        // The injected panics themselves: every one was both injected and
+        // caught by the supervisor (caught-but-abandoned still counts as
+        // detected — it became a failure entry, not a crashed run).
+        health
+            .faults_injected
+            .insert(String::from("device_panic"), tally.chaos_panics);
+        health
+            .faults_detected
+            .insert(String::from("device_panic"), tally.chaos_panics);
+    }
+
     let report = {
         let _merge_span = span(sink.sink(), "fleet_merge");
-        aggregate(config, outcomes)
+        aggregate(config, outcomes, health)
     };
 
     let wall_secs = started.elapsed().as_secs_f64();
@@ -257,6 +341,72 @@ mod tests {
         // The surviving devices are fully aggregated.
         assert_eq!(report.devices.len(), 3);
         assert!(report.drain_joules.max > 0.0);
+    }
+
+    #[test]
+    fn chaos_panics_are_retried_and_survivors_recover() {
+        let config = FleetConfig {
+            jobs: 2,
+            faults: Some(ea_chaos::FaultPlan {
+                seed: 77,
+                rates: ea_chaos::FaultRates {
+                    device_panic: 0.5,
+                    ..ea_chaos::FaultRates::ZERO
+                },
+            }),
+            ..FleetConfig::smoke(8, 31)
+        };
+        let (report, _) = run_fleet(&config);
+        let health = &report.health;
+        let injected = health
+            .faults_injected
+            .get("device_panic")
+            .copied()
+            .unwrap_or(0);
+        assert!(injected > 0, "panics actually fired");
+        assert_eq!(
+            health.faults_detected.get("device_panic").copied(),
+            Some(injected),
+            "the supervisor caught every injected panic"
+        );
+        assert!(health.devices_retried > 0);
+        assert_eq!(
+            report.devices_completed + health.devices_abandoned,
+            config.size,
+            "every device either completed or was abandoned on record"
+        );
+        for failure in &report.failures {
+            assert_eq!(failure.attempts, config.max_retries + 1);
+            assert!(failure.message.contains("chaos"));
+        }
+    }
+
+    #[test]
+    fn zero_rate_plan_is_byte_identical_to_no_plan() {
+        let bare_config = FleetConfig::smoke(4, 5);
+        let (bare, _) = run_fleet(&bare_config);
+        let zero_config = FleetConfig {
+            faults: Some(ea_chaos::FaultPlan::zero(123)),
+            ..bare_config
+        };
+        let (zeroed, _) = run_fleet(&zero_config);
+        assert_eq!(
+            crate::render::to_json(&bare),
+            crate::render::to_json(&zeroed)
+        );
+    }
+
+    #[test]
+    fn faulted_fleet_report_is_jobs_independent() {
+        let mut config = FleetConfig {
+            faults: Some(ea_chaos::FaultPlan::uniform(9, 0.3)),
+            ..FleetConfig::smoke(6, 44)
+        };
+        config.jobs = 1;
+        let (sequential, _) = run_fleet(&config);
+        config.jobs = 4;
+        let (parallel, _) = run_fleet(&config);
+        assert_eq!(sequential, parallel);
     }
 
     #[test]

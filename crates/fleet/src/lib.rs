@@ -38,9 +38,11 @@ mod engine;
 pub mod render;
 
 pub use aggregate::{
-    aggregate, DeviceFailure, DeviceRow, DrainPercentiles, FleetReport, KindPrevalence,
-    LintCrossCheck, RankedEntity,
+    aggregate, DeviceFailure, DeviceRow, DrainPercentiles, FleetHealth, FleetReport,
+    KindPrevalence, LintCrossCheck, RankedEntity,
 };
 pub use config::{device_seed, FleetConfig};
-pub use device::{simulate_device, DeviceReport};
+pub use device::{
+    simulate_device, simulate_device_attempt, DeviceCheckpoint, DeviceReport, CHAOS_PANIC_PREFIX,
+};
 pub use engine::{run_fleet, run_fleet_traced, FleetRunStats};

@@ -80,6 +80,27 @@ pub fn to_text(report: &FleetReport) -> String {
         "lint cross-check: {} app(s), {} diagnostic(s), {} superset violation(s)",
         report.lint.apps_linted, report.lint.diagnostics, report.lint.superset_violations
     );
+
+    let health = &report.health;
+    if health != &crate::FleetHealth::default() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "fleet health: retried {} | recovered {} | abandoned {} | checkpoints salvaged {}",
+            health.devices_retried,
+            health.devices_recovered,
+            health.devices_abandoned,
+            health.checkpoints_salvaged
+        );
+        for (kind, injected) in &health.faults_injected {
+            let detected = health.faults_detected.get(kind).copied().unwrap_or(0);
+            let masked = health.faults_masked.get(kind).copied().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  {kind:<24} {injected:>7} injected {detected:>7} detected {masked:>7} masked"
+            );
+        }
+    }
     out
 }
 

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use ea_chaos::{FaultLog, FrameworkFaults, IntentFate};
 use ea_power::{CameraUse, CpuUse, DeviceUsage, RadioUse, ScreenUsage};
 use ea_sim::{
     BinderBus, Clock, CpuScheduler, Pid, ProcessTable, SimDuration, SimTime, TransactionKind, Uid,
@@ -126,6 +127,14 @@ pub struct AndroidSystem {
     events: Vec<TimedEvent>,
     recording: bool,
     telemetry: SinkHandle,
+
+    /// Fault injection (chaos testing), when attached.
+    faults: Option<Box<FrameworkFaults>>,
+    /// Death notifications delayed by binder faults: the wakelocks whose
+    /// link-to-death should have fired, due at the stored instant.
+    deferred_death_locks: Vec<(SimTime, WakelockId)>,
+    /// Last time the power-manager sweep reconciled leaked wakelocks.
+    last_fault_sweep: SimTime,
 }
 
 impl AndroidSystem {
@@ -166,6 +175,9 @@ impl AndroidSystem {
             events: Vec::new(),
             recording: true,
             telemetry: SinkHandle::noop(),
+            faults: None,
+            deferred_death_locks: Vec::new(),
+            last_fault_sweep: SimTime::ZERO,
         };
         system.install_system_app(Uid::from_raw(1_001), SYSTEM_PACKAGES[0]);
         system.install_system_app(Uid::from_raw(1_002), SYSTEM_PACKAGES[1]);
@@ -339,6 +351,7 @@ impl AndroidSystem {
 
     /// Drains the framework event stream accumulated since the last call.
     pub fn drain_events(&mut self) -> Vec<TimedEvent> {
+        self.maybe_reorder_events();
         std::mem::take(&mut self.events)
     }
 
@@ -347,8 +360,24 @@ impl AndroidSystem {
     /// shuttles between the framework and its observer with no per-step
     /// allocation and observers see exactly one slice per step.
     pub fn drain_events_into(&mut self, out: &mut Vec<TimedEvent>) {
+        self.maybe_reorder_events();
         out.clear();
         std::mem::swap(&mut self.events, out);
+    }
+
+    /// Event-reorder fault: swaps one adjacent pair of *same-instant*
+    /// events before a drain, modelling the unordered arrival of events
+    /// that raced within a tick. Cross-instant order is never violated.
+    fn maybe_reorder_events(&mut self) {
+        let Some(faults) = self.faults.as_mut() else {
+            return;
+        };
+        if let Some(i) = faults.reorder_slice(self.events.len()) {
+            if self.events[i].at == self.events[i + 1].at {
+                self.events.swap(i, i + 1);
+                faults.note_injected("event_reorder");
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -580,6 +609,16 @@ impl AndroidSystem {
         let fired = self.binder.dispatch_deaths(&deaths);
         for link in fired {
             let id = WakelockId(link.cookie);
+            let delay = self
+                .faults
+                .as_mut()
+                .and_then(|faults| faults.death_notification_delay());
+            if let Some(delay) = delay {
+                // The death notice is stuck in the binder queue: the lock
+                // stays held until the (late) notification arrives.
+                self.deferred_death_locks.push((now + delay, id));
+                continue;
+            }
             if let Some(lock) = self.wakelocks.remove(&id) {
                 self.emit(FrameworkEvent::WakelockReleased {
                     uid: lock.uid,
@@ -1058,6 +1097,7 @@ impl AndroidSystem {
                 acquired_at: self.clock.now(),
                 expires_at,
                 acquired_in_foreground: in_foreground,
+                release_lost: false,
             },
         );
         self.binder.link_to_death(pid, id.0);
@@ -1082,7 +1122,25 @@ impl AndroidSystem {
         if lock.uid != uid {
             return Err(FrameworkError::NotWakelockHolder { uid, id });
         }
-        let lock = self.wakelocks.remove(&id).expect("checked above");
+        if lock.release_lost {
+            // The app already released this lock once and the call was lost
+            // in transit; release is idempotent from its point of view.
+            return Ok(());
+        }
+        if let Some(faults) = self.faults.as_mut() {
+            if faults.wakelock_release_lost() {
+                // The release call never reaches the power manager: the app
+                // believes the lock is gone, the kernel still holds it. The
+                // periodic sweep reconciles it later.
+                if let Some(lock) = self.wakelocks.get_mut(&id) {
+                    lock.release_lost = true;
+                }
+                return Ok(());
+            }
+        }
+        let Some(lock) = self.wakelocks.remove(&id) else {
+            return Err(FrameworkError::NoSuchWakelock(id));
+        };
         self.binder.unlink_to_death(lock.pid, id.0);
         self.record_ipc(uid, Uid::SYSTEM, TransactionKind::ReleaseWakelock);
         self.emit(FrameworkEvent::WakelockReleased {
@@ -1295,9 +1353,22 @@ impl AndroidSystem {
     /// Advances simulated time, processing screen timeouts. Call in small
     /// steps (the accounting layer integrates usage between calls).
     pub fn advance(&mut self, span: SimDuration) {
+        let mut span = span;
+        let mut hiccup = false;
+        if let Some(faults) = self.faults.as_mut() {
+            span = faults.skew_span(span);
+            hiccup = faults.sched_hiccup();
+        }
         let _ = self.clock.advance_by(span);
-        self.release_expired_wakelocks();
-        self.check_screen_timeout();
+        self.process_deferred_deaths();
+        self.sweep_lost_wakelocks();
+        if !hiccup {
+            // A scheduler hiccup stalls this tick's housekeeping pass —
+            // expiries and timeouts land a tick late, exactly the jitter a
+            // loaded system_server exhibits.
+            self.release_expired_wakelocks();
+            self.check_screen_timeout();
+        }
         if self.telemetry.enabled() {
             self.telemetry.record_event(
                 self.clock.now().as_millis() * 1_000,
@@ -1315,11 +1386,85 @@ impl AndroidSystem {
         let expired: Vec<(Uid, WakelockId)> = self
             .wakelocks
             .values()
-            .filter(|lock| lock.is_expired(now))
+            .filter(|lock| lock.is_expired(now) && !lock.release_lost)
             .map(|lock| (lock.uid, lock.id))
             .collect();
         for (uid, id) in expired {
             let _ = self.release_wakelock(uid, id);
+        }
+    }
+
+    /// Delivers death notifications a binder fault held back: the wakelock
+    /// finally drops once the (delayed) notice arrives.
+    fn process_deferred_deaths(&mut self) {
+        if self.deferred_death_locks.is_empty() {
+            return;
+        }
+        let now = self.clock.now();
+        let mut due = Vec::new();
+        self.deferred_death_locks.retain(|&(at, id)| {
+            if at <= now {
+                due.push(id);
+                false
+            } else {
+                true
+            }
+        });
+        let mut released = false;
+        for id in due {
+            if let Some(lock) = self.wakelocks.remove(&id) {
+                self.binder.unlink_to_death(lock.pid, id.0);
+                if let Some(faults) = self.faults.as_mut() {
+                    faults.note_detected("death_delayed");
+                }
+                self.emit(FrameworkEvent::WakelockReleased {
+                    uid: lock.uid,
+                    id,
+                    on_death: true,
+                });
+                released = true;
+            }
+        }
+        if released {
+            self.recompute_demands();
+        }
+    }
+
+    /// The power manager's periodic reconciliation sweep: wakelocks whose
+    /// release call was lost in transit are reclaimed, bounding how long a
+    /// leaked lock can keep the device awake.
+    fn sweep_lost_wakelocks(&mut self) {
+        if self.faults.is_none() {
+            return;
+        }
+        let now = self.clock.now();
+        if now.saturating_since(self.last_fault_sweep) < SimDuration::from_secs(30) {
+            return;
+        }
+        self.last_fault_sweep = now;
+        let lost: Vec<WakelockId> = self
+            .wakelocks
+            .values()
+            .filter(|lock| lock.release_lost)
+            .map(|lock| lock.id)
+            .collect();
+        let mut released = false;
+        for id in lost {
+            if let Some(lock) = self.wakelocks.remove(&id) {
+                self.binder.unlink_to_death(lock.pid, id.0);
+                if let Some(faults) = self.faults.as_mut() {
+                    faults.note_detected("wakelock_release_lost");
+                }
+                self.emit(FrameworkEvent::WakelockReleased {
+                    uid: lock.uid,
+                    id,
+                    on_death: false,
+                });
+                released = true;
+            }
+        }
+        if released {
+            self.recompute_demands();
         }
     }
 
@@ -1384,16 +1529,32 @@ impl AndroidSystem {
             })
             .map(|app| app.uid)
             .collect();
-        for receiver in &receivers {
-            self.ensure_process(*receiver);
+        let mut delivered = Vec::with_capacity(receivers.len());
+        for receiver in receivers {
+            let fate = match self.faults.as_mut() {
+                Some(faults) => faults.intent_fate(),
+                None => IntentFate::Deliver,
+            };
+            if fate == IntentFate::Drop {
+                continue;
+            }
+            self.ensure_process(receiver);
             self.emit(FrameworkEvent::BroadcastDelivered {
                 source,
                 action: action.to_string(),
-                receiver: *receiver,
+                receiver,
             });
+            if fate == IntentFate::Duplicate {
+                self.emit(FrameworkEvent::BroadcastDelivered {
+                    source,
+                    action: action.to_string(),
+                    receiver,
+                });
+            }
+            delivered.push(receiver);
         }
         self.recompute_demands();
-        receivers
+        delivered
     }
 
     /// The user wakes and unlocks the device: screen on, timeout reset, and
@@ -1581,6 +1742,21 @@ impl AndroidSystem {
         &self.telemetry
     }
 
+    /// Attaches a fault injector: binder failures, delayed death
+    /// notifications, intent drops/duplicates, lost wakelock releases,
+    /// clock skew, event reordering, and scheduler hiccups start firing at
+    /// the injector's rates, and the degraded-mode machinery (the deferred
+    /// death queue, the power-manager sweep) activates alongside it.
+    pub fn attach_faults(&mut self, faults: FrameworkFaults) {
+        self.last_fault_sweep = self.clock.now();
+        self.faults = Some(Box::new(faults));
+    }
+
+    /// The injected/detected fault counters, when an injector is attached.
+    pub fn fault_log(&self) -> Option<&FaultLog> {
+        self.faults.as_deref().map(FrameworkFaults::log)
+    }
+
     /// Enables or disables the E-Android framework extension (event
     /// recording). Stock Android corresponds to `false`; the paper's
     /// Figure 10 compares the two to show the extension "has almost the
@@ -1603,6 +1779,18 @@ impl AndroidSystem {
             .get(&from)
             .and_then(|app| app.pid)
             .unwrap_or(Pid::from_raw(0));
+        if let Some(faults) = self.faults.as_mut() {
+            if faults.binder_transaction_fails() {
+                // The first attempt dies in transit; libbinder retries
+                // internally, so callers never see the failure — it shows up
+                // only as an extra recorded transaction.
+                faults.note_detected("binder_failure");
+                self.binder.record(self.clock.now(), pid, from, to, kind);
+                if self.telemetry.enabled() {
+                    self.telemetry.counter_add("chaos_binder_retries", 1);
+                }
+            }
+        }
         self.binder.record(self.clock.now(), pid, from, to, kind);
     }
 

@@ -89,6 +89,11 @@ pub struct Wakelock {
     /// Whether the holder owned the foreground activity at acquire time —
     /// a fact E-Android's Figure 5e lifecycle needs.
     pub acquired_in_foreground: bool,
+    /// Whether a release call for this lock was lost in transit (fault
+    /// injection): the app believes it released, the kernel still holds it.
+    /// The power manager's periodic sweep reclaims these.
+    #[serde(default)]
+    pub release_lost: bool,
 }
 
 impl Wakelock {

@@ -7,7 +7,8 @@
 //! eandroid micro [--runs N]
 //! eandroid antutu
 //! eandroid workload [--seed N] [--sessions N]
-//! eandroid fleet [--size N] [--seed N] [--jobs J] [--json] [--trace <base>]
+//! eandroid fleet [--size N] [--seed N] [--jobs J] [--json] [--trace <base>] [--faults <rate|plan.json>]
+//! eandroid chaos [--seed N] [--fleet-size N] [--quick] [--json]
 //! eandroid list
 //! eandroid help
 //! ```
@@ -18,6 +19,7 @@
 use std::process::ExitCode;
 
 use e_android::apps::{run_depletion, DepletionCase, Scenario};
+use e_android::chaos::FaultPlan;
 use e_android::core::{
     labels_from, AttackTimeline, BatteryView, DetectorConfig, Profiler, ScreenPolicy,
 };
@@ -41,6 +43,8 @@ COMMANDS:
         --routines                 also print the eprof-style routine split
         --timeline                 also print the attack-period timeline
         --detect                   also print the collateral-bug report
+        --faults <rate|plan.json>  inject seeded faults (DESIGN.md \u{a7}11)
+        --fault-seed N             fault-plan seed (default 2026)
     depletion [<case>|all]  replay the Figure 3 battery race
         --cap-hours N              stop after N simulated hours (default 24)
     corpus                  generate + analyze the Figure 2 corpus
@@ -65,6 +69,12 @@ COMMANDS:
         --json                     emit the deterministic report as JSON
         --trace <base>             export telemetry to <base>.jsonl + <base>.trace.json
         --inject-panic N           fault-inject a panic into device N
+        --faults <rate|plan.json>  inject seeded faults into every device
+    chaos                   run the deterministic fault-injection soak
+        --seed N                   fault-plan seed (default 2026)
+        --fleet-size N             devices in the fleet leg (default 64)
+        --quick                    one moderate rate instead of the ladder
+        --json                     emit the soak report as JSON
     list                    list scenario and depletion-case names
     help                    this text
 ";
@@ -81,6 +91,7 @@ fn main() -> ExitCode {
         Some("lint") => cmd_lint(&args.collect::<Vec<_>>()),
         Some("workload") => cmd_workload(&args.collect::<Vec<_>>()),
         Some("fleet") => cmd_fleet(&args.collect::<Vec<_>>()),
+        Some("chaos") => cmd_chaos(&args.collect::<Vec<_>>()),
         Some("list") => {
             println!("scenarios:");
             for scenario in Scenario::ALL {
@@ -143,6 +154,20 @@ fn cmd_scenario(args: &[&str]) -> ExitCode {
         }
     };
 
+    let fault_seed: u64 = flag_value(args, "--fault-seed")
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(2_026);
+    let faults = match flag_value(args, "--faults") {
+        Some(spec) => match FaultPlan::parse(spec, fault_seed) {
+            Ok(plan) => Some(plan),
+            Err(message) => {
+                eprintln!("scenario: {message}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     let selected: Vec<Scenario> = if name == "all" {
         Scenario::ALL.to_vec()
     } else {
@@ -164,24 +189,49 @@ fn cmd_scenario(args: &[&str]) -> ExitCode {
         if has_flag(args, "--routines") {
             profiler = profiler.with_routine_accounting();
         }
-        let run = scenario.run(profiler);
+        let run = match &faults {
+            Some(plan) => {
+                // Lanes follow the scenario's position in `Scenario::ALL`
+                // so `scenario all --faults R` matches `eandroid chaos`.
+                let lane = Scenario::ALL
+                    .iter()
+                    .position(|s| s.name() == scenario.name())
+                    .unwrap_or(0) as u64;
+                scenario.run_chaos(profiler, plan, lane)
+            }
+            None => scenario.run(profiler),
+        };
         let labels = labels_from(&run.android);
 
         println!("=== {} ===", scenario.name());
-        match run.profiler.collateral() {
-            Some(graph) => {
-                println!(
-                    "{}",
-                    BatteryView::eandroid(run.profiler.ledger(), graph, &labels)
-                );
-            }
-            None => println!("{}", BatteryView::android(run.profiler.ledger(), &labels)),
+        let mut view = match run.profiler.collateral() {
+            Some(graph) => BatteryView::eandroid(run.profiler.ledger(), graph, &labels),
+            None => BatteryView::android(run.profiler.ledger(), &labels),
+        };
+        if let Some(chaos) = run.profiler.chaos() {
+            view = view
+                .with_degraded(&chaos.degraded_by_entity())
+                .with_confidence(chaos.confidence());
         }
+        println!("{view}");
         println!(
             "battery: {:.2}% remaining ({:.1} J drained)",
             run.profiler.battery().percent(),
             run.profiler.battery().drained().as_joules()
         );
+        if faults.is_some() {
+            let mut injected = 0;
+            let mut detected = 0;
+            if let Some(log) = run.android.fault_log() {
+                injected += log.injected_total();
+                detected += log.detected_total();
+            }
+            if let Some(chaos) = run.profiler.chaos() {
+                injected += chaos.log().injected_total();
+                detected += chaos.log().detected_total();
+            }
+            println!("faults: {injected} injected, {detected} detected/compensated");
+        }
 
         if has_flag(args, "--timeline") {
             if let Some(monitor) = run.profiler.monitor() {
@@ -343,6 +393,15 @@ fn cmd_fleet(args: &[&str]) -> ExitCode {
     if let Some(index) = flag_value(args, "--inject-panic").and_then(|value| value.parse().ok()) {
         config.panic_devices.push(index);
     }
+    if let Some(spec) = flag_value(args, "--faults") {
+        match FaultPlan::parse(spec, config.seed) {
+            Ok(plan) => config.faults = Some(plan),
+            Err(message) => {
+                eprintln!("fleet: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let trace = flag_value(args, "--trace").map(ea_bench::TraceRequest::to_base);
     let sink = match &trace {
@@ -368,6 +427,51 @@ fn cmd_fleet(args: &[&str]) -> ExitCode {
     // Device failures are data, not a process error: the report carries
     // them and the run still succeeded.
     ExitCode::SUCCESS
+}
+
+fn cmd_chaos(args: &[&str]) -> ExitCode {
+    let mut config = e_android::soak::SoakConfig::default();
+    if let Some(seed) = flag_value(args, "--seed").and_then(|value| value.parse().ok()) {
+        config.seed = seed;
+    }
+    if let Some(size) = flag_value(args, "--fleet-size").and_then(|value| value.parse().ok()) {
+        config.fleet_size = size;
+    }
+    config.quick = has_flag(args, "--quick");
+
+    let report = e_android::soak::run_soak(&config);
+    if has_flag(args, "--json") {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => println!("{json}"),
+            Err(error) => {
+                eprintln!("chaos: failed to serialize report: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        println!(
+            "chaos soak: {} scenario runs, {} fleet runs (seed {})",
+            report.scenario_runs, report.fleet_runs, config.seed
+        );
+        println!("faults injected:");
+        for (kind, count) in &report.faults_injected {
+            let detected = report.faults_detected.get(kind).copied().unwrap_or(0);
+            println!("  {kind:<24} {count:>7} injected {detected:>7} detected");
+        }
+        if report.passed() {
+            println!("all invariants held");
+        } else {
+            println!("{} violation(s):", report.violations.len());
+            for violation in &report.violations {
+                println!("  {violation}");
+            }
+        }
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_lint(args: &[&str]) -> ExitCode {

@@ -15,11 +15,17 @@
 //! * [`lint`] — static collateral-energy analyzer (rules `EA0001`–`EA0009`).
 //! * [`fleet`] — sharded parallel fleet simulator with population-scale
 //!   collateral-energy aggregation.
+//! * [`chaos`] — deterministic fault injection: seeded fault plans and
+//!   per-layer injectors (see DESIGN.md §11).
+//! * [`soak`] — the chaos soak harness run by `eandroid chaos`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod soak;
+
 pub use ea_apps as apps;
+pub use ea_chaos as chaos;
 pub use ea_core as core;
 pub use ea_corpus as corpus;
 pub use ea_fleet as fleet;

@@ -1,0 +1,36 @@
+//! The chaos soak as a tier-2 integration test: every scenario plus a
+//! small fleet under the quick escalation ladder, asserting the four
+//! degraded-mode invariants (DESIGN.md §11).
+
+use e_android::soak::{run_soak, SoakConfig};
+
+#[test]
+fn quick_soak_holds_every_invariant() {
+    let report = run_soak(&SoakConfig {
+        seed: 2_026,
+        fleet_size: 16,
+        quick: true,
+    });
+    assert!(report.passed(), "violations: {:#?}", report.violations);
+    assert!(report.scenario_runs >= 70, "all scenarios swept");
+    assert!(report.fleet_runs >= 4, "fleet leg ran");
+    assert!(
+        report.faults_injected.values().sum::<u64>() > 100,
+        "the soak injected a meaningful fault load: {:?}",
+        report.faults_injected
+    );
+}
+
+#[test]
+fn soak_report_is_seed_deterministic() {
+    let config = SoakConfig {
+        seed: 5,
+        fleet_size: 6,
+        quick: true,
+    };
+    let first = run_soak(&config);
+    let second = run_soak(&config);
+    assert_eq!(first.faults_injected, second.faults_injected);
+    assert_eq!(first.faults_detected, second.faults_detected);
+    assert_eq!(first.violations, second.violations);
+}

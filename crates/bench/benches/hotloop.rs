@@ -96,6 +96,17 @@ fn bench_single_step(c: &mut Criterion) {
             });
         });
     }
+    // The optimized step with windowed metrics accruing: the contract is
+    // that the window ring costs a branch and three adds per step, i.e.
+    // stays at the noise floor next to `step/optimized`.
+    group.bench_with_input(BenchmarkId::new("step", "metrics_on"), &(), |b, ()| {
+        let mut profiler = bottomless(false).with_metrics(ea_metrics::WindowSpec::default());
+        let mut android = loaded_handset(&mut profiler);
+        b.iter(|| {
+            android.note_user_activity();
+            profiler.step(&mut android);
+        });
+    });
     group.finish();
 }
 
@@ -219,11 +230,21 @@ struct TelemetrySection {
 }
 
 #[derive(Serialize)]
+struct MetricsSection {
+    metrics_on_ns: f64,
+    /// Cost of the windowed-metrics ring in the optimized hot loop:
+    /// `single_step/step/metrics_on` vs `single_step/step/optimized`.
+    /// Budget: <= 2 %.
+    metrics_on_overhead_pct: f64,
+}
+
+#[derive(Serialize)]
 struct HotloopReport {
     schema: &'static str,
     benches: Vec<BenchEntry>,
     speedup: SpeedupSection,
     telemetry: TelemetrySection,
+    metrics: MetricsSection,
 }
 
 /// The label's best (minimum) mean across repeat rounds.
@@ -269,6 +290,7 @@ fn main() {
     let fleet_ref = mean_of(&measurements, "fleet_shard/devices_4/reference");
     let sink_off = mean_of(&measurements, "telemetry/step/sink_off");
     let sink_on = mean_of(&measurements, "telemetry/step/sink_on");
+    let metrics_on = mean_of(&measurements, "single_step/step/metrics_on");
 
     let speedup = SpeedupSection {
         single_step: step_ref / step_opt,
@@ -287,9 +309,17 @@ fn main() {
         "\nspeedup (reference / optimized): single_step {:.2}x | day {:.2}x | fleet {:.2}x",
         speedup.single_step, speedup.day_in_the_life, speedup.fleet_shard
     );
+    let metrics = MetricsSection {
+        metrics_on_ns: metrics_on,
+        metrics_on_overhead_pct: (metrics_on / step_opt - 1.0) * 100.0,
+    };
     println!(
         "telemetry: sink-off overhead {:+.2}% (noise floor) | sink-on overhead {:+.2}%",
         telemetry.sink_off_overhead_pct, telemetry.sink_on_overhead_pct
+    );
+    println!(
+        "metrics: windowed-ring overhead {:+.2}% (budget 2%)",
+        metrics.metrics_on_overhead_pct
     );
 
     // One entry per label: the best round (matching what the ratios use).
@@ -313,6 +343,7 @@ fn main() {
         benches,
         speedup,
         telemetry,
+        metrics,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotloop.json");
     let json = serde_json::to_string_pretty(&report).expect("serialize report");

@@ -258,14 +258,10 @@ impl FaultPlan {
 }
 
 /// splitmix64-style finalizer: decorrelates (seed, lane, layer) triples into
-/// independent stream seeds.
+/// independent stream seeds. Shared with the fleet's device-seed schedule
+/// through `ea_sim::rng` (re-exported as `ea_core::rng`).
 fn mix(seed: u64, lane: u64, layer: u64) -> u64 {
-    let mut z = seed
-        .wrapping_add(lane.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-        .wrapping_add(layer.rotate_left(23));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    ea_sim::splitmix64_lane(seed, lane, layer)
 }
 
 #[cfg(test)]

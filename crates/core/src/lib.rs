@@ -90,3 +90,13 @@ pub use routines::RoutineLedger;
 pub use sanitize::{Anomaly, Confidence, CounterSanitizer, Sanitized, QUARANTINE_TICKS};
 pub use slot::{SlotInterner, UidSlot};
 pub use timeline::{AttackTimeline, TimelineRow};
+
+/// Shared deterministic seeding helpers (the splitmix64 family).
+///
+/// The actual definitions live in `ea_sim::rng` — the lowest layer every
+/// crate already depends on — and are re-exported here so seed-schedule
+/// consumers (`ea-fleet`, `ea-chaos`, benchmarks) share one
+/// implementation instead of private copies.
+pub mod rng {
+    pub use ea_sim::rng::{splitmix64, splitmix64_lane, splitmix64_stream, SPLITMIX64_GAMMA};
+}

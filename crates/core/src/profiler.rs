@@ -4,6 +4,7 @@
 use std::sync::Arc;
 
 use ea_framework::{AndroidSystem, TimedEvent};
+use ea_metrics::{ProfilerMetrics, WindowSpec};
 use ea_power::{Battery, ComponentDraw, DevicePowerModel, DeviceUsage, Energy};
 use ea_sim::SimDuration;
 use ea_telemetry::{span, SinkHandle, TelemetryEvent, TelemetrySink};
@@ -56,6 +57,10 @@ pub struct Profiler {
     reference: bool,
     /// Fault injection + counter sanitization, when chaos is attached.
     chaos: Option<Box<ProfilerChaos>>,
+    /// Sim-time windowed metrics, accrued in-line on the optimized step:
+    /// a concrete type (no sink virtual call) so metrics-on stays at the
+    /// step benchmark's noise floor.
+    metrics: Option<Box<ProfilerMetrics>>,
     /// Scratch buffers recycled across steps so a steady-state tick makes
     /// no heap allocations on the optimized path.
     events_scratch: Vec<TimedEvent>,
@@ -83,6 +88,7 @@ impl Profiler {
             telemetry: SinkHandle::noop(),
             reference: false,
             chaos: None,
+            metrics: None,
             events_scratch: Vec::new(),
             usage_scratch: DeviceUsage::idle(),
             draws_scratch: Vec::new(),
@@ -186,6 +192,34 @@ impl Profiler {
     /// The fault-injection state, when chaos is attached.
     pub fn chaos(&self) -> Option<&ProfilerChaos> {
         self.chaos.as_deref()
+    }
+
+    /// Enables sim-time windowed metrics: every optimized step accrues
+    /// its battery drain into the window ring described by `spec` (see
+    /// [`ea_metrics::ProfilerMetrics`]). Accounting results are
+    /// untouched; the per-step cost is a branch and a few adds. The
+    /// reference path ([`with_reference_accounting`]) is preserved
+    /// verbatim as a benchmark baseline and does not accrue metrics.
+    ///
+    /// [`with_reference_accounting`]: Profiler::with_reference_accounting
+    pub fn with_metrics(mut self, spec: WindowSpec) -> Self {
+        self.metrics = Some(Box::new(ProfilerMetrics::new(spec)));
+        self
+    }
+
+    /// The windowed metrics accrued so far, when enabled. The current
+    /// window is still open; call [`take_metrics`](Profiler::take_metrics)
+    /// to flush and consume it.
+    pub fn metrics(&self) -> Option<&ProfilerMetrics> {
+        self.metrics.as_deref()
+    }
+
+    /// Detaches the windowed metrics, flushing the open window first.
+    pub fn take_metrics(&mut self) -> Option<ProfilerMetrics> {
+        self.metrics.take().map(|mut metrics| {
+            metrics.finish();
+            *metrics
+        })
     }
 
     /// Whether collateral monitoring is enabled (E-Android mode).
@@ -292,6 +326,14 @@ impl Profiler {
         }
         if let Some(monitor) = &mut self.monitor {
             monitor.accrue(&self.draws_scratch, dt);
+        }
+        if let Some(metrics) = &mut self.metrics {
+            let drained = self.battery.drained();
+            metrics.on_step(
+                android.now().as_millis() * 1_000,
+                (drained - drained_before).as_joules(),
+                drained.as_joules(),
+            );
         }
         if traced {
             self.emit_step_events(android, interval_charges, drained_before);
@@ -554,6 +596,38 @@ mod tests {
             .of(crate::Entity::App(app), Component::Cpu)
             .as_joules();
         assert!((routines.total_of(app).as_joules() - cpu_total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windowed_metrics_accrue_without_changing_accounting() {
+        let run = |with_metrics: bool| {
+            let mut android = AndroidSystem::new();
+            android.install(manifest("com.a"));
+            android.user_launch("com.a").unwrap();
+            let mut profiler = Profiler::eandroid(ScreenPolicy::SeparateEntity);
+            if with_metrics {
+                profiler = profiler.with_metrics(ea_metrics::WindowSpec::new(1_000_000, 4));
+            }
+            profiler.run(&mut android, SimDuration::from_secs(10));
+            profiler
+        };
+        let bare = run(false);
+        let mut metered = run(true);
+        assert_eq!(
+            bare.battery().drained().as_joules(),
+            metered.battery().drained().as_joules(),
+            "metrics accrual must not perturb accounting"
+        );
+        let drained = metered.battery().drained().as_joules();
+        let metrics = metered.take_metrics().expect("metrics attached");
+        // 10 s at the default 100 ms step = 100 steps, stamped at each
+        // step's *end*: 9 land in window [0,1s), 10 in each of the next
+        // nine, and the final step at exactly t=10s opens an 11th window.
+        assert_eq!(metrics.total_steps(), 100);
+        assert!((metrics.total_drained_joules() - drained).abs() < 1e-9);
+        assert_eq!(metrics.windows().count(), 4);
+        assert_eq!(metrics.window_drain().count(), 11);
+        assert!(metered.metrics().is_none(), "take_metrics detaches");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use std::collections::BTreeMap;
 
+use ea_metrics::{FlightDump, QuantileSketch};
 use serde::{Deserialize, Serialize};
 
 use crate::config::FleetConfig;
@@ -36,6 +37,11 @@ pub struct DeviceFailure {
     /// attempt that got furthest.
     #[serde(default)]
     pub checkpoint: Option<DeviceCheckpoint>,
+    /// The device's recent telemetry events (sim-time stamped), salvaged
+    /// from the final attempt's flight recorder. Present only when the
+    /// run enabled `FleetConfig::flight_recorder`.
+    #[serde(default)]
+    pub flight_recorder: Option<FlightDump>,
 }
 
 /// The degraded-mode health section of a fleet run: what was injected,
@@ -75,19 +81,30 @@ pub struct KindPrevalence {
     pub statically_predicted_apps: usize,
 }
 
-/// Nearest-rank percentiles of per-device battery drain.
+/// Per-device battery-drain distribution. The quantiles are read from
+/// the merged per-shard [`QuantileSketch`] — nearest-rank convention,
+/// within `gamma` *relative* error of an exact sort, and byte-identical
+/// at any `--jobs` because the sketch merge is associative and
+/// commutative. `mean` and `max` are exact.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DrainPercentiles {
-    /// Median drain, joules.
+    /// Median drain, joules (sketch estimate).
     pub p50: f64,
-    /// 90th percentile drain, joules.
+    /// 90th percentile drain, joules (sketch estimate).
     pub p90: f64,
-    /// 99th percentile drain, joules.
+    /// 99th percentile drain, joules (sketch estimate).
     pub p99: f64,
-    /// Mean drain, joules.
+    /// Mean drain, joules (exact).
     pub mean: f64,
-    /// Worst device, joules.
+    /// Worst device, joules (exact).
     pub max: f64,
+    /// Relative accuracy bound of the quantile estimates.
+    #[serde(default = "default_gamma")]
+    pub gamma: f64,
+}
+
+fn default_gamma() -> f64 {
+    QuantileSketch::DEFAULT_GAMMA
 }
 
 /// One row of the ranked driver/victim tables.
@@ -168,13 +185,18 @@ pub struct FleetReport {
     pub devices: Vec<DeviceRow>,
 }
 
-/// Nearest-rank percentile of an ascending-sorted slice.
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
+/// Builds the drain sketch from a completed-device drain list — the
+/// fallback when the caller has no per-shard sketches to merge (unit
+/// tests, direct `aggregate` callers). Bit-for-bit equal to the engine's
+/// merged per-worker sketches over the same drains, whatever the
+/// sharding: that equivalence is what makes the quantiles
+/// `--jobs`-independent, and the property tests pin it.
+fn sketch_from_drains(drains: &[f64]) -> QuantileSketch {
+    let mut sketch = QuantileSketch::new(default_gamma());
+    for &drained in drains {
+        sketch.record(drained);
     }
-    let rank = (q / 100.0 * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    sketch
 }
 
 /// Ranks an accumulated `(name -> (joules, devices))` map: descending by
@@ -203,10 +225,15 @@ fn rank(map: BTreeMap<String, (f64, usize)>) -> Vec<RankedEntity> {
 /// `health` arrives pre-filled with the supervisor's retry accounting
 /// (retried/recovered/abandoned, device-panic counts); this fold adds
 /// every device's fault log and derives the masked counts.
+///
+/// `drain_sketch` is the merged per-shard drain sketch the engine built
+/// while workers ran; pass `None` to have the fold build an identical
+/// one from the outcomes (the two are interchangeable by construction).
 pub fn aggregate(
     config: &FleetConfig,
     outcomes: Vec<Result<DeviceReport, DeviceFailure>>,
     mut health: FleetHealth,
+    drain_sketch: Option<QuantileSketch>,
 ) -> FleetReport {
     let mut failures: Vec<DeviceFailure> = Vec::new();
     let mut drains = Vec::new();
@@ -280,14 +307,17 @@ pub fn aggregate(
     } else {
         drains.iter().sum::<f64>() / drains.len() as f64
     };
-    let mut sorted = drains;
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // Quantiles come off the mergeable sketch instead of sorting the
+    // whole drain vector: same bytes at any shard count, O(bins) reads,
+    // and a streaming engine never needs the full vector in one place.
+    let sketch = drain_sketch.unwrap_or_else(|| sketch_from_drains(&drains));
     let drain_joules = DrainPercentiles {
-        p50: percentile(&sorted, 50.0),
-        p90: percentile(&sorted, 90.0),
-        p99: percentile(&sorted, 99.0),
+        p50: sketch.quantile(0.50),
+        p90: sketch.quantile(0.90),
+        p99: sketch.quantile(0.99),
         mean,
-        max: sorted.last().copied().unwrap_or(0.0),
+        max: sketch.max(),
+        gamma: sketch.gamma(),
     };
 
     // Union of every kind any table mentions, in label order.
@@ -322,7 +352,7 @@ pub fn aggregate(
     }
 
     FleetReport {
-        schema_version: 2,
+        schema_version: 3,
         fleet_seed: config.seed,
         fleet_size: config.size,
         corpus_seed: config.corpus_seed,
@@ -367,13 +397,31 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_use_nearest_rank() {
-        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
-        assert_eq!(percentile(&sorted, 50.0), 50.0);
-        assert_eq!(percentile(&sorted, 90.0), 90.0);
-        assert_eq!(percentile(&sorted, 99.0), 99.0);
-        assert_eq!(percentile(&[], 50.0), 0.0);
-        assert_eq!(percentile(&[4.0], 99.0), 4.0);
+    fn sketch_quantiles_track_nearest_rank_within_gamma() {
+        let drains: Vec<f64> = (1..=100).map(f64::from).collect();
+        let sketch = sketch_from_drains(&drains);
+        for (q, exact) in [(0.50, 50.0), (0.90, 90.0), (0.99, 99.0)] {
+            let estimate = sketch.quantile(q);
+            assert!(
+                (estimate - exact).abs() / exact <= sketch.gamma(),
+                "q={q}: {estimate} vs exact {exact}"
+            );
+        }
+        assert_eq!(sketch_from_drains(&[]).quantile(0.5), 0.0);
+        assert_eq!(sketch_from_drains(&[4.0]).quantile(0.99), 4.0);
+    }
+
+    #[test]
+    fn passed_sketch_equals_locally_built_sketch() {
+        let config = FleetConfig {
+            size: 2,
+            ..FleetConfig::default()
+        };
+        let outcomes = || vec![Ok(device(0, 10.0, false)), Ok(device(1, 25.0, true))];
+        let merged = sketch_from_drains(&[10.0, 25.0]);
+        let from_engine = aggregate(&config, outcomes(), FleetHealth::default(), Some(merged));
+        let rebuilt = aggregate(&config, outcomes(), FleetHealth::default(), None);
+        assert_eq!(from_engine, rebuilt);
     }
 
     #[test]
@@ -394,10 +442,11 @@ mod tests {
                     sim_seconds: 40.0,
                     drained_joules: 5.0,
                 }),
+                flight_recorder: None,
             }),
             Ok(device(2, 30.0, false)),
         ];
-        let report = aggregate(&config, outcomes, FleetHealth::default());
+        let report = aggregate(&config, outcomes, FleetHealth::default(), None);
         assert_eq!(report.devices_completed, 2);
         assert_eq!(report.failures.len(), 1);
         assert_eq!(report.infected_devices, 1);
@@ -410,8 +459,9 @@ mod tests {
         assert_eq!(report.top_drivers[0].devices, 2);
         assert_eq!(report.lint.apps_linted, 16);
         assert_eq!(report.devices.len(), 2);
-        assert_eq!(report.schema_version, 2);
+        assert_eq!(report.schema_version, 3);
         assert_eq!(report.health.checkpoints_salvaged, 1);
+        assert_eq!(report.drain_joules.gamma, QuantileSketch::DEFAULT_GAMMA);
     }
 
     #[test]
@@ -425,7 +475,7 @@ mod tests {
         victim.fault_log.inject("counter_reset");
         victim.fault_log.detect("counter_reset");
         victim.fault_log.inject("intent_drop");
-        let report = aggregate(&config, vec![Ok(victim)], FleetHealth::default());
+        let report = aggregate(&config, vec![Ok(victim)], FleetHealth::default(), None);
         assert_eq!(report.health.faults_injected["counter_reset"], 2);
         assert_eq!(report.health.faults_detected["counter_reset"], 1);
         assert_eq!(report.health.faults_masked["counter_reset"], 1);

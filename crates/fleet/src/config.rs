@@ -3,22 +3,13 @@
 use ea_chaos::FaultPlan;
 use serde::{Deserialize, Serialize};
 
-/// The splitmix64 increment (the golden-ratio gamma).
-const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
-
-/// The splitmix64 finalizer: a bijective avalanche mix on 64 bits.
-fn mix(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 /// Device `index`'s seed: position `index + 1` of the splitmix64 stream
-/// started at the fleet seed. Pure function of `(fleet_seed, index)`, so
-/// a device's whole simulation is independent of which worker thread runs
-/// it and of how many workers exist.
+/// started at the fleet seed (the shared [`ea_core::rng`] helper). Pure
+/// function of `(fleet_seed, index)`, so a device's whole simulation is
+/// independent of which worker thread runs it and of how many workers
+/// exist.
 pub fn device_seed(fleet_seed: u64, index: usize) -> u64 {
-    mix(fleet_seed.wrapping_add((index as u64).wrapping_add(1).wrapping_mul(GAMMA)))
+    ea_core::rng::splitmix64_stream(fleet_seed, index as u64)
 }
 
 /// Configuration of one fleet run. Everything that influences the
@@ -71,6 +62,15 @@ pub struct FleetConfig {
     /// it (the per-device fault budget).
     #[serde(default = "default_max_retries")]
     pub max_retries: u32,
+    /// Flight-recorder ring capacity: each device keeps this many recent
+    /// telemetry events, attached to its [`crate::DeviceFailure`] if it
+    /// is abandoned. `0` (the default) disables the recorder — it routes
+    /// every framework/profiler emission through a sink, which the
+    /// `hotloop` suite prices at several times the bare step, so it is
+    /// strictly opt-in. The ring is sim-time stamped, so enabling it
+    /// never changes the report of devices that complete.
+    #[serde(default)]
+    pub flight_recorder: usize,
 }
 
 fn default_max_retries() -> u32 {
@@ -97,6 +97,7 @@ impl Default for FleetConfig {
             reference_accounting: false,
             faults: None,
             max_retries: default_max_retries(),
+            flight_recorder: 0,
         }
     }
 }

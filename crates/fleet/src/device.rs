@@ -16,6 +16,7 @@ use ea_core::{labels_from, Entity, Profiler, ScreenPolicy};
 use ea_framework::{AndroidSystem, AppManifest, ChangeSource, Intent, WakelockKind};
 use ea_lint::{soundness, Linter};
 use ea_sim::{SimDuration, SimRng, Uid};
+use ea_telemetry::SinkHandle;
 use serde::{Deserialize, Serialize};
 
 use crate::config::{device_seed, FleetConfig};
@@ -128,19 +129,24 @@ pub struct DeviceReport {
 /// [`crate::DeviceFailure`]).
 pub fn simulate_device(config: &FleetConfig, corpus: &[AppManifest], index: usize) -> DeviceReport {
     let checkpoint = Cell::new(None);
-    simulate_device_attempt(config, corpus, index, 0, &checkpoint)
+    simulate_device_attempt(config, corpus, index, 0, &checkpoint, None)
 }
 
 /// [`simulate_device`] under supervision: `attempt` re-keys the injected
 /// device panic (so a retry can succeed where the first attempt crashed)
 /// and `checkpoint` receives a progress snapshot after every completed
 /// session, readable by the supervisor even after a panic unwinds.
+/// `flight` (usually an [`ea_metrics::FlightRecorder`]) receives every
+/// framework and profiler emission; because the sink sees only sim-time
+/// data and emission never feeds back into the simulation, attaching one
+/// does not change the report.
 pub fn simulate_device_attempt(
     config: &FleetConfig,
     corpus: &[AppManifest],
     index: usize,
     attempt: u32,
     checkpoint: &Cell<Option<DeviceCheckpoint>>,
+    flight: Option<&SinkHandle>,
 ) -> DeviceReport {
     assert!(
         !config.panic_devices.contains(&index),
@@ -149,6 +155,19 @@ pub fn simulate_device_attempt(
     let seed = device_seed(config.seed, index);
     let mut rng = SimRng::seed(seed);
     let mut android = AndroidSystem::new();
+    if let Some(handle) = flight {
+        android.set_telemetry_handle(handle.clone());
+        // Installs emit nothing, so stamp an attempt-start marker: even a
+        // chaos panic at session 0 then leaves a non-empty ring, and the
+        // marker delimits attempts when a dump is read alongside retries.
+        handle.sink().record_event(
+            android.now().as_millis() * 1_000,
+            ea_telemetry::TelemetryEvent::Framework {
+                kind: String::from("fleet_attempt_start"),
+                uid: None,
+            },
+        );
+    }
 
     // Fleet-level faults for this device's lane. A `None` or zero-rate
     // plan decides nothing, so the fault-free path is byte-identical.
@@ -204,6 +223,9 @@ pub fn simulate_device_attempt(
 
     let mut profiler = Profiler::eandroid(ScreenPolicy::SeparateEntity)
         .with_step(SimDuration::from_millis(config.step_millis.max(1)));
+    if let Some(handle) = flight {
+        profiler.set_telemetry_handle(handle.clone());
+    }
     if config.reference_accounting {
         profiler = profiler.with_reference_accounting();
     }

@@ -28,10 +28,11 @@
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, Once};
+use std::sync::{Arc, Mutex, Once};
 use std::time::Instant;
 
 use ea_corpus::{generate_corpus, CorpusConfig};
+use ea_metrics::{FleetObservatory, FlightRecorder, QuantileSketch};
 use ea_telemetry::{span, SinkHandle};
 use serde::{Deserialize, Serialize};
 
@@ -107,17 +108,33 @@ fn retry_backoff(fleet_seed: u64, index: usize, attempt: u32) -> std::time::Dura
 
 /// Supervises one device: bounded retries with seeded backoff, partial
 /// progress salvaged through the checkpoint cell the simulation writes.
+/// When a flight recorder is attached, the ring is cleared before every
+/// attempt (so a dump never mixes attempts) and snapshotted into the
+/// [`DeviceFailure`] on abandonment.
 fn supervise_device(
     config: &FleetConfig,
     corpus: &[ea_framework::AppManifest],
     index: usize,
     tally: &mut Supervision,
+    flight: Option<&Arc<FlightRecorder>>,
+    observatory: Option<&FleetObservatory>,
 ) -> Result<DeviceReport, DeviceFailure> {
     let checkpoint = std::cell::Cell::new(None);
+    let flight_handle = flight.map(|recorder| SinkHandle::new(recorder.clone()));
     let mut attempts = 0u32;
     loop {
+        if let Some(recorder) = flight {
+            recorder.reset();
+        }
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
-            simulate_device_attempt(config, corpus, index, attempts, &checkpoint)
+            simulate_device_attempt(
+                config,
+                corpus,
+                index,
+                attempts,
+                &checkpoint,
+                flight_handle.as_ref(),
+            )
         }));
         attempts += 1;
         match result {
@@ -131,6 +148,9 @@ fn supervise_device(
                 let message = panic_message(payload);
                 if message.contains(CHAOS_PANIC_PREFIX) {
                     tally.chaos_panics += 1;
+                    if let Some(observatory) = observatory {
+                        observatory.chaos_panic();
+                    }
                 }
                 if attempts > config.max_retries {
                     tally.abandoned += 1;
@@ -140,10 +160,14 @@ fn supervise_device(
                         message,
                         attempts,
                         checkpoint: checkpoint.get(),
+                        flight_recorder: flight.map(|recorder| recorder.dump()),
                     });
                 }
                 if attempts == 1 {
                     tally.retried += 1;
+                    if let Some(observatory) = observatory {
+                        observatory.device_retried();
+                    }
                 }
                 std::thread::sleep(retry_backoff(config.seed, index, attempts));
             }
@@ -159,6 +183,18 @@ pub fn run_fleet(config: &FleetConfig) -> (FleetReport, FleetRunStats) {
 /// Runs the fleet, reporting spans, counters, and per-worker utilization
 /// gauges through `sink`.
 pub fn run_fleet_traced(config: &FleetConfig, sink: SinkHandle) -> (FleetReport, FleetRunStats) {
+    run_fleet_observed(config, sink, None)
+}
+
+/// [`run_fleet_traced`] with a live [`FleetObservatory`]: workers update
+/// it as devices finish, so a concurrent watcher thread can sample
+/// snapshots mid-run. The observatory is strictly observational — the
+/// returned report is byte-identical with or without one.
+pub fn run_fleet_observed(
+    config: &FleetConfig,
+    sink: SinkHandle,
+    observatory: Option<&FleetObservatory>,
+) -> (FleetReport, FleetRunStats) {
     install_quiet_hook();
     let started = Instant::now();
     let _run_span = span(sink.sink(), "fleet_run");
@@ -185,6 +221,9 @@ pub fn run_fleet_traced(config: &FleetConfig, sink: SinkHandle) -> (FleetReport,
         Mutex::new((0..size).map(|_| None).collect());
     let busy: Mutex<Vec<f64>> = Mutex::new(vec![0.0; jobs]);
     let supervision: Mutex<Supervision> = Mutex::new(Supervision::default());
+    // Per-worker drain sketches merge here at worker exit; the merge is
+    // commutative, so worker scheduling cannot change the final sketch.
+    let drain_sketch: Mutex<QuantileSketch> = Mutex::new(QuantileSketch::default());
 
     std::thread::scope(|scope| {
         for worker in 0..jobs {
@@ -193,11 +232,15 @@ pub fn run_fleet_traced(config: &FleetConfig, sink: SinkHandle) -> (FleetReport,
             let slots = &slots;
             let busy = &busy;
             let supervision = &supervision;
+            let drain_sketch = &drain_sketch;
             let sink = sink.clone();
             scope.spawn(move || {
                 QUIET_PANICS.with(|quiet| quiet.set(true));
                 let mut busy_secs = 0.0;
                 let mut tally = Supervision::default();
+                let mut local_sketch = QuantileSketch::default();
+                let flight = (config.flight_recorder > 0)
+                    .then(|| Arc::new(FlightRecorder::new(config.flight_recorder)));
                 loop {
                     let shard = next_shard.fetch_add(1, Ordering::Relaxed);
                     if shard >= shard_count {
@@ -207,7 +250,14 @@ pub fn run_fleet_traced(config: &FleetConfig, sink: SinkHandle) -> (FleetReport,
                     let hi = ((shard + 1) * shard_size).min(size);
                     for index in lo..hi {
                         let device_started = Instant::now();
-                        let outcome = supervise_device(config, corpus, index, &mut tally);
+                        let outcome = supervise_device(
+                            config,
+                            corpus,
+                            index,
+                            &mut tally,
+                            flight.as_ref(),
+                            observatory,
+                        );
                         let device_secs = device_started.elapsed().as_secs_f64();
                         busy_secs += device_secs;
                         if sink.enabled() {
@@ -217,10 +267,30 @@ pub fn run_fleet_traced(config: &FleetConfig, sink: SinkHandle) -> (FleetReport,
                                 Err(_) => sink.counter_add("fleet_devices_failed_total", 1),
                             }
                         }
+                        match &outcome {
+                            Ok(report) => {
+                                local_sketch.record(report.drained_joules);
+                                if let Some(observatory) = observatory {
+                                    observatory.device_completed(report.drained_joules);
+                                }
+                            }
+                            Err(_) => {
+                                if let Some(observatory) = observatory {
+                                    observatory.device_failed();
+                                }
+                            }
+                        }
+                        if let Some(observatory) = observatory {
+                            observatory.worker_busy_add(worker, (device_secs * 1e6) as u64);
+                        }
                         slots.lock().expect("slot lock")[index] = Some(outcome);
                     }
                 }
                 busy.lock().expect("busy lock")[worker] = busy_secs;
+                drain_sketch
+                    .lock()
+                    .expect("sketch lock")
+                    .merge(&local_sketch);
                 let mut merged = supervision.lock().expect("supervision lock");
                 merged.retried += tally.retried;
                 merged.recovered += tally.recovered;
@@ -259,7 +329,8 @@ pub fn run_fleet_traced(config: &FleetConfig, sink: SinkHandle) -> (FleetReport,
 
     let report = {
         let _merge_span = span(sink.sink(), "fleet_merge");
-        aggregate(config, outcomes, health)
+        let sketch = drain_sketch.into_inner().expect("sketch lock");
+        aggregate(config, outcomes, health, Some(sketch))
     };
 
     let wall_secs = started.elapsed().as_secs_f64();

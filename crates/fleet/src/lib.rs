@@ -45,4 +45,4 @@ pub use config::{device_seed, FleetConfig};
 pub use device::{
     simulate_device, simulate_device_attempt, DeviceCheckpoint, DeviceReport, CHAOS_PANIC_PREFIX,
 };
-pub use engine::{run_fleet, run_fleet_traced, FleetRunStats};
+pub use engine::{run_fleet, run_fleet_observed, run_fleet_traced, FleetRunStats};

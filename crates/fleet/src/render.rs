@@ -33,12 +33,20 @@ pub fn to_text(report: &FleetReport) -> String {
             "  FAILED device {} (seed {}): {}",
             failure.index, failure.seed, failure.message
         );
+        if let Some(flight) = &failure.flight_recorder {
+            let _ = writeln!(
+                out,
+                "    flight recorder: last {} event(s) of the final attempt ({} dropped)",
+                flight.len(),
+                flight.dropped
+            );
+        }
     }
     let drain = &report.drain_joules;
     let _ = writeln!(
         out,
-        "battery drain (J): p50 {:.1} | p90 {:.1} | p99 {:.1} | mean {:.1} | max {:.1}",
-        drain.p50, drain.p90, drain.p99, drain.mean, drain.max
+        "battery drain (J): p50 {:.1} | p90 {:.1} | p99 {:.1} | mean {:.1} | max {:.1} (quantiles \u{b1}{:.0}% rel)",
+        drain.p50, drain.p90, drain.p99, drain.mean, drain.max, drain.gamma * 100.0
     );
 
     let _ = writeln!(out);

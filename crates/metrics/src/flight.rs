@@ -1,0 +1,191 @@
+//! The per-device flight recorder: a bounded ring of the most recent
+//! telemetry events, kept so a crashed device can explain itself.
+//!
+//! Unlike `ea_telemetry::Recorder`, which keeps *everything* for export,
+//! the flight recorder holds only the last `capacity` events — constant
+//! memory per device regardless of how long the day ran. When a fleet
+//! device panics past its retry budget, the supervisor attaches the ring
+//! as a [`FlightDump`] to the `DeviceFailure`, joining the checkpoint
+//! salvage: the failure entry carries both *how far* the device got and
+//! *what it was doing* when it died.
+//!
+//! Every timestamp in the ring is simulated time, so the dump is a pure
+//! function of `(config, device index, attempt)` — byte-identical at any
+//! `--jobs`, like everything else in the report.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use ea_telemetry::{SpanId, TelemetryEvent, TelemetrySink, TraceRecord};
+use serde::{Deserialize, Serialize};
+
+/// The serialized contents of a flight recorder ring.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightDump {
+    /// Ring capacity the recorder ran with.
+    pub capacity: usize,
+    /// Events that fell off the front of the ring.
+    pub dropped: u64,
+    /// The retained tail of the event stream, oldest first.
+    pub events: Vec<TraceRecord>,
+}
+
+impl FlightDump {
+    /// Whether the ring retained no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[derive(Debug, Default)]
+struct FlightState {
+    events: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+/// A bounded telemetry sink retaining the most recent events.
+///
+/// # Example
+///
+/// ```
+/// use ea_metrics::FlightRecorder;
+/// use ea_telemetry::{TelemetryEvent, TelemetrySink};
+///
+/// let recorder = FlightRecorder::new(2);
+/// for t in 0..5u64 {
+///     recorder.record_event(t, TelemetryEvent::Attribution { uid: 1, joules: 0.1 });
+/// }
+/// let dump = recorder.dump();
+/// assert_eq!(dump.len(), 2);
+/// assert_eq!(dump.dropped, 3);
+/// assert_eq!(dump.events[0].t_us, 3);
+/// ```
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    state: Mutex<FlightState>,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` events (at least one).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            state: Mutex::new(FlightState::default()),
+        }
+    }
+
+    /// The ring capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Clears the ring — the supervisor calls this between retry
+    /// attempts so a dump never mixes events from two attempts.
+    pub fn reset(&self) {
+        let mut state = self.state.lock().expect("flight ring poisoned");
+        state.events.clear();
+        state.dropped = 0;
+    }
+
+    /// Snapshots the ring into a serializable dump.
+    #[must_use]
+    pub fn dump(&self) -> FlightDump {
+        let state = self.state.lock().expect("flight ring poisoned");
+        FlightDump {
+            capacity: self.capacity,
+            dropped: state.dropped,
+            events: state.events.iter().cloned().collect(),
+        }
+    }
+}
+
+impl TelemetrySink for FlightRecorder {
+    fn record_event(&self, t_us: u64, event: TelemetryEvent) {
+        let mut state = self.state.lock().expect("flight ring poisoned");
+        if state.events.len() == self.capacity {
+            state.events.pop_front();
+            state.dropped += 1;
+        }
+        state.events.push_back(TraceRecord { t_us, event });
+    }
+
+    // The flight recorder captures the event stream only; metric and span
+    // traffic passes through untimed so attaching one costs the emitting
+    // side nothing beyond the event pushes.
+    fn counter_add(&self, _name: &str, _delta: u64) {}
+
+    fn gauge_set(&self, _name: &str, _value: f64) {}
+
+    fn observe(&self, _name: &str, _value: f64) {}
+
+    fn span_enter(&self, _name: &str) -> SpanId {
+        SpanId::NONE
+    }
+
+    fn span_exit(&self, _id: SpanId) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(t_us: u64) -> TelemetryEvent {
+        TelemetryEvent::BatteryDrain {
+            joules: t_us as f64,
+            remaining_percent: 99.0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_tail() {
+        let recorder = FlightRecorder::new(3);
+        for t in 0..10u64 {
+            recorder.record_event(t, event(t));
+        }
+        let dump = recorder.dump();
+        assert_eq!(dump.dropped, 7);
+        assert_eq!(
+            dump.events.iter().map(|r| r.t_us).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn reset_clears_between_attempts() {
+        let recorder = FlightRecorder::new(4);
+        recorder.record_event(1, event(1));
+        recorder.reset();
+        assert!(recorder.dump().is_empty());
+        recorder.record_event(2, event(2));
+        assert_eq!(recorder.dump().len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_bumped_to_one() {
+        let recorder = FlightRecorder::new(0);
+        recorder.record_event(1, event(1));
+        recorder.record_event(2, event(2));
+        assert_eq!(recorder.capacity(), 1);
+        assert_eq!(recorder.dump().len(), 1);
+    }
+
+    #[test]
+    fn dump_round_trips_through_json() {
+        let recorder = FlightRecorder::new(2);
+        recorder.record_event(5, event(5));
+        let dump = recorder.dump();
+        let text = serde_json::to_string(&dump).expect("serializes");
+        let back: FlightDump = serde_json::from_str(&text).expect("parses");
+        assert_eq!(dump, back);
+    }
+}

@@ -1,0 +1,41 @@
+//! # ea-metrics — mergeable streaming aggregation and fleet observability
+//!
+//! The observability layer between `ea-telemetry` (raw event transport)
+//! and `ea-fleet` (population-scale simulation). Four pieces:
+//!
+//! * [`QuantileSketch`] — a fixed-bin DDSketch-style quantile sketch with
+//!   data-independent bin boundaries and an associative, commutative
+//!   merge. Per-worker sketches fold into fleet-wide percentiles that are
+//!   byte-identical at any `--jobs` and within a configured relative
+//!   error `γ` of the exact sorted percentiles.
+//! * [`ProfilerMetrics`] — sim-time windowed counters/gauges/histograms
+//!   accrued on the profiler hot path: the per-step touch is a compare
+//!   and a few adds; window bookkeeping amortizes onto rollovers.
+//! * [`FlightRecorder`] — a bounded ring of recent telemetry events per
+//!   device, attached to `DeviceFailure` entries so a crashed device
+//!   carries its own last moments alongside the checkpoint salvage.
+//! * [`FleetObservatory`] — live run-wide health (throughput, worker
+//!   utilization, fault counts, drain quantiles) sampled into
+//!   [`MetricsSnapshot`]s: rendered by `eandroid fleet --watch`, appended
+//!   as JSONL heartbeats, and exposed Prometheus-style by
+//!   `eandroid metrics`.
+//!
+//! The dividing rule, inherited from the fleet's determinism contract:
+//! anything that goes *into a report* is simulated-time data and
+//! byte-reproducible; anything wall-clock lives here, in snapshots that
+//! exist to watch a run, not to compare runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod flight;
+mod observatory;
+mod sketch;
+mod snapshot;
+mod window;
+
+pub use flight::{FlightDump, FlightRecorder};
+pub use observatory::FleetObservatory;
+pub use sketch::QuantileSketch;
+pub use snapshot::{MetricsSnapshot, SNAPSHOT_SCHEMA};
+pub use window::{MetricsWindow, ProfilerMetrics, WindowSpec};

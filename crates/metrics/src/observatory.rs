@@ -1,0 +1,207 @@
+//! The fleet health observatory: shared run-wide state the worker pool
+//! updates as devices finish, sampled into [`MetricsSnapshot`]s by
+//! whoever is watching (the `--watch` renderer, the heartbeat writer, or
+//! the `eandroid metrics` exposition).
+//!
+//! Everything on the worker path is an atomic add or a short mutex-held
+//! sketch insert — one per *device*, not per step, so the observatory is
+//! invisible next to the seconds each device simulation takes. The
+//! observatory never feeds the `FleetReport`: wall-clock facts stay out
+//! of the deterministic report by the same rule as `FleetRunStats`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::{MetricsSnapshot, QuantileSketch, SNAPSHOT_SCHEMA};
+
+/// State for the recent-rate estimate: the previous sample's time and
+/// completion count.
+#[derive(Debug)]
+struct LastSample {
+    at: Instant,
+    done: u64,
+}
+
+/// Run-wide live state of one fleet run.
+#[derive(Debug)]
+pub struct FleetObservatory {
+    started: Instant,
+    devices_total: u64,
+    done: AtomicU64,
+    failed: AtomicU64,
+    retried: AtomicU64,
+    chaos_panics: AtomicU64,
+    /// Per-worker busy time, microseconds of wall clock.
+    busy_us: Vec<AtomicU64>,
+    /// Per-device drain distribution across completed devices.
+    drains: Mutex<QuantileSketch>,
+    seq: AtomicU64,
+    last: Mutex<LastSample>,
+}
+
+impl FleetObservatory {
+    /// An observatory for a run of `devices_total` devices on `workers`
+    /// worker threads; the clock starts now.
+    #[must_use]
+    pub fn new(devices_total: usize, workers: usize) -> Self {
+        let started = Instant::now();
+        FleetObservatory {
+            started,
+            devices_total: devices_total as u64,
+            done: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            chaos_panics: AtomicU64::new(0),
+            busy_us: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            drains: Mutex::new(QuantileSketch::default()),
+            seq: AtomicU64::new(0),
+            last: Mutex::new(LastSample {
+                at: started,
+                done: 0,
+            }),
+        }
+    }
+
+    /// Records one completed device and its day's battery drain.
+    pub fn device_completed(&self, drained_joules: f64) {
+        self.drains
+            .lock()
+            .expect("drain sketch poisoned")
+            .record(drained_joules);
+        self.done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one device abandoned past its retry budget.
+    pub fn device_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a device entering its first retry.
+    pub fn device_retried(&self) {
+        self.retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one chaos-injected panic the supervisor caught.
+    pub fn chaos_panic(&self) {
+        self.chaos_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `busy` wall-clock microseconds to `worker`'s busy total.
+    pub fn worker_busy_add(&self, worker: usize, busy_us: u64) {
+        if let Some(counter) = self.busy_us.get(worker) {
+            counter.fetch_add(busy_us, Ordering::Relaxed);
+        }
+    }
+
+    /// Devices finished so far (completed + abandoned).
+    #[must_use]
+    pub fn finished(&self) -> u64 {
+        self.done.load(Ordering::Relaxed) + self.failed.load(Ordering::Relaxed)
+    }
+
+    /// Samples the current state into a snapshot and advances the
+    /// recent-rate baseline.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.started);
+        let elapsed_secs = elapsed.as_secs_f64();
+        let done = self.done.load(Ordering::Relaxed);
+        let (p50, p90, p99, gamma) = {
+            let drains = self.drains.lock().expect("drain sketch poisoned");
+            (
+                drains.quantile(0.50),
+                drains.quantile(0.90),
+                drains.quantile(0.99),
+                drains.gamma(),
+            )
+        };
+        let recent = {
+            let mut last = self.last.lock().expect("rate baseline poisoned");
+            let span = now.duration_since(last.at).as_secs_f64();
+            let delta = done.saturating_sub(last.done);
+            last.at = now;
+            last.done = done;
+            if span > 0.0 {
+                delta as f64 / span
+            } else {
+                0.0
+            }
+        };
+        let worker_busy = self
+            .busy_us
+            .iter()
+            .map(|busy| {
+                if elapsed_secs > 0.0 {
+                    (busy.load(Ordering::Relaxed) as f64 / 1e6 / elapsed_secs).min(1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        MetricsSnapshot {
+            schema: SNAPSHOT_SCHEMA.to_string(),
+            seq: self.seq.fetch_add(1, Ordering::Relaxed) + 1,
+            elapsed_ms: elapsed.as_millis() as u64,
+            devices_total: self.devices_total,
+            devices_done: done,
+            devices_failed: self.failed.load(Ordering::Relaxed),
+            devices_retried: self.retried.load(Ordering::Relaxed),
+            chaos_panics: self.chaos_panics.load(Ordering::Relaxed),
+            devices_per_sec: if elapsed_secs > 0.0 {
+                done as f64 / elapsed_secs
+            } else {
+                0.0
+            },
+            recent_devices_per_sec: recent,
+            worker_busy,
+            drain_gamma: gamma,
+            drain_p50_joules: p50,
+            drain_p90_joules: p90,
+            drain_p99_joules: p99,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_progress() {
+        let observatory = FleetObservatory::new(8, 2);
+        observatory.device_completed(100.0);
+        observatory.device_completed(200.0);
+        observatory.device_failed();
+        observatory.device_retried();
+        observatory.chaos_panic();
+        observatory.worker_busy_add(0, 500_000);
+        let snapshot = observatory.snapshot();
+        assert_eq!(snapshot.schema, SNAPSHOT_SCHEMA);
+        assert_eq!(snapshot.seq, 1);
+        assert_eq!(snapshot.devices_total, 8);
+        assert_eq!(snapshot.devices_done, 2);
+        assert_eq!(snapshot.devices_failed, 1);
+        assert_eq!(snapshot.devices_retried, 1);
+        assert_eq!(snapshot.chaos_panics, 1);
+        assert_eq!(snapshot.worker_busy.len(), 2);
+        assert!(snapshot.drain_p50_joules > 0.0);
+        assert_eq!(observatory.finished(), 3);
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotone() {
+        let observatory = FleetObservatory::new(1, 1);
+        assert_eq!(observatory.snapshot().seq, 1);
+        assert_eq!(observatory.snapshot().seq, 2);
+        assert_eq!(observatory.snapshot().seq, 3);
+    }
+
+    #[test]
+    fn out_of_range_worker_is_ignored() {
+        let observatory = FleetObservatory::new(1, 1);
+        observatory.worker_busy_add(99, 1_000);
+        assert_eq!(observatory.snapshot().worker_busy, vec![0.0]);
+    }
+}

@@ -1,0 +1,212 @@
+//! The periodic fleet-health snapshot and its two wire formats: JSONL
+//! heartbeats (machine-replayable) and Prometheus-style text exposition
+//! (scrapeable).
+
+use serde::{Deserialize, Serialize};
+
+/// Schema tag every heartbeat line carries.
+pub const SNAPSHOT_SCHEMA: &str = "ea-metrics/snapshot/v1";
+
+/// One observatory sample: progress, throughput, worker utilization,
+/// fault health, and the drain distribution so far.
+///
+/// Unlike the `FleetReport`, a snapshot *is* wall-clock data — it exists
+/// to watch a run live, not to compare runs — so it carries elapsed time
+/// and rates that differ between otherwise identical runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Schema tag ([`SNAPSHOT_SCHEMA`]).
+    pub schema: String,
+    /// Monotone sample number, starting at 1.
+    pub seq: u64,
+    /// Wall time since the run started, milliseconds.
+    pub elapsed_ms: u64,
+    /// Devices the run was asked to simulate.
+    pub devices_total: u64,
+    /// Devices completed so far.
+    pub devices_done: u64,
+    /// Devices abandoned past their retry budget so far.
+    pub devices_failed: u64,
+    /// Devices that have needed at least one retry so far.
+    pub devices_retried: u64,
+    /// Chaos-injected panics the supervisor has caught so far.
+    pub chaos_panics: u64,
+    /// All-time completion rate, devices per wall-clock second.
+    pub devices_per_sec: f64,
+    /// Completion rate since the previous snapshot.
+    pub recent_devices_per_sec: f64,
+    /// Per-worker busy ratio so far, `0.0..=1.0`.
+    pub worker_busy: Vec<f64>,
+    /// Relative accuracy of the drain quantiles below.
+    pub drain_gamma: f64,
+    /// Median per-device drain so far, joules (sketch estimate).
+    pub drain_p50_joules: f64,
+    /// 90th-percentile per-device drain so far, joules (sketch estimate).
+    pub drain_p90_joules: f64,
+    /// 99th-percentile per-device drain so far, joules (sketch estimate).
+    pub drain_p99_joules: f64,
+}
+
+impl MetricsSnapshot {
+    /// One JSONL heartbeat line (no trailing newline).
+    ///
+    /// # Panics
+    ///
+    /// Panics when serialization fails, which would be a bug: every field
+    /// is a plain number, string, or vector.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serializes")
+    }
+
+    /// Prometheus-style text exposition of the snapshot.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1_024);
+        let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        counter(
+            &mut out,
+            "eandroid_fleet_devices_done",
+            "Devices that completed their simulated day.",
+            self.devices_done,
+        );
+        counter(
+            &mut out,
+            "eandroid_fleet_devices_failed",
+            "Devices abandoned past the retry budget.",
+            self.devices_failed,
+        );
+        counter(
+            &mut out,
+            "eandroid_fleet_devices_retried",
+            "Devices that needed at least one retry.",
+            self.devices_retried,
+        );
+        counter(
+            &mut out,
+            "eandroid_fleet_chaos_panics",
+            "Chaos-injected panics caught by the supervisor.",
+            self.chaos_panics,
+        );
+        out.push_str(&format!(
+            "# HELP eandroid_fleet_devices_total Devices requested.\n\
+             # TYPE eandroid_fleet_devices_total gauge\n\
+             eandroid_fleet_devices_total {}\n",
+            self.devices_total
+        ));
+        out.push_str(&format!(
+            "# HELP eandroid_fleet_devices_per_sec All-time completion rate.\n\
+             # TYPE eandroid_fleet_devices_per_sec gauge\n\
+             eandroid_fleet_devices_per_sec {}\n",
+            self.devices_per_sec
+        ));
+        out.push_str(
+            "# HELP eandroid_fleet_drain_joules Per-device battery drain (sketch quantiles).\n\
+             # TYPE eandroid_fleet_drain_joules summary\n",
+        );
+        for (quantile, value) in [
+            ("0.5", self.drain_p50_joules),
+            ("0.9", self.drain_p90_joules),
+            ("0.99", self.drain_p99_joules),
+        ] {
+            out.push_str(&format!(
+                "eandroid_fleet_drain_joules{{quantile=\"{quantile}\"}} {value}\n"
+            ));
+        }
+        out.push_str(
+            "# HELP eandroid_fleet_worker_busy_ratio Per-worker busy ratio.\n\
+             # TYPE eandroid_fleet_worker_busy_ratio gauge\n",
+        );
+        for (worker, busy) in self.worker_busy.iter().enumerate() {
+            out.push_str(&format!(
+                "eandroid_fleet_worker_busy_ratio{{worker=\"{worker}\"}} {busy}\n"
+            ));
+        }
+        out
+    }
+
+    /// One-line live rendering for `fleet --watch`.
+    #[must_use]
+    pub fn watch_line(&self) -> String {
+        let busy_pct = if self.worker_busy.is_empty() {
+            0.0
+        } else {
+            100.0 * self.worker_busy.iter().sum::<f64>() / self.worker_busy.len() as f64
+        };
+        format!(
+            "[{:>6.1}s] {:>5}/{} devices ({} failed) | {:>6.1} dev/s (recent {:>6.1}) | \
+             workers {:>5.1}% busy | drain p50/p90/p99 {:.1}/{:.1}/{:.1} J",
+            self.elapsed_ms as f64 / 1_000.0,
+            self.devices_done,
+            self.devices_total,
+            self.devices_failed,
+            self.devices_per_sec,
+            self.recent_devices_per_sec,
+            busy_pct,
+            self.drain_p50_joules,
+            self.drain_p90_joules,
+            self.drain_p99_joules,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            schema: SNAPSHOT_SCHEMA.to_string(),
+            seq: 3,
+            elapsed_ms: 1_500,
+            devices_total: 64,
+            devices_done: 40,
+            devices_failed: 2,
+            devices_retried: 5,
+            chaos_panics: 7,
+            devices_per_sec: 26.7,
+            recent_devices_per_sec: 31.0,
+            worker_busy: vec![0.9, 0.8],
+            drain_gamma: 0.01,
+            drain_p50_joules: 120.0,
+            drain_p90_joules: 180.0,
+            drain_p99_joules: 220.0,
+        }
+    }
+
+    #[test]
+    fn heartbeat_round_trips() {
+        let snapshot = sample();
+        let line = snapshot.to_jsonl();
+        let back: MetricsSnapshot = serde_json::from_str(&line).expect("parses");
+        assert_eq!(snapshot, back);
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn exposition_has_typed_families_and_quantiles() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE eandroid_fleet_devices_done counter"));
+        assert!(text.contains("eandroid_fleet_devices_done 40"));
+        assert!(text.contains("# TYPE eandroid_fleet_drain_joules summary"));
+        assert!(text.contains("eandroid_fleet_drain_joules{quantile=\"0.99\"} 220"));
+        assert!(text.contains("eandroid_fleet_worker_busy_ratio{worker=\"1\"} 0.8"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|line| !line.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().expect("value field");
+            assert!(value.parse::<f64>().is_ok(), "bad exposition line: {line}");
+        }
+    }
+
+    #[test]
+    fn watch_line_is_single_line_and_mentions_progress() {
+        let line = sample().watch_line();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("40/64"));
+    }
+}

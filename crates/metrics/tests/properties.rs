@@ -1,0 +1,106 @@
+//! Property tests for the quantile sketch: the merge algebra the fleet's
+//! `--jobs` independence rests on, and the rank-error bound against an
+//! exact sort.
+
+use ea_metrics::QuantileSketch;
+use proptest::prelude::*;
+
+fn sketch_of(values: &[f64]) -> QuantileSketch {
+    let mut sketch = QuantileSketch::default();
+    for &value in values {
+        sketch.record(value);
+    }
+    sketch
+}
+
+/// Positive, well-spread drain-like values (joules).
+fn drains() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.001f64..1e6, 1..200)
+}
+
+/// The exact nearest-rank percentile the sketch promises to track.
+fn exact_nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+proptest! {
+    /// (a ∪ b) ∪ c == a ∪ (b ∪ c): merge is associative.
+    #[test]
+    fn merge_is_associative(a in drains(), b in drains(), c in drains()) {
+        let (sa, sb, sc) = (sketch_of(&a), sketch_of(&b), sketch_of(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    /// a ∪ b == b ∪ a: merge is commutative.
+    #[test]
+    fn merge_is_commutative(a in drains(), b in drains()) {
+        let mut ab = sketch_of(&a);
+        ab.merge(&sketch_of(&b));
+        let mut ba = sketch_of(&b);
+        ba.merge(&sketch_of(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Any sharding of the observations merges back to the sketch built
+    /// from the whole stream — the `--jobs`-independence property.
+    #[test]
+    fn shard_order_never_changes_the_merged_sketch(
+        values in drains(),
+        shards in 1usize..8,
+        rotate in 0usize..8,
+    ) {
+        let whole = sketch_of(&values);
+
+        // Round-robin shard assignment, then merge the shards starting
+        // from an arbitrary rotation (workers finish in any order).
+        let mut parts: Vec<Vec<f64>> = vec![Vec::new(); shards];
+        for (index, &value) in values.iter().enumerate() {
+            parts[index % shards].push(value);
+        }
+        let mut merged = QuantileSketch::default();
+        for offset in 0..shards {
+            merged.merge(&sketch_of(&parts[(offset + rotate) % shards]));
+        }
+
+        prop_assert_eq!(merged, whole);
+    }
+
+    /// Every quantile estimate is within `gamma` relative error of the
+    /// exact nearest-rank percentile of the sorted data.
+    #[test]
+    fn rank_error_is_bounded_by_gamma(values in drains(), q in 0.0f64..1.0) {
+        let sketch = sketch_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let exact = exact_nearest_rank(&sorted, q);
+        let estimate = sketch.quantile(q);
+        prop_assert!(
+            (estimate - exact).abs() <= sketch.gamma() * exact.abs(),
+            "q={}: estimate {} vs exact {} (gamma {})",
+            q, estimate, exact, sketch.gamma()
+        );
+    }
+
+    /// Extremes are exact, counts add up, and the merged count matches.
+    #[test]
+    fn merge_preserves_count_and_extremes(a in drains(), b in drains()) {
+        let mut merged = sketch_of(&a);
+        merged.merge(&sketch_of(&b));
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        let min = a.iter().chain(&b).cloned().fold(f64::INFINITY, f64::min);
+        let max = a.iter().chain(&b).cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(merged.min(), min);
+        prop_assert_eq!(merged.max(), max);
+    }
+}

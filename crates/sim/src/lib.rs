@@ -49,7 +49,7 @@ mod clock;
 mod error;
 mod event;
 mod process;
-mod rng;
+pub mod rng;
 mod sched;
 mod time;
 
@@ -58,6 +58,6 @@ pub use clock::Clock;
 pub use error::SimError;
 pub use event::{EventQueue, ScheduledEvent};
 pub use process::{DeathNotice, Pid, ProcessInfo, ProcessState, ProcessTable, Uid};
-pub use rng::SimRng;
+pub use rng::{splitmix64, splitmix64_lane, splitmix64_stream, SimRng, SPLITMIX64_GAMMA};
 pub use sched::{CpuScheduler, CpuSlice};
 pub use time::{SimDuration, SimTime};

@@ -104,7 +104,10 @@ fn write_args(out: &mut String, args: &[(String, String)]) {
 ///   instant events, with attack periods as async begin/end pairs so each
 ///   attack renders as a bar from open to close.
 /// * **pid 2 "host wall clock"** — completed spans of the instrumented
-///   hot paths as complete (`"X"`) events with real durations.
+///   hot paths as complete (`"X"`) events with real durations, plus every
+///   counter/gauge sample as a counter (`"C"`) event, so metrics render
+///   as stacked time-series tracks alongside the spans that produced
+///   them.
 pub fn write_chrome_trace(recorder: &Recorder, out: &mut dyn Write) -> io::Result<()> {
     let mut body = String::from("{\"traceEvents\":[\n");
     body.push_str(
@@ -163,6 +166,16 @@ pub fn write_chrome_trace(recorder: &Recorder, out: &mut dyn Write) -> io::Resul
         ));
     }
 
+    for sample in recorder.samples() {
+        body.push_str(&format!(
+            "{{\"ph\":\"C\",\"name\":\"{}\",\"ts\":{},\
+             \"pid\":2,\"tid\":1,\"args\":{{\"value\":{}}}}},\n",
+            sample.name.replace('"', ""),
+            sample.at_us,
+            sample.value
+        ));
+    }
+
     // Trailing comma cleanup: the metadata lines guarantee at least one
     // entry, so strip the final ",\n".
     if body.ends_with(",\n") {
@@ -199,6 +212,8 @@ mod tests {
         );
         let span = recorder.span_enter("step");
         recorder.span_exit(span);
+        recorder.counter_add("devices_completed", 1);
+        recorder.gauge_set("queue_depth", 4.0);
         recorder
     }
 
@@ -223,5 +238,26 @@ mod tests {
         assert!(events.iter().any(|event| event["ph"].as_str() == Some("X")));
         assert!(events.iter().any(|event| event["ph"].as_str() == Some("b")));
         assert!(events.iter().any(|event| event["ph"].as_str() == Some("e")));
+    }
+
+    #[test]
+    fn chrome_trace_renders_metric_samples_as_counter_events() {
+        let recorder = sample_recorder();
+        let mut buffer = Vec::new();
+        write_chrome_trace(&recorder, &mut buffer).expect("write");
+        let text = String::from_utf8(buffer).expect("utf8");
+        let value: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let events = value["traceEvents"].as_array().expect("event array");
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|event| event["ph"].as_str() == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2);
+        let devices = counters
+            .iter()
+            .find(|event| event["name"].as_str() == Some("devices_completed"))
+            .expect("counter track present");
+        assert_eq!(devices["pid"].as_f64(), Some(2.0), "wall-clock track");
+        assert_eq!(devices["args"]["value"].as_f64(), Some(1.0));
     }
 }

@@ -45,6 +45,8 @@ mod sink;
 mod summary;
 
 pub use event::{TelemetryEvent, TraceRecord};
-pub use recorder::{HistogramSnapshot, MetricsSnapshot, Recorder, SpanRecord, HISTOGRAM_BOUNDS};
+pub use recorder::{
+    HistogramSnapshot, MetricSample, MetricsSnapshot, Recorder, SpanRecord, HISTOGRAM_BOUNDS,
+};
 pub use sink::{span, NoopSink, SinkHandle, SpanGuard, SpanId, TelemetrySink};
 pub use summary::TelemetrySummary;

@@ -65,6 +65,19 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
+/// One timestamped counter or gauge write, kept so exporters can render
+/// metric *time series* (Chrome-trace `"C"` counter tracks) rather than
+/// only final totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Metric name as passed to `counter_add` / `gauge_set`.
+    pub name: String,
+    /// Offset from recorder creation, host wall clock, microseconds.
+    pub at_us: u64,
+    /// Counter value *after* the add, or the gauge value written.
+    pub value: f64,
+}
+
 /// One completed wall-clock span.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanRecord {
@@ -104,6 +117,7 @@ pub struct Recorder {
     events: Mutex<Vec<TraceRecord>>,
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     metrics: Mutex<MetricsState>,
+    samples: Mutex<Vec<MetricSample>>,
     open_spans: Mutex<Vec<OpenSpan>>,
     finished_spans: Mutex<Vec<SpanRecord>>,
     next_span: AtomicU64,
@@ -123,6 +137,7 @@ impl Recorder {
             events: Mutex::new(Vec::new()),
             counters: Mutex::new(BTreeMap::new()),
             metrics: Mutex::new(MetricsState::default()),
+            samples: Mutex::new(Vec::new()),
             open_spans: Mutex::new(Vec::new()),
             finished_spans: Mutex::new(Vec::new()),
             next_span: AtomicU64::new(1),
@@ -142,6 +157,24 @@ impl Recorder {
     /// All events recorded so far, in emission order.
     pub fn events(&self) -> Vec<TraceRecord> {
         self.events.lock().expect("event buffer poisoned").clone()
+    }
+
+    /// All counter/gauge samples so far, in write order.
+    pub fn samples(&self) -> Vec<MetricSample> {
+        self.samples.lock().expect("sample buffer poisoned").clone()
+    }
+
+    /// Timestamps and stores one metric sample.
+    fn sample(&self, name: &str, value: f64) {
+        let at_us = self.epoch.elapsed().as_micros() as u64;
+        self.samples
+            .lock()
+            .expect("sample buffer poisoned")
+            .push(MetricSample {
+                name: name.to_string(),
+                at_us,
+                value,
+            });
     }
 
     /// All completed spans so far, in completion order.
@@ -185,8 +218,12 @@ impl Recorder {
 
 impl TelemetrySink for Recorder {
     fn record_event(&self, t_us: u64, event: TelemetryEvent) {
-        self.counter_add("events_processed_total", 1);
-        self.counter_add(&format!("events_{}_total", event.label()), 1);
+        // Bookkeeping counters increment directly (not via `counter_add`)
+        // so the per-event totals do not flood the sampled time series.
+        self.counter("events_processed_total")
+            .fetch_add(1, Ordering::Relaxed);
+        self.counter(&format!("events_{}_total", event.label()))
+            .fetch_add(1, Ordering::Relaxed);
         self.events
             .lock()
             .expect("event buffer poisoned")
@@ -194,12 +231,16 @@ impl TelemetrySink for Recorder {
     }
 
     fn counter_add(&self, name: &str, delta: u64) {
-        self.counter(name).fetch_add(delta, Ordering::Relaxed);
+        let after = self.counter(name).fetch_add(delta, Ordering::Relaxed) + delta;
+        self.sample(name, after as f64);
     }
 
     fn gauge_set(&self, name: &str, value: f64) {
-        let mut metrics = self.metrics.lock().expect("metrics poisoned");
-        metrics.gauges.insert(name.to_string(), value);
+        {
+            let mut metrics = self.metrics.lock().expect("metrics poisoned");
+            metrics.gauges.insert(name.to_string(), value);
+        }
+        self.sample(name, value);
     }
 
     fn observe(&self, name: &str, value: f64) {
@@ -274,6 +315,39 @@ mod tests {
         assert_eq!(metrics.counters["events_processed_total"], 1);
         assert_eq!(metrics.counters["events_attribution_total"], 1);
         assert_eq!(recorder.events().len(), 1);
+    }
+
+    #[test]
+    fn counter_and_gauge_writes_leave_samples() {
+        let recorder = Recorder::new();
+        recorder.counter_add("requests", 2);
+        recorder.counter_add("requests", 3);
+        recorder.gauge_set("depth", 7.5);
+        let samples = recorder.samples();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].name, "requests");
+        assert_eq!(samples[0].value, 2.0, "post-add counter value");
+        assert_eq!(samples[1].value, 5.0, "cumulative, not the delta");
+        assert_eq!(samples[2].name, "depth");
+        assert_eq!(samples[2].value, 7.5);
+        assert!(samples.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+    }
+
+    #[test]
+    fn event_bookkeeping_counters_do_not_flood_samples() {
+        let recorder = Recorder::new();
+        recorder.record_event(
+            10,
+            TelemetryEvent::Attribution {
+                uid: 10_001,
+                joules: 0.25,
+            },
+        );
+        assert_eq!(recorder.metrics().counters["events_processed_total"], 1);
+        assert!(
+            recorder.samples().is_empty(),
+            "per-event totals stay out of the time series"
+        );
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! eandroid micro [--runs N]
 //! eandroid antutu
 //! eandroid workload [--seed N] [--sessions N]
-//! eandroid fleet [--size N] [--seed N] [--jobs J] [--json] [--trace <base>] [--faults <rate|plan.json>]
+//! eandroid fleet [--size N] [--seed N] [--jobs J] [--json] [--trace <base>] [--faults <rate|plan.json>] [--watch] [--heartbeat <path>] [--flight-recorder N]
+//! eandroid metrics [--size N] [--seed N] [--jobs J] [--json]
 //! eandroid chaos [--seed N] [--fleet-size N] [--quick] [--json]
 //! eandroid list
 //! eandroid help
@@ -27,6 +28,7 @@ use e_android::corpus::{analyze, generate_corpus, to_manifest_xml, CorpusConfig}
 use e_android::fleet::{run_fleet_traced, FleetConfig};
 use e_android::framework::AndroidSystem;
 use e_android::lint::{render, LintSystem, Linter};
+use e_android::metrics::FleetObservatory;
 use e_android::telemetry::SinkHandle;
 
 const HELP: &str = "\
@@ -70,6 +72,13 @@ COMMANDS:
         --trace <base>             export telemetry to <base>.jsonl + <base>.trace.json
         --inject-panic N           fault-inject a panic into device N
         --faults <rate|plan.json>  inject seeded faults into every device
+        --watch                    live fleet-health line on stderr while running
+        --heartbeat <path>         write JSONL health snapshots to <path>
+        --flight-recorder N        keep the last N telemetry events per device,
+                                   dumped into the report on device abandonment
+    metrics                 run a fleet and print its health snapshot
+        --json                     one JSONL snapshot instead of Prometheus text
+        (also accepts the fleet sizing/fault/watch/heartbeat flags above)
     chaos                   run the deterministic fault-injection soak
         --seed N                   fault-plan seed (default 2026)
         --fleet-size N             devices in the fleet leg (default 64)
@@ -91,6 +100,7 @@ fn main() -> ExitCode {
         Some("lint") => cmd_lint(&args.collect::<Vec<_>>()),
         Some("workload") => cmd_workload(&args.collect::<Vec<_>>()),
         Some("fleet") => cmd_fleet(&args.collect::<Vec<_>>()),
+        Some("metrics") => cmd_metrics(&args.collect::<Vec<_>>()),
         Some("chaos") => cmd_chaos(&args.collect::<Vec<_>>()),
         Some("list") => {
             println!("scenarios:");
@@ -379,7 +389,8 @@ fn cmd_workload(args: &[&str]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_fleet(args: &[&str]) -> ExitCode {
+/// Builds a [`FleetConfig`] from the shared fleet/metrics flag set.
+fn parse_fleet_config(command: &str, args: &[&str]) -> Result<FleetConfig, String> {
     let mut config = FleetConfig::default();
     if let Some(size) = flag_value(args, "--size").and_then(|value| value.parse().ok()) {
         config.size = size;
@@ -393,22 +404,111 @@ fn cmd_fleet(args: &[&str]) -> ExitCode {
     if let Some(index) = flag_value(args, "--inject-panic").and_then(|value| value.parse().ok()) {
         config.panic_devices.push(index);
     }
+    if let Some(capacity) =
+        flag_value(args, "--flight-recorder").and_then(|value| value.parse().ok())
+    {
+        config.flight_recorder = capacity;
+    }
     if let Some(spec) = flag_value(args, "--faults") {
         match FaultPlan::parse(spec, config.seed) {
             Ok(plan) => config.faults = Some(plan),
-            Err(message) => {
-                eprintln!("fleet: {message}");
-                return ExitCode::FAILURE;
-            }
+            Err(message) => return Err(format!("{command}: {message}")),
         }
     }
+    Ok(config)
+}
+
+/// Runs the fleet with a live observatory attached and a sampler thread
+/// driving the `--watch` stderr line and/or the `--heartbeat` JSONL file.
+/// A final snapshot is always taken after the run, so even a run shorter
+/// than one sampling interval leaves one heartbeat line.
+fn run_fleet_with_observatory(
+    config: &FleetConfig,
+    sink: SinkHandle,
+    watch: bool,
+    heartbeat: Option<&mut (dyn std::io::Write + Send)>,
+) -> (
+    e_android::fleet::FleetReport,
+    e_android::fleet::FleetRunStats,
+    e_android::metrics::MetricsSnapshot,
+) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let jobs = config.effective_jobs().max(1).min(config.size.max(1));
+    let observatory = FleetObservatory::new(config.size, jobs);
+    let done = AtomicBool::new(false);
+    let heartbeat = std::sync::Mutex::new(heartbeat);
+
+    let sample = |snapshot: &e_android::metrics::MetricsSnapshot, last: bool| {
+        if watch {
+            eprint!("\r\x1b[2K{}", snapshot.watch_line());
+            if last {
+                eprintln!();
+            }
+        }
+        if let Some(out) = heartbeat.lock().expect("heartbeat writer").as_mut() {
+            if let Err(error) = writeln!(out, "{}", snapshot.to_jsonl()) {
+                eprintln!("fleet: heartbeat write failed: {error}");
+            }
+        }
+    };
+
+    let (report, stats) = std::thread::scope(|scope| {
+        let sampler = scope.spawn(|| {
+            while !done.load(Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_millis(250));
+                if done.load(Ordering::Relaxed) {
+                    break;
+                }
+                sample(&observatory.snapshot(), false);
+            }
+        });
+        let result = e_android::fleet::run_fleet_observed(config, sink, Some(&observatory));
+        done.store(true, Ordering::Relaxed);
+        sampler.join().expect("sampler thread");
+        result
+    });
+    let final_snapshot = observatory.snapshot();
+    sample(&final_snapshot, true);
+    (report, stats, final_snapshot)
+}
+
+fn cmd_fleet(args: &[&str]) -> ExitCode {
+    let config = match parse_fleet_config("fleet", args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let trace = flag_value(args, "--trace").map(ea_bench::TraceRequest::to_base);
     let sink = match &trace {
         Some(trace) => SinkHandle::new(trace.sink()),
         None => SinkHandle::noop(),
     };
-    let (report, stats) = run_fleet_traced(&config, sink);
+
+    let watch = has_flag(args, "--watch");
+    let mut heartbeat_file = match flag_value(args, "--heartbeat") {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(file) => Some(file),
+            Err(error) => {
+                eprintln!("fleet: cannot create heartbeat file {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let (report, stats) = if watch || heartbeat_file.is_some() {
+        let heartbeat = heartbeat_file
+            .as_mut()
+            .map(|file| file as &mut (dyn std::io::Write + Send));
+        let (report, stats, _) = run_fleet_with_observatory(&config, sink, watch, heartbeat);
+        (report, stats)
+    } else {
+        run_fleet_traced(&config, sink)
+    };
 
     // The report is the deterministic artifact; wall-clock facts go to
     // stderr so `--json` output stays byte-identical across job counts.
@@ -426,6 +526,45 @@ fn cmd_fleet(args: &[&str]) -> ExitCode {
     }
     // Device failures are data, not a process error: the report carries
     // them and the run still succeeded.
+    ExitCode::SUCCESS
+}
+
+/// `eandroid metrics` — run a fleet under the observatory and print the
+/// final health snapshot as Prometheus-style text (or one JSONL heartbeat
+/// with `--json`). The deterministic report itself is discarded: this
+/// command is the observability surface, `eandroid fleet` the report one.
+fn cmd_metrics(args: &[&str]) -> ExitCode {
+    let config = match parse_fleet_config("metrics", args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let watch = has_flag(args, "--watch");
+    let mut heartbeat_file = match flag_value(args, "--heartbeat") {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(file) => Some(file),
+            Err(error) => {
+                eprintln!("metrics: cannot create heartbeat file {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let heartbeat = heartbeat_file
+        .as_mut()
+        .map(|file| file as &mut (dyn std::io::Write + Send));
+
+    let (_report, stats, snapshot) =
+        run_fleet_with_observatory(&config, SinkHandle::noop(), watch, heartbeat);
+    if has_flag(args, "--json") {
+        println!("{}", snapshot.to_jsonl());
+    } else {
+        print!("{}", snapshot.to_prometheus());
+    }
+    eprintln!("{}", e_android::fleet::render::stats_line(&stats));
     ExitCode::SUCCESS
 }
 

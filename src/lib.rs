@@ -12,6 +12,8 @@
 //! * [`apps`] — demo apps, the six malware, and scripted scenarios.
 //! * [`corpus`] — the synthetic Google Play corpus and manifest analyzer.
 //! * [`telemetry`] — structured tracing, metrics, and trace export.
+//! * [`metrics`] — mergeable quantile sketches, windowed metrics, the
+//!   per-device flight recorder, and the fleet health observatory.
 //! * [`lint`] — static collateral-energy analyzer (rules `EA0001`–`EA0009`).
 //! * [`fleet`] — sharded parallel fleet simulator with population-scale
 //!   collateral-energy aggregation.
@@ -31,6 +33,7 @@ pub use ea_corpus as corpus;
 pub use ea_fleet as fleet;
 pub use ea_framework as framework;
 pub use ea_lint as lint;
+pub use ea_metrics as metrics;
 pub use ea_power as power;
 pub use ea_sim as sim;
 pub use ea_telemetry as telemetry;

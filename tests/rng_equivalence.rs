@@ -1,0 +1,80 @@
+//! Cross-crate seeding equivalence: every layer that derives
+//! deterministic streams must use the one splitmix64 family defined in
+//! `ea_sim::rng` and re-exported as `ea_core::rng`. A second copy of the
+//! finalizer drifting out of sync would silently re-seed the fleet, so
+//! these tests pin both the re-export identity and golden output vectors
+//! computed from the reference splitmix64 constants.
+
+use e_android::fleet::device_seed;
+
+#[test]
+fn core_rng_is_the_sim_rng() {
+    for seed in [0u64, 1, 42, 2_026, u64::MAX] {
+        for index in [0u64, 1, 7, 63, 1_000] {
+            assert_eq!(
+                ea_core::rng::splitmix64_stream(seed, index),
+                ea_sim::rng::splitmix64_stream(seed, index),
+                "re-export must be the same function"
+            );
+        }
+        for lane in [0u64, 5, 11] {
+            for layer in [0u64, 1, 3, 9] {
+                assert_eq!(
+                    ea_core::rng::splitmix64_lane(seed, lane, layer),
+                    ea_sim::rng::splitmix64_lane(seed, lane, layer),
+                );
+            }
+        }
+        assert_eq!(
+            ea_core::rng::splitmix64(seed),
+            ea_sim::rng::splitmix64(seed)
+        );
+    }
+    assert_eq!(
+        ea_core::rng::SPLITMIX64_GAMMA,
+        ea_sim::rng::SPLITMIX64_GAMMA
+    );
+}
+
+#[test]
+fn fleet_device_seeds_follow_the_shared_stream() {
+    for fleet_seed in [0u64, 42, 2_026] {
+        for index in [0usize, 7, 63] {
+            assert_eq!(
+                device_seed(fleet_seed, index),
+                ea_core::rng::splitmix64_stream(fleet_seed, index as u64),
+            );
+        }
+    }
+}
+
+#[test]
+fn splitmix_stream_matches_golden_vectors() {
+    // Computed independently from the reference splitmix64 constants
+    // (finalizer 0xBF58476D1CE4E5B9 / 0x94D049BB133111EB, gamma
+    // 0x9E3779B97F4A7C15). Any drift in any layer breaks every fleet
+    // seed schedule, so the literals are pinned here.
+    assert_eq!(device_seed(2_026, 0), 0xDB9C_5598_9194_8D23);
+    assert_eq!(device_seed(2_026, 63), 0x273B_F82E_82FF_421D);
+    assert_eq!(device_seed(42, 7), 0xCCF6_35EE_9E9E_2FA4);
+    assert_eq!(device_seed(0, 0), 0xE220_A839_7B1D_CDAF);
+}
+
+#[test]
+fn splitmix_lane_matches_golden_vectors() {
+    assert_eq!(
+        ea_core::rng::splitmix64_lane(2_026, 0, 1),
+        0xDDEA_9E4D_FC0A_D5E1
+    );
+    assert_eq!(
+        ea_core::rng::splitmix64_lane(7, 5, 3),
+        0x484B_C94A_52E3_F008
+    );
+    // splitmix64 is a bijective mix with no hidden increment: the
+    // all-zero triple maps to zero.
+    assert_eq!(ea_core::rng::splitmix64_lane(0, 0, 0), 0);
+    assert_eq!(
+        ea_core::rng::splitmix64_lane(31_337, 11, 9),
+        0xF859_F45F_512E_18E6
+    );
+}

@@ -1,9 +1,13 @@
 //! Corpus-wide static analysis: run the ea-lint rule registry over the
 //! Figure 2 corpus (1,124 synthetic Play-store manifests) and report
-//! diagnostic counts per rule plus the wall-time of the sweep. The
-//! static counterpart of `fig02_corpus`: where that binary measures how
-//! prevalent the attack *preconditions* are, this one measures what the
-//! analyzer makes of them.
+//! diagnostic counts and energy bounds per rule plus the wall-time of
+//! the sweep. The static counterpart of `fig02_corpus`: where that
+//! binary measures how prevalent the attack *preconditions* are, this
+//! one measures what the analyzer makes of them — in findings and in
+//! joules per day.
+//!
+//! The sweep doubles as a perf gate: the fixpoint engine must analyze
+//! the full 1,124-app corpus in under a second.
 
 use std::time::Instant;
 
@@ -13,19 +17,37 @@ use ea_lint::Linter;
 use ea_telemetry::SinkHandle;
 use serde::Serialize;
 
+/// The corpus must lint in under this much wall time (satisfied with
+/// an order of magnitude to spare on a laptop; the gate catches
+/// accidental quadratic-or-worse regressions, not machine noise).
+const LINT_WALL_BUDGET_MS: f64 = 1_000.0;
+
 #[derive(Serialize)]
 struct RuleCount {
     rule: String,
     paper_attack: Option<u8>,
     count: usize,
+    predicted_joules: f64,
+}
+
+#[derive(Serialize)]
+struct TopFinding {
+    energy_rank: usize,
+    rule: String,
+    package: String,
+    predicted_joules: f64,
 }
 
 #[derive(Serialize)]
 struct LintCorpusReport {
+    schema_version: u32,
     apps: usize,
     diagnostics: usize,
     lint_wall_ms: f64,
+    lint_wall_budget_ms: f64,
+    total_predicted_joules: f64,
     per_rule: Vec<RuleCount>,
+    top_by_energy: Vec<TopFinding>,
 }
 
 fn main() {
@@ -46,43 +68,93 @@ fn main() {
         linter.lint_manifests(&corpus)
     };
     let lint_wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    assert!(
+        lint_wall_ms < LINT_WALL_BUDGET_MS,
+        "corpus lint took {lint_wall_ms:.1} ms (budget {LINT_WALL_BUDGET_MS:.0} ms)"
+    );
 
     if let Some(trace) = &trace {
         trace.count("lint_apps_total", lint_report.apps_checked as u64);
         trace.count("lint_diagnostics_total", lint_report.len() as u64);
     }
 
+    let total_predicted_joules = lint_report.total_predicted_joules();
     println!("apps linted:    {}", lint_report.apps_checked);
     println!("diagnostics:    {}", lint_report.len());
-    println!("lint wall-time: {lint_wall_ms:.1} ms");
+    println!("lint wall-time: {lint_wall_ms:.1} ms (budget {LINT_WALL_BUDGET_MS:.0} ms)");
+    println!(
+        "static bound:   {:.1} kJ/day",
+        total_predicted_joules / 1_000.0
+    );
     println!();
-    println!("{:<26} {:>8} {:>7}", "rule", "attack", "count");
+    println!(
+        "{:<26} {:>8} {:>7} {:>16}",
+        "rule", "attack", "count", "bound kJ/day"
+    );
     let per_rule: Vec<RuleCount> = lint_report
         .counts_by_rule()
         .into_iter()
         .map(|(rule, count)| {
+            let joules: f64 = lint_report
+                .diagnostics
+                .iter()
+                .filter(|d| d.rule == rule)
+                .map(|d| d.predicted_joules)
+                .sum::<f64>()
+                .max(0.0); // normalize the empty sum's -0.0
             println!(
-                "{:<26} {:>8} {count:>7}",
+                "{:<26} {:>8} {count:>7} {:>16.1}",
                 rule.to_string(),
                 rule.paper_attack()
                     .map(|n| format!("#{n}"))
                     .unwrap_or_else(|| String::from("-")),
+                joules / 1_000.0,
             );
             RuleCount {
                 rule: rule.to_string(),
                 paper_attack: rule.paper_attack(),
                 count,
+                predicted_joules: joules,
             }
         })
         .collect();
 
+    // The energy-ranked head of the report: what a triage queue would
+    // surface first.
+    let top_by_energy: Vec<TopFinding> = lint_report
+        .by_energy()
+        .into_iter()
+        .take(10)
+        .map(|diag| TopFinding {
+            energy_rank: diag.energy_rank,
+            rule: diag.rule.to_string(),
+            package: diag.package.clone(),
+            predicted_joules: diag.predicted_joules,
+        })
+        .collect();
+    println!();
+    println!("top findings by energy bound:");
+    for finding in &top_by_energy {
+        println!(
+            "  #{:<3} {:<26} {:<34} {:>12.1} kJ/day",
+            finding.energy_rank,
+            finding.rule,
+            finding.package,
+            finding.predicted_joules / 1_000.0
+        );
+    }
+
     report::write_json(
         "lint_corpus",
         &LintCorpusReport {
+            schema_version: 2,
             apps: lint_report.apps_checked,
             diagnostics: lint_report.len(),
             lint_wall_ms,
+            lint_wall_budget_ms: LINT_WALL_BUDGET_MS,
+            total_predicted_joules,
             per_rule,
+            top_by_energy,
         },
     );
     if let Some(trace) = &trace {

@@ -119,7 +119,7 @@ pub struct RankedEntity {
 }
 
 /// The population-scale static-vs-dynamic cross-check.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LintCrossCheck {
     /// Apps analyzed, summed over devices.
     pub apps_linted: usize,
@@ -128,6 +128,11 @@ pub struct LintCrossCheck {
     /// Observed `(uid, kind)` pairs with no static prediction, summed over
     /// devices. The superset invariant keeps this at zero.
     pub superset_violations: usize,
+    /// Sum over devices of each lint report's total static energy bound,
+    /// joules/day. The bound is a day-horizon worst case, so it dominates
+    /// the fleet's observed collateral (and in practice its whole drain).
+    #[serde(default)]
+    pub static_predicted_joules: f64,
 }
 
 /// One compact per-device row (enough to audit the percentiles).
@@ -248,6 +253,7 @@ pub fn aggregate(
         apps_linted: 0,
         diagnostics: 0,
         superset_violations: 0,
+        static_predicted_joules: 0.0,
     };
     let mut devices = Vec::new();
 
@@ -286,6 +292,7 @@ pub fn aggregate(
         lint.apps_linted += report.apps_linted;
         lint.diagnostics += report.lint_diagnostics;
         lint.superset_violations += report.soundness_violations;
+        lint.static_predicted_joules += report.static_predicted_joules;
         for (kind, count) in &report.fault_log.injected {
             *health.faults_injected.entry(kind.clone()).or_default() += count;
         }
@@ -352,7 +359,7 @@ pub fn aggregate(
     }
 
     FleetReport {
-        schema_version: 3,
+        schema_version: 4,
         fleet_seed: config.seed,
         fleet_size: config.size,
         corpus_seed: config.corpus_seed,
@@ -392,6 +399,7 @@ mod tests {
             apps_linted: 8,
             lint_diagnostics: 20,
             soundness_violations: 0,
+            static_predicted_joules: 50_000.0,
             fault_log: ea_chaos::FaultLog::default(),
         }
     }
@@ -458,8 +466,9 @@ mod tests {
         assert_eq!(report.top_drivers[0].name, "com.a");
         assert_eq!(report.top_drivers[0].devices, 2);
         assert_eq!(report.lint.apps_linted, 16);
+        assert_eq!(report.lint.static_predicted_joules, 100_000.0);
         assert_eq!(report.devices.len(), 2);
-        assert_eq!(report.schema_version, 3);
+        assert_eq!(report.schema_version, 4);
         assert_eq!(report.health.checkpoints_salvaged, 1);
         assert_eq!(report.drain_joules.gamma, QuantileSketch::DEFAULT_GAMMA);
     }

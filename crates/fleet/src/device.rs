@@ -114,6 +114,11 @@ pub struct DeviceReport {
     /// Dynamically observed `(uid, kind)` pairs the static pass missed.
     /// The superset invariant says this is always zero.
     pub soundness_violations: usize,
+    /// Total static energy bound of the pre-run lint report, joules/day
+    /// (the sum of every diagnostic's `predicted_joules`). A day-horizon
+    /// worst case, so it dominates the device's measured collateral.
+    #[serde(default)]
+    pub static_predicted_joules: f64,
     /// Faults injected into and detected on this device (counter glitches,
     /// framework faults, fleet faults). Empty on a fault-free run.
     #[serde(default)]
@@ -539,7 +544,9 @@ fn distill(
     };
     let uid_label = |uid: Uid| entity_label(Entity::App(uid));
 
-    let monitor = profiler.monitor().expect("fleet devices run E-Android");
+    let Some(monitor) = profiler.monitor() else {
+        unreachable!("fleet devices run E-Android profilers")
+    };
     let history = monitor.attack_history();
     let graph = monitor.graph();
 
@@ -612,6 +619,7 @@ fn distill(
         apps_linted: lint_report.apps_checked,
         lint_diagnostics: lint_report.len(),
         soundness_violations,
+        static_predicted_joules: lint_report.total_predicted_joules(),
         fault_log,
     }
 }

@@ -88,6 +88,23 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Locks a mutex, recovering the data from a poisoned lock: a worker
+/// panic is already caught and accounted as a [`DeviceFailure`], so the
+/// shared state it held remains the source of truth.
+fn lock_clean<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Consumes a mutex, recovering from poison the same way as
+/// [`lock_clean`].
+fn into_clean<T>(mutex: Mutex<T>) -> T {
+    mutex
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// One worker's supervision tally, merged into [`FleetHealth`] at the end
 /// of the run (pure sums: merge order cannot change the report).
 #[derive(Debug, Default, Clone)]
@@ -283,15 +300,12 @@ pub fn run_fleet_observed(
                         if let Some(observatory) = observatory {
                             observatory.worker_busy_add(worker, (device_secs * 1e6) as u64);
                         }
-                        slots.lock().expect("slot lock")[index] = Some(outcome);
+                        lock_clean(slots)[index] = Some(outcome);
                     }
                 }
-                busy.lock().expect("busy lock")[worker] = busy_secs;
-                drain_sketch
-                    .lock()
-                    .expect("sketch lock")
-                    .merge(&local_sketch);
-                let mut merged = supervision.lock().expect("supervision lock");
+                lock_clean(busy)[worker] = busy_secs;
+                lock_clean(drain_sketch).merge(&local_sketch);
+                let mut merged = lock_clean(supervision);
                 merged.retried += tally.retried;
                 merged.recovered += tally.recovered;
                 merged.abandoned += tally.abandoned;
@@ -301,14 +315,12 @@ pub fn run_fleet_observed(
         }
     });
 
-    let outcomes: Vec<Result<DeviceReport, DeviceFailure>> = slots
-        .into_inner()
-        .expect("slot lock")
+    let outcomes: Vec<Result<DeviceReport, DeviceFailure>> = into_clean(slots)
         .into_iter()
-        .map(|slot| slot.expect("every device index was claimed"))
+        .map(|slot| slot.unwrap_or_else(|| unreachable!("every device index was claimed")))
         .collect();
 
-    let tally = supervision.into_inner().expect("supervision lock");
+    let tally = into_clean(supervision);
     let mut health = FleetHealth {
         devices_retried: tally.retried,
         devices_recovered: tally.recovered,
@@ -329,14 +341,12 @@ pub fn run_fleet_observed(
 
     let report = {
         let _merge_span = span(sink.sink(), "fleet_merge");
-        let sketch = drain_sketch.into_inner().expect("sketch lock");
+        let sketch = into_clean(drain_sketch);
         aggregate(config, outcomes, health, Some(sketch))
     };
 
     let wall_secs = started.elapsed().as_secs_f64();
-    let worker_utilization: Vec<f64> = busy
-        .into_inner()
-        .expect("busy lock")
+    let worker_utilization: Vec<f64> = into_clean(busy)
         .into_iter()
         .map(|busy_secs| {
             if wall_secs > 0.0 {

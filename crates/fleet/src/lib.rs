@@ -1,5 +1,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Fallible paths must return errors, not panic: unwrap/expect are
+// banned outside tests (DESIGN.md §11). Carve-outs need an explicit
+// `#[allow]` with a proof of infallibility.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! # ea-fleet
 //!

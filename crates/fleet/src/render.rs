@@ -7,7 +7,8 @@ use crate::{FleetReport, FleetRunStats};
 /// The report as pretty-printed JSON (trailing newline included).
 /// Byte-identical for a given `(seed, fleet_size)` at any job count.
 pub fn to_json(report: &FleetReport) -> String {
-    let mut json = serde_json::to_string_pretty(report).expect("fleet report serializes");
+    let mut json = serde_json::to_string_pretty(report)
+        .unwrap_or_else(|err| format!("{{\"error\":\"fleet report failed to serialize: {err}\"}}"));
     json.push('\n');
     json
 }
@@ -85,8 +86,11 @@ pub fn to_text(report: &FleetReport) -> String {
     let _ = writeln!(out);
     let _ = writeln!(
         out,
-        "lint cross-check: {} app(s), {} diagnostic(s), {} superset violation(s)",
-        report.lint.apps_linted, report.lint.diagnostics, report.lint.superset_violations
+        "lint cross-check: {} app(s), {} diagnostic(s), {} superset violation(s), static bound {:.1} kJ/day",
+        report.lint.apps_linted,
+        report.lint.diagnostics,
+        report.lint.superset_violations,
+        report.lint.static_predicted_joules / 1_000.0
     );
 
     let health = &report.health;

@@ -213,6 +213,23 @@ impl AppManifestBuilder {
         self
     }
 
+    /// Declares a service with an intent filter for the given actions.
+    pub fn service_with_actions(
+        mut self,
+        name: impl Into<String>,
+        exported: bool,
+        actions: &[&str],
+    ) -> Self {
+        self.manifest.components.push(ComponentDecl {
+            name: name.into(),
+            kind: ComponentKind::Service,
+            exported,
+            intent_actions: actions.iter().map(|a| a.to_string()).collect(),
+            transparent: false,
+        });
+        self
+    }
+
     /// Declares a broadcast receiver.
     pub fn receiver(mut self, name: impl Into<String>, exported: bool, actions: &[&str]) -> Self {
         self.manifest.components.push(ComponentDecl {

@@ -1,0 +1,213 @@
+//! The resource-state lattice.
+//!
+//! An abstract state maps each [`Resource`] to an *occupancy bound*: the
+//! fraction of an ARENA-style day the resource may be held, joined with
+//! `max`, plus a provenance set of cause strings joined with set union.
+//! Occupancies only ever take values the transfer functions write (a
+//! finite constant set: `0`, a behaviour-profile utilization, or `1`),
+//! and cause sets grow monotonically inside a finite universe (apps ×
+//! fixed cause templates), so the lattice has finite height and the
+//! worklist solver terminates.
+
+use std::collections::BTreeSet;
+
+/// One abstract device resource an app can occupy.
+///
+/// These are the lattice dimensions, not the physical power rails: the
+/// pricer ([`crate::absint::Pricer`]) maps each to a worst-case draw from
+/// [`ea_power::PowerCoefficients`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Resource {
+    /// A core pinned by a foreground session.
+    CpuForeground,
+    /// Background CPU demand kept schedulable.
+    CpuBackground,
+    /// A core pinned by a running/bound service.
+    CpuService,
+    /// Screen lit by a foreground session.
+    ScreenOn,
+    /// Screen forced lit (wakelock leak / brightness escalation).
+    ScreenBright,
+    /// Network radio held active.
+    Radio,
+    /// GPS receiver held.
+    Gps,
+    /// Camera pipeline held.
+    Camera,
+    /// Audio pipeline held.
+    Audio,
+}
+
+impl Resource {
+    /// Number of lattice dimensions.
+    pub const COUNT: usize = 9;
+
+    /// Every resource, in declaration order.
+    pub const ALL: [Resource; Resource::COUNT] = [
+        Resource::CpuForeground,
+        Resource::CpuBackground,
+        Resource::CpuService,
+        Resource::ScreenOn,
+        Resource::ScreenBright,
+        Resource::Radio,
+        Resource::Gps,
+        Resource::Camera,
+        Resource::Audio,
+    ];
+
+    /// Dense index for array-backed states.
+    pub fn index(self) -> usize {
+        match self {
+            Resource::CpuForeground => 0,
+            Resource::CpuBackground => 1,
+            Resource::CpuService => 2,
+            Resource::ScreenOn => 3,
+            Resource::ScreenBright => 4,
+            Resource::Radio => 5,
+            Resource::Gps => 6,
+            Resource::Camera => 7,
+            Resource::Audio => 8,
+        }
+    }
+
+    /// Human-readable label, stable for renderers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Resource::CpuForeground => "cpu-foreground",
+            Resource::CpuBackground => "cpu-background",
+            Resource::CpuService => "cpu-service",
+            Resource::ScreenOn => "screen-on",
+            Resource::ScreenBright => "screen-bright",
+            Resource::Radio => "radio",
+            Resource::Gps => "gps",
+            Resource::Camera => "camera",
+            Resource::Audio => "audio",
+        }
+    }
+}
+
+/// An element of the resource-state lattice: per-resource occupancy
+/// bounds (fraction of a day, join = pointwise `max`) with cause
+/// provenance (join = set union). `Default` is ⊥ — nothing occupied,
+/// nothing to blame.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResourceState {
+    occ: [f64; Resource::COUNT],
+    causes: [BTreeSet<String>; Resource::COUNT],
+}
+
+impl ResourceState {
+    /// The bottom element: every occupancy 0, every cause set empty.
+    pub fn bottom() -> ResourceState {
+        ResourceState::default()
+    }
+
+    /// The occupancy bound for `resource`, in `[0, 1]`.
+    pub fn occupancy(&self, resource: Resource) -> f64 {
+        self.occ[resource.index()]
+    }
+
+    /// Why `resource` may be occupied, in sorted order.
+    pub fn causes(&self, resource: Resource) -> impl Iterator<Item = &str> {
+        self.causes[resource.index()].iter().map(String::as_str)
+    }
+
+    /// Whether no resource is occupied.
+    pub fn is_bottom(&self) -> bool {
+        self.occ.iter().all(|&o| o == 0.0)
+    }
+
+    /// Raises `resource` to at least `occupancy` and records `cause`.
+    /// Monotone by construction: occupancies never decrease, cause sets
+    /// never shrink.
+    pub fn raise(&mut self, resource: Resource, occupancy: f64, cause: impl Into<String>) {
+        let slot = resource.index();
+        let clamped = occupancy.clamp(0.0, 1.0);
+        if clamped > self.occ[slot] {
+            self.occ[slot] = clamped;
+        }
+        if clamped > 0.0 {
+            self.causes[slot].insert(cause.into());
+        }
+    }
+
+    /// Joins `other` into `self`; returns whether anything changed (the
+    /// worklist's re-enqueue signal).
+    pub fn join_from(&mut self, other: &ResourceState) -> bool {
+        let mut changed = false;
+        for slot in 0..Resource::COUNT {
+            if other.occ[slot] > self.occ[slot] {
+                self.occ[slot] = other.occ[slot];
+                changed = true;
+            }
+            for cause in &other.causes[slot] {
+                if self.causes[slot].insert(cause.clone()) {
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    /// The partial order: `self ⊑ other`.
+    pub fn le(&self, other: &ResourceState) -> bool {
+        (0..Resource::COUNT).all(|slot| {
+            self.occ[slot] <= other.occ[slot] && self.causes[slot].is_subset(&other.causes[slot])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_indices_are_dense_and_unique() {
+        let mut seen = [false; Resource::COUNT];
+        for resource in Resource::ALL {
+            assert!(!seen[resource.index()], "{resource:?} index collides");
+            seen[resource.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn raise_is_monotone_and_clamped() {
+        let mut state = ResourceState::bottom();
+        state.raise(Resource::Radio, 0.5, "service sync");
+        state.raise(Resource::Radio, 0.2, "lesser claim");
+        assert_eq!(state.occupancy(Resource::Radio), 0.5, "never decreases");
+        state.raise(Resource::Radio, 7.0, "absurd");
+        assert_eq!(state.occupancy(Resource::Radio), 1.0, "clamped to a day");
+        let causes: Vec<&str> = state.causes(Resource::Radio).collect();
+        assert_eq!(causes, vec!["absurd", "lesser claim", "service sync"]);
+    }
+
+    #[test]
+    fn join_is_lub_and_reports_change() {
+        let mut a = ResourceState::bottom();
+        a.raise(Resource::ScreenOn, 1.0, "foreground");
+        let mut b = ResourceState::bottom();
+        b.raise(Resource::ScreenOn, 0.5, "partial");
+        b.raise(Resource::Gps, 1.0, "nav");
+
+        let mut joined = a.clone();
+        assert!(joined.join_from(&b));
+        assert!(a.le(&joined));
+        assert!(b.le(&joined));
+        assert_eq!(joined.occupancy(Resource::ScreenOn), 1.0);
+        // Idempotent: joining again changes nothing.
+        assert!(!joined.join_from(&b));
+        assert!(!joined.join_from(&a));
+    }
+
+    #[test]
+    fn bottom_is_identity_of_join() {
+        let mut state = ResourceState::bottom();
+        state.raise(Resource::Camera, 1.0, "CAMERA permission");
+        let snapshot = state.clone();
+        assert!(!state.join_from(&ResourceState::bottom()));
+        assert_eq!(state, snapshot);
+        assert!(ResourceState::bottom().le(&state));
+    }
+}

@@ -1,0 +1,607 @@
+//! The worklist fixpoint solver.
+//!
+//! Two intertwined fixpoints over one worklist discipline:
+//!
+//! 1. **Lifecycle envelopes** — per app, the three phase nodes of
+//!    [`transfer::edges`] are iterated with
+//!    `state(n) = generate(n) ⊔ ⨆ kill(e, state(pred))` until nothing
+//!    changes. The lattice is finite-height (occupancies from a finite
+//!    constant set, cause sets inside a finite universe) and every
+//!    transfer is monotone, so termination is structural, not a fuel
+//!    counter.
+//! 2. **k-hop intent reachability** — the cross-app generalization of
+//!    the old two-hop pass. An app's *emission vocabulary* is the set of
+//!    implicit actions its own components declare (an app that declares
+//!    nothing is ⊤: it may emit anything). From each origin, a
+//!    min-hop relaxation over `emit(action) → exported handler` edges
+//!    runs to fixpoint, keeping one deterministic lexicographically
+//!    minimal witness path per target — independent of install order.
+//!
+//! The solution prices every envelope through [`super::price::Pricer`]
+//! and precomputes the package-ordered aggregates the rules query, so a
+//! full corpus pass stays linear in the app count.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ea_framework::ComponentKind;
+
+use super::lattice::ResourceState;
+use super::price::{PricedEnvelope, Pricer};
+use super::transfer::{self, Phase};
+use crate::facts::AppFacts;
+use crate::flow::Handler;
+
+/// Convergence evidence: how much work the worklists did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Phase-node transfer evaluations until the lifecycle fixpoint.
+    pub phase_iterations: usize,
+    /// Edge relaxations until the reachability fixpoint.
+    pub reach_relaxations: usize,
+}
+
+/// One app reachable from an origin through implicit-intent hops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReachInfo {
+    /// Index of the reached app.
+    pub target: usize,
+    /// Minimal number of intent hops from the origin.
+    pub hops: usize,
+    /// The action of the final hop.
+    pub action: String,
+    /// The handler component the final hop lands in.
+    pub component: String,
+    /// The handler's component kind (what the chain ultimately drives).
+    pub kind: ComponentKind,
+}
+
+/// Per-app solved state.
+#[derive(Debug, Clone)]
+struct AppSolution {
+    /// Fixpoint state of each lifecycle phase ([`Phase::index`] order).
+    phases: [ResourceState; Phase::COUNT],
+    /// Join of the phases reachable from the resident entry node.
+    autonomous: ResourceState,
+    /// Priced phase envelopes, same order.
+    phase_prices: [PricedEnvelope; Phase::COUNT],
+    /// Priced autonomous envelope.
+    autonomous_price: PricedEnvelope,
+    has_exported_activity: bool,
+    has_exported_service: bool,
+}
+
+/// Witness parent pointer: `(previous app, action, component, kind)`.
+type Parent = (usize, String, String, ComponentKind);
+
+/// The fixpoint solution over one app set.
+#[derive(Debug)]
+pub struct AbsintSolution {
+    apps: Vec<AppSolution>,
+    pricer: Pricer,
+    /// `reach[origin][target]` — minimal hops + witness parent, `None`
+    /// when unreachable. Only materialized when the intent graph is
+    /// non-trivial; an empty handler map short-circuits to all-`None`.
+    reach: Vec<Vec<Option<(usize, Parent)>>>,
+    /// App indices in package order: the canonical iteration order that
+    /// makes every cross-app float aggregation install-order independent.
+    order: Vec<usize>,
+    packages: Vec<String>,
+    stats: SolverStats,
+    // Package-ordered aggregates for O(1) rule pricing.
+    sum_bg_all: PricedEnvelope,
+    sum_bg_exported_activity: PricedEnvelope,
+    sum_svc_exported_service: PricedEnvelope,
+    /// Top-2 foreground prices among exported-activity apps, by
+    /// `(total desc, package asc)`.
+    top_fg_exported: Vec<usize>,
+    /// Top-2 foreground prices among all apps.
+    top_fg_all: Vec<usize>,
+}
+
+impl AbsintSolution {
+    /// Solves the lifecycle and reachability fixpoints for `apps`.
+    /// `handlers` is the exported implicit-intent index (action →
+    /// handlers) and `max_hops` caps the chain depth (use
+    /// `usize::MAX` for the full fixpoint; the cap exists so tests can
+    /// demonstrate what a two-hop truncation misses).
+    pub fn solve(
+        apps: &[AppFacts],
+        handlers: &BTreeMap<String, Vec<Handler>>,
+        pricer: &Pricer,
+        max_hops: usize,
+    ) -> AbsintSolution {
+        let mut stats = SolverStats::default();
+        let solved: Vec<AppSolution> = apps
+            .iter()
+            .map(|facts| solve_app(facts, pricer, &mut stats))
+            .collect();
+        let packages: Vec<String> = apps.iter().map(|f| f.package.clone()).collect();
+
+        let mut order: Vec<usize> = (0..apps.len()).collect();
+        order.sort_by(|&a, &b| packages[a].cmp(&packages[b]));
+
+        let reach = solve_reach(apps, handlers, &order, max_hops, &mut stats);
+
+        // Package-ordered aggregate sums: the per-rule prices are
+        // sum-minus-own-contribution, so one O(n) pass serves every app.
+        let mut sum_bg_all = PricedEnvelope::default();
+        let mut sum_bg_exported_activity = PricedEnvelope::default();
+        let mut sum_svc_exported_service = PricedEnvelope::default();
+        for &index in &order {
+            let app = &solved[index];
+            sum_bg_all.add(&app.phase_prices[Phase::Background.index()]);
+            if app.has_exported_activity {
+                sum_bg_exported_activity.add(&app.phase_prices[Phase::Background.index()]);
+            }
+            if app.has_exported_service {
+                sum_svc_exported_service.add(&app.phase_prices[Phase::Service.index()]);
+            }
+        }
+        let top2 = |candidates: &mut dyn Iterator<Item = usize>| -> Vec<usize> {
+            let mut all: Vec<usize> = candidates.collect();
+            all.sort_by(|&a, &b| {
+                let fa = solved[a].phase_prices[Phase::Foreground.index()].total_joules();
+                let fb = solved[b].phase_prices[Phase::Foreground.index()].total_joules();
+                fb.total_cmp(&fa)
+                    .then_with(|| packages[a].cmp(&packages[b]))
+            });
+            all.truncate(2);
+            all
+        };
+        let top_fg_exported = top2(
+            &mut order
+                .iter()
+                .copied()
+                .filter(|&i| solved[i].has_exported_activity),
+        );
+        let top_fg_all = top2(&mut order.iter().copied());
+
+        AbsintSolution {
+            apps: solved,
+            pricer: pricer.clone(),
+            reach,
+            order,
+            packages,
+            stats,
+            sum_bg_all,
+            sum_bg_exported_activity,
+            sum_svc_exported_service,
+            top_fg_exported,
+            top_fg_all,
+        }
+    }
+
+    /// Convergence statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Attack #5 bound: the screen held at its ceiling for a day.
+    pub fn screen_day(&self) -> PricedEnvelope {
+        self.pricer.screen_day()
+    }
+
+    /// Attack #6 / no-sleep bound: a leaked screen wakelock for a day.
+    pub fn wakelock_day(&self) -> PricedEnvelope {
+        self.pricer.wakelock_day()
+    }
+
+    /// The fixpoint state of one lifecycle phase.
+    pub fn phase_state(&self, app: usize, phase: Phase) -> &ResourceState {
+        &self.apps[app].phases[phase.index()]
+    }
+
+    /// The join of every phase the app can reach on its own.
+    pub fn autonomous_state(&self, app: usize) -> &ResourceState {
+        &self.apps[app].autonomous
+    }
+
+    /// The priced envelope of one lifecycle phase.
+    pub fn phase_price(&self, app: usize, phase: Phase) -> &PricedEnvelope {
+        &self.apps[app].phase_prices[phase.index()]
+    }
+
+    /// The priced autonomous envelope (what the app can burn unprompted).
+    pub fn autonomous_price(&self, app: usize) -> &PricedEnvelope {
+        &self.apps[app].autonomous_price
+    }
+
+    /// Attack #1 bound for `origin`: the hottest foreign exported-activity
+    /// victim held foreground plus every other one parked draining in the
+    /// background. `None` when there is no victim.
+    pub fn hijack_envelope(&self, origin: usize) -> Option<PricedEnvelope> {
+        let best = self
+            .top_fg_exported
+            .iter()
+            .copied()
+            .find(|&candidate| candidate != origin)?;
+        let mut env = self.sum_bg_exported_activity.clone();
+        if self.apps[origin].has_exported_activity {
+            env.saturating_sub(&self.apps[origin].phase_prices[Phase::Background.index()]);
+        }
+        env.saturating_sub(&self.apps[best].phase_prices[Phase::Background.index()]);
+        env.add(&self.apps[best].phase_prices[Phase::Foreground.index()]);
+        Some(env)
+    }
+
+    /// Attack #2 bound for `origin`: every co-installed app displaced into
+    /// its background envelope at once.
+    pub fn spray_envelope(&self, origin: usize) -> PricedEnvelope {
+        let mut env = self.sum_bg_all.clone();
+        env.saturating_sub(&self.apps[origin].phase_prices[Phase::Background.index()]);
+        env
+    }
+
+    /// Attack #3 bound for `origin`: every foreign exported service bound
+    /// and pinned concurrently.
+    pub fn tether_envelope(&self, origin: usize) -> PricedEnvelope {
+        let mut env = self.sum_svc_exported_service.clone();
+        if self.apps[origin].has_exported_service {
+            env.saturating_sub(&self.apps[origin].phase_prices[Phase::Service.index()]);
+        }
+        env
+    }
+
+    /// Attack #4 bound for `origin`: the hottest foreign app interrupted
+    /// mid-foreground-session.
+    pub fn interrupt_envelope(&self, origin: usize) -> PricedEnvelope {
+        self.top_fg_all
+            .iter()
+            .copied()
+            .find(|&candidate| candidate != origin)
+            .map(|victim| self.apps[victim].phase_prices[Phase::Foreground.index()].clone())
+            .unwrap_or_default()
+    }
+
+    /// Every app reachable from `origin` through implicit-intent hops,
+    /// ordered by `(hops, package)`.
+    pub fn reachable_from(&self, origin: usize) -> Vec<ReachInfo> {
+        let Some(row) = self.reach.get(origin) else {
+            return Vec::new();
+        };
+        let mut out: Vec<ReachInfo> = Vec::new();
+        for &target in &self.order {
+            if let Some((hops, (_, action, component, kind))) = &row[target] {
+                out.push(ReachInfo {
+                    target,
+                    hops: *hops,
+                    action: action.clone(),
+                    component: component.clone(),
+                    kind: *kind,
+                });
+            }
+        }
+        out.sort_by(|a, b| {
+            (a.hops, &self.packages[a.target]).cmp(&(b.hops, &self.packages[b.target]))
+        });
+        out
+    }
+
+    /// The deepest chain from `origin`, in hops (0 = nothing reachable).
+    pub fn max_chain_depth(&self, origin: usize) -> usize {
+        self.reachable_from(origin)
+            .iter()
+            .map(|info| info.hops)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders the minimal witness path to `target`, e.g.
+    /// `com.a -[SEND]-> com.b/Share -[VIEW]-> com.c/Open`.
+    pub fn describe_path(&self, origin: usize, target: usize) -> Option<String> {
+        if origin == target {
+            return None;
+        }
+        let row = self.reach.get(origin)?;
+        row[target].as_ref()?;
+        // Walk parents back to the origin, then render forward.
+        let mut steps: Vec<(String, usize, String)> = Vec::new();
+        let mut cursor = target;
+        while cursor != origin {
+            let (_, (prev, action, component, _)) = row[cursor].as_ref()?;
+            steps.push((action.clone(), cursor, component.clone()));
+            cursor = *prev;
+        }
+        steps.reverse();
+        let mut out = self.packages[origin].clone();
+        for (action, app, component) in steps {
+            out.push_str(&format!(
+                " -[{action}]-> {}/{component}",
+                self.packages[app]
+            ));
+        }
+        Some(out)
+    }
+
+    /// Chain-attack bound for `origin`: the hottest activity-entered
+    /// target held foreground, the rest of the reach set parked in
+    /// background or pinned as services, priced in package order.
+    pub fn chain_envelope(&self, origin: usize) -> PricedEnvelope {
+        let reach = self.reachable_from(origin);
+        let best_activity = reach
+            .iter()
+            .filter(|info| info.kind == ComponentKind::Activity)
+            .max_by(|a, b| {
+                let fa = self.apps[a.target].phase_prices[Phase::Foreground.index()].total_joules();
+                let fb = self.apps[b.target].phase_prices[Phase::Foreground.index()].total_joules();
+                fa.total_cmp(&fb)
+                    .then_with(|| self.packages[b.target].cmp(&self.packages[a.target]))
+            })
+            .map(|info| info.target);
+        let mut env = PricedEnvelope::default();
+        for info in &reach {
+            let prices = &self.apps[info.target].phase_prices;
+            match info.kind {
+                ComponentKind::Activity if Some(info.target) == best_activity => {
+                    env.add(&prices[Phase::Foreground.index()]);
+                }
+                ComponentKind::Activity | ComponentKind::Receiver => {
+                    env.add(&prices[Phase::Background.index()]);
+                }
+                ComponentKind::Service => {
+                    env.add(&prices[Phase::Service.index()]);
+                }
+            }
+        }
+        env
+    }
+}
+
+/// Runs the lifecycle worklist for one app to fixpoint.
+fn solve_app(facts: &AppFacts, pricer: &Pricer, stats: &mut SolverStats) -> AppSolution {
+    let edges = transfer::edges(facts);
+    let mut phases: [ResourceState; Phase::COUNT] = [
+        transfer::generate(Phase::Background, facts),
+        transfer::generate(Phase::Foreground, facts),
+        transfer::generate(Phase::Service, facts),
+    ];
+    // Phases with no incoming edge from the entry stay at their local
+    // generation but are unreachable; mark reachability from the entry.
+    let mut reachable = [false; Phase::COUNT];
+    reachable[Phase::Background.index()] = true;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(from, to) in &edges {
+            stats.phase_iterations += 1;
+            if !reachable[from.index()] {
+                continue;
+            }
+            if !reachable[to.index()] {
+                reachable[to.index()] = true;
+                changed = true;
+            }
+            let flowed = transfer::kill(from, to, facts, &phases[from.index()]);
+            // Split borrow: clone the flowed state before joining.
+            if phases[to.index()].join_from(&flowed) {
+                changed = true;
+            }
+        }
+    }
+    let mut autonomous = ResourceState::bottom();
+    for phase in Phase::ALL {
+        if reachable[phase.index()] {
+            autonomous.join_from(&phases[phase.index()]);
+        }
+    }
+    let phase_prices = [
+        pricer.price(&phases[0]),
+        pricer.price(&phases[1]),
+        pricer.price(&phases[2]),
+    ];
+    let autonomous_price = pricer.price(&autonomous);
+    AppSolution {
+        phases,
+        autonomous,
+        phase_prices,
+        autonomous_price,
+        has_exported_activity: facts.has_exported_activity(),
+        has_exported_service: facts.has_exported_service(),
+    }
+}
+
+/// The implicit actions an app may plausibly emit: the union of what its
+/// own components declare. `None` means ⊤ — an app that declares nothing
+/// is assumed able to emit anything (the sound default for opaque code).
+fn vocabulary(facts: &AppFacts) -> Option<BTreeSet<&str>> {
+    let vocab: BTreeSet<&str> = facts
+        .manifest
+        .components
+        .iter()
+        .flat_map(|decl| decl.intent_actions.iter().map(String::as_str))
+        .collect();
+    if vocab.is_empty() {
+        None
+    } else {
+        Some(vocab)
+    }
+}
+
+/// Min-hop relaxation from every origin over emission-feasible edges.
+fn solve_reach(
+    apps: &[AppFacts],
+    handlers: &BTreeMap<String, Vec<Handler>>,
+    order: &[usize],
+    max_hops: usize,
+    stats: &mut SolverStats,
+) -> Vec<Vec<Option<(usize, Parent)>>> {
+    if handlers.is_empty() {
+        return (0..apps.len()).map(|_| vec![None; apps.len()]).collect();
+    }
+    let vocabs: Vec<Option<BTreeSet<&str>>> = apps.iter().map(vocabulary).collect();
+    // Per app, the sorted (action, handler) edges it can emit. Handlers
+    // are re-sorted by (target package, component) so witness selection
+    // is install-order independent.
+    let emit_edges = |app: usize| -> Vec<(&str, &Handler)> {
+        let mut out: Vec<(&str, &Handler)> = Vec::new();
+        match &vocabs[app] {
+            Some(vocab) => {
+                for &action in vocab {
+                    if let Some(hs) = handlers.get(action) {
+                        out.extend(hs.iter().map(|h| (action, h)));
+                    }
+                }
+            }
+            None => {
+                for (action, hs) in handlers {
+                    out.extend(hs.iter().map(|h| (action.as_str(), h)));
+                }
+            }
+        }
+        out.sort_by(|(aa, ha), (ab, hb)| {
+            (&apps[ha.app].package, *aa, &ha.component).cmp(&(
+                &apps[hb.app].package,
+                *ab,
+                &hb.component,
+            ))
+        });
+        out
+    };
+
+    let mut reach: Vec<Vec<Option<(usize, Parent)>>> =
+        (0..apps.len()).map(|_| vec![None; apps.len()]).collect();
+    for &origin in order {
+        let mut frontier: Vec<usize> = vec![origin];
+        let mut hops = 0;
+        while !frontier.is_empty() && hops < max_hops {
+            hops += 1;
+            // Package order within the frontier: the first writer to a
+            // target is the lexicographically minimal witness.
+            frontier.sort_by(|&a, &b| apps[a].package.cmp(&apps[b].package));
+            let mut next: Vec<usize> = Vec::new();
+            for &from in &frontier {
+                for (action, handler) in emit_edges(from) {
+                    stats.reach_relaxations += 1;
+                    let target = handler.app;
+                    if target == origin || reach[origin][target].is_some() {
+                        continue;
+                    }
+                    reach[origin][target] = Some((
+                        hops,
+                        (
+                            from,
+                            action.to_string(),
+                            handler.component.clone(),
+                            handler.kind,
+                        ),
+                    ));
+                    next.push(target);
+                }
+            }
+            frontier = next;
+        }
+    }
+    reach
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::LintContext;
+    use ea_framework::{AppManifest, Permission};
+    use ea_power::DevicePowerModel;
+
+    fn solve(manifests: &[AppManifest]) -> (Vec<AppFacts>, AbsintSolution) {
+        let facts: Vec<AppFacts> = manifests.iter().map(AppFacts::from_manifest).collect();
+        let ctx = LintContext::new(facts.clone());
+        let pricer = Pricer::new(DevicePowerModel::nexus4().coefficients());
+        let solution = AbsintSolution::solve(ctx.apps(), ctx.handler_index(), &pricer, usize::MAX);
+        (facts, solution)
+    }
+
+    #[test]
+    fn wakelock_leak_flows_across_lifecycle_edges() {
+        let (_, solution) = solve(&[AppManifest::builder("com.leaky")
+            .activity("Main", true)
+            .permission(Permission::WakeLock)
+            .build()]);
+        use super::super::lattice::Resource;
+        // The background-acquired leak haunts the foreground phase too.
+        let fg = solution.phase_state(0, Phase::Foreground);
+        assert_eq!(fg.occupancy(Resource::ScreenBright), 1.0);
+        assert!(solution.stats().phase_iterations > 0);
+    }
+
+    #[test]
+    fn envelope_prices_scale_with_victim_count() {
+        let victims: Vec<AppManifest> = (0..4)
+            .map(|i| {
+                AppManifest::builder(format!("com.victim{i}"))
+                    .activity("Main", true)
+                    .build()
+            })
+            .chain([AppManifest::builder("com.origin").build()])
+            .collect();
+        let (_, solution) = solve(&victims);
+        let origin = 4;
+        let one_less = solution.hijack_envelope(origin).unwrap().total_joules();
+        let spray = solution.spray_envelope(origin).total_joules();
+        assert!(one_less > 0.0);
+        assert!(spray > 0.0);
+        // Tether finds nothing: no exported services anywhere.
+        assert!(solution.tether_envelope(origin).is_zero());
+    }
+
+    #[test]
+    fn reach_follows_emission_vocabulary() {
+        // A declares HOP1 internally → can emit HOP1 only. B handles HOP1
+        // and declares HOP2 → reaches C at hop 2. C handles HOP2.
+        let (_, solution) = solve(&[
+            AppManifest::builder("com.a")
+                .activity_with_actions("Seed", false, &["HOP1"])
+                .build(),
+            AppManifest::builder("com.b")
+                .activity_with_actions("In", true, &["HOP1"])
+                .activity_with_actions("Out", false, &["HOP2"])
+                .build(),
+            AppManifest::builder("com.c")
+                .activity_with_actions("End", true, &["HOP2"])
+                .build(),
+        ]);
+        let reach = solution.reachable_from(0);
+        assert_eq!(reach.len(), 2);
+        assert_eq!((reach[0].target, reach[0].hops), (1, 1));
+        assert_eq!((reach[1].target, reach[1].hops), (2, 2));
+        assert_eq!(
+            solution.describe_path(0, 2).unwrap(),
+            "com.a -[HOP1]-> com.b/In -[HOP2]-> com.c/End"
+        );
+        // C declares only HOP2, which nobody else handles: dead end.
+        assert!(solution.reachable_from(2).is_empty());
+    }
+
+    #[test]
+    fn empty_vocabulary_is_top() {
+        let (_, solution) = solve(&[
+            AppManifest::builder("com.mute").build(),
+            AppManifest::builder("com.open")
+                .activity_with_actions("Any", true, &["X"])
+                .build(),
+        ]);
+        // com.mute declares nothing → ⊤ → reaches the X handler in 1 hop.
+        let reach = solution.reachable_from(0);
+        assert_eq!(reach.len(), 1);
+        assert_eq!(reach[0].hops, 1);
+    }
+
+    #[test]
+    fn witness_is_install_order_independent() {
+        let a = AppManifest::builder("com.a")
+            .activity_with_actions("Seed", false, &["GO"])
+            .build();
+        let b = AppManifest::builder("com.b")
+            .activity_with_actions("H", true, &["GO"])
+            .build();
+        let c = AppManifest::builder("com.c")
+            .activity_with_actions("H", true, &["GO"])
+            .build();
+        let (_, fwd) = solve(&[a.clone(), b.clone(), c.clone()]);
+        let (_, rev) = solve(&[a, c, b]);
+        // Same origin package, same targets by package, same witnesses.
+        let path_fwd = fwd.describe_path(0, 1).unwrap();
+        let rev_target = (0..3).find(|&i| rev.describe_path(0, i).is_some()).unwrap();
+        let path_rev = rev.describe_path(0, rev_target).unwrap();
+        assert_eq!(path_fwd, "com.a -[GO]-> com.b/H");
+        assert_eq!(path_rev, "com.a -[GO]-> com.c/H");
+    }
+}

@@ -1,0 +1,267 @@
+//! Revision-regression mode: diff two lint reports.
+//!
+//! `eandroid lint --baseline <report.json>` re-runs the analyzer and
+//! diffs the fresh report against a saved schema-v2 JSON report, keyed by
+//! `(rule, package, component)` — the report's stable sort key, unique
+//! because every rule emits at most one finding per app. Findings are
+//! classified as **introduced** (new in this revision), **fixed** (gone
+//! since the baseline), or **changed** (same finding, different severity
+//! or energy bound). Introduced findings are the regression signal: the
+//! CLI exits non-zero iff any exist, so a collateral-introducing change
+//! fails CI while identical inputs diff clean.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::render::{JsonDiagnostic, JsonReport};
+
+/// Energy deltas smaller than this (joules/day) are formatting noise,
+/// not a changed bound.
+const JOULES_EPSILON: f64 = 1e-6;
+
+/// One finding that differs between baseline and current.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Qualified rule id, e.g. `"EA0006-wakelock-hold"`.
+    pub rule: String,
+    /// Package the finding is about.
+    pub package: String,
+    /// Anchoring component, when the rule names one.
+    pub component: Option<String>,
+    /// Severity label in the report that contains the finding (the
+    /// current report for introduced/changed, the baseline for fixed).
+    pub severity: String,
+    /// Energy bound in the baseline, when present there.
+    pub joules_before: Option<f64>,
+    /// Energy bound in the current report, when present there.
+    pub joules_after: Option<f64>,
+}
+
+impl DiffEntry {
+    fn key(&self) -> String {
+        match &self.component {
+            Some(component) => format!("{} {}/{}", self.rule, self.package, component),
+            None => format!("{} {}", self.rule, self.package),
+        }
+    }
+
+    /// The energy delta (after − before), when both sides exist.
+    pub fn joules_delta(&self) -> Option<f64> {
+        Some(self.joules_after? - self.joules_before?)
+    }
+}
+
+/// The classified difference between a baseline and a current report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BaselineDiff {
+    /// Findings present now but absent from the baseline — regressions.
+    pub introduced: Vec<DiffEntry>,
+    /// Findings in the baseline that no longer fire.
+    pub fixed: Vec<DiffEntry>,
+    /// Findings on both sides whose severity or energy bound moved.
+    pub changed: Vec<DiffEntry>,
+}
+
+impl BaselineDiff {
+    /// Diffs `current` against `baseline`, keyed by
+    /// `(rule, package, component)`. Both maps iterate in key order, so
+    /// the classification lists are deterministic.
+    pub fn compare(baseline: &JsonReport, current: &JsonReport) -> BaselineDiff {
+        let index =
+            |report: &JsonReport| -> BTreeMap<(String, String, Option<String>), JsonDiagnostic> {
+                report
+                    .diagnostics
+                    .iter()
+                    .map(|diag| {
+                        (
+                            (
+                                diag.rule.clone(),
+                                diag.package.clone(),
+                                diag.component.clone(),
+                            ),
+                            diag.clone(),
+                        )
+                    })
+                    .collect()
+            };
+        let before = index(baseline);
+        let after = index(current);
+
+        let mut diff = BaselineDiff::default();
+        for (key, now) in &after {
+            match before.get(key) {
+                None => diff.introduced.push(DiffEntry {
+                    rule: now.rule.clone(),
+                    package: now.package.clone(),
+                    component: now.component.clone(),
+                    severity: now.severity.clone(),
+                    joules_before: None,
+                    joules_after: Some(now.predicted_joules),
+                }),
+                Some(was) => {
+                    let severity_moved = was.severity != now.severity;
+                    let bound_moved =
+                        (now.predicted_joules - was.predicted_joules).abs() > JOULES_EPSILON;
+                    if severity_moved || bound_moved {
+                        diff.changed.push(DiffEntry {
+                            rule: now.rule.clone(),
+                            package: now.package.clone(),
+                            component: now.component.clone(),
+                            severity: now.severity.clone(),
+                            joules_before: Some(was.predicted_joules),
+                            joules_after: Some(now.predicted_joules),
+                        });
+                    }
+                }
+            }
+        }
+        for (key, was) in &before {
+            if !after.contains_key(key) {
+                diff.fixed.push(DiffEntry {
+                    rule: was.rule.clone(),
+                    package: was.package.clone(),
+                    component: was.component.clone(),
+                    severity: was.severity.clone(),
+                    joules_before: Some(was.predicted_joules),
+                    joules_after: None,
+                });
+            }
+        }
+        diff
+    }
+
+    /// Whether nothing moved at all.
+    pub fn is_clean(&self) -> bool {
+        self.introduced.is_empty() && self.fixed.is_empty() && self.changed.is_empty()
+    }
+
+    /// Whether the diff contains regressions (introduced findings) — the
+    /// CLI's non-zero-exit condition.
+    pub fn has_regressions(&self) -> bool {
+        !self.introduced.is_empty()
+    }
+}
+
+impl fmt::Display for BaselineDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return writeln!(f, "ea-lint baseline: no changes");
+        }
+        writeln!(
+            f,
+            "ea-lint baseline: {} introduced, {} fixed, {} changed",
+            self.introduced.len(),
+            self.fixed.len(),
+            self.changed.len()
+        )?;
+        for entry in &self.introduced {
+            let joules = entry.joules_after.unwrap_or(0.0);
+            writeln!(
+                f,
+                "  introduced [{}] {} (bound {:.1} kJ/day)",
+                entry.severity,
+                entry.key(),
+                joules / 1_000.0
+            )?;
+        }
+        for entry in &self.fixed {
+            let joules = entry.joules_before.unwrap_or(0.0);
+            writeln!(
+                f,
+                "  fixed      [{}] {} (freed {:.1} kJ/day)",
+                entry.severity,
+                entry.key(),
+                joules / 1_000.0
+            )?;
+        }
+        for entry in &self.changed {
+            let delta = entry.joules_delta().unwrap_or(0.0);
+            writeln!(
+                f,
+                "  changed    [{}] {} (energy {:+.1} kJ/day)",
+                entry.severity,
+                entry.key(),
+                delta / 1_000.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linter::Linter;
+    use crate::render::{json_report, parse_json, to_json};
+    use ea_framework::{AppManifest, Permission};
+
+    fn lint(manifests: &[AppManifest]) -> JsonReport {
+        json_report(&Linter::new().lint_manifests(manifests))
+    }
+
+    fn benign() -> Vec<AppManifest> {
+        vec![
+            AppManifest::builder("com.a").activity("Main", true).build(),
+            AppManifest::builder("com.b").activity("Open", true).build(),
+        ]
+    }
+
+    #[test]
+    fn identical_reports_diff_clean() {
+        let report = lint(&benign());
+        let diff = BaselineDiff::compare(&report, &report);
+        assert!(diff.is_clean());
+        assert!(!diff.has_regressions());
+        assert_eq!(diff.to_string(), "ea-lint baseline: no changes\n");
+    }
+
+    #[test]
+    fn roundtrip_through_json_diffs_clean() {
+        let report = Linter::new().lint_manifests(&benign());
+        let replayed = parse_json(&to_json(&report)).unwrap();
+        let diff = BaselineDiff::compare(&replayed, &json_report(&report));
+        assert!(diff.is_clean(), "serialization must not invent deltas");
+    }
+
+    #[test]
+    fn new_permission_introduces_findings() {
+        let baseline = lint(&benign());
+        let mut upgraded = benign();
+        upgraded[0] = AppManifest::builder("com.a")
+            .activity("Main", true)
+            .permission(Permission::WakeLock)
+            .build();
+        let current = lint(&upgraded);
+        let diff = BaselineDiff::compare(&baseline, &current);
+        assert!(diff.has_regressions());
+        assert!(diff
+            .introduced
+            .iter()
+            .any(|e| e.rule.starts_with("EA0006") && e.package == "com.a"));
+        for entry in &diff.introduced {
+            assert!(entry.joules_after.is_some() && entry.joules_before.is_none());
+        }
+        // The reverse diff sees the same findings as fixed.
+        let reverse = BaselineDiff::compare(&current, &baseline);
+        assert_eq!(reverse.fixed.len(), diff.introduced.len());
+        assert!(!reverse.has_regressions(), "removals are not regressions");
+    }
+
+    #[test]
+    fn energy_movement_classifies_as_changed() {
+        let baseline = lint(&benign());
+        let mut bigger = benign();
+        // A third app raises every spray/hijack bound without changing
+        // which rules fire for com.a and com.b.
+        bigger.push(AppManifest::builder("com.c").activity("Door", true).build());
+        let current = lint(&bigger);
+        let diff = BaselineDiff::compare(&baseline, &current);
+        assert!(diff
+            .changed
+            .iter()
+            .any(|e| e.joules_delta().unwrap_or(0.0) > 0.0));
+        let rendered = diff.to_string();
+        assert!(rendered.contains("introduced"));
+        assert!(rendered.contains("changed"));
+    }
+}

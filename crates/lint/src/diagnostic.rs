@@ -164,12 +164,36 @@ pub struct Diagnostic {
     pub message: String,
     /// Supporting facts (component names, permission strings, chains).
     pub evidence: Vec<String>,
+    /// The component the finding anchors to (first transparent overlay,
+    /// first autostart receiver, …), when one exists.
+    pub component: Option<String>,
+    /// Static upper bound on the collateral energy this finding's
+    /// exploitation could burn, in joules over an ARENA-style day. Priced
+    /// by the abstract interpreter through the device calibration; the
+    /// quantitative soundness harness checks it dominates anything the
+    /// dynamic monitor attributes.
+    pub predicted_joules: f64,
+    /// Per-component split of [`Self::predicted_joules`]:
+    /// `(component, joules)` rows in renderer order, non-zero only.
+    pub energy_breakdown: Vec<(&'static str, f64)>,
+    /// 1-based rank of this finding by `predicted_joules`, descending,
+    /// within its report (1 = most expensive). Assigned by the linter.
+    pub energy_rank: usize,
 }
 
 impl Diagnostic {
     /// Whether this diagnostic predicts the given attack kind.
     pub fn predicts(&self, kind: AttackKind) -> bool {
         self.predicted.contains(&kind)
+    }
+
+    /// `predicted_joules` as a battery-days figure against a Nexus-4-class
+    /// pack (28 728 J), the unit the paper reports attacks in.
+    pub fn battery_days(&self, battery_joules: f64) -> f64 {
+        if battery_joules <= 0.0 {
+            return 0.0;
+        }
+        self.predicted_joules / battery_joules
     }
 }
 

@@ -11,7 +11,9 @@
 use std::collections::BTreeMap;
 
 use ea_framework::ComponentKind;
+use ea_power::DevicePowerModel;
 
+use crate::absint::{AbsintSolution, Pricer};
 use crate::facts::AppFacts;
 
 /// One exported implicit-intent handler somewhere in the app set.
@@ -45,10 +47,14 @@ pub struct LintContext {
     apps: Vec<AppFacts>,
     /// action → exported handlers, ordered by (app, component).
     handlers: BTreeMap<String, Vec<Handler>>,
+    /// The abstract-interpretation fixpoint over this app set.
+    absint: AbsintSolution,
 }
 
 impl LintContext {
-    /// Builds the context and runs the intent-flow pass.
+    /// Builds the context, runs the intent-flow pass, and solves the
+    /// abstract-interpretation fixpoint (priced through the Nexus-4
+    /// calibration, the device the simulator drains with).
     pub fn new(apps: Vec<AppFacts>) -> LintContext {
         let mut handlers: BTreeMap<String, Vec<Handler>> = BTreeMap::new();
         for (index, facts) in apps.iter().enumerate() {
@@ -62,12 +68,28 @@ impl LintContext {
                 }
             }
         }
-        LintContext { apps, handlers }
+        let pricer = Pricer::new(DevicePowerModel::nexus4().coefficients());
+        let absint = AbsintSolution::solve(&apps, &handlers, &pricer, usize::MAX);
+        LintContext {
+            apps,
+            handlers,
+            absint,
+        }
     }
 
     /// Every app under analysis.
     pub fn apps(&self) -> &[AppFacts] {
         &self.apps
+    }
+
+    /// The solved abstract-interpretation fixpoint.
+    pub fn absint(&self) -> &AbsintSolution {
+        &self.absint
+    }
+
+    /// The full action → exported-handlers index.
+    pub fn handler_index(&self) -> &BTreeMap<String, Vec<Handler>> {
+        &self.handlers
     }
 
     /// Apps other than the one at `index`.

@@ -45,7 +45,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Fallible paths must return errors, not panic: unwrap/expect are
+// banned outside tests (DESIGN.md §11). Carve-outs need an explicit
+// `#[allow]` with a proof of infallibility.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod absint;
+pub mod baseline;
 mod diagnostic;
 mod facts;
 mod flow;
@@ -55,6 +61,8 @@ pub mod soundness;
 
 mod rules;
 
+pub use absint::{AbsintSolution, PricedEnvelope, Pricer};
+pub use baseline::{BaselineDiff, DiffEntry};
 pub use diagnostic::{Diagnostic, RuleId, Severity};
 pub use facts::AppFacts;
 pub use flow::{Chain, Handler, LintContext};

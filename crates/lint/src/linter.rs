@@ -22,7 +22,9 @@ use crate::rules::{default_rules, Rule};
 /// The outcome of one lint pass.
 #[derive(Debug, Clone, Default)]
 pub struct LintReport {
-    /// All findings, sorted by (package, rule code) for stable output.
+    /// All findings, sorted by (rule code, package, component) for stable
+    /// output, with [`Diagnostic::energy_rank`] assigned by descending
+    /// `predicted_joules`.
     pub diagnostics: Vec<Diagnostic>,
     /// How many apps were analyzed.
     pub apps_checked: usize,
@@ -62,6 +64,22 @@ impl LintReport {
                 (rule, count)
             })
             .collect()
+    }
+
+    /// Diagnostics by descending energy bound (ties broken by the
+    /// report's stable sort key) — i.e. in [`Diagnostic::energy_rank`]
+    /// order.
+    pub fn by_energy(&self) -> Vec<&Diagnostic> {
+        let mut out: Vec<&Diagnostic> = self.diagnostics.iter().collect();
+        out.sort_by_key(|d| d.energy_rank);
+        out
+    }
+
+    /// The total static energy bound over all findings, joules/day.
+    /// An aggregate exposure figure, not a physical prediction: the same
+    /// victim may be counted under several rules.
+    pub fn total_predicted_joules(&self) -> f64 {
+        self.diagnostics.iter().map(|d| d.predicted_joules).sum()
     }
 }
 
@@ -120,8 +138,24 @@ impl Linter {
             }
         }
         diagnostics.sort_by(|a, b| {
-            (a.package.as_str(), a.rule.code()).cmp(&(b.package.as_str(), b.rule.code()))
+            (a.rule.code(), a.package.as_str(), a.component.as_deref()).cmp(&(
+                b.rule.code(),
+                b.package.as_str(),
+                b.component.as_deref(),
+            ))
         });
+        // Energy ranks: 1-based by descending bound, stable-sort ties by
+        // the (rule, package, component) key just established.
+        let mut by_energy: Vec<usize> = (0..diagnostics.len()).collect();
+        by_energy.sort_by(|&a, &b| {
+            diagnostics[b]
+                .predicted_joules
+                .total_cmp(&diagnostics[a].predicted_joules)
+                .then(a.cmp(&b))
+        });
+        for (rank, index) in by_energy.into_iter().enumerate() {
+            diagnostics[index].energy_rank = rank + 1;
+        }
 
         if self.telemetry.enabled() {
             self.telemetry
@@ -192,16 +226,32 @@ mod tests {
         let report = Linter::new().lint_manifests(&pair());
         assert_eq!(report.apps_checked, 2);
         assert!(!report.is_empty());
-        let keys: Vec<(String, &str)> = report
+        let keys: Vec<(&str, String, Option<String>)> = report
             .diagnostics
             .iter()
-            .map(|d| (d.package.clone(), d.rule.code()))
+            .map(|d| (d.rule.code(), d.package.clone(), d.component.clone()))
             .collect();
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);
         let total: usize = report.counts_by_rule().iter().map(|(_, n)| n).sum();
         assert_eq!(total, report.len());
+    }
+
+    #[test]
+    fn energy_ranks_are_a_permutation_ordered_by_bound() {
+        let report = Linter::new().lint_manifests(&pair());
+        let mut ranks: Vec<usize> = report.diagnostics.iter().map(|d| d.energy_rank).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (1..=report.len()).collect::<Vec<_>>());
+        let by_energy = report.by_energy();
+        for pair in by_energy.windows(2) {
+            assert!(
+                pair[0].predicted_joules >= pair[1].predicted_joules,
+                "rank order must follow the bound"
+            );
+        }
+        assert!(report.total_predicted_joules() > 0.0);
     }
 
     #[test]

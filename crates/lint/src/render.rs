@@ -1,39 +1,67 @@
 //! Text and JSON renderers for lint reports.
 //!
-//! Both renderers emit diagnostics in the report's stable order
-//! (package, then rule code), so identical app sets always render
-//! byte-identically — the golden-file tests pin that contract.
+//! Both renderers emit diagnostics in the report's stable order (rule
+//! code, then package, then component), so identical app sets always
+//! render byte-identically — the golden-file tests pin that contract.
+//! The JSON layout is **schema v2**: every diagnostic carries its static
+//! energy bound (`predicted_joules`, `energy_breakdown`) and its rank by
+//! that bound (`energy_rank`); the report carries `schema_version` so
+//! [`crate::baseline`] can reject incompatible inputs.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::diagnostic::Diagnostic;
 use crate::linter::LintReport;
 
-/// Renders a report for terminals: one block per diagnostic, grouped
-/// under the package heading.
+/// The JSON schema version this renderer writes.
+pub const SCHEMA_VERSION: u32 = 2;
+
+fn kilojoules(joules: f64) -> String {
+    format!("{:.1} kJ/day", joules / 1_000.0)
+}
+
+/// Renders a report for terminals: diagnostics grouped under their rule,
+/// each line carrying the static energy bound and its rank.
 pub fn to_text(report: &LintReport) -> String {
     let mut out = format!(
-        "ea-lint: {} diagnostic(s) across {} app(s)\n",
+        "ea-lint: {} diagnostic(s) across {} app(s), total static bound {}\n",
         report.len(),
-        report.apps_checked
+        report.apps_checked,
+        kilojoules(report.total_predicted_joules()),
     );
-    let mut current_package: Option<&str> = None;
+    let mut current_rule = None;
     for diag in &report.diagnostics {
-        if current_package != Some(diag.package.as_str()) {
-            current_package = Some(diag.package.as_str());
+        if current_rule != Some(diag.rule) {
+            current_rule = Some(diag.rule);
             out.push('\n');
-            match diag.uid {
-                Some(uid) => out.push_str(&format!("{} (uid {uid})\n", diag.package)),
-                None => out.push_str(&format!("{}\n", diag.package)),
-            }
+            out.push_str(&format!("{}\n", diag.rule));
+        }
+        let mut anchor = diag.package.clone();
+        if let Some(component) = &diag.component {
+            anchor.push('/');
+            anchor.push_str(component);
+        }
+        if let Some(uid) = diag.uid {
+            anchor.push_str(&format!(" (uid {uid})"));
         }
         out.push_str(&format!(
-            "  [{}] {}: {}\n",
-            diag.severity, diag.rule, diag.message
+            "  [{}] {anchor}: {} (bound {}, rank {})\n",
+            diag.severity,
+            diag.message,
+            kilojoules(diag.predicted_joules),
+            diag.energy_rank,
         ));
         if !diag.predicted.is_empty() {
             let kinds: Vec<&str> = diag.predicted.iter().map(|k| k.label()).collect();
             out.push_str(&format!("      predicts: {}\n", kinds.join(", ")));
+        }
+        if !diag.energy_breakdown.is_empty() {
+            let rows: Vec<String> = diag
+                .energy_breakdown
+                .iter()
+                .map(|(component, joules)| format!("{component} {}", kilojoules(*joules)))
+                .collect();
+            out.push_str(&format!("      energy: {}\n", rows.join(", ")));
         }
         for item in &diag.evidence {
             out.push_str(&format!("      evidence: {item}\n"));
@@ -43,45 +71,118 @@ pub fn to_text(report: &LintReport) -> String {
 }
 
 // The vendored serde_derive does not support generic parameters, so the
-// JSON view owns its strings.
-#[derive(Serialize)]
-struct JsonDiagnostic {
-    rule: String,
-    severity: &'static str,
-    package: String,
-    uid: Option<u32>,
-    predicted: Vec<&'static str>,
-    message: String,
-    evidence: Vec<String>,
+// JSON views own their strings; `Deserialize` (for `--baseline` replays)
+// forces owned fields throughout.
+
+/// One `(component, joules)` row of a diagnostic's energy split.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct JsonEnergyRow {
+    /// Physical component name (`"cpu"`, `"screen"`, …).
+    pub component: String,
+    /// Joules per day attributed to that component.
+    pub joules: f64,
 }
 
-#[derive(Serialize)]
-struct JsonReport {
-    apps_checked: usize,
-    diagnostics: Vec<JsonDiagnostic>,
+/// One diagnostic, as serialized in schema v2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JsonDiagnostic {
+    /// Qualified rule id, e.g. `"EA0006-wakelock-hold"`.
+    pub rule: String,
+    /// Severity label, e.g. `"WARNING"`.
+    pub severity: String,
+    /// Package the finding is about.
+    pub package: String,
+    /// UID when linting an installed system.
+    pub uid: Option<u32>,
+    /// Anchoring component, when the rule names one.
+    pub component: Option<String>,
+    /// Predicted attack-kind labels.
+    pub predicted: Vec<String>,
+    /// One-line explanation.
+    pub message: String,
+    /// Supporting facts.
+    pub evidence: Vec<String>,
+    /// Static energy bound, joules/day.
+    pub predicted_joules: f64,
+    /// Per-component split of the bound.
+    pub energy_breakdown: Vec<JsonEnergyRow>,
+    /// 1-based rank by descending bound within the report.
+    pub energy_rank: usize,
+}
+
+/// A full report, as serialized in schema v2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JsonReport {
+    /// The writer's [`SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Apps analyzed.
+    pub apps_checked: usize,
+    /// Total static bound over all findings, joules/day.
+    pub total_predicted_joules: f64,
+    /// Findings in the report's stable order.
+    pub diagnostics: Vec<JsonDiagnostic>,
 }
 
 fn json_view(diag: &Diagnostic) -> JsonDiagnostic {
     JsonDiagnostic {
         rule: diag.rule.to_string(),
-        severity: diag.severity.label(),
+        severity: diag.severity.label().to_string(),
         package: diag.package.clone(),
         uid: diag.uid,
-        predicted: diag.predicted.iter().map(|k| k.label()).collect(),
+        component: diag.component.clone(),
+        predicted: diag
+            .predicted
+            .iter()
+            .map(|k| k.label().to_string())
+            .collect(),
         message: diag.message.clone(),
         evidence: diag.evidence.clone(),
+        predicted_joules: diag.predicted_joules,
+        energy_breakdown: diag
+            .energy_breakdown
+            .iter()
+            .map(|&(component, joules)| JsonEnergyRow {
+                component: component.to_string(),
+                joules,
+            })
+            .collect(),
+        energy_rank: diag.energy_rank,
+    }
+}
+
+/// The schema-v2 view of a report (what [`to_json`] serializes).
+pub fn json_report(report: &LintReport) -> JsonReport {
+    JsonReport {
+        schema_version: SCHEMA_VERSION,
+        apps_checked: report.apps_checked,
+        total_predicted_joules: report.total_predicted_joules(),
+        diagnostics: report.diagnostics.iter().map(json_view).collect(),
     }
 }
 
 /// Renders a report as pretty-printed JSON (trailing newline included).
 pub fn to_json(report: &LintReport) -> String {
-    let view = JsonReport {
-        apps_checked: report.apps_checked,
-        diagnostics: report.diagnostics.iter().map(json_view).collect(),
-    };
-    let mut out = serde_json::to_string_pretty(&view).expect("lint report serializes");
+    let view = json_report(report);
+    // Serializing a struct of plain strings/numbers cannot fail; the
+    // error arm exists only to satisfy the no-panic policy.
+    let mut out = serde_json::to_string_pretty(&view)
+        .unwrap_or_else(|err| format!("{{\"error\":\"unserializable lint report: {err}\"}}"));
     out.push('\n');
     out
+}
+
+/// Parses a schema-v2 report back (the `--baseline` input path).
+/// Rejects reports written by other schema versions.
+pub fn parse_json(json: &str) -> Result<JsonReport, String> {
+    let report: JsonReport =
+        serde_json::from_str(json).map_err(|err| format!("malformed lint report: {err}"))?;
+    if report.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "unsupported lint report schema {} (expected {SCHEMA_VERSION})",
+            report.schema_version
+        ));
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -101,34 +202,46 @@ mod tests {
     }
 
     #[test]
-    fn text_mentions_rules_and_counts() {
+    fn text_mentions_rules_bounds_and_ranks() {
         let text = to_text(&report());
         assert!(text.starts_with("ea-lint: "));
+        assert!(text.contains("total static bound"));
         assert!(text.contains("EA0006-wakelock-hold"));
         assert!(text.contains("predicts: WakelockLeak"));
-        assert!(text.contains("com.a\n"));
+        assert!(text.contains("rank 1"));
+        assert!(text.contains("energy: "));
     }
 
     #[test]
     fn json_parses_back_and_keeps_order() {
         let json = to_json(&report());
-        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(value["apps_checked"].as_u64(), Some(2));
-        let diags = value["diagnostics"].as_array().unwrap();
-        assert!(!diags.is_empty());
-        let keys: Vec<String> = diags
+        let parsed = parse_json(&json).unwrap();
+        assert_eq!(parsed.schema_version, SCHEMA_VERSION);
+        assert_eq!(parsed.apps_checked, 2);
+        assert!(!parsed.diagnostics.is_empty());
+        let keys: Vec<(String, String, Option<String>)> = parsed
+            .diagnostics
             .iter()
-            .map(|d| {
-                format!(
-                    "{}|{}",
-                    d["package"].as_str().unwrap(),
-                    d["rule"].as_str().unwrap()
-                )
-            })
+            .map(|d| (d.rule.clone(), d.package.clone(), d.component.clone()))
             .collect();
         let mut sorted = keys.clone();
         sorted.sort();
-        assert_eq!(keys, sorted);
+        assert_eq!(keys, sorted, "stable (rule, package, component) order");
+        for diag in &parsed.diagnostics {
+            let split: f64 = diag.energy_breakdown.iter().map(|row| row.joules).sum();
+            assert!(
+                (split - diag.predicted_joules).abs() < 1e-6,
+                "breakdown sums to the bound"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_rejects_other_schema_versions() {
+        let mut json = to_json(&report());
+        json = json.replace("\"schema_version\": 2", "\"schema_version\": 1");
+        let err = parse_json(&json).unwrap_err();
+        assert!(err.contains("unsupported lint report schema 1"));
     }
 
     #[test]

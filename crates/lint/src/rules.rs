@@ -22,6 +22,7 @@
 use ea_core::AttackKind;
 use ea_framework::{AndroidSystem, ComponentKind, Permission, WakelockPolicy};
 
+use crate::absint::PricedEnvelope;
 use crate::diagnostic::{Diagnostic, RuleId, Severity};
 use crate::facts::AppFacts;
 use crate::flow::LintContext;
@@ -63,6 +64,7 @@ fn diagnostic(
     predicted: Vec<AttackKind>,
     message: String,
     evidence: Vec<String>,
+    envelope: PricedEnvelope,
 ) -> Diagnostic {
     Diagnostic {
         rule,
@@ -72,10 +74,17 @@ fn diagnostic(
         predicted,
         message,
         evidence,
+        component: None,
+        predicted_joules: envelope.total_joules(),
+        energy_breakdown: envelope.breakdown(),
+        energy_rank: 0,
     }
 }
 
+/// Sorts then caps listed evidence items; the remainder collapses to
+/// `+N more`. Sorting keeps evidence independent of install order.
 fn clip(mut items: Vec<String>) -> Vec<String> {
+    items.sort_unstable();
     if items.len() > EVIDENCE_LIMIT {
         let extra = items.len() - EVIDENCE_LIMIT;
         items.truncate(EVIDENCE_LIMIT);
@@ -110,6 +119,9 @@ impl Rule for ComponentHijackRule {
         if targets.is_empty() {
             return None;
         }
+        // Bound: the hottest victim held foreground all day, the rest
+        // parked draining in the background.
+        let envelope = ctx.absint().hijack_envelope(index).unwrap_or_default();
         Some(diagnostic(
             self.id(),
             Severity::Info,
@@ -120,6 +132,7 @@ impl Rule for ComponentHijackRule {
                 targets.len()
             ),
             clip(targets),
+            envelope,
         ))
     }
 }
@@ -171,6 +184,9 @@ impl Rule for BackgroundSprayRule {
                  (task reordering needs no permission)"
             ),
             clip(draining),
+            // Bound: every co-installed app displaced into its background
+            // envelope at once.
+            ctx.absint().spray_envelope(index),
         ))
     }
 }
@@ -210,6 +226,8 @@ impl Rule for ServiceTetherRule {
                 targets.len()
             ),
             clip(targets),
+            // Bound: every foreign exported service bound concurrently.
+            ctx.absint().tether_envelope(index),
         ))
     }
 }
@@ -227,7 +245,7 @@ impl Rule for OverlayInterruptRule {
         "declares a transparent overlay activity usable for interrupt-and-tap-jack (attack #4)"
     }
 
-    fn check(&self, _index: usize, facts: &AppFacts, _ctx: &LintContext) -> Option<Diagnostic> {
+    fn check(&self, index: usize, facts: &AppFacts, ctx: &LintContext) -> Option<Diagnostic> {
         let overlays: Vec<String> = facts
             .transparent_activities()
             .map(|decl| decl.name.clone())
@@ -235,6 +253,10 @@ impl Rule for OverlayInterruptRule {
         if overlays.is_empty() {
             return None;
         }
+        let anchor = facts
+            .transparent_activities()
+            .next()
+            .map(|decl| decl.name.clone());
         let severity = if facts.has_permission(Permission::SystemAlertWindow) {
             Severity::Critical
         } else {
@@ -244,14 +266,18 @@ impl Rule for OverlayInterruptRule {
         if severity == Severity::Critical {
             evidence.push(String::from("also holds SYSTEM_ALERT_WINDOW"));
         }
-        Some(diagnostic(
+        let mut diag = diagnostic(
             self.id(),
             severity,
             facts,
             vec![AttackKind::Interruption],
             String::from("transparent activity can overlay and interrupt the foreground app"),
             evidence,
-        ))
+            // Bound: the hottest foreign app interrupted mid-session.
+            ctx.absint().interrupt_envelope(index),
+        );
+        diag.component = anchor;
+        Some(diag)
     }
 }
 
@@ -268,7 +294,7 @@ impl Rule for SettingsTamperRule {
         "may rewrite screen brightness settings (attack #5)"
     }
 
-    fn check(&self, _index: usize, facts: &AppFacts, _ctx: &LintContext) -> Option<Diagnostic> {
+    fn check(&self, _index: usize, facts: &AppFacts, ctx: &LintContext) -> Option<Diagnostic> {
         if !facts.has_permission(Permission::WriteSettings) {
             return None;
         }
@@ -293,6 +319,8 @@ impl Rule for SettingsTamperRule {
             vec![AttackKind::ScreenConfig],
             String::from("can escalate screen brightness behind the user's back"),
             evidence,
+            // Bound: the panel forced to its ceiling for a whole day.
+            ctx.absint().screen_day(),
         ))
     }
 }
@@ -312,7 +340,7 @@ impl Rule for WakelockHoldRule {
         "may hold wakelocks while invisible (attack #6)"
     }
 
-    fn check(&self, _index: usize, facts: &AppFacts, _ctx: &LintContext) -> Option<Diagnostic> {
+    fn check(&self, _index: usize, facts: &AppFacts, ctx: &LintContext) -> Option<Diagnostic> {
         if !facts.has_permission(Permission::WakeLock) {
             return None;
         }
@@ -341,6 +369,8 @@ impl Rule for WakelockHoldRule {
             vec![AttackKind::WakelockLeak],
             String::from("WAKE_LOCK permission allows keeping the screen on while invisible"),
             vec![String::from(policy_note)],
+            // Bound: a leaked screen wakelock burning for a whole day.
+            ctx.absint().wakelock_day(),
         ))
     }
 }
@@ -359,7 +389,7 @@ impl Rule for NoSleepBugRule {
         "wakelock released only in onStop/onDestroy (no-sleep bug)"
     }
 
-    fn check(&self, _index: usize, facts: &AppFacts, _ctx: &LintContext) -> Option<Diagnostic> {
+    fn check(&self, _index: usize, facts: &AppFacts, ctx: &LintContext) -> Option<Diagnostic> {
         if !facts.has_permission(Permission::WakeLock) {
             return None;
         }
@@ -376,6 +406,8 @@ impl Rule for NoSleepBugRule {
             vec![AttackKind::WakelockLeak],
             format!("wakelocks released only in {hook}; paused screens stay lit"),
             vec![format!("release policy: {hook}")],
+            // Same physical bound as EA0006: the leak burns a day.
+            ctx.absint().wakelock_day(),
         ))
     }
 }
@@ -395,7 +427,7 @@ impl Rule for StealthAutostartRule {
         "exported receiver wakes the app on screen unlock (stealth autostart)"
     }
 
-    fn check(&self, _index: usize, facts: &AppFacts, _ctx: &LintContext) -> Option<Diagnostic> {
+    fn check(&self, index: usize, facts: &AppFacts, ctx: &LintContext) -> Option<Diagnostic> {
         let receivers: Vec<String> = facts
             .receivers_for(AndroidSystem::ACTION_USER_PRESENT)
             .into_iter()
@@ -404,20 +436,32 @@ impl Rule for StealthAutostartRule {
         if receivers.is_empty() {
             return None;
         }
-        Some(diagnostic(
+        let anchor = receivers.first().cloned();
+        let mut diag = diagnostic(
             self.id(),
             Severity::Warning,
             facts,
             Vec::new(),
             String::from("runs unprompted on every screen unlock"),
             clip(receivers),
-        ))
+            // Bound: the app's own autonomous envelope — everything the
+            // fixpoint says it can burn once woken, unprompted.
+            ctx.absint().autonomous_price(index).clone(),
+        );
+        diag.component = anchor;
+        Some(diag)
     }
 }
 
-/// `EA0009`: the intent-flow pass found a cross-app implicit-intent chain
-/// of length ≥ 2 from this app — the static shadow of the paper's chain
-/// attacks, where collateral propagates `driving → driven → driven`.
+/// `EA0009`: the k-hop reachability fixpoint found a cross-app
+/// implicit-intent chain of depth ≥ 2 from this app — the static shadow
+/// of the paper's chain attacks, where collateral propagates
+/// `driving → driven → driven`. Unlike the legacy two-hop pair
+/// enumeration ([`LintContext::chains_from`]), the fixpoint respects each
+/// hop's *emission vocabulary* (an app only forwards actions its own
+/// components declare) and follows chains to any depth, so it both
+/// suppresses infeasible two-hop pairs and finds deep chains the old
+/// pass provably missed.
 pub struct AttackChainRule;
 
 impl Rule for AttackChainRule {
@@ -426,17 +470,19 @@ impl Rule for AttackChainRule {
     }
 
     fn description(&self) -> &'static str {
-        "implicit-intent chain of length >= 2 reachable from here (chain attack)"
+        "implicit-intent chain of depth >= 2 reachable from here (chain attack)"
     }
 
     fn check(&self, index: usize, facts: &AppFacts, ctx: &LintContext) -> Option<Diagnostic> {
-        let chains = ctx.chains_from(index, EVIDENCE_LIMIT);
-        if chains.is_empty() {
+        let reach = ctx.absint().reachable_from(index);
+        let depth = reach.iter().map(|info| info.hops).max().unwrap_or(0);
+        if depth < 2 {
             return None;
         }
+        // Predict by what the chain's hops ultimately drive.
         let mut predicted = Vec::new();
-        for chain in &chains {
-            let kind = match chain.first.kind {
+        for info in &reach {
+            let kind = match info.kind {
                 ComponentKind::Activity => Some(AttackKind::ActivityStart),
                 ComponentKind::Service => Some(AttackKind::ServiceStart),
                 ComponentKind::Receiver => None,
@@ -447,17 +493,26 @@ impl Rule for AttackChainRule {
                 }
             }
         }
-        let evidence = chains
+        // Witness the deepest targets: their paths subsume shallower hops.
+        let mut deepest: Vec<&crate::absint::ReachInfo> = reach.iter().collect();
+        deepest.sort_by_key(|info| std::cmp::Reverse(info.hops));
+        let evidence: Vec<String> = deepest
             .iter()
-            .map(|chain| ctx.describe_chain(index, chain))
+            .take(EVIDENCE_LIMIT)
+            .filter_map(|info| ctx.absint().describe_path(index, info.target))
             .collect();
         Some(diagnostic(
             self.id(),
             Severity::Info,
             facts,
             predicted,
-            String::from("collateral could propagate along a cross-app intent chain"),
+            format!(
+                "collateral could propagate along a cross-app intent chain ({depth} hops deep)"
+            ),
             evidence,
+            // Bound: the whole reach set lit at once — hottest activity
+            // target foreground, the rest backgrounded or service-pinned.
+            ctx.absint().chain_envelope(index),
         ))
     }
 }
@@ -626,11 +681,42 @@ mod tests {
     }
 
     #[test]
-    fn chain_rule_predicts_by_first_hop_kind() {
+    fn chain_rule_follows_emission_vocabulary_to_depth() {
+        // origin may emit SEND (its own component declares it); com.b
+        // handles SEND and may in turn emit VIEW; com.c handles VIEW as a
+        // service. Depth 2 → the rule fires and predicts both hop kinds.
         let ctx = facts_of(&[
-            AppManifest::builder("com.origin").build(),
-            AppManifest::builder("com.svc")
-                .service("Sync", true)
+            AppManifest::builder("com.origin")
+                .activity_with_actions("Composer", false, &["SEND"])
+                .build(),
+            AppManifest::builder("com.b")
+                .activity_with_actions("Share", true, &["SEND"])
+                .activity_with_actions("Viewer", false, &["VIEW"])
+                .build(),
+            AppManifest::builder("com.c")
+                .service_with_actions("Open", true, &["VIEW"])
+                .build(),
+        ]);
+        let diag = check_one(&AttackChainRule, &ctx, 0).unwrap();
+        assert!(diag.predicts(AttackKind::ActivityStart));
+        assert!(diag.predicts(AttackKind::ServiceStart));
+        assert_eq!(
+            diag.evidence[0], "com.origin -[SEND]-> com.b/Share -[VIEW]-> com.c/Open",
+            "deepest witness first"
+        );
+        assert!(diag.predicted_joules > 0.0);
+        assert!(diag.message.contains("2 hops deep"));
+    }
+
+    #[test]
+    fn chain_rule_respects_vocabulary_where_legacy_pairs_fired() {
+        // The legacy two-hop enumeration fired for any origin when two
+        // foreign handlers existed; the fixpoint knows com.origin declares
+        // no action reaching com.b, and com.b's vocabulary (SEND only)
+        // cannot forward to com.c (VIEW). Depth stays < 2 → no finding.
+        let ctx = facts_of(&[
+            AppManifest::builder("com.origin")
+                .activity_with_actions("Composer", false, &["OTHER"])
                 .build(),
             AppManifest::builder("com.b")
                 .activity_with_actions("Share", true, &["SEND"])
@@ -639,9 +725,11 @@ mod tests {
                 .activity_with_actions("Open", true, &["VIEW"])
                 .build(),
         ]);
-        let diag = check_one(&AttackChainRule, &ctx, 0).unwrap();
-        assert!(diag.predicts(AttackKind::ActivityStart));
-        assert!(!diag.evidence.is_empty());
+        assert!(
+            !ctx.chains_from(0, 10).is_empty(),
+            "legacy pass would have fired"
+        );
+        assert!(check_one(&AttackChainRule, &ctx, 0).is_none());
     }
 
     #[test]

@@ -56,6 +56,76 @@ pub fn check_superset(
         .collect()
 }
 
+/// A diagnostic whose static energy bound was exceeded by a dynamically
+/// measured collateral attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantitativeViolation {
+    /// UID of the driving (attacking) app.
+    pub uid: u32,
+    /// The undershooting rule's qualified id.
+    pub rule: String,
+    /// Joules of collateral the dynamic monitor attributed.
+    pub measured_joules: f64,
+    /// The diagnostic's static bound.
+    pub bound_joules: f64,
+}
+
+impl std::fmt::Display for QuantitativeViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "uid {}: {} claimed a bound of {:.1} J but {:.1} J of collateral was measured",
+            self.uid, self.rule, self.bound_joules, self.measured_joules
+        )
+    }
+}
+
+/// Checks the quantitative half of the soundness contract: for every
+/// `(driving uid, measured collateral joules)` pair, the **strongest**
+/// `predicted_joules` bound among that UID's priced diagnostics (those
+/// predicting at least one attack kind) must dominate the measurement.
+/// Returns the violations (empty = sound).
+///
+/// The collateral graph attributes energy per `(driver, victim)` with no
+/// kind dimension, so per-victim rows are the finest measurable split —
+/// and they dominate any per-`(victim, kind)` refinement, so passing
+/// here implies the per-triple bound. Each diagnostic only bounds the
+/// collateral of the kinds *it* predicts (a one-app system prices
+/// interruption at zero, legitimately), so the comparison is against the
+/// UID's overall envelope: its best priced bound. Surface diagnostics
+/// with an empty prediction set (EA0008) make no exploitation claim and
+/// never supply the bound; a UID with measured collateral and *no*
+/// priced diagnostic at all is itself a violation.
+pub fn check_quantitative(
+    report: &LintReport,
+    measured: &[(u32, f64)],
+) -> Vec<QuantitativeViolation> {
+    let mut violations = Vec::new();
+    for &(uid, measured_joules) in measured {
+        let best = report
+            .diagnostics
+            .iter()
+            .filter(|diag| diag.uid == Some(uid) && !diag.predicted.is_empty())
+            .max_by(|a, b| a.predicted_joules.total_cmp(&b.predicted_joules));
+        match best {
+            Some(diag) if diag.predicted_joules >= measured_joules => {}
+            Some(diag) => violations.push(QuantitativeViolation {
+                uid,
+                rule: diag.rule.to_string(),
+                measured_joules,
+                bound_joules: diag.predicted_joules,
+            }),
+            None => violations.push(QuantitativeViolation {
+                uid,
+                rule: "(no priced diagnostic)".to_string(),
+                measured_joules,
+                bound_joules: 0.0,
+            }),
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,6 +140,10 @@ mod tests {
             predicted,
             message: String::new(),
             evidence: Vec::new(),
+            component: None,
+            predicted_joules: 1_000.0,
+            energy_breakdown: Vec::new(),
+            energy_rank: 0,
         }
     }
 
@@ -115,5 +189,58 @@ mod tests {
         };
         // Nothing observed at all: still sound.
         assert!(check_superset(&report, &[]).is_empty());
+    }
+
+    #[test]
+    fn quantitative_bound_must_dominate_each_measurement() {
+        let report = LintReport {
+            diagnostics: vec![diag(10_000, vec![AttackKind::WakelockLeak])],
+            apps_checked: 1,
+        };
+        // Bound is 1 000 J: 900 J measured is fine, 1 500 J is not.
+        assert!(check_quantitative(&report, &[(10_000, 900.0)]).is_empty());
+        assert!(check_quantitative(&report, &[(10_000, 1_000.0)]).is_empty());
+        let violations = check_quantitative(&report, &[(10_000, 1_500.0)]);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].bound_joules, 1_000.0);
+        assert!(violations[0].to_string().contains("EA0006"));
+        // Measured collateral from a UID with no diagnostics at all is a
+        // miss, not an exemption.
+        let unclaimed = check_quantitative(&report, &[(10_001, 1e9)]);
+        assert_eq!(unclaimed.len(), 1);
+        assert_eq!(unclaimed[0].uid, 10_001);
+    }
+
+    #[test]
+    fn weaker_sibling_diagnostics_do_not_break_the_envelope() {
+        // A rule pricing only its own attack surface (e.g. interruption
+        // in a one-app system) may bound below the measurement; the UID's
+        // envelope is its *best* priced bound.
+        let mut cheap = diag(10_000, vec![AttackKind::Interruption]);
+        cheap.predicted_joules = 0.0;
+        let report = LintReport {
+            diagnostics: vec![cheap, diag(10_000, vec![AttackKind::WakelockLeak])],
+            apps_checked: 1,
+        };
+        assert!(check_quantitative(&report, &[(10_000, 900.0)]).is_empty());
+        // ...but the envelope itself must still dominate.
+        let violations = check_quantitative(&report, &[(10_000, 1_500.0)]);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].bound_joules, 1_000.0);
+    }
+
+    #[test]
+    fn surface_diagnostics_never_supply_the_bound() {
+        let mut surface = diag(10_000, Vec::new());
+        surface.predicted_joules = 1e9;
+        let report = LintReport {
+            diagnostics: vec![surface],
+            apps_checked: 1,
+        };
+        // Only a surface diagnostic: measured collateral has no priced
+        // claim covering it at all.
+        let violations = check_quantitative(&report, &[(10_000, 1_500.0)]);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].to_string().contains("no priced diagnostic"));
     }
 }

@@ -1,0 +1,83 @@
+//! Report determinism under input permutation: the analyzer's output —
+//! diagnostic order, energy bounds, energy ranks, and the rendered text
+//! and JSON — must not depend on the order apps were installed in. The
+//! sort key `(rule, package, component)` pins the order; the package-
+//! ordered aggregation inside the solver pins the floats bit-for-bit.
+
+use ea_framework::{AppManifest, Permission};
+use ea_lint::render::{to_json, to_text};
+use ea_lint::Linter;
+
+/// A mixed world that trips most rules: hijack/spray targets, a tethered
+/// service, an overlay app, settings and wakelock permissions, an
+/// autostart receiver, and an implicit-intent relay.
+fn world() -> Vec<AppManifest> {
+    vec![
+        AppManifest::builder("com.shuffle.victim")
+            .activity("Main", true)
+            .service("Sync", true)
+            .build(),
+        AppManifest::builder("com.shuffle.overlay")
+            .activity("Main", false)
+            .transparent_activity("Ghost", false)
+            .permission(Permission::SystemAlertWindow)
+            .build(),
+        AppManifest::builder("com.shuffle.waker")
+            .activity("Main", true)
+            .permission(Permission::WakeLock)
+            .permission(Permission::WriteSettings)
+            .build(),
+        AppManifest::builder("com.shuffle.relay")
+            .activity_with_actions("Share", true, &["shuffle.SEND"])
+            .activity_with_actions("Emit", false, &["shuffle.VIEW"])
+            .build(),
+        AppManifest::builder("com.shuffle.sink")
+            .activity_with_actions("Open", true, &["shuffle.VIEW"])
+            .build(),
+        AppManifest::builder("com.shuffle.origin")
+            .activity_with_actions("Main", false, &["shuffle.SEND"])
+            .build(),
+    ]
+}
+
+/// A fixed set of permutations covering rotations and a reversal — enough
+/// to catch any install-order dependence without randomness in the test.
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut orders = Vec::new();
+    for rotate in 0..n {
+        orders.push((0..n).map(|i| (i + rotate) % n).collect());
+    }
+    orders.push((0..n).rev().collect());
+    orders
+}
+
+#[test]
+fn report_is_identical_for_every_install_order() {
+    let apps = world();
+    let baseline = Linter::new().lint_manifests(&apps);
+    assert!(
+        baseline.diagnostics.len() >= 6,
+        "the world must be rule-dense enough to make ordering interesting"
+    );
+    let baseline_text = to_text(&baseline);
+    let baseline_json = to_json(&baseline);
+
+    for order in permutations(apps.len()) {
+        let shuffled: Vec<AppManifest> = order.iter().map(|&i| apps[i].clone()).collect();
+        let report = Linter::new().lint_manifests(&shuffled);
+
+        // The structural sort key holds pair by pair…
+        let keys = |r: &ea_lint::LintReport| {
+            r.diagnostics
+                .iter()
+                .map(|d| (d.rule, d.package.clone(), d.component.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(keys(&baseline), keys(&report), "order {order:?}");
+
+        // …and so do the floats and the ranks, bit for bit: the rendered
+        // artifacts are byte-identical.
+        assert_eq!(baseline_text, to_text(&report), "order {order:?}");
+        assert_eq!(baseline_json, to_json(&report), "order {order:?}");
+    }
+}

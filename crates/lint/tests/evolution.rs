@@ -1,0 +1,115 @@
+//! The revision-regression ladder: one corpus app mutated across
+//! synthetic releases, each release diffed against the previous one with
+//! [`BaselineDiff`]. Every rung adds exactly one energy-attack pattern,
+//! and the diff must (a) flag the release as a regression, (b) attribute
+//! the introduction to the expected rule, and (c) never claim changes
+//! between identical inputs. This is the CI contract of
+//! `eandroid lint --baseline` end to end, minus the process boundary.
+
+use ea_framework::{AndroidSystem, AppManifest, Permission};
+use ea_lint::render::{json_report, JsonReport};
+use ea_lint::{BaselineDiff, Linter};
+
+/// The stable co-installed world the mutating app ships into.
+fn neighbors() -> Vec<AppManifest> {
+    vec![
+        AppManifest::builder("com.evo.store")
+            .activity("Front", true)
+            .service("Sync", true)
+            .build(),
+        AppManifest::builder("com.evo.reader")
+            .activity("Page", true)
+            .build(),
+    ]
+}
+
+/// Release `n` of `com.evo.subject`: each release keeps everything the
+/// previous one had and adds one more energy-attack pattern.
+fn release(n: usize) -> AppManifest {
+    let mut builder = AppManifest::builder("com.evo.subject").activity("Main", true);
+    if n >= 1 {
+        builder = builder.permission(Permission::WakeLock);
+    }
+    if n >= 2 {
+        builder = builder.permission(Permission::WriteSettings);
+    }
+    if n >= 3 {
+        builder = builder
+            .transparent_activity("Ghost", false)
+            .permission(Permission::SystemAlertWindow);
+    }
+    if n >= 4 {
+        builder = builder.receiver("Unlock", true, &[AndroidSystem::ACTION_USER_PRESENT]);
+    }
+    builder.build()
+}
+
+fn lint_release(n: usize) -> JsonReport {
+    let mut apps = neighbors();
+    apps.push(release(n));
+    json_report(&Linter::new().lint_manifests(&apps))
+}
+
+#[test]
+fn each_release_introduces_its_pattern_and_fails_the_gate() {
+    // Rung → the rule code whose first appearance that rung causes.
+    let ladder = [
+        (1, "EA0006"), // + WakeLock: invisible wakelock hold
+        (2, "EA0005"), // + WriteSettings: brightness tamper
+        (3, "EA0004"), // + transparent overlay page
+        (4, "EA0008"), // + ACTION_USER_PRESENT autostart receiver
+    ];
+    for (n, expected_rule) in ladder {
+        let baseline = lint_release(n - 1);
+        let current = lint_release(n);
+        let diff = BaselineDiff::compare(&baseline, &current);
+
+        assert!(
+            diff.has_regressions(),
+            "release r{n} must fail the regression gate"
+        );
+        assert!(
+            diff.introduced
+                .iter()
+                .any(|e| e.rule.starts_with(expected_rule) && e.package == "com.evo.subject"),
+            "release r{n} must introduce {expected_rule} for the subject, got: {:?}",
+            diff.introduced
+                .iter()
+                .map(|e| format!("{} {}", e.rule, e.package))
+                .collect::<Vec<_>>()
+        );
+        // Introductions carry a fresh energy bound and no baseline bound.
+        for entry in &diff.introduced {
+            assert!(entry.joules_before.is_none());
+            assert!(entry.joules_after.unwrap_or(0.0) > 0.0);
+        }
+    }
+}
+
+#[test]
+fn the_ladder_accumulates_monotonically() {
+    // Diffing r0 straight against r4 sees every rung at once, and nothing
+    // is ever fixed along the way: the subject only gets worse.
+    let diff = BaselineDiff::compare(&lint_release(0), &lint_release(4));
+    for rule in ["EA0004", "EA0005", "EA0006", "EA0008"] {
+        assert!(
+            diff.introduced
+                .iter()
+                .any(|e| e.rule.starts_with(rule) && e.package == "com.evo.subject"),
+            "cumulative diff must contain {rule}"
+        );
+    }
+    assert!(
+        diff.fixed.is_empty(),
+        "a strictly additive ladder fixes nothing"
+    );
+}
+
+#[test]
+fn identical_releases_diff_clean_at_every_rung() {
+    for n in 0..=4 {
+        let diff = BaselineDiff::compare(&lint_release(n), &lint_release(n));
+        assert!(diff.is_clean(), "r{n} vs itself must be a zero delta");
+        assert!(!diff.has_regressions());
+    }
+}

@@ -1,15 +1,17 @@
 //! The soundness property, under fire: for *random* app sets driven by
 //! *random* action sequences, the static lint report taken before the run
 //! must predict every `(driving uid, AttackKind)` pair the dynamic
-//! monitor records. This is the same superset contract the scenario suite
-//! checks, but over the whole configuration space proptest can reach.
+//! monitor records — and every priced diagnostic's `predicted_joules`
+//! bound must dominate the collateral energy the profiler attributes per
+//! victim. This is the same two-part contract the scenario suite checks,
+//! but over the whole configuration space proptest can reach.
 
-use ea_core::CollateralMonitor;
+use ea_core::{Profiler, ScreenPolicy};
 use ea_framework::{
     AndroidSystem, AppBehavior, AppManifest, ChangeSource, Intent, Permission, WakelockKind,
     WakelockPolicy,
 };
-use ea_lint::soundness::{check_superset, observed_attacks};
+use ea_lint::soundness::{check_quantitative, check_superset, observed_attacks};
 use ea_lint::Linter;
 use ea_sim::SimDuration;
 use proptest::prelude::*;
@@ -150,6 +152,7 @@ proptest! {
         // random run manages to do.
         let report = Linter::new().lint_system(&android);
 
+        let mut profiler = Profiler::eandroid(ScreenPolicy::SeparateEntity);
         let n = uids.len();
         for op in &ops {
             // Errors (missing permission, non-exported target, unknown
@@ -205,15 +208,14 @@ proptest! {
                     Ok(())
                 }
                 Op::Advance(secs) => {
-                    android.advance(SimDuration::from_secs(secs));
+                    profiler.run(&mut android, SimDuration::from_secs(secs));
                     Ok(())
                 }
             };
         }
-        android.advance(SimDuration::from_secs(5));
+        profiler.run(&mut android, SimDuration::from_secs(5));
 
-        let mut monitor = CollateralMonitor::new();
-        monitor.observe(&android.drain_events());
+        let monitor = profiler.monitor().expect("eandroid profiler has a monitor");
 
         let observed = observed_attacks(monitor.attack_history());
         let violations = check_superset(&report, &observed);
@@ -221,6 +223,22 @@ proptest! {
             violations.is_empty(),
             "static analysis missed dynamic attacks: {:?}",
             violations
+        );
+
+        // Quantitative half: every per-victim collateral attribution must
+        // sit under every priced diagnostic of its driver.
+        let graph = monitor.graph();
+        let mut measured: Vec<(u32, f64)> = Vec::new();
+        for host in graph.hosts().collect::<Vec<_>>() {
+            for (_victim, energy) in graph.collateral_of(host) {
+                measured.push((host.as_raw(), energy.as_joules()));
+            }
+        }
+        let undershoots = check_quantitative(&report, &measured);
+        prop_assert!(
+            undershoots.is_empty(),
+            "static bounds undershot measured collateral: {:?}",
+            undershoots
         );
     }
 }

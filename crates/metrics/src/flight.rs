@@ -92,7 +92,10 @@ impl FlightRecorder {
     /// Clears the ring — the supervisor calls this between retry
     /// attempts so a dump never mixes events from two attempts.
     pub fn reset(&self) {
-        let mut state = self.state.lock().expect("flight ring poisoned");
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         state.events.clear();
         state.dropped = 0;
     }
@@ -100,7 +103,10 @@ impl FlightRecorder {
     /// Snapshots the ring into a serializable dump.
     #[must_use]
     pub fn dump(&self) -> FlightDump {
-        let state = self.state.lock().expect("flight ring poisoned");
+        let state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         FlightDump {
             capacity: self.capacity,
             dropped: state.dropped,
@@ -111,7 +117,10 @@ impl FlightRecorder {
 
 impl TelemetrySink for FlightRecorder {
     fn record_event(&self, t_us: u64, event: TelemetryEvent) {
-        let mut state = self.state.lock().expect("flight ring poisoned");
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if state.events.len() == self.capacity {
             state.events.pop_front();
             state.dropped += 1;

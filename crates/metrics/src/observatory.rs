@@ -67,7 +67,7 @@ impl FleetObservatory {
     pub fn device_completed(&self, drained_joules: f64) {
         self.drains
             .lock()
-            .expect("drain sketch poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .record(drained_joules);
         self.done.fetch_add(1, Ordering::Relaxed);
     }
@@ -109,7 +109,10 @@ impl FleetObservatory {
         let elapsed_secs = elapsed.as_secs_f64();
         let done = self.done.load(Ordering::Relaxed);
         let (p50, p90, p99, gamma) = {
-            let drains = self.drains.lock().expect("drain sketch poisoned");
+            let drains = self
+                .drains
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             (
                 drains.quantile(0.50),
                 drains.quantile(0.90),
@@ -118,7 +121,10 @@ impl FleetObservatory {
             )
         };
         let recent = {
-            let mut last = self.last.lock().expect("rate baseline poisoned");
+            let mut last = self
+                .last
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let span = now.duration_since(last.at).as_secs_f64();
             let delta = done.saturating_sub(last.done);
             last.at = now;

@@ -48,15 +48,13 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// One JSONL heartbeat line (no trailing newline).
-    ///
-    /// # Panics
-    ///
-    /// Panics when serialization fails, which would be a bug: every field
-    /// is a plain number, string, or vector.
+    /// One JSONL heartbeat line (no trailing newline). Serialization of
+    /// a plain-number struct cannot fail; if it somehow does, the line
+    /// degrades to an error object instead of killing the heartbeat.
     #[must_use]
     pub fn to_jsonl(&self) -> String {
-        serde_json::to_string(self).expect("snapshot serializes")
+        serde_json::to_string(self)
+            .unwrap_or_else(|err| format!("{{\"error\":\"snapshot failed to serialize: {err}\"}}"))
     }
 
     /// Prometheus-style text exposition of the snapshot.

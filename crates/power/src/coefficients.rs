@@ -1,0 +1,109 @@
+//! Worst-case per-component power ceilings for static analysis.
+//!
+//! `ea-lint`'s abstract interpreter prices abstract resource occupancies
+//! (screen forced on, a core pinned, the radio held active, …) into a
+//! joules-per-day upper bound. For that bound to be *sound* it must use
+//! ceilings no dynamic run can exceed, and for it to be *honest* those
+//! ceilings must come from the same calibration the simulator drains
+//! with. [`DevicePowerModel::coefficients`] exposes exactly that: the
+//! maximum draw each component model can produce, read off the model
+//! itself rather than duplicated as magic numbers in the analyzer.
+
+use crate::camera::CameraMode;
+use crate::model::DevicePowerModel;
+
+/// Per-component worst-case draws (mW) distilled from a
+/// [`DevicePowerModel`].
+///
+/// Every field is the supremum of the corresponding component model over
+/// its input domain, except `radio_max_mw` which additionally assumes a
+/// saturated 10 Mbps WiFi link — the throughput ceiling the bundled
+/// workloads stay under.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerCoefficients {
+    /// Static draw of an awake application processor, mW.
+    pub cpu_awake_mw: f64,
+    /// Awake CPU running one full core at the top DVFS level, mW.
+    pub cpu_core_max_mw: f64,
+    /// Screen at full brightness and full content luma, mW.
+    pub screen_max_mw: f64,
+    /// The busier radio (WiFi at the saturation throughput vs cellular
+    /// DCH), mW.
+    pub radio_max_mw: f64,
+    /// GPS in its hungriest phase (acquisition), mW.
+    pub gps_max_mw: f64,
+    /// Camera in its hungriest mode (recording), mW.
+    pub camera_max_mw: f64,
+    /// Audio pipeline while playing, mW.
+    pub audio_max_mw: f64,
+    /// Whole-device suspended floor, mW.
+    pub suspend_mw: f64,
+}
+
+/// WiFi throughput (Mbps) assumed for the radio ceiling: the bundled
+/// scenario and fleet workloads never request more.
+const RADIO_CEILING_MBPS: f64 = 10.0;
+
+impl DevicePowerModel {
+    /// Distills this calibration into per-component worst-case draws.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let coeffs = ea_power::DevicePowerModel::nexus4().coefficients();
+    /// assert!(coeffs.screen_max_mw > coeffs.cpu_awake_mw);
+    /// assert!(coeffs.cpu_core_max_mw > coeffs.cpu_awake_mw);
+    /// ```
+    pub fn coefficients(&self) -> PowerCoefficients {
+        let wifi_max = self.wifi.active_mw + self.wifi.mw_per_mbps * RADIO_CEILING_MBPS;
+        PowerCoefficients {
+            cpu_awake_mw: self.cpu.awake_mw,
+            cpu_core_max_mw: self.cpu.power_mw(1.0),
+            screen_max_mw: self.screen.power_with_content(true, u8::MAX, 1.0),
+            radio_max_mw: wifi_max.max(self.cellular.dch_mw),
+            gps_max_mw: self.gps.acquire_mw.max(self.gps.track_mw),
+            camera_max_mw: self
+                .camera
+                .power_mw(CameraMode::Recording)
+                .max(self.camera.power_mw(CameraMode::Preview)),
+            audio_max_mw: self.audio.power_mw(true),
+            suspend_mw: self.suspend_mw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceilings_dominate_every_model_output() {
+        let model = DevicePowerModel::nexus4();
+        let coeffs = model.coefficients();
+        // Screen: sweep brightness and luma.
+        for brightness in [0u8, 64, 128, 255] {
+            for luma in [0.0, 0.5, 1.0] {
+                assert!(
+                    coeffs.screen_max_mw >= model.screen.power_with_content(true, brightness, luma)
+                );
+            }
+        }
+        // CPU: one core at any utilization.
+        for util in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert!(coeffs.cpu_core_max_mw >= model.cpu.power_mw(util));
+        }
+        // Peripherals.
+        assert!(coeffs.gps_max_mw >= model.gps.track_mw);
+        assert!(coeffs.camera_max_mw >= model.camera.power_mw(CameraMode::Preview));
+        assert!(coeffs.radio_max_mw >= model.cellular.dch_mw);
+        assert!(coeffs.radio_max_mw >= model.wifi.active_mw);
+    }
+
+    #[test]
+    fn galaxy_nexus_differs_only_where_calibrated() {
+        let n4 = DevicePowerModel::nexus4().coefficients();
+        let gn = DevicePowerModel::galaxy_nexus().coefficients();
+        assert_eq!(n4.radio_max_mw, gn.radio_max_mw, "same radios");
+        assert_ne!(n4.screen_max_mw, gn.screen_max_mw, "different panels");
+    }
+}

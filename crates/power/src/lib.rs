@@ -58,6 +58,7 @@ mod battery;
 mod calibrate;
 mod camera;
 mod cellular;
+mod coefficients;
 mod component;
 mod cpu;
 mod energy;
@@ -72,6 +73,7 @@ pub use battery::{Battery, DischargeCurve};
 pub use calibrate::{fit_power_model, LinearPowerModel, PowerSample};
 pub use camera::{CameraMode, CameraModel};
 pub use cellular::{CellularModel, CellularState};
+pub use coefficients::PowerCoefficients;
 pub use component::Component;
 pub use cpu::CpuModel;
 pub use energy::Energy;

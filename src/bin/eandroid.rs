@@ -27,7 +27,7 @@ use e_android::core::{
 use e_android::corpus::{analyze, generate_corpus, to_manifest_xml, CorpusConfig};
 use e_android::fleet::{run_fleet_traced, FleetConfig};
 use e_android::framework::AndroidSystem;
-use e_android::lint::{render, LintSystem, Linter};
+use e_android::lint::{render, BaselineDiff, LintSystem, Linter};
 use e_android::metrics::FleetObservatory;
 use e_android::telemetry::SinkHandle;
 
@@ -57,7 +57,9 @@ COMMANDS:
         --runs N                   samples per op/config (default 50)
     antutu                  run the Figure 11 parity benchmark
     lint [demo|corpus]      static collateral-energy analysis (rules EA0001-EA0009)
-        --json                     emit the report as JSON
+        --json                     emit the report as JSON (schema v2)
+        --baseline <report.json>   diff against a saved JSON report; exit
+                                   non-zero iff new findings are introduced
         --rules                    list the rule registry and exit
         --seed N                   corpus RNG seed (default 2017)
         --size N                   corpus size (default 1124)
@@ -636,39 +638,64 @@ fn cmd_lint(args: &[&str]) -> ExitCode {
         }
     };
 
-    if target == "demo" {
+    let report = if target == "demo" {
         // The paper's testbed: the six demo apps plus the fungame malware.
         let mut android = AndroidSystem::new();
         e_android::apps::DemoApps::install_all(&mut android);
         e_android::apps::Malware::install(&mut android);
-        let report = android.lint();
-        if has_flag(args, "--json") {
-            print!("{}", render::to_json(&report));
+        android.lint()
+    } else {
+        let seed: u64 = flag_value(args, "--seed")
+            .and_then(|value| value.parse().ok())
+            .unwrap_or(2_017);
+        let size: usize = flag_value(args, "--size")
+            .and_then(|value| value.parse().ok())
+            .unwrap_or(1_124);
+        let config = CorpusConfig {
+            size,
+            ..CorpusConfig::paper()
+        };
+        let corpus = generate_corpus(&config, seed);
+        Linter::new().lint_manifests(&corpus)
+    };
+
+    // Revision-regression mode: diff against a saved schema-v2 JSON
+    // report. Introduced findings are regressions and fail the exit code;
+    // identical inputs diff clean and exit zero.
+    if let Some(path) = flag_value(args, "--baseline") {
+        let baseline_text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("cannot read baseline {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match render::parse_json(&baseline_text) {
+            Ok(parsed) => parsed,
+            Err(err) => {
+                eprintln!("invalid baseline {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let diff = BaselineDiff::compare(&baseline, &render::json_report(&report));
+        print!("{diff}");
+        return if diff.has_regressions() {
+            ExitCode::FAILURE
         } else {
-            print!("{}", render::to_text(&report));
-        }
-        return ExitCode::SUCCESS;
+            ExitCode::SUCCESS
+        };
     }
 
-    let seed: u64 = flag_value(args, "--seed")
-        .and_then(|value| value.parse().ok())
-        .unwrap_or(2_017);
-    let size: usize = flag_value(args, "--size")
-        .and_then(|value| value.parse().ok())
-        .unwrap_or(1_124);
-    let config = CorpusConfig {
-        size,
-        ..CorpusConfig::paper()
-    };
-    let corpus = generate_corpus(&config, seed);
-    let report = Linter::new().lint_manifests(&corpus);
     if has_flag(args, "--json") {
         print!("{}", render::to_json(&report));
+    } else if target == "demo" {
+        print!("{}", render::to_text(&report));
     } else {
         println!(
-            "{} diagnostic(s) across {} app(s)",
+            "{} diagnostic(s) across {} app(s), total static bound {:.1} kJ/day",
             report.len(),
-            report.apps_checked
+            report.apps_checked,
+            report.total_predicted_joules() / 1_000.0
         );
         for (rule, count) in report.counts_by_rule() {
             println!("  {:<26} {count:>6}", rule.to_string());

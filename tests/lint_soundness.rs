@@ -1,14 +1,30 @@
 //! The soundness harness over the scripted scenario suite: for every
 //! scenario in `crates/apps`, the static lint report must be a superset
 //! of what the dynamic `CollateralMonitor` observed — every recorded
-//! `(driving uid, AttackKind)` pair needs a matching diagnostic. This is
-//! the acceptance contract of the static analyzer: it may over-warn, it
-//! must never miss.
+//! `(driving uid, AttackKind)` pair needs a matching diagnostic, and
+//! (the quantitative half) each driver's static energy envelope — its
+//! best priced `predicted_joules` bound — must dominate the collateral
+//! energy the monitor attributed to it per victim. This is the
+//! acceptance contract of the static
+//! analyzer: it may over-warn, it must never miss — in kind or in joules.
 
 use e_android::apps::Scenario;
-use e_android::core::{AttackKind, Profiler, ScreenPolicy};
-use e_android::lint::soundness::{check_superset, observed_attacks};
+use e_android::core::{AttackKind, CollateralMonitor, Profiler, ScreenPolicy};
+use e_android::lint::soundness::{check_quantitative, check_superset, observed_attacks};
 use e_android::lint::{LintSystem, RuleId, Severity};
+
+/// Per-victim `(driving uid, joules)` rows from a run's collateral graph:
+/// the strongest measurement the quantitative bound must dominate.
+fn measured_collateral(monitor: &CollateralMonitor) -> Vec<(u32, f64)> {
+    let graph = monitor.graph();
+    let mut rows = Vec::new();
+    for host in graph.hosts().collect::<Vec<_>>() {
+        for (_victim, energy) in graph.collateral_of(host) {
+            rows.push((host.as_raw(), energy.as_joules()));
+        }
+    }
+    rows
+}
 
 #[test]
 fn static_prediction_covers_every_scenario_dynamically() {
@@ -33,6 +49,46 @@ fn static_prediction_covers_every_scenario_dynamically() {
                 .collect::<Vec<_>>()
                 .join("; ")
         );
+    }
+}
+
+#[test]
+fn static_bound_dominates_measured_collateral_everywhere() {
+    // The quantitative half of the contract, across all 14 scenarios:
+    // each driver's static energy envelope — the strongest
+    // `predicted_joules` bound among its kind-predicting diagnostics —
+    // must be at least as large as any collateral energy the dynamic
+    // monitor attributed to that driver for any single victim
+    // (per-victim rows dominate any per-(victim, kind) split).
+    for scenario in Scenario::ALL {
+        let run = scenario.run(Profiler::eandroid(ScreenPolicy::SeparateEntity));
+        let monitor = run
+            .profiler
+            .monitor()
+            .expect("eandroid profiler has a monitor");
+        let report = run.android.lint();
+
+        let measured = measured_collateral(monitor);
+        let violations = check_quantitative(&report, &measured);
+        assert!(
+            violations.is_empty(),
+            "{}: static bounds undershot measured collateral: {}",
+            scenario.name(),
+            violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+        // The check must not pass vacuously across the suite: attack
+        // scenarios measure real collateral.
+        if scenario.is_attack() {
+            assert!(
+                !measured.is_empty(),
+                "{}: attack scenario measured no collateral",
+                scenario.name()
+            );
+        }
     }
 }
 

@@ -1,13 +1,16 @@
-//! Fleet-wide aggregation: fold per-device reports, in device-index
-//! order, into one [`FleetReport`].
+//! Fleet-wide aggregation: the report types, and the batch entry point
+//! folding per-device reports, in device-index order, into one
+//! [`FleetReport`].
 //!
-//! The merge is deterministic by construction: the engine hands this
-//! module a vector indexed by device — whatever interleaving the worker
-//! threads produced — so every accumulator sees the same values in the
-//! same order regardless of `--jobs`. Wall-clock facts (throughput,
-//! worker utilization) live in [`crate::FleetRunStats`], *outside* the
-//! report, so the serialized report is byte-identical for a given
-//! `(seed, fleet_size)`.
+//! The fold itself lives in [`crate::merge::ReportFold`], shared with
+//! the `ea-serve` streaming service so batch and streaming runs merge
+//! through one code path. The merge is deterministic by construction:
+//! the engine hands this module a vector indexed by device — whatever
+//! interleaving the worker threads produced — so every accumulator sees
+//! the same values in the same order regardless of `--jobs`. Wall-clock
+//! facts (throughput, worker utilization) live in
+//! [`crate::FleetRunStats`], *outside* the report, so the serialized
+//! report is byte-identical for a given `(seed, fleet_size)`.
 
 use std::collections::BTreeMap;
 
@@ -16,9 +19,6 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::FleetConfig;
 use crate::device::{DeviceCheckpoint, DeviceReport};
-
-/// How many drivers/victims the ranked tables keep.
-const TOP_LIMIT: usize = 10;
 
 /// A device whose workload panicked past its retry budget: recorded, not
 /// fatal.
@@ -103,7 +103,7 @@ pub struct DrainPercentiles {
     pub gamma: f64,
 }
 
-fn default_gamma() -> f64 {
+pub(crate) fn default_gamma() -> f64 {
     QuantileSketch::DEFAULT_GAMMA
 }
 
@@ -119,7 +119,7 @@ pub struct RankedEntity {
 }
 
 /// The population-scale static-vs-dynamic cross-check.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LintCrossCheck {
     /// Apps analyzed, summed over devices.
     pub apps_linted: usize,
@@ -190,45 +190,12 @@ pub struct FleetReport {
     pub devices: Vec<DeviceRow>,
 }
 
-/// Builds the drain sketch from a completed-device drain list — the
-/// fallback when the caller has no per-shard sketches to merge (unit
-/// tests, direct `aggregate` callers). Bit-for-bit equal to the engine's
-/// merged per-worker sketches over the same drains, whatever the
-/// sharding: that equivalence is what makes the quantiles
-/// `--jobs`-independent, and the property tests pin it.
-fn sketch_from_drains(drains: &[f64]) -> QuantileSketch {
-    let mut sketch = QuantileSketch::new(default_gamma());
-    for &drained in drains {
-        sketch.record(drained);
-    }
-    sketch
-}
-
-/// Ranks an accumulated `(name -> (joules, devices))` map: descending by
-/// energy, name as the total tie-break, clipped to the table limit.
-fn rank(map: BTreeMap<String, (f64, usize)>) -> Vec<RankedEntity> {
-    let mut rows: Vec<RankedEntity> = map
-        .into_iter()
-        .map(|(name, (joules, devices))| RankedEntity {
-            name,
-            joules,
-            devices,
-        })
-        .collect();
-    rows.sort_by(|a, b| {
-        b.joules
-            .partial_cmp(&a.joules)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.name.cmp(&b.name))
-    });
-    rows.truncate(TOP_LIMIT);
-    rows
-}
-
-/// Folds per-device outcomes (index order) into the fleet report.
+/// Folds per-device outcomes (index order) into the fleet report via
+/// the shared [`crate::merge::ReportFold`] — the exact code path the
+/// `ea-serve` streaming drain uses, so the two cannot diverge.
 ///
 /// `health` arrives pre-filled with the supervisor's retry accounting
-/// (retried/recovered/abandoned, device-panic counts); this fold adds
+/// (retried/recovered/abandoned, device-panic counts); the fold adds
 /// every device's fault log and derives the masked counts.
 ///
 /// `drain_sketch` is the merged per-shard drain sketch the engine built
@@ -237,151 +204,21 @@ fn rank(map: BTreeMap<String, (f64, usize)>) -> Vec<RankedEntity> {
 pub fn aggregate(
     config: &FleetConfig,
     outcomes: Vec<Result<DeviceReport, DeviceFailure>>,
-    mut health: FleetHealth,
+    health: FleetHealth,
     drain_sketch: Option<QuantileSketch>,
 ) -> FleetReport {
-    let mut failures: Vec<DeviceFailure> = Vec::new();
-    let mut drains = Vec::new();
-    let mut infected_devices = 0;
-    let mut kind_devices: BTreeMap<String, usize> = BTreeMap::new();
-    let mut kind_periods: BTreeMap<String, usize> = BTreeMap::new();
-    let mut kind_joules: BTreeMap<String, f64> = BTreeMap::new();
-    let mut kind_predicted: BTreeMap<String, usize> = BTreeMap::new();
-    let mut drivers: BTreeMap<String, (f64, usize)> = BTreeMap::new();
-    let mut victims: BTreeMap<String, (f64, usize)> = BTreeMap::new();
-    let mut lint = LintCrossCheck {
-        apps_linted: 0,
-        diagnostics: 0,
-        superset_violations: 0,
-        static_predicted_joules: 0.0,
-    };
-    let mut devices = Vec::new();
-
+    let mut fold = crate::merge::ReportFold::new();
     for outcome in outcomes {
-        let report = match outcome {
-            Ok(report) => report,
-            Err(failure) => {
-                failures.push(failure);
-                continue;
-            }
-        };
-        drains.push(report.drained_joules);
-        if report.infected {
-            infected_devices += 1;
-        }
-        for (kind, periods) in &report.periods_by_kind {
-            *kind_devices.entry(kind.clone()).or_default() += 1;
-            *kind_periods.entry(kind.clone()).or_default() += periods;
-        }
-        for (kind, joules) in &report.collateral_by_kind {
-            *kind_joules.entry(kind.clone()).or_default() += joules;
-        }
-        for (kind, apps) in &report.predicted_apps_by_kind {
-            *kind_predicted.entry(kind.clone()).or_default() += apps;
-        }
-        for (name, joules) in &report.drivers {
-            let entry = drivers.entry(name.clone()).or_insert((0.0, 0));
-            entry.0 += joules;
-            entry.1 += 1;
-        }
-        for (name, joules) in &report.victims {
-            let entry = victims.entry(name.clone()).or_insert((0.0, 0));
-            entry.0 += joules;
-            entry.1 += 1;
-        }
-        lint.apps_linted += report.apps_linted;
-        lint.diagnostics += report.lint_diagnostics;
-        lint.superset_violations += report.soundness_violations;
-        lint.static_predicted_joules += report.static_predicted_joules;
-        for (kind, count) in &report.fault_log.injected {
-            *health.faults_injected.entry(kind.clone()).or_default() += count;
-        }
-        for (kind, count) in &report.fault_log.detected {
-            *health.faults_detected.entry(kind.clone()).or_default() += count;
-        }
-        devices.push(DeviceRow {
-            index: report.index,
-            seed: report.seed,
-            infected: report.infected,
-            apps: report.apps_installed,
-            drained_joules: report.drained_joules,
-        });
+        fold.fold(outcome);
     }
-
-    let devices_completed = drains.len();
-    let mean = if drains.is_empty() {
-        0.0
-    } else {
-        drains.iter().sum::<f64>() / drains.len() as f64
-    };
-    // Quantiles come off the mergeable sketch instead of sorting the
-    // whole drain vector: same bytes at any shard count, O(bins) reads,
-    // and a streaming engine never needs the full vector in one place.
-    let sketch = drain_sketch.unwrap_or_else(|| sketch_from_drains(&drains));
-    let drain_joules = DrainPercentiles {
-        p50: sketch.quantile(0.50),
-        p90: sketch.quantile(0.90),
-        p99: sketch.quantile(0.99),
-        mean,
-        max: sketch.max(),
-        gamma: sketch.gamma(),
-    };
-
-    // Union of every kind any table mentions, in label order.
-    let mut kinds: Vec<String> = kind_devices
-        .keys()
-        .chain(kind_predicted.keys())
-        .cloned()
-        .collect();
-    kinds.sort_unstable();
-    kinds.dedup();
-    let prevalence = kinds
-        .into_iter()
-        .map(|kind| KindPrevalence {
-            devices: kind_devices.get(&kind).copied().unwrap_or(0),
-            periods: kind_periods.get(&kind).copied().unwrap_or(0),
-            collateral_joules: kind_joules.get(&kind).copied().unwrap_or(0.0),
-            statically_predicted_apps: kind_predicted.get(&kind).copied().unwrap_or(0),
-            kind,
-        })
-        .collect();
-
-    health.checkpoints_salvaged = failures
-        .iter()
-        .filter(|failure| failure.checkpoint.is_some())
-        .count();
-    for (kind, &injected) in &health.faults_injected {
-        let detected = health.faults_detected.get(kind).copied().unwrap_or(0);
-        let masked = injected.saturating_sub(detected);
-        if masked > 0 {
-            health.faults_masked.insert(kind.clone(), masked);
-        }
-    }
-
-    FleetReport {
-        schema_version: 4,
-        fleet_seed: config.seed,
-        fleet_size: config.size,
-        corpus_seed: config.corpus_seed,
-        corpus_size: config.corpus_size,
-        devices_completed,
-        failures,
-        infected_devices,
-        drain_joules,
-        prevalence,
-        top_drivers: rank(drivers),
-        top_victims: rank(victims),
-        lint,
-        health,
-        devices,
-    }
+    fold.finish(config, health, drain_sketch)
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
-    fn device(index: usize, drained: f64, infected: bool) -> DeviceReport {
+    pub(crate) fn device(index: usize, drained: f64, infected: bool) -> DeviceReport {
         DeviceReport {
             index,
             seed: index as u64,
@@ -404,10 +241,18 @@ mod tests {
         }
     }
 
+    fn sketch_of(drains: &[f64]) -> QuantileSketch {
+        let mut sketch = QuantileSketch::default();
+        for &drained in drains {
+            sketch.record(drained);
+        }
+        sketch
+    }
+
     #[test]
     fn sketch_quantiles_track_nearest_rank_within_gamma() {
         let drains: Vec<f64> = (1..=100).map(f64::from).collect();
-        let sketch = sketch_from_drains(&drains);
+        let sketch = sketch_of(&drains);
         for (q, exact) in [(0.50, 50.0), (0.90, 90.0), (0.99, 99.0)] {
             let estimate = sketch.quantile(q);
             assert!(
@@ -415,8 +260,8 @@ mod tests {
                 "q={q}: {estimate} vs exact {exact}"
             );
         }
-        assert_eq!(sketch_from_drains(&[]).quantile(0.5), 0.0);
-        assert_eq!(sketch_from_drains(&[4.0]).quantile(0.99), 4.0);
+        assert_eq!(sketch_of(&[]).quantile(0.5), 0.0);
+        assert_eq!(sketch_of(&[4.0]).quantile(0.99), 4.0);
     }
 
     #[test]
@@ -426,7 +271,7 @@ mod tests {
             ..FleetConfig::default()
         };
         let outcomes = || vec![Ok(device(0, 10.0, false)), Ok(device(1, 25.0, true))];
-        let merged = sketch_from_drains(&[10.0, 25.0]);
+        let merged = sketch_of(&[10.0, 25.0]);
         let from_engine = aggregate(&config, outcomes(), FleetHealth::default(), Some(merged));
         let rebuilt = aggregate(&config, outcomes(), FleetHealth::default(), None);
         assert_eq!(from_engine, rebuilt);
@@ -489,18 +334,5 @@ mod tests {
         assert_eq!(report.health.faults_detected["counter_reset"], 1);
         assert_eq!(report.health.faults_masked["counter_reset"], 1);
         assert_eq!(report.health.faults_masked["intent_drop"], 1);
-    }
-
-    #[test]
-    fn rank_is_total_ordered() {
-        let map = BTreeMap::from([
-            (String::from("b"), (1.0, 1)),
-            (String::from("a"), (1.0, 1)),
-            (String::from("c"), (5.0, 2)),
-        ]);
-        let rows = rank(map);
-        assert_eq!(rows[0].name, "c");
-        assert_eq!(rows[1].name, "a", "ties break by name");
-        assert_eq!(rows[2].name, "b");
     }
 }

@@ -153,6 +153,23 @@ pub fn simulate_device_attempt(
     checkpoint: &Cell<Option<DeviceCheckpoint>>,
     flight: Option<&SinkHandle>,
 ) -> DeviceReport {
+    let on_checkpoint = |snapshot: DeviceCheckpoint| checkpoint.set(Some(snapshot));
+    simulate_device_observed(config, corpus, index, attempt, &on_checkpoint, flight)
+}
+
+/// [`simulate_device_attempt`] with a checkpoint *callback* instead of a
+/// cell: `on_checkpoint` fires after every completed session with the
+/// device's progress snapshot. The streaming service forwards these into
+/// its ingest lanes; the batch path wraps a [`Cell`] setter around it.
+/// Observation only — attaching a callback never changes the report.
+pub fn simulate_device_observed(
+    config: &FleetConfig,
+    corpus: &[AppManifest],
+    index: usize,
+    attempt: u32,
+    on_checkpoint: &dyn Fn(DeviceCheckpoint),
+    flight: Option<&SinkHandle>,
+) -> DeviceReport {
     assert!(
         !config.panic_devices.contains(&index),
         "injected fault in device {index}"
@@ -293,11 +310,11 @@ pub fn simulate_device_attempt(
         let idle = rng.range_u64(1, config.mean_idle_secs.max(2) * 2);
         profiler.run(&mut android, SimDuration::from_secs(idle));
 
-        checkpoint.set(Some(DeviceCheckpoint {
+        on_checkpoint(DeviceCheckpoint {
             sessions_completed: session + 1,
             sim_seconds: android.now().as_secs_f64(),
             drained_joules: profiler.battery().drained().as_joules(),
-        }));
+        });
     }
 
     distill(

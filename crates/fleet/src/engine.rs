@@ -26,9 +26,8 @@
 //! default panic hook is wrapped once so worker panics do not spray the
 //! terminal while everyone else's devices keep simulating.
 
-use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, Once};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use ea_corpus::{generate_corpus, CorpusConfig};
@@ -36,9 +35,12 @@ use ea_metrics::{FleetObservatory, FlightRecorder, QuantileSketch};
 use ea_telemetry::{span, SinkHandle};
 use serde::{Deserialize, Serialize};
 
-use crate::aggregate::{aggregate, DeviceFailure, FleetHealth};
-use crate::config::{device_seed, FleetConfig};
-use crate::device::{simulate_device_attempt, DeviceReport, CHAOS_PANIC_PREFIX};
+use crate::aggregate::{aggregate, DeviceFailure};
+use crate::config::FleetConfig;
+use crate::device::DeviceReport;
+use crate::supervise::{
+    install_quiet_hook, supervise_device, QuietPanicsGuard, SuperviseHooks, Supervision,
+};
 use crate::FleetReport;
 
 /// Wall-clock facts about one engine run. Deliberately *not* part of
@@ -53,39 +55,6 @@ pub struct FleetRunStats {
     pub devices_per_sec: f64,
     /// Per-worker busy ratio (device time / run wall time), `0.0..=1.0`.
     pub worker_utilization: Vec<f64>,
-}
-
-thread_local! {
-    /// Set while a fleet worker runs a device: the wrapped panic hook
-    /// stays quiet for these threads (the panic becomes a report entry).
-    static QUIET_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
-}
-
-static HOOK_INIT: Once = Once::new();
-
-/// Wraps the current panic hook (once per process) so threads that opted
-/// in via [`QUIET_PANICS`] panic silently; everyone else keeps the
-/// previous behaviour.
-fn install_quiet_hook() {
-    HOOK_INIT.call_once(|| {
-        let previous = panic::take_hook();
-        panic::set_hook(Box::new(move |info| {
-            if !QUIET_PANICS.with(|quiet| quiet.get()) {
-                previous(info);
-            }
-        }));
-    });
-}
-
-/// Extracts the human-readable message from a caught panic payload.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(message) = payload.downcast_ref::<&str>() {
-        (*message).to_string()
-    } else if let Some(message) = payload.downcast_ref::<String>() {
-        message.clone()
-    } else {
-        String::from("panic with non-string payload")
-    }
 }
 
 /// Locks a mutex, recovering the data from a poisoned lock: a worker
@@ -103,93 +72,6 @@ fn into_clean<T>(mutex: Mutex<T>) -> T {
     mutex
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-/// One worker's supervision tally, merged into [`FleetHealth`] at the end
-/// of the run (pure sums: merge order cannot change the report).
-#[derive(Debug, Default, Clone)]
-struct Supervision {
-    retried: usize,
-    recovered: usize,
-    abandoned: usize,
-    chaos_panics: u64,
-}
-
-/// Deterministic per-attempt backoff before a device retry: a short,
-/// seeded pause so a transiently-wedged host resource (the fault model
-/// for a panic that a retry can survive) gets time to clear.
-fn retry_backoff(fleet_seed: u64, index: usize, attempt: u32) -> std::time::Duration {
-    let mix = device_seed(fleet_seed ^ u64::from(attempt).wrapping_mul(0x9E37), index);
-    std::time::Duration::from_millis(1 + mix % 5)
-}
-
-/// Supervises one device: bounded retries with seeded backoff, partial
-/// progress salvaged through the checkpoint cell the simulation writes.
-/// When a flight recorder is attached, the ring is cleared before every
-/// attempt (so a dump never mixes attempts) and snapshotted into the
-/// [`DeviceFailure`] on abandonment.
-fn supervise_device(
-    config: &FleetConfig,
-    corpus: &[ea_framework::AppManifest],
-    index: usize,
-    tally: &mut Supervision,
-    flight: Option<&Arc<FlightRecorder>>,
-    observatory: Option<&FleetObservatory>,
-) -> Result<DeviceReport, DeviceFailure> {
-    let checkpoint = std::cell::Cell::new(None);
-    let flight_handle = flight.map(|recorder| SinkHandle::new(recorder.clone()));
-    let mut attempts = 0u32;
-    loop {
-        if let Some(recorder) = flight {
-            recorder.reset();
-        }
-        let result = panic::catch_unwind(AssertUnwindSafe(|| {
-            simulate_device_attempt(
-                config,
-                corpus,
-                index,
-                attempts,
-                &checkpoint,
-                flight_handle.as_ref(),
-            )
-        }));
-        attempts += 1;
-        match result {
-            Ok(report) => {
-                if attempts > 1 {
-                    tally.recovered += 1;
-                }
-                return Ok(report);
-            }
-            Err(payload) => {
-                let message = panic_message(payload);
-                if message.contains(CHAOS_PANIC_PREFIX) {
-                    tally.chaos_panics += 1;
-                    if let Some(observatory) = observatory {
-                        observatory.chaos_panic();
-                    }
-                }
-                if attempts > config.max_retries {
-                    tally.abandoned += 1;
-                    return Err(DeviceFailure {
-                        index,
-                        seed: device_seed(config.seed, index),
-                        message,
-                        attempts,
-                        checkpoint: checkpoint.get(),
-                        flight_recorder: flight.map(|recorder| recorder.dump()),
-                    });
-                }
-                if attempts == 1 {
-                    tally.retried += 1;
-                    if let Some(observatory) = observatory {
-                        observatory.device_retried();
-                    }
-                }
-                std::thread::sleep(retry_backoff(config.seed, index, attempts));
-            }
-        }
-    }
 }
 
 /// Runs the fleet with no telemetry.
@@ -252,7 +134,7 @@ pub fn run_fleet_observed(
             let drain_sketch = &drain_sketch;
             let sink = sink.clone();
             scope.spawn(move || {
-                QUIET_PANICS.with(|quiet| quiet.set(true));
+                let _quiet = QuietPanicsGuard::enter();
                 let mut busy_secs = 0.0;
                 let mut tally = Supervision::default();
                 let mut local_sketch = QuantileSketch::default();
@@ -267,14 +149,12 @@ pub fn run_fleet_observed(
                     let hi = ((shard + 1) * shard_size).min(size);
                     for index in lo..hi {
                         let device_started = Instant::now();
-                        let outcome = supervise_device(
-                            config,
-                            corpus,
-                            index,
-                            &mut tally,
-                            flight.as_ref(),
+                        let hooks = SuperviseHooks {
+                            flight: flight.as_ref(),
                             observatory,
-                        );
+                            on_checkpoint: None,
+                        };
+                        let outcome = supervise_device(config, corpus, index, &mut tally, &hooks);
                         let device_secs = device_started.elapsed().as_secs_f64();
                         busy_secs += device_secs;
                         if sink.enabled() {
@@ -305,12 +185,7 @@ pub fn run_fleet_observed(
                 }
                 lock_clean(busy)[worker] = busy_secs;
                 lock_clean(drain_sketch).merge(&local_sketch);
-                let mut merged = lock_clean(supervision);
-                merged.retried += tally.retried;
-                merged.recovered += tally.recovered;
-                merged.abandoned += tally.abandoned;
-                merged.chaos_panics += tally.chaos_panics;
-                QUIET_PANICS.with(|quiet| quiet.set(false));
+                lock_clean(supervision).merge(&tally);
             });
         }
     });
@@ -320,24 +195,7 @@ pub fn run_fleet_observed(
         .map(|slot| slot.unwrap_or_else(|| unreachable!("every device index was claimed")))
         .collect();
 
-    let tally = into_clean(supervision);
-    let mut health = FleetHealth {
-        devices_retried: tally.retried,
-        devices_recovered: tally.recovered,
-        devices_abandoned: tally.abandoned,
-        ..FleetHealth::default()
-    };
-    if tally.chaos_panics > 0 {
-        // The injected panics themselves: every one was both injected and
-        // caught by the supervisor (caught-but-abandoned still counts as
-        // detected — it became a failure entry, not a crashed run).
-        health
-            .faults_injected
-            .insert(String::from("device_panic"), tally.chaos_panics);
-        health
-            .faults_detected
-            .insert(String::from("device_panic"), tally.chaos_panics);
-    }
+    let health = into_clean(supervision).health();
 
     let report = {
         let _merge_span = span(sink.sink(), "fleet_merge");
@@ -378,6 +236,7 @@ pub fn run_fleet_observed(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::device_seed;
     use ea_telemetry::Recorder;
     use std::sync::Arc;
 

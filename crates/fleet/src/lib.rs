@@ -39,7 +39,9 @@ mod aggregate;
 mod config;
 mod device;
 mod engine;
+pub mod merge;
 pub mod render;
+pub mod supervise;
 
 pub use aggregate::{
     aggregate, DeviceFailure, DeviceRow, DrainPercentiles, FleetHealth, FleetReport,
@@ -47,6 +49,9 @@ pub use aggregate::{
 };
 pub use config::{device_seed, FleetConfig};
 pub use device::{
-    simulate_device, simulate_device_attempt, DeviceCheckpoint, DeviceReport, CHAOS_PANIC_PREFIX,
+    simulate_device, simulate_device_attempt, simulate_device_observed, DeviceCheckpoint,
+    DeviceReport, CHAOS_PANIC_PREFIX,
 };
 pub use engine::{run_fleet, run_fleet_observed, run_fleet_traced, FleetRunStats};
+pub use merge::ReportFold;
+pub use supervise::{SuperviseHooks, Supervision};

@@ -1,0 +1,121 @@
+//! The one snapshot-rendering path shared by every live surface: the
+//! `--watch` stderr ticker, the `--heartbeat` JSONL stream, and the
+//! `ea-serve` service's sampler all push the *same*
+//! [`MetricsSnapshot`] through a [`SnapshotEmitter`], so a number shown
+//! on one surface can never disagree with the same number on another.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::MetricsSnapshot;
+
+/// Renders observatory snapshots to the enabled live surfaces.
+///
+/// `Sync` by construction (the heartbeat writer sits behind a mutex), so
+/// a sampler thread and a final-flush caller can share one emitter.
+pub struct SnapshotEmitter<'a> {
+    watch: bool,
+    heartbeat: Mutex<Option<&'a mut (dyn Write + Send)>>,
+}
+
+impl std::fmt::Debug for SnapshotEmitter<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotEmitter")
+            .field("watch", &self.watch)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SnapshotEmitter<'a> {
+    /// An emitter for the given surfaces: `watch` draws the one-line
+    /// stderr ticker, `heartbeat` appends one JSONL line per snapshot.
+    #[must_use]
+    pub fn new(watch: bool, heartbeat: Option<&'a mut (dyn Write + Send)>) -> Self {
+        SnapshotEmitter {
+            watch,
+            heartbeat: Mutex::new(heartbeat),
+        }
+    }
+
+    /// Whether any surface is enabled (if not, sampling is pointless).
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.watch
+            || self
+                .heartbeat
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .is_some()
+    }
+
+    /// Renders one snapshot to every enabled surface. `last` finishes
+    /// the watch ticker's line so the shell prompt lands cleanly.
+    pub fn emit(&self, snapshot: &MetricsSnapshot, last: bool) {
+        if self.watch {
+            eprint!("\r\x1b[2K{}", snapshot.watch_line());
+            if last {
+                eprintln!();
+            }
+        }
+        let mut heartbeat = self
+            .heartbeat
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(out) = heartbeat.as_mut() {
+            if let Err(error) = writeln!(out, "{}", snapshot.to_jsonl()) {
+                eprintln!("metrics: heartbeat write failed: {error}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SNAPSHOT_SCHEMA;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            schema: SNAPSHOT_SCHEMA.to_string(),
+            seq: 1,
+            elapsed_ms: 10,
+            devices_total: 4,
+            devices_done: 2,
+            devices_failed: 0,
+            devices_retried: 0,
+            chaos_panics: 0,
+            devices_per_sec: 1.0,
+            recent_devices_per_sec: 1.0,
+            worker_busy: vec![0.5],
+            drain_gamma: 0.01,
+            drain_p50_joules: 1.0,
+            drain_p90_joules: 2.0,
+            drain_p99_joules: 3.0,
+        }
+    }
+
+    #[test]
+    fn heartbeat_lines_are_replayable_snapshots() {
+        let mut buffer: Vec<u8> = Vec::new();
+        {
+            let emitter = SnapshotEmitter::new(false, Some(&mut buffer));
+            assert!(emitter.enabled());
+            emitter.emit(&sample(), false);
+            emitter.emit(&sample(), true);
+        }
+        let text = String::from_utf8(buffer).expect("utf8 jsonl");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let back: MetricsSnapshot = serde_json::from_str(line).expect("parses");
+            assert_eq!(back.schema, SNAPSHOT_SCHEMA);
+        }
+    }
+
+    #[test]
+    fn disabled_emitter_reports_itself() {
+        let emitter = SnapshotEmitter::new(false, None);
+        assert!(!emitter.enabled());
+        emitter.emit(&sample(), true); // must be a no-op, not a panic
+    }
+}

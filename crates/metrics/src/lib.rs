@@ -32,12 +32,14 @@
 // `#[allow]` with a proof of infallibility.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod emit;
 mod flight;
 mod observatory;
 mod sketch;
 mod snapshot;
 mod window;
 
+pub use emit::SnapshotEmitter;
 pub use flight::{FlightDump, FlightRecorder};
 pub use observatory::FleetObservatory;
 pub use sketch::QuantileSketch;

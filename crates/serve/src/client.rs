@@ -1,0 +1,76 @@
+//! The query client: one request line in, one response line out, over
+//! the service's Unix socket.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+use crate::protocol::Request;
+
+/// Sends one request to the service at `socket` and returns the raw
+/// response line (valid JSON, possibly an `{"error": ...}` object).
+///
+/// A `report` request blocks server-side until the stream drains, so
+/// callers should expect it to take as long as the remaining run.
+///
+/// # Errors
+///
+/// Connection or I/O failure; also an error when the service closed the
+/// connection without responding.
+pub fn query(socket: &Path, request: Request) -> std::io::Result<String> {
+    let mut stream = UnixStream::connect(socket)?;
+    stream.write_all(request.to_line().as_bytes())?;
+    stream.write_all(b"\n")?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let read = reader.read_line(&mut line)?;
+    if read == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "service closed the connection without responding",
+        ));
+    }
+    Ok(line.trim_end().to_string())
+}
+
+/// [`query`], retrying the *connection* while the service is still
+/// binding its socket (the races a test or script hits when it starts
+/// the service and queries it immediately). Once connected, no retry:
+/// a served error is an answer.
+///
+/// # Errors
+///
+/// The last connection error once `attempts` are exhausted.
+pub fn query_with_retry(
+    socket: &Path,
+    request: Request,
+    attempts: u32,
+    delay: Duration,
+) -> std::io::Result<String> {
+    let mut last = None;
+    for attempt in 0..attempts.max(1) {
+        match query(socket, request) {
+            Ok(reply) => return Ok(reply),
+            Err(error) => {
+                last = Some(error);
+                if attempt + 1 < attempts.max(1) {
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| std::io::Error::other("no connection attempts made")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connecting_to_a_missing_socket_is_an_error() {
+        let missing = Path::new("/tmp/ea-serve-test-definitely-missing.sock");
+        assert!(query(missing, Request::Ping).is_err());
+        assert!(query_with_retry(missing, Request::Ping, 2, Duration::from_millis(1)).is_err());
+    }
+}

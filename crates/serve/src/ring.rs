@@ -1,0 +1,272 @@
+//! A bounded single-producer/single-consumer ring: the ingest lane
+//! between one device-driver thread and one shard worker.
+//!
+//! The index arithmetic is the classic lock-free SPSC scheme — two
+//! monotonically increasing counters, `tail` advanced only by the
+//! producer and `head` only by the consumer, so neither side ever
+//! contends on the other's counter. Each counter lives on its own
+//! cache line, and each handle caches its last view of the *other*
+//! side's counter, reloading only when the ring looks full (producer)
+//! or empty (consumer) — the steady state runs without cross-core
+//! traffic on the indices. The workspace forbids `unsafe`, so
+//! each slot is a `Mutex<Option<T>>` instead of an `UnsafeCell`; the
+//! protocol guarantees a slot is touched by exactly one side at a time
+//! (the producer only writes slots in `tail..head+capacity`, the
+//! consumer only reads slots in `head..tail`), which makes every slot
+//! lock uncontended — it costs one atomic exchange, not a wait.
+//!
+//! Backpressure is blocking, not lossy: a full ring parks the producer
+//! until the consumer frees a slot. The service's conservation
+//! invariant ("a completed checkpoint is never dropped") is enforced
+//! right here — there is no code path that discards an event.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Pads an atomic counter to its own cache line. `head` and `tail` are
+/// each written by exactly one side at high rate; sharing a line would
+/// ping-pong it between the two cores on every operation.
+#[derive(Debug)]
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+/// Shared state of one lane.
+#[derive(Debug)]
+struct Shared<T> {
+    /// Slot `i` holds the item for sequence numbers `s` with
+    /// `s & mask == i`. Slots are line-padded too: producer and
+    /// consumer run in lock-step one slot apart, so unpadded neighbours
+    /// would false-share almost every transfer.
+    slots: Box<[CachePadded<Mutex<Option<T>>>]>,
+    /// `capacity - 1`; capacity is rounded up to a power of two so the
+    /// per-event slot index is a mask, not an integer division.
+    mask: usize,
+    /// Next sequence number the consumer will read. Monotone.
+    head: CachePadded<AtomicUsize>,
+    /// Next sequence number the producer will write. Monotone.
+    tail: CachePadded<AtomicUsize>,
+    /// Set when the producer handle drops: no more items will arrive.
+    closed: AtomicBool,
+    /// Set when the consumer handle drops: pushes can never complete.
+    abandoned: AtomicBool,
+}
+
+/// Creates a bounded SPSC lane of at least `capacity` slots (rounded up
+/// to the next power of two, minimum 1).
+#[must_use]
+pub fn lane<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let capacity = capacity.max(1).next_power_of_two();
+    let shared = Arc::new(Shared {
+        slots: (0..capacity)
+            .map(|_| CachePadded(Mutex::new(None)))
+            .collect(),
+        mask: capacity - 1,
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+        closed: AtomicBool::new(false),
+        abandoned: AtomicBool::new(false),
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+            head_cache: Cell::new(0),
+        },
+        Consumer {
+            shared,
+            tail_cache: Cell::new(0),
+        },
+    )
+}
+
+/// Recovers a slot's contents from a poisoned lock. A slot mutex is
+/// only ever held across a plain `Option` read or write, which cannot
+/// panic, so poison here means some *other* thread died while parked on
+/// an unrelated slot — the stored value is still intact.
+fn slot_guard<T>(slot: &Mutex<Option<T>>) -> std::sync::MutexGuard<'_, Option<T>> {
+    slot.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The write half of a lane, owned by one device-driver thread.
+/// Dropping it closes the lane: the consumer drains what remains and
+/// then sees end-of-stream.
+#[derive(Debug)]
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+    /// Last `head` value observed — reloaded from shared state only when
+    /// the ring *looks* full, so the steady-state push never touches the
+    /// consumer's cache line. (`Cell` makes the handle `!Sync`, which is
+    /// exactly the single-producer contract.)
+    head_cache: Cell<usize>,
+}
+
+impl<T> Producer<T> {
+    /// Appends `item`, blocking while the ring is full. Returns the item
+    /// back as `Err` only if the consumer is gone, in which case the
+    /// lane can never drain.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let shared = &self.shared;
+        let capacity = shared.slots.len();
+        let seq = shared.tail.0.load(Ordering::Relaxed);
+        if seq - self.head_cache.get() >= capacity {
+            let mut spins = 0u32;
+            loop {
+                let head = shared.head.0.load(Ordering::Acquire);
+                self.head_cache.set(head);
+                if seq - head < capacity {
+                    break;
+                }
+                if shared.abandoned.load(Ordering::Acquire) {
+                    return Err(item);
+                }
+                // Short spin first (the consumer is usually one slot
+                // away), then yield so a busy box still makes progress.
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        *slot_guard(&shared.slots[seq & shared.mask].0) = Some(item);
+        shared.tail.0.store(seq + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Items currently buffered in the lane.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shared
+            .tail
+            .0
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.shared.head.0.load(Ordering::Acquire))
+    }
+
+    /// Whether the lane is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+    }
+}
+
+/// The read half of a lane, owned by one shard worker.
+#[derive(Debug)]
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+    /// Last `tail` value observed — reloaded from shared state only when
+    /// the ring *looks* empty, mirroring the producer's head cache.
+    tail_cache: Cell<usize>,
+}
+
+impl<T> Consumer<T> {
+    /// Takes the next item without blocking; `None` when the ring is
+    /// currently empty (which does not mean the stream ended).
+    pub fn try_pop(&self) -> Option<T> {
+        let shared = &self.shared;
+        let seq = shared.head.0.load(Ordering::Relaxed);
+        if seq == self.tail_cache.get() {
+            let tail = shared.tail.0.load(Ordering::Acquire);
+            self.tail_cache.set(tail);
+            if seq == tail {
+                return None;
+            }
+        }
+        let item = slot_guard(&shared.slots[seq & shared.mask].0).take();
+        shared.head.0.store(seq + 1, Ordering::Release);
+        item
+    }
+
+    /// Takes the next item, blocking until one arrives; `None` means the
+    /// producer closed the lane and every buffered item has been drained
+    /// — true end-of-stream.
+    pub fn recv(&self) -> Option<T> {
+        let mut spins = 0u32;
+        loop {
+            if let Some(item) = self.try_pop() {
+                return Some(item);
+            }
+            if self.shared.closed.load(Ordering::Acquire) {
+                // Re-check after observing closed: the producer's last
+                // push happens-before the close flag.
+                return self.try_pop();
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        self.shared.abandoned.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_within_capacity() {
+        let (producer, consumer) = lane(4);
+        for value in 0..4 {
+            assert!(producer.push(value).is_ok());
+        }
+        assert_eq!(producer.len(), 4);
+        for value in 0..4 {
+            assert_eq!(consumer.try_pop(), Some(value));
+        }
+        assert_eq!(consumer.try_pop(), None);
+    }
+
+    #[test]
+    fn drop_of_producer_ends_the_stream_after_drain() {
+        let (producer, consumer) = lane(2);
+        producer.push(1).map_err(|_| ()).expect("consumer alive");
+        drop(producer);
+        assert_eq!(consumer.recv(), Some(1));
+        assert_eq!(consumer.recv(), None);
+    }
+
+    #[test]
+    fn push_fails_once_the_consumer_is_gone() {
+        let (producer, consumer) = lane(1);
+        producer.push(1).map_err(|_| ()).expect("consumer alive");
+        drop(consumer);
+        assert_eq!(producer.push(2), Err(2), "ring full, consumer gone");
+    }
+
+    #[test]
+    fn cross_thread_transfer_is_lossless_and_ordered() {
+        const COUNT: usize = 10_000;
+        let (producer, consumer) = lane(8);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for value in 0..COUNT {
+                    producer
+                        .push(value)
+                        .map_err(|_| ())
+                        .expect("consumer alive");
+                }
+            });
+            let mut seen = Vec::with_capacity(COUNT);
+            while let Some(value) = consumer.recv() {
+                seen.push(value);
+            }
+            assert_eq!(seen, (0..COUNT).collect::<Vec<_>>());
+        });
+    }
+}

@@ -1,0 +1,193 @@
+//! Property tests for the streaming view's churn invariants and the
+//! stream/batch byte-identity contract.
+//!
+//! The churn harness feeds [`FleetView`] arbitrary interleavings of
+//! device lifecycles — join, zero or more checkpoints, a completion or
+//! crash, leave — across a shuffled schedule, with window rolls landing
+//! at arbitrary points inside every lifecycle. Two invariants must hold
+//! whatever the interleaving:
+//!
+//! 1. **windowed conservation** — in every window (closed or open),
+//!    attributed collateral energy never exceeds drained energy;
+//! 2. **no checkpoint is dropped** — the view's ingested-checkpoint
+//!    count equals the number of checkpoint events pushed.
+
+use std::collections::BTreeMap;
+
+use ea_fleet::{DeviceCheckpoint, DeviceFailure, DeviceReport, FleetConfig};
+use ea_serve::{FleetView, LaneEvent, ServeConfig, WindowStats};
+use proptest::prelude::*;
+
+/// A synthetic completed-device report with `collateral` joules of its
+/// `drained` total attributed to one attack kind.
+fn stub_report(index: usize, drained: f64, collateral: f64) -> DeviceReport {
+    let mut periods = BTreeMap::new();
+    let mut by_kind = BTreeMap::new();
+    if collateral > 0.0 {
+        periods.insert(String::from("cpu_bomb"), 1);
+        by_kind.insert(String::from("cpu_bomb"), collateral);
+    }
+    DeviceReport {
+        index,
+        seed: index as u64,
+        apps_installed: 4,
+        infected: collateral > 0.0,
+        vectors: Vec::new(),
+        sim_seconds: 60.0,
+        drained_joules: drained,
+        battery_percent: 80.0,
+        periods_by_kind: periods,
+        collateral_by_kind: by_kind,
+        drivers: BTreeMap::new(),
+        victims: BTreeMap::new(),
+        predicted_apps_by_kind: BTreeMap::new(),
+        apps_linted: 4,
+        lint_diagnostics: 0,
+        soundness_violations: 0,
+        static_predicted_joules: 0.0,
+        fault_log: ea_chaos::FaultLog::default(),
+    }
+}
+
+/// One device's scripted lifecycle, expanded into lane events.
+fn lifecycle(
+    index: usize,
+    checkpoints: usize,
+    drained: f64,
+    crashes: bool,
+    collateral: f64,
+) -> Vec<LaneEvent> {
+    let mut events = vec![LaneEvent::Join { index }];
+    for session in 0..checkpoints {
+        events.push(LaneEvent::Checkpoint {
+            index,
+            snapshot: DeviceCheckpoint {
+                sessions_completed: session + 1,
+                sim_seconds: 10.0 * (session + 1) as f64,
+                drained_joules: drained * (session + 1) as f64 / (checkpoints + 1) as f64,
+            },
+        });
+    }
+    if crashes {
+        events.push(LaneEvent::Crashed(Box::new(DeviceFailure {
+            index,
+            seed: index as u64,
+            message: String::from("chaos: injected fault"),
+            attempts: 3,
+            checkpoint: None,
+            flight_recorder: None,
+        })));
+    } else {
+        events.push(LaneEvent::Completed(Box::new(stub_report(
+            index, drained, collateral,
+        ))));
+    }
+    events.push(LaneEvent::Leave { index });
+    events
+}
+
+/// Checks windowed conservation on one window.
+fn assert_conservation(window: &WindowStats) -> Result<(), TestCaseError> {
+    // Strict float comparison with a ulp of slack: attributed is a sum
+    // of fractions of the drains summed on the other side.
+    prop_assert!(
+        window.attributed_joules <= window.drained_joules * (1.0 + 1e-12) + 1e-9,
+        "window {} attributed {} > drained {}",
+        window.window_seq,
+        window.attributed_joules,
+        window.drained_joules
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_churn_interleaving_conserves_energy_and_checkpoints(
+        specs in proptest::collection::vec(
+            // (checkpoints, drained_j, crash?, collateral fraction %)
+            (0usize..4, 1u64..500, 0u32..4, 0u64..101),
+            1..8,
+        ),
+        window_capacity in 1u64..12,
+        schedule_seed in 0u64..10_000,
+    ) {
+        // Expand each spec into a per-device event script.
+        let scripts: Vec<Vec<LaneEvent>> = specs
+            .iter()
+            .enumerate()
+            .map(|(index, &(checkpoints, drained, crash, collateral_pct))| {
+                let drained = drained as f64;
+                let crashes = crash == 0; // 1-in-4 crash rate
+                let collateral = drained * collateral_pct as f64 / 100.0;
+                lifecycle(index, checkpoints, drained, crashes, collateral)
+            })
+            .collect();
+        let pushed_checkpoints: u64 = scripts
+            .iter()
+            .flatten()
+            .filter(|event| matches!(event, LaneEvent::Checkpoint { .. }))
+            .count() as u64;
+        let total_events: u64 = scripts.iter().map(Vec::len).sum::<usize>() as u64;
+
+        // Interleave: repeatedly pick a device with remaining events
+        // (seeded splitmix-style walk), preserving each device's own
+        // order — exactly what concurrent lanes guarantee.
+        let mut view = FleetView::new(specs.len(), window_capacity);
+        let mut cursor: Vec<usize> = vec![0; scripts.len()];
+        let mut state = schedule_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut remaining = total_events;
+        let mut closed_checked = 0u64;
+        while remaining > 0 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let live: Vec<usize> = (0..scripts.len())
+                .filter(|&device| cursor[device] < scripts[device].len())
+                .collect();
+            let device = live[(state % live.len() as u64) as usize];
+            let event = scripts[device][cursor[device]].clone();
+            cursor[device] += 1;
+            remaining -= 1;
+            view.ingest(event);
+
+            // Every window the stream closes must conserve energy.
+            if let Some(closed) = view.last_closed() {
+                if closed.window_seq > closed_checked {
+                    closed_checked = closed.window_seq;
+                    assert_conservation(closed)?;
+                }
+            }
+            // So must the open window, mid-churn.
+            assert_conservation(&view.window())?;
+        }
+
+        // No checkpoint was dropped anywhere in the pipeline.
+        prop_assert_eq!(view.checkpoints_ingested(), pushed_checkpoints);
+        let window = view.window();
+        prop_assert_eq!(window.total_events, total_events);
+        // Every device reached an outcome and the slot table saw it.
+        prop_assert!(view.drained());
+        prop_assert_eq!(view.outcomes_recorded(), specs.len());
+        prop_assert_eq!(window.devices_online, 0);
+    }
+
+    #[test]
+    fn streamed_report_matches_batch_for_arbitrary_seeds(
+        size in 1usize..5,
+        seed in 0u64..1_000,
+        lanes in 1usize..4,
+    ) {
+        let fleet = FleetConfig::smoke(size, seed);
+        let (batch, _) = ea_fleet::run_fleet(&fleet);
+        let config = ServeConfig { lanes, ..ServeConfig::new(fleet) };
+        let (streamed, _) = ea_serve::run_serve(&config, None)
+            .unwrap_or_else(|error| panic!("serve without a socket cannot fail: {error}"));
+        prop_assert_eq!(
+            ea_fleet::render::to_json(&batch),
+            ea_fleet::render::to_json(&streamed),
+            "(size={}, seed={}, lanes={}) diverged from the batch oracle", size, seed, lanes
+        );
+    }
+}

@@ -9,6 +9,8 @@
 //! eandroid workload [--seed N] [--sessions N]
 //! eandroid fleet [--size N] [--seed N] [--jobs J] [--json] [--trace <base>] [--faults <rate|plan.json>] [--watch] [--heartbeat <path>] [--flight-recorder N]
 //! eandroid metrics [--size N] [--seed N] [--jobs J] [--json]
+//! eandroid serve [--size N] [--seed N] [--lanes L] [--socket <path>] [--hold] [--json] [--watch] [--heartbeat <path>]
+//! eandroid query [--socket <path>] <ping|snapshot|window|report|shutdown>
 //! eandroid chaos [--seed N] [--fleet-size N] [--quick] [--json]
 //! eandroid list
 //! eandroid help
@@ -28,7 +30,8 @@ use e_android::corpus::{analyze, generate_corpus, to_manifest_xml, CorpusConfig}
 use e_android::fleet::{run_fleet_traced, FleetConfig};
 use e_android::framework::AndroidSystem;
 use e_android::lint::{render, BaselineDiff, LintSystem, Linter};
-use e_android::metrics::FleetObservatory;
+use e_android::metrics::{FleetObservatory, SnapshotEmitter};
+use e_android::serve::{run_serve, Request, ServeConfig};
 use e_android::telemetry::SinkHandle;
 
 const HELP: &str = "\
@@ -81,6 +84,20 @@ COMMANDS:
     metrics                 run a fleet and print its health snapshot
         --json                     one JSONL snapshot instead of Prometheus text
         (also accepts the fleet sizing/fault/watch/heartbeat flags above)
+    serve                   stream the fleet through the ingest service
+        --lanes L                  ingest lanes (default: all cores)
+        --ring N                   SPSC ring capacity per lane (default 1024)
+        --window N                 lane events per ingest window (default 64)
+        --socket <path>            serve snapshot queries on a Unix socket
+        --hold                     keep serving after the stream drains,
+                                   until a shutdown query arrives
+        (also accepts the fleet sizing/fault/watch/heartbeat flags above;
+         the final report is byte-identical to `eandroid fleet`)
+    query <op>              query a running serve instance; ops: ping,
+                            snapshot, window, report, shutdown
+        --socket <path>            the service's socket (required)
+        --retries N                connection attempts (default 40)
+        --retry-delay-ms N         pause between attempts (default 250)
     chaos                   run the deterministic fault-injection soak
         --seed N                   fault-plan seed (default 2026)
         --fleet-size N             devices in the fleet leg (default 64)
@@ -103,6 +120,8 @@ fn main() -> ExitCode {
         Some("workload") => cmd_workload(&args.collect::<Vec<_>>()),
         Some("fleet") => cmd_fleet(&args.collect::<Vec<_>>()),
         Some("metrics") => cmd_metrics(&args.collect::<Vec<_>>()),
+        Some("serve") => cmd_serve(&args.collect::<Vec<_>>()),
+        Some("query") => cmd_query(&args.collect::<Vec<_>>()),
         Some("chaos") => cmd_chaos(&args.collect::<Vec<_>>()),
         Some("list") => {
             println!("scenarios:");
@@ -421,14 +440,15 @@ fn parse_fleet_config(command: &str, args: &[&str]) -> Result<FleetConfig, Strin
 }
 
 /// Runs the fleet with a live observatory attached and a sampler thread
-/// driving the `--watch` stderr line and/or the `--heartbeat` JSONL file.
-/// A final snapshot is always taken after the run, so even a run shorter
-/// than one sampling interval leaves one heartbeat line.
+/// feeding the shared [`SnapshotEmitter`] — the same snapshot path the
+/// `serve` service uses, so `--watch` and `--heartbeat` render identical
+/// numbers on both commands. A final snapshot is always taken after the
+/// run, so even a run shorter than one sampling interval leaves one
+/// heartbeat line.
 fn run_fleet_with_observatory(
     config: &FleetConfig,
     sink: SinkHandle,
-    watch: bool,
-    heartbeat: Option<&mut (dyn std::io::Write + Send)>,
+    emitter: &SnapshotEmitter<'_>,
 ) -> (
     e_android::fleet::FleetReport,
     e_android::fleet::FleetRunStats,
@@ -439,21 +459,6 @@ fn run_fleet_with_observatory(
     let jobs = config.effective_jobs().max(1).min(config.size.max(1));
     let observatory = FleetObservatory::new(config.size, jobs);
     let done = AtomicBool::new(false);
-    let heartbeat = std::sync::Mutex::new(heartbeat);
-
-    let sample = |snapshot: &e_android::metrics::MetricsSnapshot, last: bool| {
-        if watch {
-            eprint!("\r\x1b[2K{}", snapshot.watch_line());
-            if last {
-                eprintln!();
-            }
-        }
-        if let Some(out) = heartbeat.lock().expect("heartbeat writer").as_mut() {
-            if let Err(error) = writeln!(out, "{}", snapshot.to_jsonl()) {
-                eprintln!("fleet: heartbeat write failed: {error}");
-            }
-        }
-    };
 
     let (report, stats) = std::thread::scope(|scope| {
         let sampler = scope.spawn(|| {
@@ -462,16 +467,18 @@ fn run_fleet_with_observatory(
                 if done.load(Ordering::Relaxed) {
                     break;
                 }
-                sample(&observatory.snapshot(), false);
+                emitter.emit(&observatory.snapshot(), false);
             }
         });
         let result = e_android::fleet::run_fleet_observed(config, sink, Some(&observatory));
         done.store(true, Ordering::Relaxed);
-        sampler.join().expect("sampler thread");
+        if sampler.join().is_err() {
+            eprintln!("fleet: snapshot sampler thread panicked");
+        }
         result
     });
     let final_snapshot = observatory.snapshot();
-    sample(&final_snapshot, true);
+    emitter.emit(&final_snapshot, true);
     (report, stats, final_snapshot)
 }
 
@@ -506,7 +513,8 @@ fn cmd_fleet(args: &[&str]) -> ExitCode {
         let heartbeat = heartbeat_file
             .as_mut()
             .map(|file| file as &mut (dyn std::io::Write + Send));
-        let (report, stats, _) = run_fleet_with_observatory(&config, sink, watch, heartbeat);
+        let emitter = SnapshotEmitter::new(watch, heartbeat);
+        let (report, stats, _) = run_fleet_with_observatory(&config, sink, &emitter);
         (report, stats)
     } else {
         run_fleet_traced(&config, sink)
@@ -558,9 +566,10 @@ fn cmd_metrics(args: &[&str]) -> ExitCode {
     let heartbeat = heartbeat_file
         .as_mut()
         .map(|file| file as &mut (dyn std::io::Write + Send));
+    let emitter = SnapshotEmitter::new(watch, heartbeat);
 
     let (_report, stats, snapshot) =
-        run_fleet_with_observatory(&config, SinkHandle::noop(), watch, heartbeat);
+        run_fleet_with_observatory(&config, SinkHandle::noop(), &emitter);
     if has_flag(args, "--json") {
         println!("{}", snapshot.to_jsonl());
     } else {
@@ -568,6 +577,120 @@ fn cmd_metrics(args: &[&str]) -> ExitCode {
     }
     eprintln!("{}", e_android::fleet::render::stats_line(&stats));
     ExitCode::SUCCESS
+}
+
+/// `eandroid serve` — stream the configured fleet through the ingest
+/// service and print the drained deterministic report, byte-identical
+/// to `eandroid fleet` over the same seed/size at any `--lanes`.
+fn cmd_serve(args: &[&str]) -> ExitCode {
+    let fleet = match parse_fleet_config("serve", args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = ServeConfig::new(fleet);
+    if let Some(lanes) = flag_value(args, "--lanes").and_then(|value| value.parse().ok()) {
+        config.lanes = lanes;
+    }
+    if let Some(capacity) = flag_value(args, "--ring").and_then(|value| value.parse().ok()) {
+        config.ring_capacity = capacity;
+    }
+    if let Some(events) = flag_value(args, "--window").and_then(|value| value.parse().ok()) {
+        config.window_events = events;
+    }
+    config.socket = flag_value(args, "--socket").map(std::path::PathBuf::from);
+    config.hold = has_flag(args, "--hold");
+    if config.hold && config.socket.is_none() {
+        eprintln!("serve: --hold needs --socket (nothing to hold the service open for)");
+        return ExitCode::FAILURE;
+    }
+
+    let watch = has_flag(args, "--watch");
+    let mut heartbeat_file = match flag_value(args, "--heartbeat") {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(file) => Some(file),
+            Err(error) => {
+                eprintln!("serve: cannot create heartbeat file {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let heartbeat = heartbeat_file
+        .as_mut()
+        .map(|file| file as &mut (dyn std::io::Write + Send));
+    let emitter = SnapshotEmitter::new(watch, heartbeat);
+
+    let (report, stats) = match run_serve(&config, Some(&emitter)) {
+        Ok(result) => result,
+        Err(error) => {
+            eprintln!("serve: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if has_flag(args, "--json") {
+        print!("{}", e_android::fleet::render::to_json(&report));
+    } else {
+        print!("{}", e_android::fleet::render::to_text(&report));
+    }
+    eprintln!("{}", e_android::serve::stats_line(&stats));
+    ExitCode::SUCCESS
+}
+
+/// `eandroid query` — one request to a running serve instance; prints
+/// the raw JSON response line.
+fn cmd_query(args: &[&str]) -> ExitCode {
+    let Some(socket) = flag_value(args, "--socket") else {
+        eprintln!("query: --socket <path> is required");
+        return ExitCode::FAILURE;
+    };
+    // First free-standing argument, skipping flags and their values.
+    let value_flags = ["--socket", "--retries", "--retry-delay-ms"];
+    let mut op = None;
+    let mut iter = args.iter();
+    while let Some(&arg) = iter.next() {
+        if value_flags.contains(&arg) {
+            iter.next();
+        } else if !arg.starts_with("--") {
+            op = Some(arg);
+            break;
+        }
+    }
+    let op = op.unwrap_or("snapshot");
+    let request = match Request::parse(op) {
+        Ok(request) => request,
+        Err(message) => {
+            eprintln!("query: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let retries: u32 = flag_value(args, "--retries")
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(40);
+    let delay_ms: u64 = flag_value(args, "--retry-delay-ms")
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(250);
+    match e_android::serve::query_with_retry(
+        std::path::Path::new(socket),
+        request,
+        retries,
+        std::time::Duration::from_millis(delay_ms),
+    ) {
+        Ok(reply) => {
+            println!("{reply}");
+            if reply.starts_with("{\"error\"") {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(error) => {
+            eprintln!("query: {error}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_chaos(args: &[&str]) -> ExitCode {

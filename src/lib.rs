@@ -20,6 +20,8 @@
 //! * [`chaos`] — deterministic fault injection: seeded fault plans and
 //!   per-layer injectors (see DESIGN.md §11).
 //! * [`soak`] — the chaos soak harness run by `eandroid chaos`.
+//! * [`serve`] — streaming fleet ingest service: sharded SPSC lanes,
+//!   online windowed aggregation, Unix-socket snapshot queries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,5 +37,6 @@ pub use ea_framework as framework;
 pub use ea_lint as lint;
 pub use ea_metrics as metrics;
 pub use ea_power as power;
+pub use ea_serve as serve;
 pub use ea_sim as sim;
 pub use ea_telemetry as telemetry;

@@ -1,0 +1,173 @@
+//! End-to-end contract tests for the streaming ingest service: the
+//! stream-replayed report is byte-identical to the batch oracle at any
+//! lane/job count (including under fault plans), and the socket query
+//! surface answers mid-run with valid schema-tagged JSON.
+
+use std::time::Duration;
+
+use e_android::chaos::FaultPlan;
+use e_android::fleet::{render, run_fleet, FleetConfig};
+use e_android::serve::{query_with_retry, run_serve, Request, ServeConfig};
+
+/// The tentpole guarantee: streaming the same fleet seed through the
+/// ingest lanes reproduces the batch report byte for byte, whatever the
+/// lane count, and however many jobs the batch engine used.
+#[test]
+fn stream_replay_is_byte_identical_to_batch_at_any_lane_count() {
+    let mut fleet = FleetConfig::smoke(10, 77_001);
+    fleet.jobs = 1;
+    let (sequential, _) = run_fleet(&fleet);
+    fleet.jobs = 4;
+    let (parallel, _) = run_fleet(&fleet);
+    let oracle = render::to_json(&sequential);
+    assert_eq!(oracle, render::to_json(&parallel));
+
+    for lanes in [1, 2, 5] {
+        let config = ServeConfig {
+            lanes,
+            window_events: 16,
+            ..ServeConfig::new(fleet.clone())
+        };
+        let (streamed, stats) = run_serve(&config, None).unwrap_or_else(|error| {
+            panic!("serve without a socket cannot fail: {error}");
+        });
+        assert_eq!(
+            oracle,
+            render::to_json(&streamed),
+            "lanes={lanes} changed the report bytes"
+        );
+        assert_eq!(stats.lanes, lanes);
+    }
+}
+
+/// A zero-rate fault plan arms every injector and fires none of them:
+/// the streamed report must still match the *unfaulted* batch oracle.
+#[test]
+fn zero_rate_fault_plan_stream_matches_unfaulted_batch() {
+    let fleet = FleetConfig::smoke(6, 31_337);
+    let (batch, _) = run_fleet(&fleet);
+    let config = ServeConfig {
+        lanes: 3,
+        ..ServeConfig::new(FleetConfig {
+            faults: Some(FaultPlan::zero(99)),
+            ..fleet
+        })
+    };
+    let (streamed, _) = run_serve(&config, None)
+        .unwrap_or_else(|error| panic!("serve without a socket cannot fail: {error}"));
+    assert_eq!(render::to_json(&batch), render::to_json(&streamed));
+}
+
+/// An active fault plan (panics, glitches, slow devices) flows through
+/// the stream's supervision exactly as through the batch engine's.
+#[test]
+fn faulted_stream_matches_faulted_batch() {
+    let fleet = FleetConfig {
+        faults: Some(FaultPlan::uniform(9, 0.3)),
+        ..FleetConfig::smoke(6, 44)
+    };
+    let (batch, _) = run_fleet(&fleet);
+    for lanes in [1, 4] {
+        let config = ServeConfig {
+            lanes,
+            ..ServeConfig::new(fleet.clone())
+        };
+        let (streamed, _) = run_serve(&config, None)
+            .unwrap_or_else(|error| panic!("serve without a socket cannot fail: {error}"));
+        assert_eq!(
+            render::to_json(&batch),
+            render::to_json(&streamed),
+            "lanes={lanes} changed the faulted report"
+        );
+    }
+}
+
+/// Mid-run socket queries: a `snapshot` answers with valid
+/// `ea-metrics/snapshot/v1` JSON while devices are still streaming, and
+/// a `report` query blocks until the drained deterministic report.
+#[test]
+fn snapshot_query_mid_run_returns_valid_schema_json() {
+    let socket = std::env::temp_dir().join(format!("ea-serve-test-{}.sock", std::process::id()));
+    let fleet = FleetConfig::smoke(12, 5_150);
+    let (batch, _) = run_fleet(&fleet);
+    let config = ServeConfig {
+        lanes: 2,
+        socket: Some(socket.clone()),
+        // Hold the query server open after drain: the 12-device stream
+        // finishes in milliseconds, and without the hold the socket
+        // could vanish between our queries.
+        hold: true,
+        ..ServeConfig::new(fleet)
+    };
+
+    let (streamed, stats) = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| run_serve(&config, None));
+        // Mid-run: the service is binding/streaming right now; retry
+        // until the socket answers.
+        let snapshot = query_with_retry(&socket, Request::Snapshot, 200, Duration::from_millis(5))
+            .unwrap_or_else(|error| panic!("snapshot query failed: {error}"));
+        let parsed: e_android::metrics::MetricsSnapshot = serde_json::from_str(&snapshot)
+            .unwrap_or_else(|error| panic!("snapshot is not schema JSON: {error}\n{snapshot}"));
+        assert_eq!(parsed.schema, "ea-metrics/snapshot/v1");
+        assert_eq!(parsed.devices_total, 12);
+
+        let window = query_with_retry(&socket, Request::Window, 5, Duration::from_millis(5))
+            .unwrap_or_else(|error| panic!("window query failed: {error}"));
+        assert!(
+            window.contains("\"schema\":\"ea-serve/window/v1\""),
+            "window reply missing schema: {window}"
+        );
+
+        // Blocks until drained, then returns the full report as one line.
+        let report_line = query_with_retry(&socket, Request::Report, 5, Duration::from_millis(5))
+            .unwrap_or_else(|error| panic!("report query failed: {error}"));
+        let queried: e_android::fleet::FleetReport = serde_json::from_str(&report_line)
+            .unwrap_or_else(|error| panic!("report is not schema JSON: {error}"));
+        assert_eq!(render::to_json(&batch), render::to_json(&queried));
+
+        let ack = query_with_retry(&socket, Request::Shutdown, 5, Duration::from_millis(5))
+            .unwrap_or_else(|error| panic!("shutdown query failed: {error}"));
+        assert!(ack.contains("\"ok\":true"));
+
+        handle
+            .join()
+            .unwrap_or_else(|_| panic!("serve thread panicked"))
+            .unwrap_or_else(|error| panic!("serve failed: {error}"))
+    });
+    assert_eq!(render::to_json(&batch), render::to_json(&streamed));
+    assert!(stats.queries_served >= 4);
+    assert!(!socket.exists(), "socket file cleaned up");
+}
+
+/// `--hold` keeps the query server answering after the stream drains;
+/// a `shutdown` request ends the run.
+#[test]
+fn held_service_answers_after_drain_until_shutdown() {
+    let socket =
+        std::env::temp_dir().join(format!("ea-serve-hold-test-{}.sock", std::process::id()));
+    let config = ServeConfig {
+        lanes: 1,
+        hold: true,
+        socket: Some(socket.clone()),
+        ..ServeConfig::new(FleetConfig::smoke(2, 9))
+    };
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| run_serve(&config, None));
+        let report_line = query_with_retry(&socket, Request::Report, 200, Duration::from_millis(5))
+            .unwrap_or_else(|error| panic!("report query failed: {error}"));
+        assert!(report_line.contains("\"devices_completed\":2"));
+        // The stream has drained (report answered), yet the service is
+        // still up: window totals survive the fold.
+        let window = query_with_retry(&socket, Request::Window, 5, Duration::from_millis(5))
+            .unwrap_or_else(|error| panic!("window query failed: {error}"));
+        assert!(window.contains("\"total_events\":"));
+        let ack = query_with_retry(&socket, Request::Shutdown, 5, Duration::from_millis(5))
+            .unwrap_or_else(|error| panic!("shutdown query failed: {error}"));
+        assert!(ack.contains("\"ok\":true"));
+        let (report, _) = handle
+            .join()
+            .unwrap_or_else(|_| panic!("serve thread panicked"))
+            .unwrap_or_else(|error| panic!("serve failed: {error}"));
+        assert_eq!(report.devices_completed, 2);
+    });
+}

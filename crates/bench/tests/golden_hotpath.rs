@@ -84,6 +84,30 @@ fn every_scenario_bytes_identical() {
 }
 
 #[test]
+fn every_scenario_bytes_identical_across_kernels() {
+    // The SoA batch kernel (`PowerLanes`) against the per-device model
+    // structs, across all scenarios: the tentpole byte-identity contract.
+    for scenario in Scenario::ALL {
+        let batch = fingerprint(scenario, Profiler::eandroid(ScreenPolicy::SeparateEntity));
+        let structs = fingerprint(
+            scenario,
+            Profiler::eandroid(ScreenPolicy::SeparateEntity).with_batch_kernel(false),
+        );
+        let name = scenario.name();
+        diff_json(
+            &format!("{name} ledger (kernel axis)"),
+            &batch.0,
+            &structs.0,
+        );
+        diff_json(&format!("{name} graph (kernel axis)"), &batch.1, &structs.1);
+        assert_eq!(
+            batch.2, structs.2,
+            "{name} drained-energy bits (kernel axis)"
+        );
+    }
+}
+
+#[test]
 fn fig03_depletion_curves_identical() {
     for case in DepletionCase::ALL {
         let optimized = run_depletion(case, 1);
@@ -208,4 +232,96 @@ fn fleet_report_bytes_stable_across_jobs_and_paths() {
         render::to_json(&report),
         "fleet report changed on the reference accounting path"
     );
+}
+
+#[test]
+fn fleet_report_bytes_stable_across_kernel_and_scheduler_axes() {
+    let base = FleetConfig {
+        jobs: 1,
+        ..FleetConfig::smoke(6, 2_026)
+    };
+    let (report, _) = run_fleet(&base);
+    let golden = render::to_json(&report);
+
+    // Every combination of power kernel × event-queue backend, swept
+    // across worker counts, must reproduce the same bytes.
+    for (batch_kernel, reference_scheduler) in [(false, false), (true, true), (false, true)] {
+        for jobs in [1, 4, 8] {
+            let (report, _) = run_fleet(&FleetConfig {
+                batch_kernel,
+                reference_scheduler,
+                jobs,
+                ..base.clone()
+            });
+            assert_eq!(
+                golden,
+                render::to_json(&report),
+                "fleet report changed at batch_kernel={batch_kernel} \
+                 reference_scheduler={reference_scheduler} jobs={jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_fleet_report_bytes_stable_across_kernel_and_scheduler_axes() {
+    // An active (non-zero) fault plan exercises chaos panics, retries,
+    // counter glitches, and framework faults; the kernel and scheduler
+    // switches must still not move a byte.
+    let base = FleetConfig {
+        jobs: 1,
+        faults: Some(ea_chaos::FaultPlan::uniform(2_026, 0.35)),
+        ..FleetConfig::smoke(6, 2_026)
+    };
+    let (report, _) = run_fleet(&base);
+    let golden = render::to_json(&report);
+
+    for (batch_kernel, reference_scheduler) in [(false, false), (true, true), (false, true)] {
+        for jobs in [4, 8] {
+            let (report, _) = run_fleet(&FleetConfig {
+                batch_kernel,
+                reference_scheduler,
+                jobs,
+                ..base.clone()
+            });
+            assert_eq!(
+                golden,
+                render::to_json(&report),
+                "faulted fleet report changed at batch_kernel={batch_kernel} \
+                 reference_scheduler={reference_scheduler} jobs={jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn streamed_report_bytes_stable_across_lanes_and_axes() {
+    // The serve path: the streamed report must match the batch engine's
+    // bytes at every lane count, on both kernels and both schedulers.
+    let base = FleetConfig {
+        jobs: 1,
+        ..FleetConfig::smoke(5, 2_026)
+    };
+    let (report, _) = run_fleet(&base);
+    let golden = render::to_json(&report);
+
+    for lanes in [1, 2, 5] {
+        for (batch_kernel, reference_scheduler) in [(true, false), (false, true)] {
+            let config = ea_serve::ServeConfig {
+                lanes,
+                ..ea_serve::ServeConfig::new(FleetConfig {
+                    batch_kernel,
+                    reference_scheduler,
+                    ..base.clone()
+                })
+            };
+            let (streamed, _) = ea_serve::run_serve(&config, None).expect("no socket: cannot fail");
+            assert_eq!(
+                golden,
+                render::to_json(&streamed),
+                "streamed report changed at lanes={lanes} batch_kernel={batch_kernel} \
+                 reference_scheduler={reference_scheduler}"
+            );
+        }
+    }
 }

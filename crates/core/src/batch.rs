@@ -1,0 +1,207 @@
+//! Dense per-slot accounting rows for the batch step kernel.
+//!
+//! The fleet batch engine (`ea-fleet`) steps many devices through one
+//! struct-of-arrays power kernel. Each device needs its own accounting
+//! accumulators — per-component joules and per-entity joules — and those
+//! accumulators must survive arena recycling with no cross-device bleed.
+//! [`BatchAccounts`] holds them as dense rows indexed by the device's
+//! arena slot: a `[f64; 7]` per slot for the component breakdown and a
+//! [`SlotInterner`]-backed flat vector for the entity rows, so the hot
+//! charge path is two array indexes and two adds.
+//!
+//! Slot-assignment order is an implementation detail, exactly as for the
+//! ledger's interner: [`BatchAccounts::entity_rows`] canonicalizes to
+//! [`Entity`] order, so two accounts holding the same logical content
+//! compare equal regardless of charge arrival order.
+
+use ea_power::Component;
+
+use crate::slot::SlotInterner;
+use crate::Entity;
+
+/// One device's dense accounting state.
+#[derive(Debug, Clone)]
+struct SlotAccount {
+    /// Joules per hardware component, indexed by [`Component::index`].
+    component_joules: [f64; 7],
+    /// Entity → dense row interner (Screen/System fixed, apps first-seen).
+    interner: SlotInterner,
+    /// Joules per interned entity row, indexed by `UidSlot::index`.
+    entity_joules: Vec<f64>,
+}
+
+impl SlotAccount {
+    fn fresh() -> Self {
+        SlotAccount {
+            component_joules: [0.0; 7],
+            interner: SlotInterner::new(),
+            entity_joules: vec![0.0; 2],
+        }
+    }
+}
+
+/// Per-device accounting accumulators for a block of arena slots.
+///
+/// # Example
+///
+/// ```
+/// use ea_core::{BatchAccounts, Entity};
+/// use ea_power::Component;
+/// use ea_sim::Uid;
+///
+/// let mut accounts = BatchAccounts::new();
+/// accounts.ensure_slot(0);
+/// accounts.charge(0, Component::Screen, Entity::App(Uid::FIRST_APP), 2.5);
+/// accounts.charge(0, Component::Screen, Entity::System, 0.5);
+/// assert_eq!(accounts.component_joules(0)[Component::Screen.index()], 3.0);
+/// // App row plus the two fixed Screen/System rows.
+/// assert_eq!(accounts.entity_rows(0).len(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BatchAccounts {
+    slots: Vec<SlotAccount>,
+}
+
+impl BatchAccounts {
+    /// An empty block with no slots.
+    #[must_use]
+    pub fn new() -> Self {
+        BatchAccounts::default()
+    }
+
+    /// Number of slots the block has grown to.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Grows the block so `slot` exists (new slots start clean).
+    pub fn ensure_slot(&mut self, slot: usize) {
+        while self.slots.len() <= slot {
+            self.slots.push(SlotAccount::fresh());
+        }
+    }
+
+    /// Restores `slot` to the factory state a fresh slot would have, so an
+    /// arena can hand it to a newly spawned device.
+    pub fn reset_slot(&mut self, slot: usize) {
+        self.slots[slot] = SlotAccount::fresh();
+    }
+
+    /// Whether `slot` is indistinguishable from a freshly grown slot.
+    #[must_use]
+    pub fn slot_is_clean(&self, slot: usize) -> bool {
+        let account = &self.slots[slot];
+        account.interner.is_empty()
+            && account.component_joules.iter().all(|&j| j == 0.0)
+            && account.entity_joules.iter().all(|&j| j == 0.0)
+    }
+
+    /// Adds `joules` to `slot`'s row for `entity` and to its `component`
+    /// bucket. The hot path of the batch engine: an intern (array index
+    /// for app UIDs in the standard window) plus two adds.
+    #[inline]
+    pub fn charge(&mut self, slot: usize, component: Component, entity: Entity, joules: f64) {
+        let account = &mut self.slots[slot];
+        account.component_joules[component.index()] += joules;
+        let row = account.interner.intern(entity).index();
+        if row >= account.entity_joules.len() {
+            account.entity_joules.resize(row + 1, 0.0);
+        }
+        account.entity_joules[row] += joules;
+    }
+
+    /// `slot`'s joules per component, indexed by [`Component::index`].
+    #[must_use]
+    pub fn component_joules(&self, slot: usize) -> &[f64; 7] {
+        &self.slots[slot].component_joules
+    }
+
+    /// `slot`'s total joules across all components.
+    #[must_use]
+    pub fn total_joules(&self, slot: usize) -> f64 {
+        self.slots[slot].component_joules.iter().sum()
+    }
+
+    /// `slot`'s entity rows in canonical [`Entity`] order, independent of
+    /// the order the entities were first charged in.
+    #[must_use]
+    pub fn entity_rows(&self, slot: usize) -> Vec<(Entity, f64)> {
+        let account = &self.slots[slot];
+        let mut rows: Vec<(Entity, f64)> = account
+            .interner
+            .iter()
+            .map(|(uid_slot, entity)| {
+                let joules = account
+                    .entity_joules
+                    .get(uid_slot.index())
+                    .copied()
+                    .unwrap_or(0.0);
+                (entity, joules)
+            })
+            .collect();
+        rows.sort_by_key(|&(entity, _)| entity);
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_sim::Uid;
+
+    fn uid(n: u32) -> Uid {
+        Uid::from_raw(10_000 + n)
+    }
+
+    #[test]
+    fn charges_accumulate_per_component_and_entity() {
+        let mut accounts = BatchAccounts::new();
+        accounts.ensure_slot(1);
+        accounts.charge(1, Component::Cpu, Entity::App(uid(1)), 1.0);
+        accounts.charge(1, Component::Cpu, Entity::App(uid(1)), 2.0);
+        accounts.charge(1, Component::Screen, Entity::Screen, 4.0);
+        assert_eq!(accounts.component_joules(1)[Component::Cpu.index()], 3.0);
+        assert_eq!(accounts.component_joules(1)[Component::Screen.index()], 4.0);
+        assert_eq!(accounts.total_joules(1), 7.0);
+        assert_eq!(
+            accounts.entity_rows(1),
+            vec![
+                (Entity::App(uid(1)), 3.0),
+                (Entity::Screen, 4.0),
+                (Entity::System, 0.0)
+            ]
+        );
+        // Slot 0 was grown alongside and stayed untouched.
+        assert!(accounts.slot_is_clean(0));
+        assert!(!accounts.slot_is_clean(1));
+    }
+
+    #[test]
+    fn rows_are_canonical_regardless_of_charge_order() {
+        let mut forward = BatchAccounts::new();
+        forward.ensure_slot(0);
+        forward.charge(0, Component::Cpu, Entity::App(uid(1)), 1.0);
+        forward.charge(0, Component::Cpu, Entity::App(uid(2)), 2.0);
+        let mut reverse = BatchAccounts::new();
+        reverse.ensure_slot(0);
+        reverse.charge(0, Component::Cpu, Entity::App(uid(2)), 2.0);
+        reverse.charge(0, Component::Cpu, Entity::App(uid(1)), 1.0);
+        assert_eq!(forward.entity_rows(0), reverse.entity_rows(0));
+    }
+
+    #[test]
+    fn reset_slot_is_factory_clean() {
+        let mut accounts = BatchAccounts::new();
+        accounts.ensure_slot(0);
+        accounts.charge(0, Component::Gps, Entity::App(uid(9)), 5.0);
+        assert!(!accounts.slot_is_clean(0));
+        accounts.reset_slot(0);
+        assert!(accounts.slot_is_clean(0));
+        assert_eq!(accounts.total_joules(0), 0.0);
+        assert_eq!(
+            accounts.entity_rows(0),
+            vec![(Entity::Screen, 0.0), (Entity::System, 0.0)]
+        );
+    }
+}

@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 
 mod accounting;
+mod batch;
 mod chaos;
 mod detector;
 mod energy_map;
@@ -77,6 +78,7 @@ mod timeline;
 pub use accounting::{
     attribute, attribute_into, collateral_consumers, collateral_consumers_into, ScreenPolicy,
 };
+pub use batch::BatchAccounts;
 pub use chaos::ProfilerChaos;
 pub use detector::{flagged, report, CollateralFinding, DetectorConfig, FlagReason};
 pub use energy_map::{CollateralEntry, CollateralGraph, LinkToken};

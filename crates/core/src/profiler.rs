@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use ea_framework::{AndroidSystem, TimedEvent};
 use ea_metrics::{ProfilerMetrics, WindowSpec};
-use ea_power::{Battery, ComponentDraw, DevicePowerModel, DeviceUsage, Energy};
+use ea_power::{Battery, ComponentDraw, DevicePowerModel, DeviceUsage, Energy, PowerLanes};
 use ea_sim::SimDuration;
 use ea_telemetry::{span, SinkHandle, TelemetryEvent, TelemetrySink};
 
@@ -61,12 +61,20 @@ pub struct Profiler {
     /// a concrete type (no sink virtual call) so metrics-on stays at the
     /// step benchmark's noise floor.
     metrics: Option<Box<ProfilerMetrics>>,
+    /// The struct-of-arrays batch kernel (one lane for a single handset),
+    /// the default power-evaluation path. `None` routes evaluation through
+    /// the reference [`DevicePowerModel`] structs instead.
+    lanes: Option<PowerLanes>,
     /// Scratch buffers recycled across steps so a steady-state tick makes
     /// no heap allocations on the optimized path.
     events_scratch: Vec<TimedEvent>,
     usage_scratch: DeviceUsage,
     draws_scratch: Vec<ComponentDraw>,
     charges_scratch: Vec<(Entity, Energy)>,
+    /// Per-interval per-app charge accumulator (telemetry only).
+    interval_charges_scratch: Vec<(ea_sim::Uid, f64)>,
+    /// Staged telemetry events, flushed to the sink once per traced step.
+    staged_events: Vec<TelemetryEvent>,
 }
 
 impl Profiler {
@@ -89,11 +97,21 @@ impl Profiler {
             reference: false,
             chaos: None,
             metrics: None,
+            lanes: Some(Self::single_lane(DevicePowerModel::nexus4())),
             events_scratch: Vec::new(),
             usage_scratch: DeviceUsage::idle(),
             draws_scratch: Vec::new(),
             charges_scratch: Vec::new(),
+            interval_charges_scratch: Vec::new(),
+            staged_events: Vec::new(),
         }
+    }
+
+    /// A one-lane batch kernel parameterized by `model`.
+    fn single_lane(model: DevicePowerModel) -> PowerLanes {
+        let mut lanes = PowerLanes::new(model);
+        lanes.push_lane();
+        lanes
     }
 
     /// An E-Android profiler: baseline accounting plus collateral
@@ -107,8 +125,26 @@ impl Profiler {
 
     /// Replaces the hardware model (default: Nexus 4 calibration).
     pub fn with_model(mut self, model: DevicePowerModel) -> Self {
+        if self.lanes.is_some() {
+            self.lanes = Some(Self::single_lane(model.clone()));
+        }
         self.model = model;
         self
+    }
+
+    /// Selects the power-evaluation kernel: the struct-of-arrays batch
+    /// kernel (default, `true`) or the reference [`DevicePowerModel`]
+    /// structs (`false`). Results are byte-identical either way — the
+    /// golden suite asserts it; only the step cost differs. Call before
+    /// the first step.
+    pub fn with_batch_kernel(mut self, enabled: bool) -> Self {
+        self.lanes = enabled.then(|| Self::single_lane(self.model.clone()));
+        self
+    }
+
+    /// Whether power evaluation runs on the batch kernel.
+    pub fn is_batch_kernel(&self) -> bool {
+        self.lanes.is_some()
     }
 
     /// Replaces the battery (default: Nexus 4 pack).
@@ -163,6 +199,9 @@ impl Profiler {
     /// `hotloop` bench suite measures the gap. Call before the first step.
     pub fn with_reference_accounting(mut self) -> Self {
         self.reference = true;
+        // The reference step evaluates power through the model structs, so
+        // the batch kernel is detached with it.
+        self.lanes = None;
         self.ledger = EnergyLedger::reference();
         if let Some(monitor) = &mut self.monitor {
             let mut reference = CollateralMonitor::reference();
@@ -262,8 +301,20 @@ impl Profiler {
             monitor.observe(&self.events_scratch);
         }
         android.usage_snapshot_into(&mut self.usage_scratch);
-        self.model
-            .draws_into(android.now(), &self.usage_scratch, &mut self.draws_scratch);
+        match &mut self.lanes {
+            Some(lanes) => {
+                lanes.observe_into(
+                    0,
+                    android.now(),
+                    &self.usage_scratch,
+                    &mut self.draws_scratch,
+                );
+            }
+            None => {
+                self.model
+                    .draws_into(android.now(), &self.usage_scratch, &mut self.draws_scratch);
+            }
+        }
         let drained_before = self.battery.drained();
         // Chaos pre-pass: drains the battery with true energy and rescales
         // glitched draws to their sanitized values, so the loop below must
@@ -282,7 +333,8 @@ impl Profiler {
         };
         // Per-app charge this interval, summed over components (telemetry
         // only; the ledger keeps the per-component split).
-        let mut interval_charges: Vec<(ea_sim::Uid, f64)> = Vec::new();
+        let mut interval_charges = std::mem::take(&mut self.interval_charges_scratch);
+        interval_charges.clear();
         {
             let _attribute_span = traced.then(|| span(self.telemetry.sink(), "attribute"));
             let attribute_started = traced.then(std::time::Instant::now);
@@ -336,8 +388,11 @@ impl Profiler {
             );
         }
         if traced {
-            self.emit_step_events(android, interval_charges, drained_before);
+            let mut staged = std::mem::take(&mut self.staged_events);
+            self.emit_step_events(android, &interval_charges, drained_before, &mut staged);
+            self.staged_events = staged;
         }
+        self.interval_charges_scratch = interval_charges;
     }
 
     /// The original per-tick-allocating step, preserved verbatim as the
@@ -407,35 +462,38 @@ impl Profiler {
             monitor.accrue(&draws, dt);
         }
         if traced {
-            self.emit_step_events(android, interval_charges, drained_before);
+            let mut staged = std::mem::take(&mut self.staged_events);
+            self.emit_step_events(android, &interval_charges, drained_before, &mut staged);
+            self.staged_events = staged;
         }
     }
 
     /// Per-step telemetry tail, shared by both step paths and only reached
-    /// with an enabled sink.
+    /// with an enabled sink. Events are staged into a recycled buffer and
+    /// flushed through one batched sink call, so an enabled sink costs one
+    /// lock round per step instead of one per event; the staged order —
+    /// attributions in first-charge order, then the battery drain — matches
+    /// the per-event emission byte for byte.
     fn emit_step_events(
         &self,
         android: &AndroidSystem,
-        interval_charges: Vec<(ea_sim::Uid, f64)>,
+        interval_charges: &[(ea_sim::Uid, f64)],
         drained_before: Energy,
+        staged: &mut Vec<TelemetryEvent>,
     ) {
         let t_us = android.now().as_millis() * 1_000;
-        for (uid, joules) in interval_charges {
-            self.telemetry.record_event(
-                t_us,
-                TelemetryEvent::Attribution {
-                    uid: uid.as_raw(),
-                    joules,
-                },
-            );
+        staged.clear();
+        for &(uid, joules) in interval_charges {
+            staged.push(TelemetryEvent::Attribution {
+                uid: uid.as_raw(),
+                joules,
+            });
         }
-        self.telemetry.record_event(
-            t_us,
-            TelemetryEvent::BatteryDrain {
-                joules: (self.battery.drained() - drained_before).as_joules(),
-                remaining_percent: self.battery.percent(),
-            },
-        );
+        staged.push(TelemetryEvent::BatteryDrain {
+            joules: (self.battery.drained() - drained_before).as_joules(),
+            remaining_percent: self.battery.percent(),
+        });
+        self.telemetry.record_events(t_us, staged);
         self.telemetry
             .gauge_set("battery_percent", self.battery.percent());
     }
@@ -634,5 +692,61 @@ mod tests {
     #[should_panic(expected = "integration step must be positive")]
     fn zero_step_is_rejected() {
         let _ = Profiler::android(ScreenPolicy::SeparateEntity).with_step(SimDuration::ZERO);
+    }
+
+    fn busy_handset() -> AndroidSystem {
+        let mut android = AndroidSystem::new();
+        android.install(manifest("com.a"));
+        android.install(manifest("com.b"));
+        android.user_launch("com.a").unwrap();
+        android
+    }
+
+    #[test]
+    fn batch_kernel_matches_reference_kernel_bitwise() {
+        let run = |batch: bool| {
+            let mut android = busy_handset();
+            let mut profiler =
+                Profiler::eandroid(ScreenPolicy::SeparateEntity).with_batch_kernel(batch);
+            assert_eq!(profiler.is_batch_kernel(), batch);
+            profiler.run(&mut android, SimDuration::from_secs(120));
+            profiler
+        };
+        let batch = run(true);
+        let reference = run(false);
+        assert_eq!(
+            batch.battery().drained().as_joules().to_bits(),
+            reference.battery().drained().as_joules().to_bits(),
+        );
+        assert_eq!(
+            batch.integrated_energy().as_joules().to_bits(),
+            reference.integrated_energy().as_joules().to_bits(),
+        );
+        assert_eq!(
+            serde_json::to_string(batch.ledger()).unwrap(),
+            serde_json::to_string(reference.ledger()).unwrap(),
+        );
+    }
+
+    #[test]
+    fn staged_trace_is_byte_identical_across_paths() {
+        let run = |reference: bool| {
+            let mut android = busy_handset();
+            let recorder = Arc::new(ea_telemetry::Recorder::new());
+            let mut profiler = Profiler::eandroid(ScreenPolicy::SeparateEntity)
+                .with_telemetry(recorder.clone() as Arc<dyn TelemetrySink>);
+            if reference {
+                profiler = profiler.with_reference_accounting();
+            }
+            profiler.run(&mut android, SimDuration::from_secs(30));
+            recorder.events()
+        };
+        let optimized = run(false);
+        let reference = run(true);
+        assert!(!optimized.is_empty());
+        assert_eq!(
+            optimized, reference,
+            "the staged batched flush must leave the event stream unchanged"
+        );
     }
 }

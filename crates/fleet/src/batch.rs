@@ -1,0 +1,462 @@
+//! The fleet batch engine: many devices, one struct-of-arrays step.
+//!
+//! [`BatchFleet`] steps a block of devices through `ea-power`'s
+//! [`PowerLanes`] kernel: one shared hardware calibration, per-device
+//! state flattened into parallel arrays indexed by arena slot. Stepping
+//! the fleet is a sweep over those arrays — no per-device heap objects,
+//! no virtual dispatch — and spawning or retiring a device is an index
+//! grab through [`SlotArena`] plus a reset of the reused row.
+//!
+//! Two backends share the engine, selected at construction:
+//!
+//! * **batch** ([`BatchFleet::new`]) — the [`PowerLanes`] kernel plus a
+//!   *steady-row cache*: once a device's radios settle (no traffic, tails
+//!   expired, GPS off — see [`PowerLanes::lane_is_settled`]) its per-step
+//!   charges are constant, so the engine replays the precomputed row
+//!   instead of re-evaluating the kernel. Replaying an identical f64
+//!   accumulation *is* the recomputation, so the cache is invisible to
+//!   accounting; any usage mutation invalidates it.
+//! * **reference** ([`BatchFleet::reference`]) — one [`DevicePowerModel`]
+//!   per device, stepped through `draws_into` with no cache: the oracle
+//!   the golden and property suites compare against, byte for byte.
+//!
+//! Both backends charge through the same [`BatchAccounts`] rows and the
+//! same [`attribute_into`] policy code, so any divergence is the kernel's
+//! fault and nothing else's.
+
+use ea_core::{attribute_into, BatchAccounts, Entity, ScreenPolicy};
+use ea_power::{
+    Battery, Component, ComponentDraw, DevicePowerModel, DeviceUsage, Energy, PowerLanes,
+};
+use ea_sim::{SimDuration, SimTime};
+
+use crate::arena::{SlotArena, SlotSpawn};
+
+/// The precomputed per-step effect of one settled device: replayed
+/// verbatim until the device's usage changes.
+#[derive(Debug, Clone)]
+struct SteadyRow {
+    /// Total energy drained from the battery per step.
+    drained: Energy,
+    /// Accounting charges per step, in kernel emission order.
+    charges: Vec<(Component, Entity, Energy)>,
+}
+
+/// A block of devices stepped through one shared power kernel.
+///
+/// # Example
+///
+/// ```
+/// use ea_core::ScreenPolicy;
+/// use ea_fleet::BatchFleet;
+/// use ea_power::{Battery, DevicePowerModel, DeviceUsage, ScreenUsage};
+/// use ea_sim::{SimDuration, Uid};
+///
+/// let mut fleet = BatchFleet::new(
+///     DevicePowerModel::nexus4(),
+///     ScreenPolicy::SeparateEntity,
+///     SimDuration::from_millis(250),
+/// );
+/// let mut usage = DeviceUsage::idle();
+/// usage.screen = ScreenUsage::on(200, Some(Uid::FIRST_APP));
+/// let slot = fleet.spawn(usage, Battery::nexus4());
+/// for _ in 0..100 {
+///     fleet.step();
+/// }
+/// assert!(fleet.accounts().total_joules(slot) > 0.0);
+/// assert!(fleet.battery(slot).percent() < 100.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchFleet {
+    /// The shared calibration; cloned per device in reference mode.
+    base: DevicePowerModel,
+    /// The SoA kernel (its lane count always equals the arena capacity).
+    lanes: PowerLanes,
+    /// Per-device model structs in reference mode, `None` in batch mode.
+    reference: Option<Vec<DevicePowerModel>>,
+    arena: SlotArena,
+    batteries: Vec<Battery>,
+    usages: Vec<DeviceUsage>,
+    accounts: BatchAccounts,
+    /// Per-slot steady-row cache; always `None` in reference mode.
+    steady: Vec<Option<SteadyRow>>,
+    policy: ScreenPolicy,
+    step: SimDuration,
+    now: SimTime,
+    draws_scratch: Vec<ComponentDraw>,
+    charges_scratch: Vec<(Entity, Energy)>,
+    row_scratch: Vec<(Component, Entity, Energy)>,
+    cached_steps: u64,
+    full_steps: u64,
+}
+
+impl BatchFleet {
+    /// An empty fleet on the batch (SoA + steady-row cache) backend.
+    #[must_use]
+    pub fn new(model: DevicePowerModel, policy: ScreenPolicy, step: SimDuration) -> Self {
+        Self::build(model, policy, step, false)
+    }
+
+    /// An empty fleet on the reference backend: per-device model structs,
+    /// no cache. The oracle the batch backend must match byte for byte.
+    #[must_use]
+    pub fn reference(model: DevicePowerModel, policy: ScreenPolicy, step: SimDuration) -> Self {
+        Self::build(model, policy, step, true)
+    }
+
+    fn build(
+        model: DevicePowerModel,
+        policy: ScreenPolicy,
+        step: SimDuration,
+        reference: bool,
+    ) -> Self {
+        BatchFleet {
+            lanes: PowerLanes::new(model.clone()),
+            reference: reference.then(Vec::new),
+            base: model,
+            arena: SlotArena::new(),
+            batteries: Vec::new(),
+            usages: Vec::new(),
+            accounts: BatchAccounts::new(),
+            steady: Vec::new(),
+            policy,
+            step,
+            now: SimTime::ZERO,
+            draws_scratch: Vec::new(),
+            charges_scratch: Vec::new(),
+            row_scratch: Vec::new(),
+            cached_steps: 0,
+            full_steps: 0,
+        }
+    }
+
+    /// Whether this fleet runs the reference backend.
+    #[must_use]
+    pub fn is_reference(&self) -> bool {
+        self.reference.is_some()
+    }
+
+    /// The simulated clock (end of the last stepped interval).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The fixed step the fleet integrates over.
+    pub fn step_len(&self) -> SimDuration {
+        self.step
+    }
+
+    /// The slot arena (live/capacity bookkeeping).
+    #[must_use]
+    pub fn arena(&self) -> &SlotArena {
+        &self.arena
+    }
+
+    /// The per-slot accounting rows.
+    #[must_use]
+    pub fn accounts(&self) -> &BatchAccounts {
+        &self.accounts
+    }
+
+    /// `slot`'s battery.
+    #[must_use]
+    pub fn battery(&self, slot: usize) -> &Battery {
+        &self.batteries[slot]
+    }
+
+    /// `slot`'s usage snapshot.
+    #[must_use]
+    pub fn usage(&self, slot: usize) -> &DeviceUsage {
+        &self.usages[slot]
+    }
+
+    /// Mutable access to `slot`'s usage. Invalidates the slot's steady
+    /// row: the next step re-evaluates the kernel.
+    pub fn usage_mut(&mut self, slot: usize) -> &mut DeviceUsage {
+        self.steady[slot] = None;
+        &mut self.usages[slot]
+    }
+
+    /// Steps replayed from steady rows (batch backend only).
+    #[must_use]
+    pub fn cached_steps(&self) -> u64 {
+        self.cached_steps
+    }
+
+    /// Steps that evaluated the full kernel.
+    #[must_use]
+    pub fn full_steps(&self) -> u64 {
+        self.full_steps
+    }
+
+    /// Spawns a device with `usage` and `battery`, returning its slot.
+    /// Recycles a retired slot when one is free (resetting its kernel
+    /// lane and accounting rows), else grows every array by one.
+    pub fn spawn(&mut self, usage: DeviceUsage, battery: Battery) -> usize {
+        match self.arena.spawn() {
+            SlotSpawn::Fresh(slot) => {
+                let lane = self.lanes.push_lane();
+                debug_assert_eq!(lane, slot, "lane block tracks arena capacity");
+                self.batteries.push(battery);
+                self.usages.push(usage);
+                self.accounts.ensure_slot(slot);
+                self.steady.push(None);
+                if let Some(models) = &mut self.reference {
+                    models.push(self.base.clone());
+                }
+                slot
+            }
+            SlotSpawn::Recycled(slot) => {
+                self.lanes.reset_lane(slot);
+                self.batteries[slot] = battery;
+                self.usages[slot] = usage;
+                self.accounts.reset_slot(slot);
+                self.steady[slot] = None;
+                if let Some(models) = &mut self.reference {
+                    models[slot] = self.base.clone();
+                }
+                slot
+            }
+        }
+    }
+
+    /// Retires `slot`, freeing it for reuse. Returns `false` if it was
+    /// not live. The slot's rows keep their final values until a spawn
+    /// recycles them, so late readers see the retired device's totals.
+    pub fn retire(&mut self, slot: usize) -> bool {
+        if !self.arena.retire(slot) {
+            return false;
+        }
+        self.steady[slot] = None;
+        true
+    }
+
+    /// Whether `slot` is indistinguishable from a freshly spawned one:
+    /// kernel lane clean, accounting rows clean, no steady row. The
+    /// recycle path must restore this before a new device steps.
+    #[must_use]
+    pub fn slot_is_clean(&self, slot: usize) -> bool {
+        self.lanes.lane_is_clean(slot)
+            && self.accounts.slot_is_clean(slot)
+            && self.steady[slot].is_none()
+    }
+
+    /// Advances the clock one step and integrates every live device:
+    /// kernel draws → policy attribution → accounting rows → battery
+    /// drain. Settled devices on the batch backend replay their steady
+    /// row instead of re-evaluating the kernel.
+    pub fn step(&mut self) {
+        self.now += self.step;
+        let now = self.now;
+        for slot in 0..self.arena.capacity() {
+            if !self.arena.is_live(slot) {
+                continue;
+            }
+            if let Some(row) = &self.steady[slot] {
+                // Replay: bit-equal to re-running the kernel, because the
+                // settled kernel would recompute exactly these values and
+                // mutate nothing (see `PowerLanes::lane_is_settled`).
+                for &(component, entity, energy) in &row.charges {
+                    self.accounts
+                        .charge(slot, component, entity, energy.as_joules());
+                }
+                let _ = self.batteries[slot].drain(row.drained);
+                self.cached_steps += 1;
+                continue;
+            }
+            match &mut self.reference {
+                Some(models) => {
+                    models[slot].draws_into(now, &self.usages[slot], &mut self.draws_scratch);
+                }
+                None => {
+                    self.lanes
+                        .observe_into(slot, now, &self.usages[slot], &mut self.draws_scratch);
+                }
+            }
+            let mut drained = Energy::ZERO;
+            self.row_scratch.clear();
+            for draw in &self.draws_scratch {
+                drained += Energy::from_power(draw.power_mw, self.step);
+                attribute_into(draw, self.step, self.policy, &mut self.charges_scratch);
+                for &(entity, energy) in &self.charges_scratch {
+                    self.accounts
+                        .charge(slot, draw.component, entity, energy.as_joules());
+                    self.row_scratch.push((draw.component, entity, energy));
+                }
+            }
+            let _ = self.batteries[slot].drain(drained);
+            self.full_steps += 1;
+            if self.reference.is_none() && self.lanes.lane_is_settled(slot, now, &self.usages[slot])
+            {
+                self.steady[slot] = Some(SteadyRow {
+                    drained,
+                    charges: self.row_scratch.clone(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_power::{RadioUse, ScreenUsage};
+    use ea_sim::Uid;
+
+    fn uid(n: u32) -> Uid {
+        Uid::from_raw(10_000 + n)
+    }
+
+    fn radio(n: u32, kbps: f64) -> RadioUse {
+        RadioUse {
+            uid: uid(n),
+            throughput_kbps: kbps,
+        }
+    }
+
+    fn busy_usage(n: u32) -> DeviceUsage {
+        let mut usage = DeviceUsage::idle();
+        usage.screen = ScreenUsage::on(160 + n as u8, Some(uid(n)));
+        usage.wifi = vec![radio(n, 400.0 + n as f64), radio(n + 1, 120.0)];
+        usage.cellular = vec![radio(n + 2, 60.0)];
+        usage.gps = vec![uid(n)];
+        usage
+    }
+
+    fn quiet_usage(n: u32) -> DeviceUsage {
+        let mut usage = DeviceUsage::idle();
+        usage.screen = ScreenUsage::on(96, Some(uid(n)));
+        usage
+    }
+
+    /// Runs the same churn script on both backends and demands bit-equal
+    /// rows and battery state per slot afterwards.
+    fn assert_backends_agree(script: impl Fn(&mut BatchFleet)) {
+        let step = SimDuration::from_millis(250);
+        let mut batch = BatchFleet::new(
+            DevicePowerModel::nexus4(),
+            ScreenPolicy::SeparateEntity,
+            step,
+        );
+        let mut reference = BatchFleet::reference(
+            DevicePowerModel::nexus4(),
+            ScreenPolicy::SeparateEntity,
+            step,
+        );
+        script(&mut batch);
+        script(&mut reference);
+        assert_eq!(batch.arena().capacity(), reference.arena().capacity());
+        for slot in 0..batch.arena().capacity() {
+            for (a, b) in batch
+                .accounts()
+                .component_joules(slot)
+                .iter()
+                .zip(reference.accounts().component_joules(slot))
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "component joules, slot {slot}");
+            }
+            let batch_rows = batch.accounts().entity_rows(slot);
+            let reference_rows = reference.accounts().entity_rows(slot);
+            assert_eq!(
+                batch_rows.len(),
+                reference_rows.len(),
+                "row count, slot {slot}"
+            );
+            for ((ea, ja), (eb, jb)) in batch_rows.iter().zip(&reference_rows) {
+                assert_eq!(ea, eb, "entity order, slot {slot}");
+                assert_eq!(ja.to_bits(), jb.to_bits(), "entity joules, slot {slot}");
+            }
+            assert_eq!(
+                batch.battery(slot).drained().as_joules().to_bits(),
+                reference.battery(slot).drained().as_joules().to_bits(),
+                "battery drain, slot {slot}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_reference_through_churn_and_tails() {
+        assert_backends_agree(|fleet| {
+            let a = fleet.spawn(busy_usage(1), Battery::nexus4());
+            let b = fleet.spawn(busy_usage(4), Battery::nexus4());
+            for _ in 0..12 {
+                fleet.step();
+            }
+            // Quiet down: radios enter their tails, then settle.
+            *fleet.usage_mut(a) = quiet_usage(1);
+            *fleet.usage_mut(b) = quiet_usage(4);
+            for _ in 0..120 {
+                fleet.step();
+            }
+            // Churn: retire one device mid-run, recycle its slot.
+            assert!(fleet.retire(a));
+            let c = fleet.spawn(busy_usage(7), Battery::nexus4());
+            assert_eq!(c, a, "arena recycles the retired slot");
+            for _ in 0..12 {
+                fleet.step();
+            }
+            *fleet.usage_mut(c) = DeviceUsage::idle();
+            for _ in 0..80 {
+                fleet.step();
+            }
+        });
+    }
+
+    #[test]
+    fn steady_cache_engages_for_settled_devices() {
+        let mut fleet = BatchFleet::new(
+            DevicePowerModel::nexus4(),
+            ScreenPolicy::SeparateEntity,
+            SimDuration::from_millis(250),
+        );
+        let slot = fleet.spawn(quiet_usage(1), Battery::nexus4());
+        for _ in 0..50 {
+            fleet.step();
+        }
+        assert!(
+            fleet.cached_steps() > 40,
+            "a radio-quiet device should settle almost immediately, got {} cached / {} full",
+            fleet.cached_steps(),
+            fleet.full_steps()
+        );
+        // Mutating usage invalidates the row; the next step is a full one.
+        let full_before = fleet.full_steps();
+        fleet.usage_mut(slot).screen = ScreenUsage::on(255, Some(uid(1)));
+        fleet.step();
+        assert_eq!(fleet.full_steps(), full_before + 1);
+    }
+
+    #[test]
+    fn reference_backend_never_caches() {
+        let mut fleet = BatchFleet::reference(
+            DevicePowerModel::nexus4(),
+            ScreenPolicy::SeparateEntity,
+            SimDuration::from_millis(250),
+        );
+        fleet.spawn(quiet_usage(1), Battery::nexus4());
+        for _ in 0..20 {
+            fleet.step();
+        }
+        assert_eq!(fleet.cached_steps(), 0);
+        assert_eq!(fleet.full_steps(), 20);
+    }
+
+    #[test]
+    fn recycled_slot_is_clean_before_first_step() {
+        let mut fleet = BatchFleet::new(
+            DevicePowerModel::nexus4(),
+            ScreenPolicy::SeparateEntity,
+            SimDuration::from_millis(250),
+        );
+        let slot = fleet.spawn(busy_usage(1), Battery::nexus4());
+        for _ in 0..10 {
+            fleet.step();
+        }
+        assert!(!fleet.slot_is_clean(slot));
+        assert!(fleet.retire(slot));
+        let recycled = fleet.spawn(quiet_usage(2), Battery::nexus4());
+        assert_eq!(recycled, slot);
+        assert!(fleet.slot_is_clean(recycled), "recycle resets every row");
+        assert_eq!(fleet.battery(recycled).percent(), 100.0);
+    }
+}

@@ -52,6 +52,18 @@ pub struct FleetConfig {
     /// hot-loop speedup on the full fleet workload in a single run.
     #[serde(default)]
     pub reference_accounting: bool,
+    /// Evaluate every device's power model through the struct-of-arrays
+    /// batch kernel (`ea_power::PowerLanes`), the default. Off routes
+    /// through the per-device model structs. The two kernels are
+    /// byte-equivalent by contract; the switch exists so goldens and
+    /// benchmarks can compare them on the full fleet workload.
+    #[serde(default = "default_batch_kernel")]
+    pub batch_kernel: bool,
+    /// Run every device's framework on the binary-heap reference
+    /// scheduler instead of the default calendar queue. Byte-equivalent
+    /// by contract; the oracle half of the scheduler goldens.
+    #[serde(default)]
+    pub reference_scheduler: bool,
     /// Fault-injection plan, applied to every device on its own lane
     /// (counter glitches, framework faults, device panics, slow devices,
     /// poisoned corpus entries). `None` — or a zero-rate plan — leaves the
@@ -77,6 +89,10 @@ fn default_max_retries() -> u32 {
     2
 }
 
+fn default_batch_kernel() -> bool {
+    true
+}
+
 impl Default for FleetConfig {
     fn default() -> Self {
         FleetConfig {
@@ -95,6 +111,8 @@ impl Default for FleetConfig {
             step_millis: 250,
             panic_devices: Vec::new(),
             reference_accounting: false,
+            batch_kernel: default_batch_kernel(),
+            reference_scheduler: false,
             faults: None,
             max_retries: default_max_retries(),
             flight_recorder: 0,

@@ -177,6 +177,9 @@ pub fn simulate_device_observed(
     let seed = device_seed(config.seed, index);
     let mut rng = SimRng::seed(seed);
     let mut android = AndroidSystem::new();
+    if config.reference_scheduler {
+        android.set_reference_scheduler(true);
+    }
     if let Some(handle) = flight {
         android.set_telemetry_handle(handle.clone());
         // Installs emit nothing, so stamp an attempt-start marker: even a
@@ -244,7 +247,8 @@ pub fn simulate_device_observed(
     let lint_report = Linter::new().lint_system(&android);
 
     let mut profiler = Profiler::eandroid(ScreenPolicy::SeparateEntity)
-        .with_step(SimDuration::from_millis(config.step_millis.max(1)));
+        .with_step(SimDuration::from_millis(config.step_millis.max(1)))
+        .with_batch_kernel(config.batch_kernel);
     if let Some(handle) = flight {
         profiler.set_telemetry_handle(handle.clone());
     }
@@ -679,6 +683,28 @@ mod tests {
             0,
         );
         assert_eq!(optimized, reference, "slot-interned path must match");
+    }
+
+    #[test]
+    fn kernel_and_scheduler_axes_are_result_equivalent() {
+        let config = FleetConfig::smoke(1, 99);
+        let corpus = corpus_for(&config);
+        let default_path = simulate_device(&config, &corpus, 0);
+        for (batch_kernel, reference_scheduler) in [(false, false), (true, true), (false, true)] {
+            let other = simulate_device(
+                &FleetConfig {
+                    batch_kernel,
+                    reference_scheduler,
+                    ..config.clone()
+                },
+                &corpus,
+                0,
+            );
+            assert_eq!(
+                default_path, other,
+                "batch_kernel={batch_kernel} reference_scheduler={reference_scheduler} diverged"
+            );
+        }
     }
 
     #[test]

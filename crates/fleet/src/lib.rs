@@ -36,6 +36,8 @@
 //! ```
 
 mod aggregate;
+mod arena;
+mod batch;
 mod config;
 mod device;
 mod engine;
@@ -47,6 +49,8 @@ pub use aggregate::{
     aggregate, DeviceFailure, DeviceRow, DrainPercentiles, FleetHealth, FleetReport,
     KindPrevalence, LintCrossCheck, RankedEntity,
 };
+pub use arena::{SlotArena, SlotSpawn};
+pub use batch::BatchFleet;
 pub use config::{device_seed, FleetConfig};
 pub use device::{
     simulate_device, simulate_device_attempt, simulate_device_observed, DeviceCheckpoint,

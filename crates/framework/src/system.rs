@@ -14,7 +14,8 @@ use serde::{Deserialize, Serialize};
 use ea_chaos::{FaultLog, FrameworkFaults, IntentFate};
 use ea_power::{CameraUse, CpuUse, DeviceUsage, RadioUse, ScreenUsage};
 use ea_sim::{
-    BinderBus, Clock, CpuScheduler, Pid, ProcessTable, SimDuration, SimTime, TransactionKind, Uid,
+    BinderBus, Clock, CpuScheduler, EventQueue, Pid, ProcessTable, SimDuration, SimTime,
+    TransactionKind, Uid,
 };
 use ea_telemetry::{SinkHandle, TelemetryEvent, TelemetrySink};
 
@@ -131,8 +132,10 @@ pub struct AndroidSystem {
     /// Fault injection (chaos testing), when attached.
     faults: Option<Box<FrameworkFaults>>,
     /// Death notifications delayed by binder faults: the wakelocks whose
-    /// link-to-death should have fired, due at the stored instant.
-    deferred_death_locks: Vec<(SimTime, WakelockId)>,
+    /// link-to-death should have fired, due at the scheduled instant.
+    /// Runs on the calendar-queue backend by default; see
+    /// [`AndroidSystem::set_reference_scheduler`].
+    deferred_death_locks: EventQueue<WakelockId>,
     /// Last time the power-manager sweep reconciled leaked wakelocks.
     last_fault_sweep: SimTime,
 }
@@ -176,7 +179,7 @@ impl AndroidSystem {
             recording: true,
             telemetry: SinkHandle::noop(),
             faults: None,
-            deferred_death_locks: Vec::new(),
+            deferred_death_locks: EventQueue::new(),
             last_fault_sweep: SimTime::ZERO,
         };
         system.install_system_app(Uid::from_raw(1_001), SYSTEM_PACKAGES[0]);
@@ -616,7 +619,7 @@ impl AndroidSystem {
             if let Some(delay) = delay {
                 // The death notice is stuck in the binder queue: the lock
                 // stays held until the (late) notification arrives.
-                self.deferred_death_locks.push((now + delay, id));
+                self.deferred_death_locks.schedule(now + delay, id);
                 continue;
             }
             if let Some(lock) = self.wakelocks.remove(&id) {
@@ -1401,17 +1404,18 @@ impl AndroidSystem {
             return;
         }
         let now = self.clock.now();
-        let mut due = Vec::new();
-        self.deferred_death_locks.retain(|&(at, id)| {
-            if at <= now {
-                due.push(id);
-                false
-            } else {
-                true
-            }
-        });
         let mut released = false;
-        for id in due {
+        // Due notices deliver in strict (due-time, schedule-order): the
+        // event queue's pop order, identical on both scheduler backends.
+        while self
+            .deferred_death_locks
+            .peek_time()
+            .is_some_and(|at| at <= now)
+        {
+            let Some(event) = self.deferred_death_locks.pop_next() else {
+                break;
+            };
+            let id = event.payload;
             if let Some(lock) = self.wakelocks.remove(&id) {
                 self.binder.unlink_to_death(lock.pid, id.0);
                 if let Some(faults) = self.faults.as_mut() {
@@ -1750,6 +1754,26 @@ impl AndroidSystem {
     pub fn attach_faults(&mut self, faults: FrameworkFaults) {
         self.last_fault_sweep = self.clock.now();
         self.faults = Some(Box::new(faults));
+    }
+
+    /// Selects the timer-queue backend: the calendar queue (default) or
+    /// the reference `BinaryHeap` oracle. Pending timers carry over in pop
+    /// order, so the switch is observationally a no-op — the golden tests
+    /// assert byte-identical runs across both backends.
+    pub fn set_reference_scheduler(&mut self, reference: bool) {
+        if self.deferred_death_locks.is_reference() == reference {
+            return;
+        }
+        let mut queue = EventQueue::with_backend(reference);
+        while let Some(event) = self.deferred_death_locks.pop_next() {
+            queue.schedule(event.at, event.payload);
+        }
+        self.deferred_death_locks = queue;
+    }
+
+    /// Whether the timer queue runs on the reference heap backend.
+    pub fn is_reference_scheduler(&self) -> bool {
+        self.deferred_death_locks.is_reference()
     }
 
     /// The injected/detected fault counters, when an injector is attached.

@@ -260,7 +260,7 @@ impl DevicePowerModel {
     }
 }
 
-fn fill_equal_shares(uids: &[Uid], out: &mut Vec<UsageShare>) {
+pub(crate) fn fill_equal_shares(uids: &[Uid], out: &mut Vec<UsageShare>) {
     if uids.is_empty() {
         return;
     }

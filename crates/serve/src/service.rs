@@ -50,6 +50,11 @@ use crate::protocol::{Ack, LaneEvent, Request};
 use crate::ring;
 use crate::view::FleetView;
 
+/// Events a shard worker drains from its lane per burst: one head-counter
+/// store and one view lock amortize over up to this many events. Sized to
+/// a fraction of the default ring so a burst never starves the producer.
+const INGEST_BURST: usize = 64;
+
 /// Configuration of one service run.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -255,21 +260,29 @@ pub fn run_serve(
                 // Dropping the producer closes the lane.
             });
 
-            // Shard worker: the lane's single consumer.
+            // Shard worker: the lane's single consumer. Events drain in
+            // bursts — one head-counter store and one view lock per
+            // burst instead of per event — which is what keeps a busy
+            // lane's ingest cost amortized (see `ring::Consumer::
+            // recv_slice` and the `serve_ingest` bench rows).
             worker_handles.push(scope.spawn(move || {
                 let mut local = ShardAccumulator::default();
-                while let Some(event) = consumer.recv() {
-                    local.events += 1;
-                    match &event {
-                        LaneEvent::Checkpoint { .. } => local.checkpoints += 1,
-                        LaneEvent::Completed(report) => {
-                            local.drains.record(report.drained_joules);
-                            observatory.device_completed(report.drained_joules);
+                let mut burst = Vec::with_capacity(INGEST_BURST);
+                while consumer.recv_slice(&mut burst, INGEST_BURST) > 0 {
+                    let mut guard = lock_clean(view);
+                    for event in burst.drain(..) {
+                        local.events += 1;
+                        match &event {
+                            LaneEvent::Checkpoint { .. } => local.checkpoints += 1,
+                            LaneEvent::Completed(report) => {
+                                local.drains.record(report.drained_joules);
+                                observatory.device_completed(report.drained_joules);
+                            }
+                            LaneEvent::Crashed(_) => observatory.device_failed(),
+                            LaneEvent::Join { .. } | LaneEvent::Leave { .. } => {}
                         }
-                        LaneEvent::Crashed(_) => observatory.device_failed(),
-                        LaneEvent::Join { .. } | LaneEvent::Leave { .. } => {}
+                        guard.ingest(event);
                     }
-                    lock_clean(view).ingest(event);
                 }
                 lock_clean(merged_sketch).merge(&local.drains);
                 events_ingested.fetch_add(local.events, Ordering::Relaxed);

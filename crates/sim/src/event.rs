@@ -4,10 +4,23 @@
 //! timestamp, by insertion order. This FIFO tie-break is what makes the whole
 //! simulation deterministic: two runs with the same seed schedule the same
 //! events and observe them in the same order.
+//!
+//! Two interchangeable backends honour that contract:
+//!
+//! * the default [calendar queue](crate::event::EventQueue::new) — a
+//!   bucketed ring indexed by sim tick, O(1) amortized for the
+//!   near-future-heavy schedules simulated devices generate;
+//! * the [reference heap](EventQueue::reference) — the original
+//!   `BinaryHeap`, kept as the selectable oracle the property tests and
+//!   the `--reference-scheduler` flag compare against.
+//!
+//! Both pop in strict `(at, seq)` order; the golden and property suites
+//! assert the backends agree event for event.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::calendar::CalendarQueue;
 use crate::SimTime;
 
 /// An event that has been scheduled for a specific instant.
@@ -45,6 +58,11 @@ impl<T> Ord for HeapEntry<T> {
     }
 }
 
+enum Backend<T> {
+    Calendar(CalendarQueue<T>),
+    Reference(BinaryHeap<HeapEntry<T>>),
+}
+
 /// A priority queue of timed events with deterministic ordering.
 ///
 /// # Example
@@ -58,61 +76,106 @@ impl<T> Ord for HeapEntry<T> {
 /// assert_eq!(queue.peek_time(), Some(SimTime::from_secs(1)));
 /// assert_eq!(queue.pop_next().unwrap().payload, "early");
 /// ```
-#[derive(Default)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<HeapEntry<T>>,
+    backend: Backend<T>,
     next_seq: u64,
 }
 
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
 impl<T> EventQueue<T> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the default calendar-queue backend.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend: Backend::Calendar(CalendarQueue::new()),
             next_seq: 0,
         }
+    }
+
+    /// Creates an empty queue on the reference `BinaryHeap` backend — the
+    /// pre-optimization oracle the calendar queue is validated against.
+    pub fn reference() -> Self {
+        EventQueue {
+            backend: Backend::Reference(BinaryHeap::new()),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue, choosing the backend by flag: the calendar
+    /// queue by default, the reference heap when `reference` is set.
+    pub fn with_backend(reference: bool) -> Self {
+        if reference {
+            EventQueue::reference()
+        } else {
+            EventQueue::new()
+        }
+    }
+
+    /// Whether this queue runs on the reference heap backend.
+    pub fn is_reference(&self) -> bool {
+        matches!(self.backend, Backend::Reference(_))
     }
 
     /// Schedules `payload` to fire at `at` and returns its sequence number.
     pub fn schedule(&mut self, at: SimTime, payload: T) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap
-            .push(HeapEntry(ScheduledEvent { at, seq, payload }));
+        let event = ScheduledEvent { at, seq, payload };
+        match &mut self.backend {
+            Backend::Calendar(calendar) => calendar.schedule(event),
+            Backend::Reference(heap) => heap.push(HeapEntry(event)),
+        }
         seq
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop_next(&mut self) -> Option<ScheduledEvent<T>> {
-        self.heap.pop().map(|entry| entry.0)
+        match &mut self.backend {
+            Backend::Calendar(calendar) => calendar.pop_next(),
+            Backend::Reference(heap) => heap.pop().map(|entry| entry.0),
+        }
     }
 
     /// The timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|entry| entry.0.at)
+        match &self.backend {
+            Backend::Calendar(calendar) => calendar.peek_time(),
+            Backend::Reference(heap) => heap.peek().map(|entry| entry.0.at),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Calendar(calendar) => calendar.len(),
+            Backend::Reference(heap) => heap.len(),
+        }
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Removes every pending event.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.backend {
+            Backend::Calendar(calendar) => calendar.clear(),
+            Backend::Reference(heap) => heap.clear(),
+        }
     }
 }
 
 impl<T: std::fmt::Debug> std::fmt::Debug for EventQueue<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("pending", &self.heap.len())
+            .field("pending", &self.len())
             .field("next_seq", &self.next_seq)
+            .field("reference", &self.is_reference())
             .finish()
     }
 }
@@ -121,54 +184,89 @@ impl<T: std::fmt::Debug> std::fmt::Debug for EventQueue<T> {
 mod tests {
     use super::*;
 
+    fn both_backends() -> [EventQueue<i32>; 2] {
+        [EventQueue::new(), EventQueue::reference()]
+    }
+
     #[test]
     fn orders_by_time() {
-        let mut queue = EventQueue::new();
-        queue.schedule(SimTime::from_millis(30), 3);
-        queue.schedule(SimTime::from_millis(10), 1);
-        queue.schedule(SimTime::from_millis(20), 2);
+        for mut queue in both_backends() {
+            queue.schedule(SimTime::from_millis(30), 3);
+            queue.schedule(SimTime::from_millis(10), 1);
+            queue.schedule(SimTime::from_millis(20), 2);
 
-        let order: Vec<i32> = std::iter::from_fn(|| queue.pop_next())
-            .map(|event| event.payload)
-            .collect();
-        assert_eq!(order, [1, 2, 3]);
+            let order: Vec<i32> = std::iter::from_fn(|| queue.pop_next())
+                .map(|event| event.payload)
+                .collect();
+            assert_eq!(order, [1, 2, 3]);
+        }
     }
 
     #[test]
     fn fifo_among_equal_times() {
-        let mut queue = EventQueue::new();
-        for i in 0..100 {
-            queue.schedule(SimTime::from_secs(1), i);
+        for mut queue in both_backends() {
+            queue.clear();
+            for i in 0..100 {
+                queue.schedule(SimTime::from_secs(1), i);
+            }
+            let order: Vec<i32> = std::iter::from_fn(|| queue.pop_next())
+                .map(|event| event.payload)
+                .collect();
+            let expected: Vec<i32> = (0..100).collect();
+            assert_eq!(order, expected);
         }
-        let order: Vec<i32> = std::iter::from_fn(|| queue.pop_next())
-            .map(|event| event.payload)
-            .collect();
-        let expected: Vec<i32> = (0..100).collect();
-        assert_eq!(order, expected);
     }
 
     #[test]
     fn peek_does_not_consume() {
-        let mut queue = EventQueue::new();
-        queue.schedule(SimTime::from_secs(7), ());
-        assert_eq!(queue.peek_time(), Some(SimTime::from_secs(7)));
-        assert_eq!(queue.len(), 1);
+        for mut queue in both_backends() {
+            queue.schedule(SimTime::from_secs(7), 0);
+            assert_eq!(queue.peek_time(), Some(SimTime::from_secs(7)));
+            assert_eq!(queue.len(), 1);
+        }
     }
 
     #[test]
     fn clear_empties_the_queue() {
-        let mut queue = EventQueue::new();
-        queue.schedule(SimTime::ZERO, ());
-        queue.clear();
-        assert!(queue.is_empty());
-        assert!(queue.pop_next().is_none());
+        for mut queue in both_backends() {
+            queue.schedule(SimTime::ZERO, 0);
+            queue.clear();
+            assert!(queue.is_empty());
+            assert!(queue.pop_next().is_none());
+        }
     }
 
     #[test]
     fn sequence_numbers_are_unique_and_increasing() {
-        let mut queue = EventQueue::new();
-        let a = queue.schedule(SimTime::ZERO, ());
-        let b = queue.schedule(SimTime::ZERO, ());
-        assert!(b > a);
+        for mut queue in both_backends() {
+            let a = queue.schedule(SimTime::ZERO, 0);
+            let b = queue.schedule(SimTime::ZERO, 0);
+            assert!(b > a);
+        }
+    }
+
+    #[test]
+    fn backends_agree_under_interleaved_schedule_and_pop() {
+        let mut calendar = EventQueue::new();
+        let mut heap = EventQueue::reference();
+        assert!(!calendar.is_reference());
+        assert!(heap.is_reference());
+        // A deterministic schedule/pop interleaving with ties, far-future
+        // spikes, and re-scheduling into the past after pops.
+        let times = [40u64, 40, 17_000, 3, 3, 3, 900, 40, 120_000, 55, 2, 2];
+        for (round, &at) in times.iter().enumerate() {
+            calendar.schedule(SimTime::from_millis(at), round);
+            heap.schedule(SimTime::from_millis(at), round);
+            if round % 3 == 2 {
+                assert_eq!(calendar.pop_next(), heap.pop_next());
+            }
+        }
+        loop {
+            let (a, b) = (calendar.pop_next(), heap.pop_next());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

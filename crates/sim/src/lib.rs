@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod binder;
+mod calendar;
 mod clock;
 mod error;
 mod event;

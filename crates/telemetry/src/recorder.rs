@@ -230,6 +230,35 @@ impl TelemetrySink for Recorder {
             .push(TraceRecord { t_us, event });
     }
 
+    fn record_events(&self, t_us: u64, events: &[TelemetryEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        self.counter("events_processed_total")
+            .fetch_add(events.len() as u64, Ordering::Relaxed);
+        // One formatted name + counter bump per *distinct* label in the
+        // batch, instead of a heap-allocating `format!` per event. A step
+        // emits at most a handful of labels, so a linear scan beats a map.
+        let mut labels: Vec<(&'static str, u64)> = Vec::new();
+        for event in events {
+            let label = event.label();
+            match labels.iter_mut().find(|(seen, _)| *seen == label) {
+                Some((_, count)) => *count += 1,
+                None => labels.push((label, 1)),
+            }
+        }
+        for (label, count) in labels {
+            self.counter(&format!("events_{label}_total"))
+                .fetch_add(count, Ordering::Relaxed);
+        }
+        let mut buffer = self.events.lock().expect("event buffer poisoned");
+        buffer.reserve(events.len());
+        buffer.extend(events.iter().map(|event| TraceRecord {
+            t_us,
+            event: event.clone(),
+        }));
+    }
+
     fn counter_add(&self, name: &str, delta: u64) {
         let after = self.counter(name).fetch_add(delta, Ordering::Relaxed) + delta;
         self.sample(name, after as f64);
@@ -315,6 +344,36 @@ mod tests {
         assert_eq!(metrics.counters["events_processed_total"], 1);
         assert_eq!(metrics.counters["events_attribution_total"], 1);
         assert_eq!(recorder.events().len(), 1);
+    }
+
+    #[test]
+    fn batched_events_match_singles_byte_for_byte() {
+        let batch = [
+            TelemetryEvent::Attribution {
+                uid: 10_001,
+                joules: 0.25,
+            },
+            TelemetryEvent::Attribution {
+                uid: 10_002,
+                joules: 0.75,
+            },
+            TelemetryEvent::BatteryDrain {
+                joules: 1.0,
+                remaining_percent: 99.5,
+            },
+        ];
+        let singles = Recorder::new();
+        for event in &batch {
+            singles.record_event(40, event.clone());
+        }
+        let batched = Recorder::new();
+        batched.record_events(40, &batch);
+        assert_eq!(singles.events(), batched.events());
+        assert_eq!(singles.metrics().counters, batched.metrics().counters);
+        let empty = Recorder::new();
+        empty.record_events(40, &[]);
+        assert!(empty.events().is_empty());
+        assert!(empty.metrics().counters.is_empty());
     }
 
     #[test]

@@ -30,6 +30,18 @@ pub trait TelemetrySink: Send + Sync {
     /// Records a structured event at simulated time `t_us` (microseconds).
     fn record_event(&self, t_us: u64, event: TelemetryEvent);
 
+    /// Records a batch of events sharing one timestamp, in slice order.
+    ///
+    /// Semantically identical to calling
+    /// [`record_event`](TelemetrySink::record_event) once per event; sinks
+    /// may override to amortize per-event locking and bookkeeping. Hot
+    /// paths stage a step's events and flush them through here once.
+    fn record_events(&self, t_us: u64, events: &[TelemetryEvent]) {
+        for event in events {
+            self.record_event(t_us, event.clone());
+        }
+    }
+
     /// Adds `delta` to the named monotone counter.
     fn counter_add(&self, name: &str, delta: u64);
 
@@ -57,6 +69,8 @@ impl TelemetrySink for NoopSink {
     }
 
     fn record_event(&self, _t_us: u64, _event: TelemetryEvent) {}
+
+    fn record_events(&self, _t_us: u64, _events: &[TelemetryEvent]) {}
 
     fn counter_add(&self, _name: &str, _delta: u64) {}
 

@@ -7,7 +7,7 @@
 //! eandroid micro [--runs N]
 //! eandroid antutu
 //! eandroid workload [--seed N] [--sessions N]
-//! eandroid fleet [--size N] [--seed N] [--jobs J] [--json] [--trace <base>] [--faults <rate|plan.json>] [--watch] [--heartbeat <path>] [--flight-recorder N]
+//! eandroid fleet [--size N] [--seed N] [--jobs J] [--json] [--trace <base>] [--faults <rate|plan.json>] [--watch] [--heartbeat <path>] [--flight-recorder N] [--batch-kernel on|off] [--reference-scheduler]
 //! eandroid metrics [--size N] [--seed N] [--jobs J] [--json]
 //! eandroid serve [--size N] [--seed N] [--lanes L] [--socket <path>] [--hold] [--json] [--watch] [--heartbeat <path>]
 //! eandroid query [--socket <path>] <ping|snapshot|window|report|shutdown>
@@ -81,6 +81,10 @@ COMMANDS:
         --heartbeat <path>         write JSONL health snapshots to <path>
         --flight-recorder N        keep the last N telemetry events per device,
                                    dumped into the report on device abandonment
+        --batch-kernel on|off      struct-of-arrays power kernel (default on;
+                                   off = per-device model structs, same bytes)
+        --reference-scheduler      binary-heap event queue instead of the
+                                   calendar queue (oracle path, same bytes)
     metrics                 run a fleet and print its health snapshot
         --json                     one JSONL snapshot instead of Prometheus text
         (also accepts the fleet sizing/fault/watch/heartbeat flags above)
@@ -435,6 +439,18 @@ fn parse_fleet_config(command: &str, args: &[&str]) -> Result<FleetConfig, Strin
             Ok(plan) => config.faults = Some(plan),
             Err(message) => return Err(format!("{command}: {message}")),
         }
+    }
+    match flag_value(args, "--batch-kernel") {
+        None | Some("on") => config.batch_kernel = true,
+        Some("off") => config.batch_kernel = false,
+        Some(other) => {
+            return Err(format!(
+                "{command}: --batch-kernel expects on|off, got {other}"
+            ))
+        }
+    }
+    if has_flag(args, "--reference-scheduler") {
+        config.reference_scheduler = true;
     }
     Ok(config)
 }

@@ -8,6 +8,7 @@
 //! the state changes so no dependency cycle forms.
 
 use ea_sim::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
 
 use crate::{FaultLog, FaultRates};
 
@@ -20,6 +21,37 @@ pub enum IntentFate {
     Drop,
     /// Delivered twice.
     Duplicate,
+}
+
+/// A framework fault decision, as the lifecycle intent log records it.
+///
+/// The injector only *decides*; the framework applies the state change
+/// and appends one perturbation intent per decision, so a device's log
+/// carries the complete fault stream alongside the transitions it
+/// perturbed. Labels match the [`FaultLog`] taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FrameworkPerturbation {
+    /// A broadcast delivery silently dropped (`intent_drop`).
+    BroadcastDropped,
+    /// A broadcast delivered twice (`intent_duplicate`).
+    BroadcastDuplicated,
+    /// A wakelock release lost in transit (`wakelock_release_lost`).
+    WakelockReleaseLost,
+    /// A binder death notification deferred (`death_delayed`).
+    DeathDeferred,
+}
+
+impl FrameworkPerturbation {
+    /// The fault-taxonomy label ([`FaultLog`] key) of this perturbation.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FrameworkPerturbation::BroadcastDropped => "intent_drop",
+            FrameworkPerturbation::BroadcastDuplicated => "intent_duplicate",
+            FrameworkPerturbation::WakelockReleaseLost => "wakelock_release_lost",
+            FrameworkPerturbation::DeathDeferred => "death_delayed",
+        }
+    }
 }
 
 /// The per-run framework/sim injector. One instance per `AndroidSystem`;

@@ -36,6 +36,6 @@ mod plan;
 mod power;
 
 pub use fault_log::FaultLog;
-pub use framework::{FrameworkFaults, IntentFate};
+pub use framework::{FrameworkFaults, FrameworkPerturbation, IntentFate};
 pub use plan::{FaultPlan, FaultRates};
 pub use power::{CounterReading, Glitch, PowerFaults};

@@ -93,6 +93,16 @@ pub use sanitize::{Anomaly, Confidence, CounterSanitizer, Sanitized, QUARANTINE_
 pub use slot::{SlotInterner, UidSlot};
 pub use timeline::{AttackTimeline, TimelineRow};
 
+/// The framework's lifecycle intent vocabulary, re-exported so replay
+/// and forensics consumers (`ea-fleet`, the CLI, external tooling) can
+/// serialize intent logs without depending on `ea-framework` directly.
+pub mod intentlog {
+    pub use ea_framework::{
+        Cause, IntentLog, IntentLogDump, IntentLogRecorder, LifecycleIntent, LifecycleOp,
+        LifecycleReducer, INTENT_LOG_CAPACITY,
+    };
+}
+
 /// Shared deterministic seeding helpers (the splitmix64 family).
 ///
 /// The actual definitions live in `ea_sim::rng` — the lowest layer every

@@ -14,6 +14,7 @@
 
 use std::collections::BTreeMap;
 
+use ea_framework::IntentLogDump;
 use ea_metrics::{FlightDump, QuantileSketch};
 use serde::{Deserialize, Serialize};
 
@@ -42,6 +43,14 @@ pub struct DeviceFailure {
     /// run enabled `FleetConfig::flight_recorder`.
     #[serde(default)]
     pub flight_recorder: Option<FlightDump>,
+    /// The tail of the final attempt's lifecycle intent log, salvaged
+    /// through the supervisor's recorder mirror. Present on the default
+    /// reducer lifecycle path; `None` under `--reference-lifecycle`.
+    /// Together with `checkpoint` this is the replay input:
+    /// `eandroid replay` re-executes the device and asserts the fresh
+    /// log matches this one byte for byte.
+    #[serde(default)]
+    pub intent_log: Option<IntentLogDump>,
 }
 
 /// The degraded-mode health section of a fleet run: what was injected,
@@ -188,6 +197,14 @@ pub struct FleetReport {
     pub health: FleetHealth,
     /// Compact per-device rows, in index order.
     pub devices: Vec<DeviceRow>,
+    /// The simulation-relevant slice of the run's configuration,
+    /// normalized so execution-only knobs (worker count, oracle axes,
+    /// flight-recorder capacity) read as their defaults: any two runs
+    /// that must produce identical reports embed identical configs.
+    /// `eandroid replay` reads this to re-execute failures from the
+    /// report alone.
+    #[serde(default)]
+    pub replay_config: FleetConfig,
 }
 
 /// Folds per-device outcomes (index order) into the fleet report via
@@ -296,6 +313,7 @@ pub(crate) mod tests {
                     drained_joules: 5.0,
                 }),
                 flight_recorder: None,
+                intent_log: None,
             }),
             Ok(device(2, 30.0, false)),
         ];
@@ -313,8 +331,9 @@ pub(crate) mod tests {
         assert_eq!(report.lint.apps_linted, 16);
         assert_eq!(report.lint.static_predicted_joules, 100_000.0);
         assert_eq!(report.devices.len(), 2);
-        assert_eq!(report.schema_version, 4);
+        assert_eq!(report.schema_version, 5);
         assert_eq!(report.health.checkpoints_salvaged, 1);
+        assert_eq!(report.replay_config, config.normalized_for_replay());
         assert_eq!(report.drain_joules.gamma, QuantileSketch::DEFAULT_GAMMA);
     }
 

@@ -64,6 +64,13 @@ pub struct FleetConfig {
     /// by contract; the oracle half of the scheduler goldens.
     #[serde(default)]
     pub reference_scheduler: bool,
+    /// Run every device's framework on the pre-reducer imperative
+    /// lifecycle path: no desired-state reducer, no intent log, so
+    /// crashed devices carry no intent-log tail and cannot be replayed
+    /// from their forensics bundle. Byte-equivalent for every completed
+    /// device by contract; the oracle half of the lifecycle goldens.
+    #[serde(default)]
+    pub reference_lifecycle: bool,
     /// Fault-injection plan, applied to every device on its own lane
     /// (counter glitches, framework faults, device panics, slow devices,
     /// poisoned corpus entries). `None` — or a zero-rate plan — leaves the
@@ -113,6 +120,7 @@ impl Default for FleetConfig {
             reference_accounting: false,
             batch_kernel: default_batch_kernel(),
             reference_scheduler: false,
+            reference_lifecycle: false,
             faults: None,
             max_retries: default_max_retries(),
             flight_recorder: 0,
@@ -133,6 +141,29 @@ impl FleetConfig {
             mean_session_secs: 10,
             mean_idle_secs: 20,
             ..FleetConfig::default()
+        }
+    }
+
+    /// This configuration with every execution-only knob reset to its
+    /// default: worker count, the oracle axes (reference accounting /
+    /// scheduler / lifecycle, batch kernel), and the flight-recorder
+    /// capacity. None of these may change a device's outcome, so two
+    /// runs that are byte-identical by contract normalize to the same
+    /// config — which is what lets [`crate::FleetReport`] embed it as
+    /// the replay recipe without breaking cross-axis goldens.
+    #[must_use]
+    pub fn normalized_for_replay(&self) -> Self {
+        FleetConfig {
+            jobs: 0,
+            reference_accounting: false,
+            batch_kernel: default_batch_kernel(),
+            reference_scheduler: false,
+            reference_lifecycle: false,
+            flight_recorder: 0,
+            // A zero-rate plan is a strict no-op by contract, so it
+            // normalizes away: attaching one must not change the report.
+            faults: self.faults.filter(|plan| !plan.is_zero()),
+            ..self.clone()
         }
     }
 

@@ -13,7 +13,9 @@ use ea_apps::demo::{packages, DemoApps, ACTION_VIDEO_CAPTURE};
 use ea_apps::malware::{Malware, MALWARE_PACKAGE};
 use ea_chaos::{FaultLog, FaultPlan};
 use ea_core::{labels_from, Entity, Profiler, ScreenPolicy};
-use ea_framework::{AndroidSystem, AppManifest, ChangeSource, Intent, WakelockKind};
+use ea_framework::{
+    AndroidSystem, AppManifest, Cause, ChangeSource, Intent, IntentLogRecorder, WakelockKind,
+};
 use ea_lint::{soundness, Linter};
 use ea_sim::{SimDuration, SimRng, Uid};
 use ea_telemetry::SinkHandle;
@@ -170,6 +172,25 @@ pub fn simulate_device_observed(
     on_checkpoint: &dyn Fn(DeviceCheckpoint),
     flight: Option<&SinkHandle>,
 ) -> DeviceReport {
+    simulate_device_forensic(config, corpus, index, attempt, on_checkpoint, flight, None)
+}
+
+/// [`simulate_device_observed`] with an intent-log mirror: when `intents`
+/// is attached (and the config runs the default reducer lifecycle path),
+/// every lifecycle transition the device's framework records is also
+/// appended to the shared recorder, which survives a panic unwinding and
+/// becomes the [`crate::DeviceFailure`] forensics tail. Observation only
+/// — attaching a recorder never changes the report.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_device_forensic(
+    config: &FleetConfig,
+    corpus: &[AppManifest],
+    index: usize,
+    attempt: u32,
+    on_checkpoint: &dyn Fn(DeviceCheckpoint),
+    flight: Option<&SinkHandle>,
+    intents: Option<&std::sync::Arc<IntentLogRecorder>>,
+) -> DeviceReport {
     assert!(
         !config.panic_devices.contains(&index),
         "injected fault in device {index}"
@@ -179,6 +200,12 @@ pub fn simulate_device_observed(
     let mut android = AndroidSystem::new();
     if config.reference_scheduler {
         android.set_reference_scheduler(true);
+    }
+    if config.reference_lifecycle {
+        android.set_reference_lifecycle(true);
+    }
+    if let Some(recorder) = intents {
+        android.set_intent_recorder(recorder.clone());
     }
     if let Some(handle) = flight {
         android.set_telemetry_handle(handle.clone());
@@ -283,11 +310,18 @@ pub fn simulate_device_observed(
 
         if session == attack_session {
             if let Some(mal) = &malware {
+                // Frame every transition the attack scripts drive with an
+                // explicit cause, so the intent log separates malice from
+                // the day's ordinary traffic.
+                android.set_ambient_cause(Some(Cause::Attack));
                 for &vector in &vectors {
                     fire_vector(&mut android, &mut profiler, mal, &apps, vector);
                 }
+                android.set_ambient_cause(None);
             } else if buggy_day {
+                android.set_ambient_cause(Some(Cause::Routine));
                 benign_no_sleep_bug(&mut android, &mut profiler, &apps);
+                android.set_ambient_cause(None);
             }
         }
 
@@ -705,6 +739,22 @@ mod tests {
                 "batch_kernel={batch_kernel} reference_scheduler={reference_scheduler} diverged"
             );
         }
+    }
+
+    #[test]
+    fn reference_lifecycle_is_result_equivalent() {
+        let config = FleetConfig::smoke(1, 99);
+        let corpus = corpus_for(&config);
+        let reducer = simulate_device(&config, &corpus, 0);
+        let reference = simulate_device(
+            &FleetConfig {
+                reference_lifecycle: true,
+                ..config
+            },
+            &corpus,
+            0,
+        );
+        assert_eq!(reducer, reference, "lifecycle paths must match");
     }
 
     #[test]

@@ -140,6 +140,14 @@ pub fn run_fleet_observed(
                 let mut local_sketch = QuantileSketch::default();
                 let flight = (config.flight_recorder > 0)
                     .then(|| Arc::new(FlightRecorder::new(config.flight_recorder)));
+                // One intent-log mirror per worker, reset per attempt by
+                // the supervisor: on the reducer path every abandoned
+                // device ships its log tail for `eandroid replay`.
+                let intents = (!config.reference_lifecycle).then(|| {
+                    Arc::new(ea_framework::IntentLogRecorder::new(
+                        ea_framework::INTENT_LOG_CAPACITY,
+                    ))
+                });
                 loop {
                     let shard = next_shard.fetch_add(1, Ordering::Relaxed);
                     if shard >= shard_count {
@@ -153,6 +161,7 @@ pub fn run_fleet_observed(
                             flight: flight.as_ref(),
                             observatory,
                             on_checkpoint: None,
+                            intents: intents.as_ref(),
                         };
                         let outcome = supervise_device(config, corpus, index, &mut tally, &hooks);
                         let device_secs = device_started.elapsed().as_secs_f64();
@@ -190,6 +199,9 @@ pub fn run_fleet_observed(
         }
     });
 
+    // The Err arm carries the full forensics bundle; it only exists on
+    // the cold abandonment path, so its size is irrelevant here.
+    #[allow(clippy::result_large_err)]
     let outcomes: Vec<Result<DeviceReport, DeviceFailure>> = into_clean(slots)
         .into_iter()
         .map(|slot| slot.unwrap_or_else(|| unreachable!("every device index was claimed")))

@@ -43,6 +43,7 @@ mod device;
 mod engine;
 pub mod merge;
 pub mod render;
+pub mod replay;
 pub mod supervise;
 
 pub use aggregate::{
@@ -53,9 +54,12 @@ pub use arena::{SlotArena, SlotSpawn};
 pub use batch::BatchFleet;
 pub use config::{device_seed, FleetConfig};
 pub use device::{
-    simulate_device, simulate_device_attempt, simulate_device_observed, DeviceCheckpoint,
-    DeviceReport, CHAOS_PANIC_PREFIX,
+    simulate_device, simulate_device_attempt, simulate_device_forensic, simulate_device_observed,
+    DeviceCheckpoint, DeviceReport, CHAOS_PANIC_PREFIX,
 };
 pub use engine::{run_fleet, run_fleet_observed, run_fleet_traced, FleetRunStats};
 pub use merge::ReportFold;
+pub use replay::{
+    replay_failure, replay_healthy, replay_report, FailureReplay, HealthyReplay, ReplayReport,
+};
 pub use supervise::{SuperviseHooks, Supervision};

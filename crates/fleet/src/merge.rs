@@ -26,7 +26,13 @@ use crate::device::DeviceReport;
 const TOP_LIMIT: usize = 10;
 
 /// The report schema version emitted by [`ReportFold::finish`].
-pub const REPORT_SCHEMA_VERSION: u32 = 4;
+///
+/// v5 (additive): `DeviceFailure.intent_log` carries the crashed
+/// attempt's lifecycle intent-log tail, `FlightDump.intent_tail` mirrors
+/// it in the flight-recorder bundle, and `FleetReport.replay_config`
+/// embeds the normalized run configuration so `eandroid replay` can
+/// re-execute any failure from the report alone.
+pub const REPORT_SCHEMA_VERSION: u32 = 5;
 
 /// Builds the drain sketch from a completed-device drain list — the
 /// fallback when the caller has no per-shard sketches to merge (unit
@@ -243,6 +249,7 @@ impl ReportFold {
             lint: self.lint,
             health,
             devices: self.devices,
+            replay_config: config.normalized_for_replay(),
         }
     }
 }
@@ -267,6 +274,7 @@ mod tests {
                     attempts: 3,
                     checkpoint: None,
                     flight_recorder: None,
+                    intent_log: None,
                 }),
                 Ok(crate::aggregate::tests::device(2, 30.0, false)),
             ]

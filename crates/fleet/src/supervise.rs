@@ -12,12 +12,13 @@
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, Once};
 
+use ea_framework::IntentLogRecorder;
 use ea_metrics::{FleetObservatory, FlightRecorder};
 use ea_telemetry::SinkHandle;
 
 use crate::aggregate::DeviceFailure;
 use crate::config::{device_seed, FleetConfig};
-use crate::device::{simulate_device_observed, DeviceCheckpoint, DeviceReport, CHAOS_PANIC_PREFIX};
+use crate::device::{simulate_device_forensic, DeviceCheckpoint, DeviceReport, CHAOS_PANIC_PREFIX};
 
 thread_local! {
     /// Set while a supervised thread runs a device: the wrapped panic
@@ -136,6 +137,11 @@ pub struct SuperviseHooks<'a> {
     /// lane as checkpoint events. Called inside the panic boundary, so
     /// the hook must tolerate the attempt unwinding right after it runs.
     pub on_checkpoint: Option<&'a (dyn Fn(DeviceCheckpoint) + 'a)>,
+    /// Lifecycle intent-log mirror, reset per attempt and dumped into
+    /// the [`DeviceFailure`] (and the flight dump's `intent_tail`) on
+    /// abandonment — the replay input for `eandroid replay`. Only
+    /// meaningful on the default reducer lifecycle path.
+    pub intents: Option<&'a Arc<IntentLogRecorder>>,
 }
 
 /// Deterministic per-attempt backoff before a device retry: a short,
@@ -151,6 +157,10 @@ fn retry_backoff(fleet_seed: u64, index: usize, attempt: u32) -> std::time::Dura
 /// When a flight recorder is attached, the ring is cleared before every
 /// attempt (so a dump never mixes attempts) and snapshotted into the
 /// [`DeviceFailure`] on abandonment.
+// The Err arm is the full forensics bundle (checkpoint + flight dump +
+// intent-log tail); it only materializes on the cold abandonment path,
+// where its size is irrelevant.
+#[allow(clippy::result_large_err)]
 pub fn supervise_device(
     config: &FleetConfig,
     corpus: &[ea_framework::AppManifest],
@@ -167,6 +177,9 @@ pub fn supervise_device(
         if let Some(recorder) = hooks.flight {
             recorder.reset();
         }
+        if let Some(recorder) = hooks.intents {
+            recorder.reset();
+        }
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
             let on_checkpoint = |snapshot: DeviceCheckpoint| {
                 checkpoint.set(Some(snapshot));
@@ -174,13 +187,14 @@ pub fn supervise_device(
                     forward(snapshot);
                 }
             };
-            simulate_device_observed(
+            simulate_device_forensic(
                 config,
                 corpus,
                 index,
                 attempts,
                 &on_checkpoint,
                 flight_handle.as_ref(),
+                hooks.intents,
             )
         }));
         attempts += 1;
@@ -201,13 +215,27 @@ pub fn supervise_device(
                 }
                 if attempts > config.max_retries {
                     tally.abandoned += 1;
+                    let intent_log = hooks.intents.map(|recorder| recorder.dump());
+                    // The flight dump and the intent log travel as one
+                    // forensics bundle: stitch the log tail into the dump
+                    // so either artifact alone suffices for replay.
+                    let flight_recorder = hooks.flight.map(|recorder| {
+                        let mut dump = recorder.dump();
+                        dump.intent_tail = intent_log.as_ref().and_then(|log| {
+                            serde_json::to_string(log)
+                                .ok()
+                                .and_then(|text| serde_json::from_str(&text).ok())
+                        });
+                        dump
+                    });
                     return Err(DeviceFailure {
                         index,
                         seed: device_seed(config.seed, index),
                         message,
                         attempts,
                         checkpoint: checkpoint.get(),
-                        flight_recorder: hooks.flight.map(|recorder| recorder.dump()),
+                        flight_recorder,
+                        intent_log,
                     });
                 }
                 if attempts == 1 {

@@ -73,6 +73,7 @@ mod behavior;
 mod error;
 mod events;
 mod intent;
+mod lifecycle;
 mod manifest;
 mod routine;
 mod service;
@@ -87,6 +88,10 @@ pub use behavior::AppBehavior;
 pub use error::FrameworkError;
 pub use events::{ChangeSource, ForegroundCause, FrameworkEvent, TimedEvent};
 pub use intent::Intent;
+pub use lifecycle::{
+    Cause, IntentLog, IntentLogDump, IntentLogRecorder, LifecycleIntent, LifecycleOp,
+    LifecycleReducer, INTENT_LOG_CAPACITY,
+};
 pub use manifest::{AppManifest, AppManifestBuilder, ComponentDecl, ComponentKind, Permission};
 pub use routine::Routine;
 pub use service::{ConnectionId, ServiceRecord};

@@ -20,10 +20,11 @@ use ea_sim::{
 use ea_telemetry::{SinkHandle, TelemetryEvent, TelemetrySink};
 
 use crate::{
-    ActivityId, ActivityRecord, ActivityState, AppBehavior, AppManifest, ChangeSource,
+    ActivityId, ActivityRecord, ActivityState, AppBehavior, AppManifest, Cause, ChangeSource,
     ComponentKind, ConnectionId, ForegroundCause, FrameworkError, FrameworkEvent, Intent,
-    Permission, Routine, ServiceRecord, SettingsProvider, SurfaceFlinger, TaskStack, TimedEvent,
-    Wakelock, WakelockId, WakelockKind,
+    IntentLog, IntentLogDump, IntentLogRecorder, LifecycleOp, LifecycleReducer, Permission,
+    Routine, ServiceRecord, SettingsProvider, SurfaceFlinger, TaskStack, TimedEvent, Wakelock,
+    WakelockId, WakelockKind, INTENT_LOG_CAPACITY,
 };
 
 /// Packages installed as system apps at boot. E-Android excludes these from
@@ -78,6 +79,41 @@ impl InstalledApp {
 struct PendingResolver {
     caller: Uid,
     candidates: Vec<(Uid, String)>,
+}
+
+/// Reducer-path lifecycle bookkeeping: the desired-state reducer, the
+/// bounded per-device intent log, and the optional supervisor-shared
+/// mirror. `None` selects the pre-split imperative reference path.
+#[derive(Debug)]
+struct LifecycleCore {
+    reducer: LifecycleReducer,
+    log: IntentLog,
+    recorder: Option<Arc<IntentLogRecorder>>,
+    /// Scripted framing for the next transitions (attack vector firing,
+    /// benign routine), overriding event-intrinsic causes.
+    ambient: Option<Cause>,
+    /// Transient reconciler framing (`Cause::Sweep`), overriding both.
+    sweeping: bool,
+}
+
+impl LifecycleCore {
+    fn new() -> Self {
+        LifecycleCore {
+            reducer: LifecycleReducer::new(),
+            log: IntentLog::new(INTENT_LOG_CAPACITY),
+            recorder: None,
+            ambient: None,
+            sweeping: false,
+        }
+    }
+
+    fn resolve(&self, intrinsic: Cause) -> Cause {
+        if self.sweeping {
+            Cause::Sweep
+        } else {
+            self.ambient.unwrap_or(intrinsic)
+        }
+    }
 }
 
 /// The simulated Android system. See the crate docs for an end-to-end
@@ -138,6 +174,9 @@ pub struct AndroidSystem {
     deferred_death_locks: EventQueue<WakelockId>,
     /// Last time the power-manager sweep reconciled leaked wakelocks.
     last_fault_sweep: SimTime,
+    /// The lifecycle intent core (reducer + log), `None` on the
+    /// reference path. See [`AndroidSystem::set_reference_lifecycle`].
+    lifecycle: Option<Box<LifecycleCore>>,
 }
 
 impl AndroidSystem {
@@ -181,6 +220,7 @@ impl AndroidSystem {
             faults: None,
             deferred_death_locks: EventQueue::new(),
             last_fault_sweep: SimTime::ZERO,
+            lifecycle: Some(Box::new(LifecycleCore::new())),
         };
         system.install_system_app(Uid::from_raw(1_001), SYSTEM_PACKAGES[0]);
         system.install_system_app(Uid::from_raw(1_002), SYSTEM_PACKAGES[1]);
@@ -620,6 +660,13 @@ impl AndroidSystem {
                 // The death notice is stuck in the binder queue: the lock
                 // stays held until the (late) notification arrives.
                 self.deferred_death_locks.schedule(now + delay, id);
+                if let Some(holder) = self.wakelocks.get(&id).map(|lock| lock.uid) {
+                    self.record_perturbation(LifecycleOp::DeathDeferred {
+                        uid: holder,
+                        id,
+                        delay_secs: delay.as_millis() / 1_000,
+                    });
+                }
                 continue;
             }
             if let Some(lock) = self.wakelocks.remove(&id) {
@@ -643,6 +690,7 @@ impl AndroidSystem {
             self.destroy_activity(id);
         }
         // Services of the app die with the process.
+        let mut stopped = Vec::new();
         for ((owner, component), record) in self.services.iter_mut() {
             if *owner == uid && record.is_running() {
                 record.started = false;
@@ -650,18 +698,20 @@ impl AndroidSystem {
                 for connection in &connections {
                     record.unbind(*connection);
                 }
-                let component = component.clone();
-                let driven = *owner;
-                self.events.push(TimedEvent {
-                    at: now,
-                    event: FrameworkEvent::ServiceStopped {
-                        source: ChangeSource::System,
-                        driven,
-                        component,
-                        still_running: false,
-                    },
+                stopped.push(FrameworkEvent::ServiceStopped {
+                    source: ChangeSource::System,
+                    driven: *owner,
+                    component: component.clone(),
+                    still_running: false,
                 });
             }
+        }
+        for event in stopped {
+            // Pushed directly (not through `emit`): death teardown stops
+            // are recorded even with scenario recording off and skip the
+            // telemetry mirror, as they always have.
+            self.observe_intent(&event);
+            self.events.push(TimedEvent { at: now, event });
         }
         self.connections.retain(|_, (binder, _, _)| *binder != uid);
         // Bindings the dead app held on other apps' services unwind too.
@@ -1134,24 +1184,50 @@ impl AndroidSystem {
             if faults.wakelock_release_lost() {
                 // The release call never reaches the power manager: the app
                 // believes the lock is gone, the kernel still holds it. The
-                // periodic sweep reconciles it later.
+                // periodic sweep reconciles it later. Desired state moves to
+                // *released* now — the flag and the reducer's lost set are
+                // the same divergence, one per path.
                 if let Some(lock) = self.wakelocks.get_mut(&id) {
                     lock.release_lost = true;
                 }
+                self.record_perturbation(LifecycleOp::ReleaseLost { uid, id });
                 return Ok(());
             }
         }
-        let Some(lock) = self.wakelocks.remove(&id) else {
+        self.record_ipc(uid, Uid::SYSTEM, TransactionKind::ReleaseWakelock);
+        if !self.finish_release(id, false, None) {
             return Err(FrameworkError::NoSuchWakelock(id));
+        }
+        Ok(())
+    }
+
+    /// Converges one wakelock's observed state to *released*: removes
+    /// it, unlinks its Binder death hook, notes the detected fault (when
+    /// the release is a reconciliation), and emits the release event.
+    /// One code path serves the app-driven release, the reconciliation
+    /// sweep, and the deferred death delivery, so the three cannot
+    /// drift. Returns whether the lock was present.
+    fn finish_release(
+        &mut self,
+        id: WakelockId,
+        on_death: bool,
+        detected: Option<&'static str>,
+    ) -> bool {
+        let Some(lock) = self.wakelocks.remove(&id) else {
+            return false;
         };
         self.binder.unlink_to_death(lock.pid, id.0);
-        self.record_ipc(uid, Uid::SYSTEM, TransactionKind::ReleaseWakelock);
+        if let Some(kind) = detected {
+            if let Some(faults) = self.faults.as_mut() {
+                faults.note_detected(kind);
+            }
+        }
         self.emit(FrameworkEvent::WakelockReleased {
-            uid,
+            uid: lock.uid,
             id,
-            on_death: false,
+            on_death,
         });
-        Ok(())
+        true
     }
 
     /// Applies an app's wakelock policy when one of its activities reaches
@@ -1416,18 +1492,7 @@ impl AndroidSystem {
                 break;
             };
             let id = event.payload;
-            if let Some(lock) = self.wakelocks.remove(&id) {
-                self.binder.unlink_to_death(lock.pid, id.0);
-                if let Some(faults) = self.faults.as_mut() {
-                    faults.note_detected("death_delayed");
-                }
-                self.emit(FrameworkEvent::WakelockReleased {
-                    uid: lock.uid,
-                    id,
-                    on_death: true,
-                });
-                released = true;
-            }
+            released |= self.finish_release(id, true, Some("death_delayed"));
         }
         if released {
             self.recompute_demands();
@@ -1446,26 +1511,28 @@ impl AndroidSystem {
             return;
         }
         self.last_fault_sweep = now;
-        let lost: Vec<WakelockId> = self
-            .wakelocks
-            .values()
-            .filter(|lock| lock.release_lost)
-            .map(|lock| lock.id)
-            .collect();
+        // The reconciler's work list: desired-released-but-observed-held
+        // locks, from the reducer's lost set on the intent path or the
+        // `release_lost` flag scan on the reference path. Same set, same
+        // ascending-id order, by construction.
+        let lost: Vec<WakelockId> = match self.lifecycle.as_ref() {
+            Some(core) => core.reducer.lost_releases(),
+            None => self
+                .wakelocks
+                .values()
+                .filter(|lock| lock.release_lost)
+                .map(|lock| lock.id)
+                .collect(),
+        };
         let mut released = false;
+        if let Some(core) = self.lifecycle.as_mut() {
+            core.sweeping = true;
+        }
         for id in lost {
-            if let Some(lock) = self.wakelocks.remove(&id) {
-                self.binder.unlink_to_death(lock.pid, id.0);
-                if let Some(faults) = self.faults.as_mut() {
-                    faults.note_detected("wakelock_release_lost");
-                }
-                self.emit(FrameworkEvent::WakelockReleased {
-                    uid: lock.uid,
-                    id,
-                    on_death: false,
-                });
-                released = true;
-            }
+            released |= self.finish_release(id, false, Some("wakelock_release_lost"));
+        }
+        if let Some(core) = self.lifecycle.as_mut() {
+            core.sweeping = false;
         }
         if released {
             self.recompute_demands();
@@ -1540,7 +1607,17 @@ impl AndroidSystem {
                 None => IntentFate::Deliver,
             };
             if fate == IntentFate::Drop {
+                self.record_perturbation(LifecycleOp::BroadcastDropped {
+                    action: action.to_string(),
+                    receiver,
+                });
                 continue;
+            }
+            if fate == IntentFate::Duplicate {
+                self.record_perturbation(LifecycleOp::BroadcastDuplicated {
+                    action: action.to_string(),
+                    receiver,
+                });
             }
             self.ensure_process(receiver);
             self.emit(FrameworkEvent::BroadcastDelivered {
@@ -1709,6 +1786,7 @@ impl AndroidSystem {
     // ------------------------------------------------------------------
 
     fn emit(&mut self, event: FrameworkEvent) {
+        self.observe_intent(&event);
         if self.telemetry.enabled() {
             self.telemetry.record_event(
                 self.clock.now().as_millis() * 1_000,
@@ -1725,6 +1803,40 @@ impl AndroidSystem {
             at: self.clock.now(),
             event,
         });
+    }
+
+    /// Reducer-path intent derivation: every lifecycle transition an
+    /// event announces is appended to the intent log (with its resolved
+    /// [`Cause`]) and folded into the desired-state reducer, regardless
+    /// of whether scenario event recording is on. No-op (one branch) on
+    /// the reference path and for non-lifecycle events.
+    fn observe_intent(&mut self, event: &FrameworkEvent) {
+        let Some(core) = self.lifecycle.as_mut() else {
+            return;
+        };
+        let Some(op) = LifecycleOp::from_event(event) else {
+            return;
+        };
+        let cause = core.resolve(Cause::intrinsic(event));
+        let intent = core.log.append(self.clock.now(), cause, op);
+        core.reducer.apply(&intent);
+        if let Some(recorder) = &core.recorder {
+            recorder.append(intent);
+        }
+    }
+
+    /// Records one chaos fault decision as a `Cause::Fault` intent. The
+    /// perturbed transition emits no framework event (that is the point
+    /// of the fault), so the log is the only audited record of it.
+    fn record_perturbation(&mut self, op: LifecycleOp) {
+        let Some(core) = self.lifecycle.as_mut() else {
+            return;
+        };
+        let intent = core.log.append(self.clock.now(), Cause::Fault, op);
+        core.reducer.apply(&intent);
+        if let Some(recorder) = &core.recorder {
+            recorder.append(intent);
+        }
     }
 
     /// Attaches a telemetry sink: every framework event is mirrored as a
@@ -1774,6 +1886,101 @@ impl AndroidSystem {
     /// Whether the timer queue runs on the reference heap backend.
     pub fn is_reference_scheduler(&self) -> bool {
         self.deferred_death_locks.is_reference()
+    }
+
+    /// Selects the lifecycle backend: the reducer/intent-log core (the
+    /// default) or the pre-split imperative reference path. Intent
+    /// recording is pure observation — both paths run identical
+    /// mutation, event, and RNG code — so the switch is observationally
+    /// a no-op; the golden tests assert byte-identical runs across both.
+    /// Switching to the reference path drops any accumulated log.
+    pub fn set_reference_lifecycle(&mut self, reference: bool) {
+        if reference {
+            self.lifecycle = None;
+        } else if self.lifecycle.is_none() {
+            self.lifecycle = Some(Box::new(LifecycleCore::new()));
+        }
+    }
+
+    /// Whether lifecycle handling runs on the imperative reference path.
+    pub fn is_reference_lifecycle(&self) -> bool {
+        self.lifecycle.is_none()
+    }
+
+    /// Shares the fleet supervisor's intent-log mirror: every intent the
+    /// reducer records is also appended to `recorder`, which survives a
+    /// panicking device attempt and becomes the `DeviceFailure` log
+    /// tail. No-op on the reference path.
+    pub fn set_intent_recorder(&mut self, recorder: Arc<IntentLogRecorder>) {
+        if let Some(core) = self.lifecycle.as_mut() {
+            core.recorder = Some(recorder);
+        }
+    }
+
+    /// Sets the scripted cause framing for subsequent transitions
+    /// (`Cause::Attack` while an attack vector fires, `Cause::Routine`
+    /// for benign background scripts). `None` restores event-intrinsic
+    /// causes. No-op on the reference path.
+    pub fn set_ambient_cause(&mut self, cause: Option<Cause>) {
+        if let Some(core) = self.lifecycle.as_mut() {
+            core.ambient = cause;
+        }
+    }
+
+    /// Snapshots the device's intent log, when the reducer path is on.
+    pub fn intent_log(&self) -> Option<IntentLogDump> {
+        self.lifecycle.as_ref().map(|core| core.log.dump())
+    }
+
+    /// Read-only access to the desired-state reducer, when on.
+    pub fn lifecycle_reducer(&self) -> Option<&LifecycleReducer> {
+        self.lifecycle.as_deref().map(|core| &core.reducer)
+    }
+
+    /// Where observed runtime state diverges from the reducer's desired
+    /// state. Expected entries are exactly the in-flight convergences —
+    /// lost releases awaiting their sweep and deferred death
+    /// notifications; anything else is a framework bug. Empty on the
+    /// reference path.
+    pub fn lifecycle_divergence(&self) -> Vec<String> {
+        let Some(core) = self.lifecycle.as_ref() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for lock in self.wakelocks.values() {
+            if !core.reducer.wants_held(lock.id) {
+                out.push(format!("wakelock {} held but desired released", lock.id.0));
+            }
+        }
+        for id in core.reducer.desired_wakelocks() {
+            if !self.wakelocks.contains_key(&id) {
+                out.push(format!("wakelock {} desired but not held", id.0));
+            }
+        }
+        for (uid, component) in core.reducer.desired_services() {
+            let running = self
+                .services
+                .get(&(uid, component.clone()))
+                .is_some_and(ServiceRecord::is_running);
+            if !running {
+                out.push(format!(
+                    "service {}/{component} desired running but stopped",
+                    uid.as_raw()
+                ));
+            }
+        }
+        if core.reducer.screen_on() != self.screen_on {
+            out.push(format!(
+                "screen observed {} but desired {}",
+                if self.screen_on { "on" } else { "off" },
+                if core.reducer.screen_on() {
+                    "on"
+                } else {
+                    "off"
+                },
+            ));
+        }
+        out
     }
 
     /// The injected/detected fault counters, when an injector is attached.

@@ -28,6 +28,13 @@ pub struct FlightDump {
     pub dropped: u64,
     /// The retained tail of the event stream, oldest first.
     pub events: Vec<TraceRecord>,
+    /// The crashed attempt's lifecycle intent-log tail, stitched in by
+    /// the fleet supervisor so the flight-recorder dump and the replay
+    /// input travel as one forensics bundle. Kept as opaque JSON: the
+    /// intent types live above this crate (`ea_framework`), and the
+    /// recorder itself never writes this field.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub intent_tail: Option<serde_json::Value>,
 }
 
 impl FlightDump {
@@ -111,6 +118,7 @@ impl FlightRecorder {
             capacity: self.capacity,
             dropped: state.dropped,
             events: state.events.iter().cloned().collect(),
+            intent_tail: None,
         }
     }
 }

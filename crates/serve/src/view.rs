@@ -52,6 +52,12 @@ pub struct WindowStats {
     pub left: u64,
     /// Devices abandoned mid-day in this window.
     pub crashed: u64,
+    /// Crashed devices whose failure carried a lifecycle intent-log
+    /// tail — i.e. whose forensics bundle is complete and replayable
+    /// with `eandroid replay`. Equals `crashed` on the default reducer
+    /// lifecycle path; zero under `--reference-lifecycle`.
+    #[serde(default)]
+    pub crashed_replayable: u64,
     /// Devices that completed their day in this window.
     pub completed: u64,
     /// Battery energy drained by devices completing in this window, J.
@@ -86,6 +92,7 @@ struct WindowAccum {
     joined: u64,
     left: u64,
     crashed: u64,
+    crashed_replayable: u64,
     completed: u64,
     drained_joules: f64,
     attributed_joules: f64,
@@ -105,6 +112,7 @@ impl WindowAccum {
             joined: self.joined,
             left: self.left,
             crashed: self.crashed,
+            crashed_replayable: self.crashed_replayable,
             completed: self.completed,
             drained_joules: self.drained_joules,
             attributed_joules: self.attributed_joules,
@@ -131,6 +139,7 @@ pub struct FleetView {
     last_closed: Option<WindowStats>,
     total_events: u64,
     total_checkpoints: u64,
+    total_replayable_crashes: u64,
     devices_online: u64,
     /// Device outcomes keyed by index — the final report folds these in
     /// index order, which is what keeps the streaming report
@@ -157,6 +166,7 @@ impl FleetView {
             last_closed: None,
             total_events: 0,
             total_checkpoints: 0,
+            total_replayable_crashes: 0,
             devices_online: 0,
             slots: (0..size).map(|_| None).collect(),
             roster_arena: SlotArena::new(),
@@ -224,6 +234,10 @@ impl FleetView {
             }
             LaneEvent::Crashed(failure) => {
                 self.current.crashed += 1;
+                if failure.intent_log.is_some() {
+                    self.current.crashed_replayable += 1;
+                    self.total_replayable_crashes += 1;
+                }
                 let index = failure.index;
                 if let Some(slot) = self.slots.get_mut(index) {
                     *slot = Some(Err(*failure));
@@ -266,6 +280,14 @@ impl FleetView {
     #[must_use]
     pub fn checkpoints_ingested(&self) -> u64 {
         self.total_checkpoints
+    }
+
+    /// Crashed devices whose streamed failure carried an intent-log
+    /// tail (a complete `eandroid replay` bundle), over the whole
+    /// stream so far.
+    #[must_use]
+    pub fn replayable_crashes(&self) -> u64 {
+        self.total_replayable_crashes
     }
 
     /// Device outcomes recorded so far (completed or crashed).
@@ -443,8 +465,11 @@ mod tests {
             attempts: 3,
             checkpoint: None,
             flight_recorder: None,
+            intent_log: Some(ea_framework::IntentLog::new(4).dump()),
         })));
         assert!(!view.drained());
+        assert_eq!(view.replayable_crashes(), 1);
+        assert_eq!(view.window().crashed_replayable, 1);
         view.ingest(completed(1, 4.0, 0.5));
         assert!(view.drained());
         assert_eq!(view.outcomes_recorded(), 3);

@@ -76,6 +76,7 @@ fn lifecycle(
             attempts: 3,
             checkpoint: None,
             flight_recorder: None,
+            intent_log: None,
         })));
     } else {
         events.push(LaneEvent::Completed(Box::new(stub_report(

@@ -7,7 +7,8 @@
 //! eandroid micro [--runs N]
 //! eandroid antutu
 //! eandroid workload [--seed N] [--sessions N]
-//! eandroid fleet [--size N] [--seed N] [--jobs J] [--json] [--trace <base>] [--faults <rate|plan.json>] [--watch] [--heartbeat <path>] [--flight-recorder N] [--batch-kernel on|off] [--reference-scheduler]
+//! eandroid fleet [--size N] [--seed N] [--jobs J] [--json] [--trace <base>] [--faults <rate|plan.json>] [--watch] [--heartbeat <path>] [--flight-recorder N] [--batch-kernel on|off] [--reference-scheduler] [--reference-lifecycle]
+//! eandroid replay <report.json> [--healthy N] [--json]
 //! eandroid metrics [--size N] [--seed N] [--jobs J] [--json]
 //! eandroid serve [--size N] [--seed N] [--lanes L] [--socket <path>] [--hold] [--json] [--watch] [--heartbeat <path>]
 //! eandroid query [--socket <path>] <ping|snapshot|window|report|shutdown>
@@ -50,6 +51,8 @@ COMMANDS:
         --detect                   also print the collateral-bug report
         --faults <rate|plan.json>  inject seeded faults (DESIGN.md \u{a7}11)
         --fault-seed N             fault-plan seed (default 2026)
+        --reference-lifecycle      pre-reducer imperative lifecycle path
+                                   (oracle path, same bytes)
     depletion [<case>|all]  replay the Figure 3 battery race
         --cap-hours N              stop after N simulated hours (default 24)
     corpus                  generate + analyze the Figure 2 corpus
@@ -85,6 +88,14 @@ COMMANDS:
                                    off = per-device model structs, same bytes)
         --reference-scheduler      binary-heap event queue instead of the
                                    calendar queue (oracle path, same bytes)
+        --reference-lifecycle      imperative lifecycle path without the
+                                   intent log (oracle path, same bytes;
+                                   crashed devices carry no replay bundle)
+    replay <report.json>    re-execute every failure recorded in a fleet
+                            report and verify it reproduces exactly
+        --healthy N                also re-simulate N completed devices
+                                   and diff them against their rows
+        --json                     emit the replay verdicts as JSON
     metrics                 run a fleet and print its health snapshot
         --json                     one JSONL snapshot instead of Prometheus text
         (also accepts the fleet sizing/fault/watch/heartbeat flags above)
@@ -123,6 +134,7 @@ fn main() -> ExitCode {
         Some("lint") => cmd_lint(&args.collect::<Vec<_>>()),
         Some("workload") => cmd_workload(&args.collect::<Vec<_>>()),
         Some("fleet") => cmd_fleet(&args.collect::<Vec<_>>()),
+        Some("replay") => cmd_replay(&args.collect::<Vec<_>>()),
         Some("metrics") => cmd_metrics(&args.collect::<Vec<_>>()),
         Some("serve") => cmd_serve(&args.collect::<Vec<_>>()),
         Some("query") => cmd_query(&args.collect::<Vec<_>>()),
@@ -224,6 +236,10 @@ fn cmd_scenario(args: &[&str]) -> ExitCode {
         if has_flag(args, "--routines") {
             profiler = profiler.with_routine_accounting();
         }
+        let mut android = AndroidSystem::new();
+        if has_flag(args, "--reference-lifecycle") {
+            android.set_reference_lifecycle(true);
+        }
         let run = match &faults {
             Some(plan) => {
                 // Lanes follow the scenario's position in `Scenario::ALL`
@@ -232,9 +248,10 @@ fn cmd_scenario(args: &[&str]) -> ExitCode {
                     .iter()
                     .position(|s| s.name() == scenario.name())
                     .unwrap_or(0) as u64;
-                scenario.run_chaos(profiler, plan, lane)
+                android.attach_faults(plan.framework_faults(lane));
+                scenario.run_with(android, profiler.with_chaos(plan.power_faults(lane)))
             }
-            None => scenario.run(profiler),
+            None => scenario.run_with(android, profiler),
         };
         let labels = labels_from(&run.android);
 
@@ -452,6 +469,9 @@ fn parse_fleet_config(command: &str, args: &[&str]) -> Result<FleetConfig, Strin
     if has_flag(args, "--reference-scheduler") {
         config.reference_scheduler = true;
     }
+    if has_flag(args, "--reference-lifecycle") {
+        config.reference_lifecycle = true;
+    }
     Ok(config)
 }
 
@@ -553,6 +573,94 @@ fn cmd_fleet(args: &[&str]) -> ExitCode {
     // Device failures are data, not a process error: the report carries
     // them and the run still succeeded.
     ExitCode::SUCCESS
+}
+
+/// `eandroid replay` — load a saved fleet report and re-execute every
+/// recorded [`DeviceFailure`](e_android::fleet::DeviceFailure) from the
+/// report's embedded replay config, diffing panic message, attempt
+/// count, salvaged checkpoint, and the lifecycle intent-log tail against
+/// the recorded bundle. `--healthy N` additionally re-simulates a strided
+/// sample of completed devices as a divergence detector. Exits non-zero
+/// on any mismatch: a divergence means nondeterminism, not noise.
+fn cmd_replay(args: &[&str]) -> ExitCode {
+    let path = match args.first() {
+        Some(&arg) if !arg.starts_with("--") => arg,
+        _ => {
+            eprintln!("replay: missing report path (produce one with `eandroid fleet --json`)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("replay: cannot read {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report: e_android::fleet::FleetReport = match serde_json::from_str(&text) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("replay: {path} is not a fleet report: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let healthy: usize = flag_value(args, "--healthy")
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(0);
+
+    let verdicts = e_android::fleet::replay_report(&report, healthy);
+    if has_flag(args, "--json") {
+        match serde_json::to_string_pretty(&verdicts) {
+            Ok(json) => println!("{json}"),
+            Err(error) => {
+                eprintln!("replay: failed to serialize verdicts: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        for replay in &verdicts.failures {
+            if replay.matched {
+                println!(
+                    "device {:>4}  failure reproduced ({} intents in the replayed log)",
+                    replay.index, replay.replayed_intents
+                );
+            } else {
+                println!("device {:>4}  failure DIVERGED", replay.index);
+                for mismatch in &replay.mismatches {
+                    println!("    {mismatch}");
+                }
+            }
+        }
+        for replay in &verdicts.healthy {
+            if replay.matched {
+                println!(
+                    "device {:>4}  healthy, matches its recorded row",
+                    replay.index
+                );
+            } else {
+                println!("device {:>4}  healthy replay DIVERGED", replay.index);
+                for mismatch in &replay.mismatches {
+                    println!("    {mismatch}");
+                }
+            }
+        }
+        println!(
+            "replayed {} device(s): {} failure(s), {} healthy",
+            verdicts.replayed(),
+            verdicts.failures.len(),
+            verdicts.healthy.len()
+        );
+    }
+    if verdicts.replayed() == 0 {
+        eprintln!(
+            "replay: report records no failures (add --healthy N to spot-check completed devices)"
+        );
+    }
+    if verdicts.all_matched() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// `eandroid metrics` — run a fleet under the observatory and print the

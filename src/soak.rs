@@ -1,7 +1,7 @@
 //! The chaos soak harness: every scenario and a fleet, under escalating
 //! fault rates, with the degraded-mode invariants checked after each run.
 //!
-//! The harness asserts four properties (see DESIGN.md §11):
+//! The harness asserts five properties (see DESIGN.md §11):
 //!
 //! 1. **No panic escapes** — whatever the injectors do, a scenario run
 //!    either completes or (for fleet devices) becomes a supervised,
@@ -13,6 +13,9 @@
 //!    byte-identical to no plan at all.
 //! 4. **Verdict stability** — sub-threshold measurement noise (counter
 //!    glitches only) never changes which attacks the monitor detects.
+//! 5. **Replay fidelity** — every abandoned device's recorded failure
+//!    reproduces exactly when replayed from the report's embedded
+//!    config (the `eandroid replay` contract, DESIGN.md §16).
 
 use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
@@ -309,6 +312,20 @@ fn soak_fleet(config: &SoakConfig, report: &mut SoakReport, escalation: &[f64]) 
                 sequential.health.devices_recovered,
                 sequential.health.devices_abandoned
             ));
+        }
+        // Invariant 5: replay fidelity. Every abandoned device's
+        // forensics bundle must reproduce the recorded outcome when
+        // re-supervised from the report's embedded replay config.
+        if !sequential.failures.is_empty() {
+            let replayed = ea_fleet::replay_report(&sequential, 0);
+            report.fleet_runs += 1;
+            for failure in replayed.failures.iter().filter(|f| !f.matched) {
+                report.violations.push(format!(
+                    "fleet: device {} replay diverged at rate {rate}: {}",
+                    failure.index,
+                    failure.mismatches.join("; ")
+                ));
+            }
         }
     }
 }
